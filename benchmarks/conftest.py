@@ -1,0 +1,28 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Each benchmark regenerates one table/figure of the paper and prints the
+rows it reports.  Set ``REPRO_BENCH_QUICK=1`` to run representative
+subsets instead of the full workload sets (useful for CI); the default
+regenerates the complete figures.
+"""
+
+import os
+
+import pytest
+
+#: Quick mode trims every figure to a small representative workload set.
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "0") == "1"
+
+#: Oracle measurement repetitions (the paper averages 10 batches).
+RUNS = 3 if QUICK else 10
+
+
+@pytest.fixture
+def show():
+    """Print a figure table beneath the benchmark output."""
+
+    def _show(text):
+        print()
+        print(text)
+
+    return _show

@@ -1,0 +1,52 @@
+"""Ablation: DDP vs FSDP (ZeRO-3) — the memory/communication trade.
+
+An extension benchmark (not a paper figure): fully-sharded data
+parallelism moves 3x the parameter bytes per iteration where DDP's
+AllReduce moves 2x, in exchange for sharding parameters, gradients, and
+optimizer state across ranks.  The benchmark verifies both halves of the
+trade against the simulator and the memory estimator, and validates the
+simulated time against the hardware oracle.
+"""
+
+from conftest import RUNS
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import TrioSim
+from repro.gpus.specs import get_gpu, platform_p2
+from repro.memory.estimator import estimate_memory
+from repro.oracle.oracle import HardwareOracle
+from repro.trace.tracer import Tracer
+from repro.workloads import get_model
+
+MODEL = "gpt2"
+BATCH = 64
+
+
+def _predict(trace, parallelism):
+    config = SimulationConfig.for_platform(platform_p2(),
+                                           parallelism=parallelism,
+                                           batch_size=BATCH)
+    return TrioSim(trace, config, record_timeline=False).run()
+
+
+def test_ablation_fsdp_vs_ddp(benchmark, show):
+    trace = Tracer(get_gpu("A100")).trace(get_model(MODEL), BATCH)
+    fsdp = benchmark.pedantic(lambda: _predict(trace, "fsdp"),
+                              rounds=1, iterations=1)
+    ddp = _predict(trace, "ddp")
+    mem_ddp = estimate_memory(trace, parallelism="ddp", num_gpus=4)
+    mem_fsdp = estimate_memory(trace, parallelism="fsdp", num_gpus=4)
+    oracle = HardwareOracle(platform_p2())
+    measured = oracle.measure_fsdp(get_model(MODEL), BATCH, runs=RUNS).total
+    err = abs(fsdp.total_time - measured) / measured
+    show(
+        f"ablation(fsdp) {MODEL} on 4x A100: "
+        f"DDP {ddp.total_time * 1e3:.1f} ms @ {mem_ddp.total / 1e9:.1f} GB/GPU | "
+        f"FSDP {fsdp.total_time * 1e3:.1f} ms @ {mem_fsdp.total / 1e9:.1f} GB/GPU "
+        f"(oracle {measured * 1e3:.1f} ms, err {err * 100:.1f}%)"
+    )
+    # The trade must hold in both directions.
+    assert fsdp.communication_time > ddp.communication_time
+    assert mem_fsdp.total < mem_ddp.total
+    # And the prediction must track the detailed oracle.
+    assert err < 0.25

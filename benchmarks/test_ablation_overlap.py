@@ -1,0 +1,54 @@
+"""Ablation: DDP communication/computation overlap and bucket sizing.
+
+DESIGN.md's DDP extrapolator AllReduces gradient buckets concurrently with
+the remaining backward pass.  This ablation measures how much the overlap
+buys (vs a single post-backward AllReduce) and how bucket size moves the
+result — the paper's §4.3 "either parallel with the backward pass to save
+execution time or after the backward pass".
+"""
+
+from conftest import RUNS, show  # noqa: F401 - fixture re-export
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import TrioSim
+from repro.gpus.specs import get_gpu, platform_p1
+from repro.trace.tracer import Tracer
+from repro.workloads import get_model
+
+MODEL = "vgg16"  # 553 MB of gradients: overlap matters
+
+
+def _predict(trace, **kw):
+    config = SimulationConfig.for_platform(platform_p1(), parallelism="ddp", **kw)
+    return TrioSim(trace, config, record_timeline=False).run().total_time
+
+
+def test_ablation_overlap_on_off(benchmark, show):
+    trace = Tracer(get_gpu("A40")).trace(get_model(MODEL), 128)
+    overlapped = benchmark.pedantic(
+        lambda: _predict(trace, overlap=True), rounds=1, iterations=1
+    )
+    serial = _predict(trace, overlap=False)
+    show(
+        f"ablation(overlap) {MODEL} DDP on P1: overlapped "
+        f"{overlapped * 1e3:.1f} ms vs post-backward {serial * 1e3:.1f} ms "
+        f"({(serial / overlapped - 1) * 100:.1f}% saved)"
+    )
+    assert overlapped < serial
+
+
+def test_ablation_bucket_size_sweep(benchmark, show):
+    trace = Tracer(get_gpu("A40")).trace(get_model(MODEL), 128)
+    times = benchmark.pedantic(
+        lambda: {
+            mib: _predict(trace, bucket_bytes=mib * 1024 * 1024)
+            for mib in (1, 25, 1024)
+        },
+        rounds=1, iterations=1,
+    )
+    show(
+        "ablation(overlap) bucket sweep: "
+        + ", ".join(f"{mib} MiB -> {t * 1e3:.1f} ms" for mib, t in times.items())
+    )
+    # One giant bucket forfeits overlap; it must not beat the default.
+    assert times[25] <= times[1024] * 1.001

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 6 (single-GPU batch-size extrapolation).
+
+Paper claim: predicting batch-256 iterations from batch-128 traces yields
+average errors of 1.10% (A40) and 3.25% (A100).
+"""
+
+from conftest import QUICK, RUNS
+
+from repro.experiments import fig06
+
+
+def test_fig06_single_gpu_batch_extrapolation(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: fig06.run(quick=QUICK, runs=RUNS), rounds=1, iterations=1
+    )
+    show(result.table())
+    assert result.mean_abs_error("/A40") < 0.06
+    assert result.mean_abs_error("/A100") < 0.08

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 8 (distributed data parallelism).
+
+Paper claim: 2.91% (P1) and 2.73% (P2) average error — the best-predicted
+strategy, and better than standard DP (Figure 7).
+"""
+
+from conftest import QUICK, RUNS
+
+from repro.experiments import fig07, fig08
+
+
+def test_fig08_distributed_data_parallelism(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: fig08.run(quick=QUICK, runs=RUNS), rounds=1, iterations=1
+    )
+    show(result.table())
+    assert result.mean_abs_error("/P1") < 0.06
+    assert result.mean_abs_error("/P2") < 0.06
+
+
+def test_fig08_ddp_predicted_better_than_standard_dp(benchmark, show):
+    """The paper's cross-figure claim: DDP predictions beat standard DP."""
+    ddp, dp = benchmark.pedantic(
+        lambda: (fig08.run(quick=True, runs=RUNS), fig07.run(quick=True, runs=RUNS)),
+        rounds=1, iterations=1,
+    )
+    assert ddp.mean_abs_error("/P1") < dp.mean_abs_error()

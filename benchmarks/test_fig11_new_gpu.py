@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 11 (predicting a new GPU: 8x H100).
+
+Paper claims: Case 1 (A40/A100 batch-128 traces -> 8x H100 at batch 256)
+averages 9.09/9.07/5.65/16.28% error for DDP/TP/PP-1/PP-2; Case 2
+(H100 batch-256 trace) averages 6.69/9.09/4.20/13.76%.  Cross-GPU
+prediction adds error but stays usable.
+"""
+
+from conftest import QUICK, RUNS
+
+from repro.experiments import fig11
+
+
+def test_fig11_new_gpu_prediction(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: fig11.run(quick=QUICK, runs=RUNS), rounds=1, iterations=1
+    )
+    show(result.table())
+    for strategy in ("ddp", "tp", "pp-c1", "pp-c2"):
+        assert result.mean_abs_error(f"/{strategy}/case1") < 0.20
+        assert result.mean_abs_error(f"/{strategy}/case2") < 0.20
+    # Shape: cross-GPU (case 1) is harder than same-GPU (case 2) overall.
+    assert result.mean_abs_error("/case1") > result.mean_abs_error("/case2") * 0.8

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 12 (parallelism comparison on P2).
+
+Paper claims: with a fixed total batch of 128 on 4 GPUs, data parallelism
+is always fastest; tensor parallelism does poorly except on transformers;
+and TrioSim predicts the relative ordering (TP vs PP) per model.
+"""
+
+from conftest import QUICK, RUNS
+
+from repro.experiments import fig12
+
+
+def test_fig12_parallelism_comparison(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: fig12.run(quick=QUICK, runs=RUNS), rounds=1, iterations=1
+    )
+    show(result.table())
+    models = {r.label.split("/")[0] for r in result.rows}
+    for model in models:
+        dp = result.row(f"{model}/dp")
+        tp = result.row(f"{model}/tp")
+        pp = result.row(f"{model}/pp")
+        # DP fastest, measured and predicted.
+        assert dp.measured < min(tp.measured, pp.measured)
+        assert dp.predicted < min(tp.predicted, pp.predicted)
+    # Ordering preservation claim, allowing near-ties to flip.
+    preserved = int(result.notes.split("for ")[1].split("/")[0])
+    total = int(result.notes.split("/")[1].split(" ")[0])
+    assert preserved >= total - 2

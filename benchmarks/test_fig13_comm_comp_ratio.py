@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 13 (comm/compute breakdown on P1).
+
+Paper claim: the communication share under tensor parallelism is higher
+than under distributed data parallelism on P1, for every model.
+"""
+
+from conftest import QUICK
+
+from repro.experiments import fig13
+
+
+def test_fig13_communication_computation_ratio(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: fig13.run(quick=QUICK), rounds=1, iterations=1
+    )
+    show(result.table())
+    tp_rows = [r for r in result.rows if r.label.endswith("/tp")]
+    assert tp_rows
+    for tp_row in tp_rows:
+        ddp_row = result.row(tp_row.label.replace("/tp", "/ddp"))
+        assert tp_row.detail["comm_ratio"] > ddp_row.detail["comm_ratio"]

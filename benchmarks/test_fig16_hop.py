@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 16 (Hop backup workers under heterogeneity).
+
+Paper claims: across 8 random communication-slowdown scenarios on 8 A100
+GPUs (VGG-11, batch 128), one backup worker always helps, with a benefit
+that varies significantly per scenario, on both the ring-with-chords and
+double-ring graphs.
+"""
+
+from conftest import QUICK
+
+from repro.experiments import fig16
+
+
+def test_fig16_hop_backup_workers(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: fig16.run(quick=QUICK), rounds=1, iterations=1
+    )
+    show(result.table())
+    speedups = [r.detail["speedup"] for r in result.rows]
+    assert all(s >= 1.0 for s in speedups)       # always beneficial
+    assert max(s - 1.0 for s in speedups) > 0.05  # sometimes substantial
+    assert max(speedups) - min(speedups) > 0.02   # varies across scenarios

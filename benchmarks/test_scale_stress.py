@@ -1,0 +1,47 @@
+"""Scale stress: the title's "large-scale" claim, pushed past the paper.
+
+The paper demonstrates 84 simulated GPUs (Figure 15).  This benchmark
+simulates DDP training of GPT-2 on 128 GPUs — ~5,000 ring-AllReduce
+rounds of 128 concurrent flows plus ~44k compute tasks, roughly a million
+events — and requires the whole thing to finish within a minute of wall
+time, where the cycle-level simulators the paper positions against would
+take "centuries" for the workload itself.  (256 GPUs completes in ~100 s;
+see docs/architecture.md on the coalesced-reallocation optimization that
+makes this tractable.)
+"""
+
+import time
+
+from conftest import QUICK
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import TrioSim
+from repro.gpus.specs import get_gpu
+from repro.trace.tracer import Tracer
+from repro.workloads import get_model
+
+NUM_GPUS = 64 if QUICK else 128
+
+
+def test_scale_stress_large_ddp(benchmark, show):
+    trace = Tracer(get_gpu("A100")).trace(get_model("gpt2"), 32)
+    config = SimulationConfig(
+        parallelism="ddp", num_gpus=NUM_GPUS,
+        topology="ring", link_bandwidth=234e9,
+    )
+
+    def simulate():
+        return TrioSim(trace, config, record_timeline=False).run()
+
+    result = benchmark.pedantic(simulate, rounds=1, iterations=1)
+    show(
+        f"scale stress: {NUM_GPUS}-GPU DDP GPT-2 — predicted iteration "
+        f"{result.total_time * 1e3:.1f} ms, simulated in "
+        f"{result.wall_time:.1f} s wall ({result.events} events, "
+        f"{result.events / max(result.wall_time, 1e-9):,.0f} events/s)"
+    )
+    assert result.wall_time < 60.0
+    assert len(result.per_gpu_busy) == NUM_GPUS
+    # Ring AllReduce latency grows with n: the iteration must cost more
+    # than the single-GPU busy time.
+    assert result.total_time > trace.total_duration

@@ -1,0 +1,25 @@
+"""Robustness benchmark: error bands under noise/seed perturbation.
+
+Not a paper figure — reproduction hygiene.  The DDP validation error must
+stay inside the paper-comparable band for every oracle noise level
+(including zero noise, where only systematic model differences remain)
+and for different random seeds.
+"""
+
+from conftest import QUICK, RUNS
+
+from repro.experiments import sensitivity
+
+
+def test_sensitivity_noise_and_seed(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: sensitivity.run(quick=QUICK, runs=RUNS), rounds=1, iterations=1
+    )
+    show(result.table())
+    for row in result.rows:
+        assert row.predicted < 0.06, row.label       # mean |err| in band
+        assert row.detail["max_err"] < 0.10, row.label
+    # Zero noise isolates the systematic gap — it must be non-degenerate
+    # (the oracle really is a different model, not the simulator itself).
+    zero = result.row("sigma=0")
+    assert zero.predicted > 0.001

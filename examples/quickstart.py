@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: trace once on one GPU, simulate a 4-GPU system.
+
+This is the paper's headline workflow: collect a *single-GPU* operator
+trace, then explore multi-GPU configurations freely — no multi-GPU
+hardware (or multi-GPU traces) needed.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SimulationConfig, Tracer, TrioSim, get_gpu, get_model
+
+
+def main() -> None:
+    # 1. Pick a workload and a GPU to "profile" on.
+    model = get_model("resnet50")
+    gpu = get_gpu("A100")
+    print(f"workload: {model.summary()}")
+
+    # 2. Collect the single-GPU trace (one training iteration).
+    tracer = Tracer(gpu)
+    trace = tracer.trace(model, batch_size=128)
+    print(
+        f"trace: {len(trace.operators)} operators, "
+        f"{trace.gradient_bytes / 1e6:.0f} MB of gradients, "
+        f"{trace.total_duration * 1e3:.1f} ms GPU busy time"
+    )
+
+    # 3. Simulate DistributedDataParallel on 4 GPUs over an NVLink ring.
+    config = SimulationConfig(
+        parallelism="ddp",
+        num_gpus=4,
+        topology="ring",
+        link_bandwidth=234e9,  # measured NVLink3, like the paper's nccl-tests
+        link_latency=1.5e-6,
+    )
+    result = TrioSim(trace, config).run()
+
+    # 4. Read the results.
+    print(f"\n4-GPU DDP prediction: {result.summary()}")
+    print(f"  per-GPU busy: "
+          + ", ".join(f"{g}={t * 1e3:.1f} ms" for g, t in result.per_gpu_busy.items()))
+    print(f"  phases: "
+          + ", ".join(f"{p}={t * 1e3:.1f} ms" for p, t in result.per_phase.items()))
+
+    # 5. What if the link were 10x slower?  Change a number, re-run.
+    slow = SimulationConfig(
+        parallelism="ddp", num_gpus=4, topology="ring",
+        link_bandwidth=23.4e9, link_latency=1.5e-6,
+    )
+    slow_result = TrioSim(trace, slow).run()
+    print(
+        f"\nsame system, 10x slower links: {slow_result.total_time * 1e3:.1f} ms "
+        f"({slow_result.communication_ratio * 100:.0f}% communication)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""GPU-count scaling study: how far does data parallelism take you?
+
+A classic system-design question TrioSim answers from one trace: sweep
+the GPU count from 1 to 64 for a fixed per-GPU batch (weak scaling) and a
+fixed global batch (strong scaling), on both a fast and a slow
+interconnect, and report throughput and parallel efficiency.
+
+Run:  python examples/scaling_study.py [model]
+"""
+
+import sys
+
+from repro import SimulationConfig, Tracer, TrioSim, get_gpu, get_model
+
+GPU_COUNTS = [1, 2, 4, 8, 16, 32, 64]
+TRACED_BATCH = 64
+FABRICS = {"NVLink-class (234 GB/s)": 234e9, "PCIe-class (21 GB/s)": 20.8e9}
+
+
+def weak_scaling(trace, bandwidth):
+    """Per-GPU batch fixed at the traced size; total work grows with n."""
+    rows = []
+    for n in GPU_COUNTS:
+        config = SimulationConfig(
+            parallelism="ddp" if n > 1 else "single",
+            num_gpus=n, topology="ring", link_bandwidth=bandwidth,
+        )
+        result = TrioSim(trace, config, record_timeline=False).run()
+        throughput = n * TRACED_BATCH / result.total_time
+        rows.append((n, result.total_time, throughput))
+    return rows
+
+
+def strong_scaling(trace, bandwidth, global_batch=256):
+    """Global batch fixed; per-GPU batch shrinks as n grows."""
+    rows = []
+    for n in GPU_COUNTS:
+        if global_batch % n:
+            continue
+        config = SimulationConfig(
+            parallelism="ddp" if n > 1 else "single",
+            num_gpus=n, batch_size=global_batch // n,
+            topology="ring", link_bandwidth=bandwidth,
+        )
+        result = TrioSim(trace, config, record_timeline=False).run()
+        throughput = global_batch / result.total_time
+        rows.append((n, result.total_time, throughput))
+    return rows
+
+
+def report(title, rows):
+    base = rows[0][2]
+    print(f"\n  {title}")
+    print(f"    {'GPUs':>5} {'ms/iter':>9} {'samples/s':>11} {'efficiency':>11}")
+    for n, total, throughput in rows:
+        eff = throughput / (base * n)
+        print(f"    {n:>5} {total * 1e3:>9.2f} {throughput:>11.0f} "
+              f"{eff * 100:>10.0f}%")
+
+
+def main() -> None:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "vgg16"
+    model = get_model(model_name)
+    trace = Tracer(get_gpu("A100")).trace(model, TRACED_BATCH)
+    print(f"{model.summary()}  —  one batch-{TRACED_BATCH} trace, "
+          f"{len(GPU_COUNTS)}-point sweeps on two fabrics")
+    for fabric, bandwidth in FABRICS.items():
+        print(f"\n=== {fabric} ===")
+        report("weak scaling (per-GPU batch fixed)",
+               weak_scaling(trace, bandwidth))
+        report("strong scaling (global batch 256)",
+               strong_scaling(trace, bandwidth))
+    print(
+        "\nWeak scaling holds until the AllReduce stops hiding behind the "
+        "backward pass; strong scaling dies earlier — shrinking per-GPU "
+        "batches lower GPU efficiency while the gradient payload stays "
+        "constant.  The knees move with the fabric, which is the design "
+        "question this simulator exists to answer."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Straggler analysis: what one slow GPU costs each parallelism.
+
+Synchronous training is hostage to its slowest device.  Using the
+``gpu_slowdowns`` knob (per-GPU compute multipliers — the "asymmetrical
+GPU configurations" the paper's case studies motivate), this script
+degrades one GPU by 10-100% and measures the end-to-end impact under
+DDP, tensor, and pipeline parallelism.
+
+The punchline: DDP pays the full straggler tax every iteration, while
+TP and GPipe dilute it behind communication and other stages' work — a
+trade-off you can quantify here before touching hardware.
+
+Run:  python examples/straggler_analysis.py
+"""
+
+from repro import SimulationConfig, Tracer, TrioSim, get_gpu, get_model
+
+NUM_GPUS = 4
+SLOWDOWNS = [1.0, 1.1, 1.25, 1.5, 2.0]
+
+
+def run(trace, parallelism, factor, **fields):
+    slowdowns = {"gpu1": factor} if factor != 1.0 else None
+    config = SimulationConfig(
+        parallelism=parallelism, num_gpus=NUM_GPUS,
+        link_bandwidth=234e9, gpu_slowdowns=slowdowns, **fields,
+    )
+    return TrioSim(trace, config, record_timeline=False).run().total_time
+
+
+def main() -> None:
+    trace = Tracer(get_gpu("A100")).trace(get_model("resnet50"), 128)
+    strategies = {
+        "DDP": dict(parallelism="ddp"),
+        "Tensor parallel": dict(parallelism="tp"),
+        "GPipe, 4 chunks": dict(parallelism="pp", chunks=4),
+    }
+    print(f"ResNet-50 on {NUM_GPUS} GPUs; gpu1 degraded by the given factor.")
+    print(f"\n  {'slowdown':>9}", *(f"{name:>17}" for name in strategies))
+    baselines = {
+        name: run(trace, factor=1.0, **fields)
+        for name, fields in strategies.items()
+    }
+    for factor in SLOWDOWNS:
+        cells = []
+        for name, fields in strategies.items():
+            total = run(trace, factor=factor, **fields)
+            cells.append(f"{total / baselines[name]:>16.2f}x")
+        print(f"  {factor:>8.2f}x", *cells)
+    print(
+        "\nDDP tracks the straggler 1:1 — every iteration waits for the "
+        "slow replica.  TP and the pipeline dilute it: communication time "
+        "and other stages' work do not slow down, so the end-to-end hit "
+        "stays well under the raw degradation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Validation walkthrough: TrioSim predictions vs the hardware oracle.
+
+The repository substitutes a detailed reference emulator
+(:class:`repro.HardwareOracle`) for the paper's physical testbeds (see
+DESIGN.md).  This example reruns a slice of the paper's §6 validation so
+you can see measured-vs-predicted numbers side by side, the way the
+figures report them.
+
+Run:  python examples/validate_against_oracle.py
+"""
+
+from repro import (
+    HardwareOracle,
+    SimulationConfig,
+    Tracer,
+    TrioSim,
+    get_model,
+    platform_p1,
+    platform_p2,
+)
+
+MODELS = ["resnet50", "densenet121", "vgg16", "gpt2"]
+
+
+def row(label, measured, predicted):
+    err = (predicted - measured) / measured * 100
+    print(f"  {label:<22} measured {measured * 1e3:8.2f} ms  "
+          f"predicted {predicted * 1e3:8.2f} ms  err {err:+6.2f}%")
+
+
+def main() -> None:
+    p1, p2 = platform_p1(), platform_p2()
+    oracle_p1, oracle_p2 = HardwareOracle(p1), HardwareOracle(p2)
+
+    print("DistributedDataParallel, P1 (2x A40 over PCIe), batch 128/GPU:")
+    for name in MODELS:
+        model = get_model(name)
+        trace = Tracer(p1.gpu).trace(model, 128)
+        measured = oracle_p1.measure_ddp(model, 128).total
+        config = SimulationConfig.for_platform(p1, parallelism="ddp")
+        predicted = TrioSim(trace, config, record_timeline=False).run().total_time
+        row(name, measured, predicted)
+
+    print("\nPipeline parallelism (GPipe, 2 chunks), P2 (4x A100):")
+    for name in MODELS:
+        model = get_model(name)
+        trace = Tracer(p2.gpu).trace(model, 128)
+        measured = oracle_p2.measure_pipeline(model, 128, chunks=2).total
+        config = SimulationConfig.for_platform(p2, parallelism="pp", chunks=2)
+        predicted = TrioSim(trace, config, record_timeline=False).run().total_time
+        row(name, measured, predicted)
+
+    print(
+        "\nFor the full per-figure reproduction (all workloads, all "
+        "platforms), run:  pytest benchmarks/ --benchmark-only"
+    )
+
+
+if __name__ == "__main__":
+    main()

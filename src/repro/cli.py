@@ -1,0 +1,224 @@
+"""Command-line interface.
+
+Four subcommands mirror the library workflow::
+
+    python -m repro models                          # list the zoo
+    python -m repro trace resnet50 --gpu A100 --batch 128 -o rn50.json
+    python -m repro simulate rn50.json --parallelism ddp --num-gpus 4 \\
+        --topology ring --bandwidth 234e9 --timeline out.json
+    python -m repro experiment fig08 --quick        # regenerate a figure
+
+The ``simulate`` command prints the prediction summary and, with
+``--memory-check``, the per-GPU memory estimate for the configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import TrioSim
+from repro.core.timeline import export_chrome_trace
+from repro.gpus.specs import GPU_SPECS, get_gpu
+from repro.memory.estimator import check_fits
+from repro.trace.trace import Trace
+from repro.trace.tracer import Tracer
+from repro.workloads.registry import MODEL_NAMES, get_model
+
+_EXPERIMENTS = (
+    "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12",
+    "fig13", "fig14", "fig15", "fig16", "table1", "sensitivity", "all",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="TrioSim reproduction command-line tool"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the workload zoo")
+
+    trace_p = sub.add_parser("trace", help="collect a single-GPU trace")
+    trace_p.add_argument("model", choices=MODEL_NAMES)
+    trace_p.add_argument("--gpu", default="A100", choices=sorted(GPU_SPECS))
+    trace_p.add_argument("--batch", type=int, default=128)
+    trace_p.add_argument("--seq-len", type=int, default=128)
+    trace_p.add_argument("--inference", action="store_true",
+                         help="forward-only trace")
+    trace_p.add_argument("-o", "--output", required=True)
+
+    simulate_p = sub.add_parser("simulate", help="run TrioSim on a trace")
+    simulate_p.add_argument("trace", help="trace JSON file")
+    simulate_p.add_argument("--parallelism", default="ddp",
+                            choices=("single", "dp", "ddp", "tp", "pp", "hybrid", "fsdp"))
+    simulate_p.add_argument("--num-gpus", type=int, default=1)
+    simulate_p.add_argument("--batch", type=int, default=None)
+    simulate_p.add_argument("--chunks", type=int, default=1)
+    simulate_p.add_argument("--dp-degree", type=int, default=None)
+    simulate_p.add_argument("--topology", default="ring",
+                            choices=("ring", "switch", "fat_tree",
+                                     "dgx_hypercube"))
+    simulate_p.add_argument("--bandwidth", type=float, default=25e9,
+                            help="achieved link bandwidth, bytes/s")
+    simulate_p.add_argument("--latency", type=float, default=2e-6)
+    simulate_p.add_argument("--gpu", default=None, choices=sorted(GPU_SPECS),
+                            help="target GPU (cross-GPU prediction)")
+    simulate_p.add_argument("--tp-scheme", default="layerwise",
+                            choices=("layerwise", "megatron"))
+    simulate_p.add_argument("--pp-schedule", default="gpipe",
+                            choices=("gpipe", "1f1b"))
+    simulate_p.add_argument("--slow", action="append", default=[],
+                            metavar="GPU=FACTOR",
+                            help="per-GPU compute slowdown, e.g. gpu2=1.5")
+    simulate_p.add_argument("--iterations", type=int, default=1)
+    simulate_p.add_argument("--collective", default="ring",
+                            choices=("ring", "tree", "hierarchical"))
+    simulate_p.add_argument("--gpus-per-node", type=int, default=None)
+    simulate_p.add_argument("--timeline", default=None,
+                            help="write a Chrome trace-event file")
+    simulate_p.add_argument("--report", default=None,
+                            help="write a self-contained HTML report")
+    simulate_p.add_argument("--memory-check", action="store_true")
+
+    inspect_p = sub.add_parser("inspect", help="summarize or diff traces")
+    inspect_p.add_argument("trace", help="trace JSON file")
+    inspect_p.add_argument("--diff", default=None, metavar="OTHER",
+                           help="second trace to compare against")
+    inspect_p.add_argument("--top", type=int, default=10)
+
+    experiment_p = sub.add_parser("experiment",
+                                  help="regenerate a paper table/figure")
+    experiment_p.add_argument("artifact", choices=_EXPERIMENTS)
+    experiment_p.add_argument("--quick", action="store_true")
+    experiment_p.add_argument("--runs", type=int, default=10)
+    return parser
+
+
+def _cmd_models() -> int:
+    for name in MODEL_NAMES:
+        print(get_model(name).summary())
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    tracer = Tracer(get_gpu(args.gpu))
+    model = get_model(args.model, seq_len=args.seq_len)
+    if args.inference:
+        trace = tracer.trace_inference(model, args.batch)
+    else:
+        trace = tracer.trace(model, args.batch)
+    trace.save(args.output)
+    print(
+        f"wrote {args.output}: {len(trace.operators)} operators, "
+        f"{trace.total_duration * 1e3:.2f} ms GPU time "
+        f"({args.model} @ batch {args.batch} on {args.gpu})"
+    )
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    trace = Trace.load(args.trace)
+    config = SimulationConfig(
+        parallelism=args.parallelism,
+        num_gpus=args.num_gpus,
+        batch_size=args.batch,
+        chunks=args.chunks,
+        dp_degree=args.dp_degree,
+        topology=args.topology,
+        link_bandwidth=args.bandwidth,
+        link_latency=args.latency,
+        gpu=args.gpu,
+        collective_scheme=args.collective,
+        gpus_per_node=args.gpus_per_node,
+        tp_scheme=args.tp_scheme,
+        pp_schedule=args.pp_schedule,
+        iterations=args.iterations,
+        gpu_slowdowns={
+            spec.split("=")[0]: float(spec.split("=")[1])
+            for spec in args.slow
+        } or None,
+    )
+    wants_timeline = args.timeline is not None or args.report is not None
+    result = TrioSim(trace, config, record_timeline=wants_timeline).run()
+    print(result.summary())
+    if args.timeline:
+        count = export_chrome_trace(result, args.timeline)
+        print(f"timeline: {count} events -> {args.timeline} "
+              "(open in chrome://tracing or ui.perfetto.dev)")
+    if args.report:
+        from repro.core.report import export_html_report
+
+        bars = export_html_report(result, args.report)
+        print(f"report: {bars} timeline bars -> {args.report}")
+    if args.memory_check:
+        gpu_name = args.gpu or trace.gpu_name
+        report = check_fits(
+            trace, gpu_name, parallelism=args.parallelism,
+            num_gpus=args.num_gpus, batch_size=args.batch,
+            chunks=args.chunks, dp_degree=args.dp_degree,
+        )
+        verdict = "fits" if report["fits"] else "OUT OF MEMORY"
+        print(
+            f"memory on {gpu_name}: {report['total'] / 1e9:.1f} GB of "
+            f"{report['capacity'] / 1e9:.0f} GB — {verdict} "
+            f"(params {report['params'] / 1e9:.1f}, "
+            f"activations {report['activations'] / 1e9:.1f} GB)"
+        )
+        if not report["fits"]:
+            return 2
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from repro.trace.tools import diff, summarize
+
+    trace = Trace.load(args.trace)
+    if args.diff:
+        other = Trace.load(args.diff)
+        print(diff(trace, other).table(top=args.top))
+    else:
+        print(summarize(trace, top=args.top))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    import importlib
+
+    artifacts = (
+        [a for a in _EXPERIMENTS if a != "all"]
+        if args.artifact == "all" else [args.artifact]
+    )
+    for artifact in artifacts:
+        module = importlib.import_module(f"repro.experiments.{artifact}")
+        if artifact == "table1":
+            result = module.run(quick=True, runs=args.runs)
+        else:
+            result = module.run(quick=args.quick, runs=args.runs)
+        print(result.table())
+        print()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "models":
+            return _cmd_models()
+        if args.command == "trace":
+            return _cmd_trace(args)
+        if args.command == "simulate":
+            return _cmd_simulate(args)
+        if args.command == "inspect":
+            return _cmd_inspect(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+    except BrokenPipeError:  # e.g. `repro models | head`
+        return 0
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

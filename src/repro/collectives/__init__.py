@@ -1,0 +1,39 @@
+"""NCCL-style collective communication, expressed as simulation tasks.
+
+The trace extrapolator inserts these when GPUs must synchronize: ring
+AllReduce for gradient synchronization (data parallelism), ring AllGather
+for output collection (tensor parallelism), plus broadcast / reduce /
+scatter / gather primitives.  Every collective is generated as a sequence
+of point-to-point transfer tasks over the simulated network — the paper's
+"recreates the behavior of the open-sourced NCCL implementation as part of
+the extrapolation process".
+"""
+
+from repro.collectives.dispatch import SCHEMES, all_reduce
+from repro.collectives.hierarchical import hierarchical_all_reduce
+from repro.collectives.tree import tree_all_reduce, tree_broadcast, tree_reduce
+from repro.collectives.ring import (
+    ring_all_gather,
+    ring_all_reduce,
+    ring_broadcast,
+    ring_gather,
+    ring_reduce,
+    ring_reduce_scatter,
+    ring_scatter,
+)
+
+__all__ = [
+    "SCHEMES",
+    "all_reduce",
+    "hierarchical_all_reduce",
+    "tree_all_reduce",
+    "tree_broadcast",
+    "tree_reduce",
+    "ring_all_gather",
+    "ring_all_reduce",
+    "ring_broadcast",
+    "ring_gather",
+    "ring_reduce",
+    "ring_reduce_scatter",
+    "ring_scatter",
+]

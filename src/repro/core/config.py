@@ -1,0 +1,165 @@
+"""Simulation configuration.
+
+Everything the user can vary without re-collecting a trace (the paper's
+headline capability): GPU count, parallelism strategy, batch size, network
+topology/bandwidth/latency, target GPU model, DDP bucketing, GPipe chunks,
+and the network-model implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+import networkx as nx
+
+from repro.gpus.specs import Platform
+
+PARALLELISMS = ("single", "dp", "ddp", "tp", "pp", "hybrid", "fsdp")
+
+
+@dataclass
+class SimulationConfig:
+    """Configuration of one TrioSim run.
+
+    Attributes
+    ----------
+    parallelism:
+        One of ``single``, ``dp`` (threaded DataParallel), ``ddp``
+        (DistributedDataParallel), ``tp`` (tensor parallel), ``pp``
+        (GPipe pipeline parallel), ``hybrid`` (DP x PP), or ``fsdp``
+        (ZeRO-3-style fully-sharded data parallelism).
+    num_gpus:
+        Simulated GPU count.
+    batch_size:
+        Simulated batch size; defaults to the trace's.  Per-GPU for
+        ``single``/``dp``/``ddp``; global (sharded/micro-batched) for
+        ``tp``/``pp``.
+    chunks:
+        Micro-batch count for pipeline parallelism.
+    dp_degree:
+        For ``hybrid`` parallelism: the number of data-parallel pipeline
+        replicas; the pipeline depth is ``num_gpus // dp_degree``.
+    tp_scheme:
+        Tensor-parallel communication scheme: ``layerwise`` (gather after
+        every sharded layer, the paper's BlackSamorez style) or
+        ``megatron`` (column/row-parallel pairing, two collectives per
+        transformer block).
+    pp_schedule:
+        Pipeline schedule: ``gpipe`` (all-forward-then-backward, the
+        paper's implementation) or ``1f1b`` (one-forward-one-backward,
+        same bubble, far lower peak activation memory).
+    topology:
+        Topology name (built with the link parameters below) or a prebuilt
+        ``networkx.Graph`` for arbitrary, possibly asymmetric networks.
+    link_bandwidth / link_latency:
+        Link parameters used when *topology* is a name.  Like the paper,
+        feed *achieved* (measured) bandwidth here.
+    gpu:
+        Target GPU name for cross-GPU prediction; when it differs from the
+        trace's GPU the trace is first rescaled with
+        :class:`~repro.perfmodel.scaling.CrossGPUScaler`.
+    network_factory:
+        Optional callable ``(engine, config) -> NetworkModel`` replacing
+        the default flow network (e.g. the photonic model).
+    bucket_bytes / overlap:
+        DDP gradient bucketing controls.
+    collective_scheme:
+        AllReduce algorithm for data parallelism: ``ring`` (default),
+        ``tree`` (latency-optimal for small buffers), or ``hierarchical``
+        (multi-node: intra-node reduce-scatter, inter-node rails,
+        intra-node all-gather; requires ``gpus_per_node``).
+    gpus_per_node:
+        Node size for hierarchical collectives and the ``multi_node``
+        topology.
+    perf_model:
+        Operator performance model: ``li`` (linear regression, default)
+        or ``piecewise`` (throughput curves; better for under-utilized
+        operators — the paper's NeuSight-style alternative).
+    iterations:
+        Training iterations to simulate back to back (the paper:
+        "TrioSim can finish the simulation of multiple batches of DNN
+        training within seconds").
+    gpu_slowdowns:
+        Optional mapping of GPU name to a compute-duration multiplier
+        (e.g. ``{"gpu2": 1.5}`` makes gpu2 50% slower) — heterogeneous or
+        straggler systems, which symmetric-trace tools cannot express.
+    include_host_transfers / host_bandwidth / host_latency:
+        Model the CPU -> GPU input-batch copy each iteration over a host
+        link of the given achieved bandwidth (off by default; data
+        loaders usually prefetch).
+    """
+
+    parallelism: str = "ddp"
+    num_gpus: int = 1
+    batch_size: Optional[int] = None
+    chunks: int = 1
+    dp_degree: Optional[int] = None
+    tp_scheme: str = "layerwise"
+    pp_schedule: str = "gpipe"
+    topology: Union[str, nx.Graph] = "ring"
+    link_bandwidth: float = 25e9
+    link_latency: float = 2e-6
+    gpu: Optional[str] = None
+    network_factory: Optional[Callable] = None
+    bucket_bytes: int = 25 * 1024 * 1024
+    overlap: bool = True
+    collective_scheme: str = "ring"
+    gpus_per_node: Optional[int] = None
+    perf_model: str = "li"
+    iterations: int = 1
+    gpu_slowdowns: Optional[dict] = None
+    include_host_transfers: bool = False
+    host_bandwidth: float = 12e9
+    host_latency: float = 5e-6
+
+    def __post_init__(self):
+        if self.parallelism not in PARALLELISMS:
+            raise ValueError(
+                f"unknown parallelism {self.parallelism!r}; known: {PARALLELISMS}"
+            )
+        if self.num_gpus < 1:
+            raise ValueError("num_gpus must be >= 1")
+        if self.chunks < 1:
+            raise ValueError("chunks must be >= 1")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.gpu_slowdowns is not None:
+            bad = [g for g, f in self.gpu_slowdowns.items() if f <= 0]
+            if bad:
+                raise ValueError(f"gpu_slowdowns must be positive: {bad}")
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if self.tp_scheme not in ("layerwise", "megatron"):
+            raise ValueError(f"unknown tp_scheme {self.tp_scheme!r}")
+        if self.pp_schedule not in ("gpipe", "1f1b"):
+            raise ValueError(f"unknown pp_schedule {self.pp_schedule!r}")
+        if self.perf_model not in ("li", "piecewise"):
+            raise ValueError(f"unknown perf_model {self.perf_model!r}")
+        if self.collective_scheme not in ("ring", "tree", "hierarchical"):
+            raise ValueError(
+                f"unknown collective scheme {self.collective_scheme!r}"
+            )
+        if self.collective_scheme == "hierarchical":
+            if not self.gpus_per_node or self.num_gpus % self.gpus_per_node:
+                raise ValueError(
+                    "hierarchical collectives need gpus_per_node dividing num_gpus"
+                )
+        if self.parallelism == "hybrid":
+            if self.dp_degree is None or self.dp_degree < 1:
+                raise ValueError("hybrid parallelism requires dp_degree >= 1")
+            if self.num_gpus % self.dp_degree:
+                raise ValueError("num_gpus must be divisible by dp_degree")
+
+    @classmethod
+    def for_platform(cls, platform: Platform, **overrides) -> "SimulationConfig":
+        """Build a config pre-filled from a validation platform (P1-P3)."""
+        fields = dict(
+            num_gpus=platform.num_gpus,
+            topology=platform.topology,
+            link_bandwidth=platform.link_bandwidth,
+            link_latency=platform.link_latency,
+            gpu=platform.gpu.name,
+        )
+        fields.update(overrides)
+        return cls(**fields)

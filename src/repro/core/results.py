@@ -1,0 +1,100 @@
+"""Simulation results: totals, breakdowns, and the timeline.
+
+TrioSim "can return the total predicted execution time ... the
+communication time and computation time of each layer or stage ... [and]
+the timeline of the communication process among GPUs or the computation
+process on each GPU" (paper §4.1).  :class:`SimulationResult` carries all
+of that plus simulator performance counters (Figure 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.engine.hooks import HookCtx
+
+
+@dataclass(frozen=True)
+class TimelineRecord:
+    """One completed task on the simulated timeline."""
+
+    name: str
+    kind: str            # "compute" | "transfer" | "barrier"
+    resource: str        # GPU name, or "src->dst" for transfers
+    start: float
+    end: float
+    phase: Optional[str] = None
+    layer: Optional[str] = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class TimelineRecorder:
+    """Hook collecting :class:`TimelineRecord` entries from the task graph."""
+
+    def __init__(self):
+        self.records: List[TimelineRecord] = []
+
+    def func(self, ctx: HookCtx) -> None:
+        if ctx.pos != "task_end":
+            return
+        task = ctx.item
+        if task.kind == "compute":
+            resource = task.gpu
+        elif task.kind == "transfer":
+            resource = f"{task.src}->{task.dst}"
+        else:
+            return  # barriers carry no time
+        self.records.append(
+            TimelineRecord(
+                name=task.name,
+                kind=task.kind,
+                resource=resource,
+                start=task.start_time or 0.0,
+                end=task.end_time or 0.0,
+                phase=task.meta.get("phase"),
+                layer=task.meta.get("layer"),
+            )
+        )
+
+
+@dataclass
+class SimulationResult:
+    """Output of one TrioSim run.
+
+    ``compute_time`` and ``communication_time`` are aggregate busy times
+    (summed across GPUs / transfers); ``total_time`` is the simulated
+    end-to-end iteration time.  ``per_layer`` maps layer name to its total
+    compute time across GPUs.  ``wall_time`` and ``events`` report the
+    simulator's own performance (paper Figure 14).
+    """
+
+    total_time: float
+    compute_time: float
+    communication_time: float
+    per_gpu_busy: Dict[str, float] = field(default_factory=dict)
+    per_layer: Dict[str, float] = field(default_factory=dict)
+    per_phase: Dict[str, float] = field(default_factory=dict)
+    timeline: List[TimelineRecord] = field(default_factory=list)
+    wall_time: float = 0.0
+    events: int = 0
+    iteration_times: List[float] = field(default_factory=list)
+
+    @property
+    def communication_ratio(self) -> float:
+        """Communication share of total busy time (paper Figure 13)."""
+        busy = self.compute_time + self.communication_time
+        return self.communication_time / busy if busy > 0 else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"total {self.total_time * 1e3:.2f} ms | "
+            f"compute {self.compute_time * 1e3:.2f} ms | "
+            f"comm {self.communication_time * 1e3:.2f} ms "
+            f"({self.communication_ratio * 100:.1f}%) | "
+            f"simulated in {self.wall_time * 1e3:.0f} ms wall, "
+            f"{self.events} events"
+        )

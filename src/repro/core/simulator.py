@@ -1,0 +1,215 @@
+"""The TrioSim facade.
+
+Wires together the pieces the paper's Figure 2 shows: the input trace, the
+multi-GPU trace extrapolator, the linear-regression performance model, and
+the lightweight network model, all running on the event-driven engine.
+
+Typical use::
+
+    from repro import TrioSim, SimulationConfig, Tracer, get_model, get_gpu
+
+    tracer = Tracer(get_gpu("A100"))
+    trace = tracer.trace(get_model("resnet50"), batch_size=128)
+    config = SimulationConfig(parallelism="ddp", num_gpus=4,
+                              topology="ring", link_bandwidth=234e9)
+    result = TrioSim(trace, config).run()
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+import time as _wall
+from collections import defaultdict
+import networkx as nx
+
+from repro.core.config import SimulationConfig
+from repro.core.results import SimulationResult, TimelineRecorder
+from repro.core.taskgraph import TaskGraphSimulator
+from repro.engine.engine import Engine
+from repro.extrapolator.base import Extrapolator
+from repro.extrapolator.hybrid import HybridExtrapolator
+from repro.extrapolator.data_parallel import (
+    DataParallelExtrapolator,
+    DistributedDataParallelExtrapolator,
+)
+from repro.extrapolator.optime import OpTimeModel
+from repro.extrapolator.pipeline import PipelineExtrapolator
+from repro.extrapolator.single import SingleGPUExtrapolator
+from repro.extrapolator.tensor_parallel import TensorParallelExtrapolator
+from repro.network.flow import FlowNetwork
+from repro.network.topology import build_topology
+from repro.perfmodel.scaling import CrossGPUScaler
+from repro.trace.trace import Trace
+
+
+class TrioSim:
+    """Trace-driven multi-GPU DNN training simulator.
+
+    Parameters
+    ----------
+    trace:
+        A single-GPU operator trace (see :class:`~repro.trace.Tracer`).
+    config:
+        What to simulate (see :class:`~repro.core.config.SimulationConfig`).
+    record_timeline:
+        Collect per-task timeline records (small overhead; on by default).
+    hooks:
+        Extra observers attached to the task-graph simulator — e.g. a
+        :class:`repro.engine.Monitor` for AkitaRTM-style live progress.
+    """
+
+    def __init__(self, trace: Trace, config: SimulationConfig,
+                 record_timeline: bool = True, hooks=()):
+        self.config = config
+        self.record_timeline = record_timeline
+        self.hooks = tuple(hooks)
+        self.trace = self._prepare_trace(trace)
+        self.op_time = OpTimeModel(self.trace, self._build_perf_model())
+
+    def _build_perf_model(self):
+        if self.config.perf_model == "piecewise":
+            from repro.perfmodel.piecewise import PiecewiseThroughputModel
+
+            return PiecewiseThroughputModel.fit(self.trace)
+        return None  # lazy Li's Model default
+
+    # ------------------------------------------------------------------
+    # Trace preparation (cross-GPU rescaling)
+    # ------------------------------------------------------------------
+    def _prepare_trace(self, trace: Trace) -> Trace:
+        target = self.config.gpu
+        if target is not None and target.upper() != trace.gpu_name.upper():
+            scaler = CrossGPUScaler.between(trace.gpu_name, target)
+            return scaler.convert_trace(trace)
+        return trace
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def _batch_scale(self) -> float:
+        if self.config.batch_size is None:
+            return 1.0
+        return self.config.batch_size / self.trace.batch_size
+
+    def _build_network(self, engine: Engine):
+        if self.config.network_factory is not None:
+            return self.config.network_factory(engine, self.config)
+        topology = self.config.topology
+        if not isinstance(topology, nx.Graph):
+            topology = build_topology(
+                topology, self.config.num_gpus,
+                self.config.link_bandwidth, self.config.link_latency,
+            )
+        if self.config.include_host_transfers:
+            topology = topology.copy()
+            topology.add_node("host")
+            for i in range(self.config.num_gpus):
+                topology.add_edge(
+                    "host", f"gpu{i}",
+                    bandwidth=self.config.host_bandwidth,
+                    latency=self.config.host_latency,
+                )
+        return FlowNetwork(engine, topology)
+
+    def _build_extrapolator(self) -> Extrapolator:
+        cfg = self.config
+        scale = self._batch_scale()
+        if cfg.parallelism == "single":
+            return SingleGPUExtrapolator(self.trace, self.op_time, batch_scale=scale)
+        if cfg.parallelism == "dp":
+            return DataParallelExtrapolator(
+                self.trace, self.op_time, cfg.num_gpus, batch_scale=scale
+            )
+        if cfg.parallelism == "ddp":
+            groups = None
+            if cfg.collective_scheme == "hierarchical":
+                from repro.network.topology import node_groups
+
+                groups = node_groups(
+                    cfg.num_gpus // cfg.gpus_per_node, cfg.gpus_per_node
+                )
+            return DistributedDataParallelExtrapolator(
+                self.trace, self.op_time, cfg.num_gpus, batch_scale=scale,
+                bucket_bytes=cfg.bucket_bytes, overlap=cfg.overlap,
+                collective_scheme=cfg.collective_scheme, node_groups=groups,
+            )
+        if cfg.parallelism == "tp":
+            return TensorParallelExtrapolator(
+                self.trace, self.op_time, cfg.num_gpus, batch_scale=scale,
+                scheme=cfg.tp_scheme,
+            )
+        if cfg.parallelism == "pp":
+            return PipelineExtrapolator(
+                self.trace, self.op_time, cfg.num_gpus,
+                chunks=cfg.chunks, batch_scale=scale,
+                schedule=cfg.pp_schedule,
+            )
+        if cfg.parallelism == "fsdp":
+            from repro.extrapolator.fsdp import FSDPExtrapolator
+
+            return FSDPExtrapolator(
+                self.trace, self.op_time, cfg.num_gpus, batch_scale=scale,
+                unit_bytes=cfg.bucket_bytes,
+            )
+        if cfg.parallelism == "hybrid":
+            return HybridExtrapolator(
+                self.trace, self.op_time, cfg.dp_degree,
+                cfg.num_gpus // cfg.dp_degree,
+                chunks=cfg.chunks, batch_scale=scale,
+            )
+        raise ValueError(f"unknown parallelism {cfg.parallelism!r}")
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Simulate one training iteration and return the result."""
+        started = _wall.perf_counter()
+        engine = Engine()
+        network = self._build_network(engine)
+        sim = TaskGraphSimulator(engine, network)
+        if self.config.gpu_slowdowns:
+            sim.compute_scale.update(self.config.gpu_slowdowns)
+        recorder = TimelineRecorder() if self.record_timeline else None
+        if recorder is not None:
+            sim.accept_hook(recorder)
+        for hook in self.hooks:
+            sim.accept_hook(hook)
+        extrapolator = self._build_extrapolator()
+        extrapolator.fetch_inputs = self.config.include_host_transfers
+        for iteration in range(self.config.iterations):
+            if iteration > 0:
+                sim.fence(f"iteration{iteration}")
+            extrapolator.build(sim)
+        total = sim.run()
+        iteration_times = []
+        if self.config.iterations > 1:
+            boundaries = [0.0] + [f.end_time for f in sim.fences] + [total]
+            iteration_times = [
+                boundaries[i + 1] - boundaries[i]
+                for i in range(len(boundaries) - 1)
+            ]
+        wall = _wall.perf_counter() - started
+
+        per_layer = defaultdict(float)
+        per_phase = defaultdict(float)
+        timeline = recorder.records if recorder is not None else []
+        for record in timeline:
+            if record.kind != "compute":
+                continue
+            if record.layer:
+                per_layer[record.layer] += record.duration
+            if record.phase:
+                per_phase[record.phase] += record.duration
+        return SimulationResult(
+            total_time=total,
+            compute_time=sim.compute_task_time,
+            communication_time=sim.comm_task_time,
+            per_gpu_busy={g: sim.gpu_busy_time(g) for g in sim.gpus_seen},
+            per_layer=dict(per_layer),
+            per_phase=dict(per_phase),
+            timeline=timeline,
+            wall_time=wall,
+            events=engine.dispatched_events,
+            iteration_times=iteration_times,
+        )

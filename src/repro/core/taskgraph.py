@@ -1,0 +1,234 @@
+"""Task-graph execution on the event engine.
+
+The trace extrapolator expresses a multi-GPU execution as a DAG of tasks:
+
+* **compute** tasks occupy one GPU's compute queue for a known duration
+  (predicted by the performance model or taken from the trace);
+* **transfer** tasks move bytes through the network model and take however
+  long the network says (bandwidth sharing included);
+* **barrier** tasks are zero-cost joins used to fan dependencies in/out.
+
+Each GPU executes one compute task at a time, picking ready tasks in
+creation order (the extrapolator creates tasks in program order, so this
+reproduces the issue order of the framework being modelled).  Transfers
+run concurrently with compute — which is exactly how communication/
+computation overlap (DDP, GPipe) arises in the simulation, rather than
+being an analytical correction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.engine.engine import Engine
+from repro.engine.hooks import HookCtx, Hookable
+from repro.network.base import NetworkModel, Transfer
+
+HOOK_TASK_START = "task_start"
+HOOK_TASK_END = "task_end"
+
+
+@dataclass
+class SimTask:
+    """One node of the execution DAG."""
+
+    task_id: int
+    name: str
+    kind: str                       # "compute" | "transfer" | "barrier"
+    gpu: Optional[str] = None       # compute tasks
+    duration: float = 0.0           # compute tasks
+    priority: int = 0               # lower runs first among ready tasks
+    src: Optional[str] = None       # transfer tasks
+    dst: Optional[str] = None
+    nbytes: float = 0.0
+    meta: dict = field(default_factory=dict)
+    remaining_deps: int = 0
+    dependents: List["SimTask"] = field(default_factory=list)
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+
+    @property
+    def done(self) -> bool:
+        return self.end_time is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SimTask {self.name} ({self.kind})>"
+
+
+class _GPUQueue:
+    """FIFO compute queue of one GPU: one task in flight at a time."""
+
+    def __init__(self):
+        self.ready: List[SimTask] = []
+        self.running: Optional[SimTask] = None
+        self.busy_time = 0.0
+
+
+class TaskGraphSimulator(Hookable):
+    """Executes a task DAG over GPUs and a network model.
+
+    Build the graph with :meth:`add_compute` / :meth:`add_transfer` /
+    :meth:`add_barrier`, then call :meth:`run`.  Dependencies are given at
+    creation time; a task becomes ready when all its dependencies finish.
+    """
+
+    def __init__(self, engine: Engine, network: NetworkModel):
+        super().__init__()
+        self.engine = engine
+        self.network = network
+        self.tasks: List[SimTask] = []
+        self._gpus: Dict[str, _GPUQueue] = defaultdict(_GPUQueue)
+        self._ids = itertools.count()
+        self._unfinished = 0
+        self._fence: Optional[SimTask] = None
+        self.fences: List[SimTask] = []
+        #: Per-GPU compute-duration multipliers (>= 1 slows a device) —
+        #: heterogeneous/straggler systems without touching extrapolators.
+        self.compute_scale: Dict[str, float] = {}
+        self.comm_task_time = 0.0
+        self.comm_bytes = 0.0
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    def _new_task(self, name: str, kind: str,
+                  deps: Sequence[SimTask], **fields) -> SimTask:
+        task = SimTask(next(self._ids), name, kind, **fields)
+        live_deps = 0
+        all_deps = list(deps)
+        if self._fence is not None:
+            all_deps.append(self._fence)
+        for dep in all_deps:
+            if dep.done:
+                continue
+            dep.dependents.append(task)
+            live_deps += 1
+        task.remaining_deps = live_deps
+        self.tasks.append(task)
+        self._unfinished += 1
+        return task
+
+    def fence(self, name: str = "fence") -> SimTask:
+        """Insert a global synchronization point.
+
+        The fence completes when every task created so far has finished,
+        and every task created *afterwards* implicitly depends on it.
+        This is how multi-iteration training is simulated: one
+        extrapolated iteration per fence interval.
+        """
+        terminals = [t for t in self.tasks if not t.dependents and not t.done]
+        previous_fence = self._fence
+        self._fence = None  # the fence itself only depends on terminals
+        fence = self.add_barrier(name, deps=terminals or
+                                 ([previous_fence] if previous_fence else []))
+        self._fence = fence
+        self.fences.append(fence)
+        return fence
+
+    def add_compute(self, name: str, gpu: str, duration: float,
+                    deps: Sequence[SimTask] = (), priority: int = 0,
+                    **meta) -> SimTask:
+        """A compute task of known *duration* pinned to *gpu* (scaled by
+        the GPU's entry in :attr:`compute_scale`, if any).
+
+        ``priority`` breaks ties among simultaneously-ready tasks on the
+        same GPU (lower first, then creation order) — how schedule
+        variants like 1F1B impose their issue order.
+        """
+        if duration < 0:
+            raise ValueError(f"task {name}: negative duration")
+        duration = float(duration) * self.compute_scale.get(gpu, 1.0)
+        task = self._new_task(name, "compute", deps, gpu=gpu,
+                              duration=duration, priority=priority, meta=meta)
+        return task
+
+    def add_transfer(self, name: str, src: str, dst: str, nbytes: float,
+                     deps: Sequence[SimTask] = (), **meta) -> SimTask:
+        """A network transfer of *nbytes* from *src* to *dst*."""
+        if nbytes < 0:
+            raise ValueError(f"task {name}: negative bytes")
+        return self._new_task(name, "transfer", deps, src=src, dst=dst,
+                              nbytes=float(nbytes), meta=meta)
+
+    def add_barrier(self, name: str, deps: Sequence[SimTask] = (), **meta) -> SimTask:
+        """A zero-cost join node."""
+        return self._new_task(name, "barrier", deps, meta=meta)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> float:
+        """Dispatch the DAG; returns the finish time of the last task."""
+        roots = [t for t in self.tasks if t.remaining_deps == 0 and not t.done]
+        for task in roots:
+            self._start(task)
+        self.engine.run()
+        if self._unfinished:
+            stuck = [t.name for t in self.tasks if not t.done][:10]
+            raise RuntimeError(
+                f"{self._unfinished} tasks never became ready "
+                f"(dependency cycle?); e.g. {stuck}"
+            )
+        return max((t.end_time for t in self.tasks), default=self.engine.now)
+
+    def _start(self, task: SimTask) -> None:
+        if task.kind == "compute":
+            queue = self._gpus[task.gpu]
+            queue.ready.append(task)
+            self._maybe_dispatch(task.gpu)
+        elif task.kind == "transfer":
+            task.start_time = self.engine.now
+            self.invoke_hooks(HookCtx(HOOK_TASK_START, self.engine.now, task))
+            self.network.send(task.src, task.dst, task.nbytes,
+                              lambda _t, tk=task: self._finish(tk), tag=task.name)
+        else:  # barrier
+            task.start_time = self.engine.now
+            # Complete via a zero-delay event to avoid unbounded recursion
+            # through long barrier chains.
+            self.engine.call_after(0.0, lambda _ev, tk=task: self._finish(tk))
+
+    def _maybe_dispatch(self, gpu: str) -> None:
+        queue = self._gpus[gpu]
+        if queue.running is not None or not queue.ready:
+            return
+        # Priority first, then creation order == program order.
+        task = min(queue.ready, key=lambda t: (t.priority, t.task_id))
+        queue.ready.remove(task)
+        queue.running = task
+        task.start_time = self.engine.now
+        self.invoke_hooks(HookCtx(HOOK_TASK_START, self.engine.now, task))
+        self.engine.call_after(task.duration, lambda _ev, tk=task: self._finish(tk))
+
+    def _finish(self, task: SimTask) -> None:
+        task.end_time = self.engine.now
+        self._unfinished -= 1
+        self.invoke_hooks(HookCtx(HOOK_TASK_END, self.engine.now, task))
+        if task.kind == "compute":
+            queue = self._gpus[task.gpu]
+            queue.busy_time += task.end_time - (task.start_time or 0.0)
+            queue.running = None
+            self._maybe_dispatch(task.gpu)
+        elif task.kind == "transfer":
+            self.comm_task_time += task.end_time - (task.start_time or 0.0)
+            self.comm_bytes += task.nbytes
+        for dependent in task.dependents:
+            dependent.remaining_deps -= 1
+            if dependent.remaining_deps == 0:
+                self._start(dependent)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def gpu_busy_time(self, gpu: str) -> float:
+        return self._gpus[gpu].busy_time
+
+    @property
+    def gpus_seen(self) -> List[str]:
+        return sorted(self._gpus)
+
+    @property
+    def compute_task_time(self) -> float:
+        return sum(q.busy_time for q in self._gpus.values())

@@ -1,0 +1,103 @@
+"""Timeline export: visualize simulations (the Daisen analog).
+
+The original TrioSim visualizes execution with Daisen; here the recorded
+timeline exports to the Chrome trace-event format, which loads directly
+into ``chrome://tracing`` or https://ui.perfetto.dev.  Each GPU and each
+network link becomes a track; compute tasks and transfers become duration
+events coloured by phase.
+
+Usage::
+
+    result = TrioSim(trace, config).run()
+    export_chrome_trace(result, "timeline.json")
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+from repro.core.results import SimulationResult, TimelineRecord
+
+#: Chrome trace-event colour names per phase (see catapult's colour list).
+_PHASE_COLORS = {
+    "forward": "thread_state_running",
+    "backward": "thread_state_runnable",
+    "optimizer": "thread_state_iowait",
+    None: "generic_work",
+}
+
+_MICRO = 1e6  # trace events are in microseconds
+
+
+def timeline_to_events(records: Iterable[TimelineRecord],
+                       pid: int = 1) -> List[dict]:
+    """Convert timeline records to Chrome duration events ("ph": "X")."""
+    tracks: Dict[str, int] = {}
+    events: List[dict] = []
+    for record in records:
+        tid = tracks.setdefault(record.resource, len(tracks))
+        events.append({
+            "name": record.name,
+            "cat": record.kind,
+            "ph": "X",
+            "ts": record.start * _MICRO,
+            "dur": max(record.duration * _MICRO, 0.001),
+            "pid": pid,
+            "tid": tid,
+            "cname": _PHASE_COLORS.get(record.phase, "generic_work"),
+            "args": {
+                "phase": record.phase or "",
+                "layer": record.layer or "",
+            },
+        })
+    # Name the tracks: GPUs first, then links, in first-seen order.
+    for resource, tid in tracks.items():
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": resource},
+        })
+    return events
+
+
+def export_chrome_trace(result: SimulationResult,
+                        path: Union[str, Path],
+                        process_name: str = "TrioSim") -> int:
+    """Write *result*'s timeline as a Chrome trace file.
+
+    Returns the number of duration events written.  Raises ``ValueError``
+    when the result carries no timeline (run with ``record_timeline=True``).
+    """
+    if not result.timeline:
+        raise ValueError(
+            "result has no timeline; construct TrioSim with "
+            "record_timeline=True"
+        )
+    events = timeline_to_events(result.timeline)
+    events.append({
+        "name": "process_name",
+        "ph": "M",
+        "pid": 1,
+        "args": {"name": process_name},
+    })
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    Path(path).write_text(json.dumps(payload))
+    return sum(1 for e in events if e.get("ph") == "X")
+
+
+def timeline_summary(result: SimulationResult) -> Dict[str, Dict[str, float]]:
+    """Per-resource busy time and utilization over the simulated span."""
+    span = result.total_time or 1.0
+    per_resource: Dict[str, float] = {}
+    for record in result.timeline:
+        per_resource[record.resource] = (
+            per_resource.get(record.resource, 0.0) + record.duration
+        )
+    return {
+        resource: {"busy": busy, "utilization": busy / span}
+        for resource, busy in sorted(per_resource.items())
+    }

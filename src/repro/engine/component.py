@@ -1,0 +1,171 @@
+"""Components, ports, and connections — the Akita messaging abstractions.
+
+A :class:`Component` is a simulated device (a GPU, a network model, a
+protocol coordinator).  Components expose :class:`Port` objects; ports are
+plugged into a :class:`Connection`, which moves :class:`Message` objects
+between them.  The paper's photonic case study highlights this decoupling:
+swapping the network only requires a different ``Connection`` implementation
+("call the PlugIn method to associate the device port with the connection —
+no need to modify the device code").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from repro.engine.engine import Engine
+from repro.engine.events import Event
+from repro.engine.hooks import Hookable
+
+
+class Message:
+    """A unit of data exchanged between ports.
+
+    Attributes
+    ----------
+    src, dst:
+        Names of the sending and receiving ports.
+    size_bytes:
+        Payload size used by network models to compute transfer time.
+    payload:
+        Arbitrary content delivered to the receiver.
+    """
+
+    __slots__ = ("src", "dst", "size_bytes", "payload", "send_time", "recv_time")
+
+    def __init__(self, src: str, dst: str, size_bytes: float = 0.0, payload=None):
+        self.src = src
+        self.dst = dst
+        self.size_bytes = float(size_bytes)
+        self.payload = payload
+        self.send_time: Optional[float] = None
+        self.recv_time: Optional[float] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Message {self.src}->{self.dst} {self.size_bytes:.0f}B>"
+
+
+class Port:
+    """A named endpoint owned by a component.
+
+    Incoming messages are buffered (optionally bounded); the owning
+    component is notified and drains the buffer with :meth:`retrieve`.
+    """
+
+    def __init__(self, owner: "Component", name: str, buffer_capacity: Optional[int] = None):
+        self.owner = owner
+        self.name = name
+        self.buffer_capacity = buffer_capacity
+        self._buffer: Deque[Message] = deque()
+        self.connection: Optional["Connection"] = None
+
+    def can_accept(self) -> bool:
+        """Whether the incoming buffer has room for one more message."""
+        if self.buffer_capacity is None:
+            return True
+        return len(self._buffer) < self.buffer_capacity
+
+    def deliver(self, msg: Message, time: float) -> None:
+        """Place *msg* into the buffer and notify the owner (connection side)."""
+        if not self.can_accept():
+            raise BufferError(f"port {self.name} buffer full")
+        msg.recv_time = time
+        self._buffer.append(msg)
+        self.owner.notify_recv(self, time)
+
+    def retrieve(self) -> Optional[Message]:
+        """Pop the oldest buffered message, or ``None`` when empty."""
+        if not self._buffer:
+            return None
+        msg = self._buffer.popleft()
+        if self.connection is not None:
+            self.connection.notify_buffer_freed(self)
+        return msg
+
+    def peek(self) -> Optional[Message]:
+        return self._buffer[0] if self._buffer else None
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)
+
+    def send(self, msg: Message, time: float) -> None:
+        """Hand *msg* to the attached connection for transport."""
+        if self.connection is None:
+            raise RuntimeError(f"port {self.name} is not plugged into a connection")
+        msg.send_time = time
+        self.connection.transfer(msg, time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Port {self.name}>"
+
+
+class Component(Hookable):
+    """Base class for simulated devices.
+
+    Subclasses create ports with :meth:`add_port` and override
+    :meth:`notify_recv` to react to arriving messages.
+    """
+
+    def __init__(self, engine: Engine, name: str):
+        super().__init__()
+        self.engine = engine
+        self.name = name
+        self.ports: Dict[str, Port] = {}
+
+    def add_port(self, name: str, buffer_capacity: Optional[int] = None) -> Port:
+        """Create a port named ``<component>.<name>`` and register it."""
+        full_name = f"{self.name}.{name}"
+        if name in self.ports:
+            raise ValueError(f"duplicate port {full_name}")
+        port = Port(self, full_name, buffer_capacity)
+        self.ports[name] = port
+        return port
+
+    def port(self, name: str) -> Port:
+        return self.ports[name]
+
+    def notify_recv(self, port: Port, time: float) -> None:
+        """Called when a message lands in *port*'s buffer.  Default: no-op."""
+
+    def handle(self, event: Event) -> None:
+        """Default event handler; subclasses override as needed."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class Connection:
+    """Moves messages between plugged-in ports.
+
+    This base implementation delivers instantly (zero latency, infinite
+    bandwidth) — useful for control messages and tests.  Real transports
+    (the flow-based network, the photonic network) subclass and override
+    :meth:`transfer`.
+    """
+
+    def __init__(self, engine: Engine, name: str = "conn"):
+        self.engine = engine
+        self.name = name
+        self._ports: Dict[str, Port] = {}
+
+    def plug_in(self, port: Port) -> None:
+        """Associate *port* with this connection (the paper's ``PlugIn``)."""
+        if port.name in self._ports:
+            raise ValueError(f"port {port.name} already plugged in")
+        self._ports[port.name] = port
+        port.connection = self
+
+    def port_by_name(self, name: str) -> Port:
+        return self._ports[name]
+
+    def transfer(self, msg: Message, time: float) -> None:
+        """Deliver *msg* to its destination port immediately."""
+        dst = self._ports.get(msg.dst)
+        if dst is None:
+            raise KeyError(f"destination port {msg.dst} not plugged into {self.name}")
+        dst.deliver(msg, time)
+
+    def notify_buffer_freed(self, port: Port) -> None:
+        """Called when *port* drains a message; backpressure hook."""

@@ -1,0 +1,125 @@
+"""The event-driven simulation kernel.
+
+The :class:`Engine` owns the virtual clock and the event queue.  Handlers
+react to events and schedule more events; the engine repeatedly pops the
+earliest event and dispatches it until the queue drains (or a limit is hit).
+
+This mirrors the Akita Simulator Engine used by the original TrioSim: the
+event-driven style lets the simulator "fast-forward unnecessary details" —
+an operator that takes 3 ms is one event, not three million cycles.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from repro.engine.events import CallbackEvent, Event
+from repro.engine.hooks import HookCtx, Hookable
+
+#: Hook positions emitted by the engine.
+HOOK_BEFORE_EVENT = "before_event"
+HOOK_AFTER_EVENT = "after_event"
+
+
+class SimulationLimitError(RuntimeError):
+    """Raised when the engine exceeds its configured event budget."""
+
+
+class Engine(Hookable):
+    """Event kernel: virtual clock + priority queue + run loop.
+
+    Parameters
+    ----------
+    max_events:
+        Safety valve; :meth:`run` raises :class:`SimulationLimitError` after
+        dispatching this many events.  Guards against accidental infinite
+        event loops in user extensions.
+    """
+
+    def __init__(self, max_events: int = 200_000_000):
+        super().__init__()
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._now = 0.0
+        self._seq = 0
+        self._dispatched = 0
+        self._max_events = max_events
+        self._paused = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def dispatched_events(self) -> int:
+        """Number of events dispatched so far (for performance reporting)."""
+        return self._dispatched
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule(self, event: Event) -> Event:
+        """Queue *event*; its time must not precede the current time."""
+        if event.time < self._now:
+            raise ValueError(
+                f"cannot schedule event at {event.time} before now={self._now}"
+            )
+        event._seq = self._seq
+        self._seq += 1
+        heapq.heappush(self._queue, (event.time, event._seq, event))
+        return event
+
+    def call_at(self, time: float, callback: Callable[[Event], None], payload=None) -> Event:
+        """Schedule *callback* to run at absolute virtual *time*."""
+        return self.schedule(CallbackEvent(time, callback, payload))
+
+    def call_after(self, delay: float, callback: Callable[[Event], None], payload=None) -> Event:
+        """Schedule *callback* to run *delay* seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.call_at(self._now + delay, callback, payload)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Dispatch events in time order.
+
+        Runs until the queue drains, or — when *until* is given — until the
+        next event would fire after *until* (the clock is then advanced to
+        *until*).  Returns the final virtual time.
+        """
+        self._paused = False
+        while self._queue and not self._paused:
+            time, _seq, event = self._queue[0]
+            if until is not None and time > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = time
+            self._dispatched += 1
+            if self._dispatched > self._max_events:
+                raise SimulationLimitError(
+                    f"exceeded max_events={self._max_events}; "
+                    "possible runaway event loop"
+                )
+            self.invoke_hooks(HookCtx(HOOK_BEFORE_EVENT, self._now, event))
+            event.handler.handle(event)
+            self.invoke_hooks(HookCtx(HOOK_AFTER_EVENT, self._now, event))
+        if until is not None and not self._queue:
+            self._now = max(self._now, until)
+        return self._now
+
+    def pause(self) -> None:
+        """Stop the run loop after the current event completes."""
+        self._paused = True
+
+    def reset(self) -> None:
+        """Clear the queue and rewind the clock (for test reuse)."""
+        self._queue.clear()
+        self._now = 0.0
+        self._seq = 0
+        self._dispatched = 0
+        self._paused = False

@@ -1,0 +1,80 @@
+"""Events and event handlers for the simulation engine.
+
+An event is a piece of work that happens at a specific virtual time.  The
+engine orders events by time (ties broken by insertion order, making runs
+deterministic) and dispatches each one to its handler.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+
+class Event:
+    """A unit of future work in virtual time.
+
+    Parameters
+    ----------
+    time:
+        The virtual time (seconds) at which the event fires.
+    handler:
+        The object whose :meth:`EventHandler.handle` is invoked.
+    payload:
+        Optional arbitrary data carried by the event.
+    """
+
+    __slots__ = ("time", "handler", "payload", "cancelled", "_seq")
+
+    def __init__(self, time: float, handler: "EventHandler", payload=None):
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        self.time = float(time)
+        self.handler = handler
+        self.payload = payload
+        self.cancelled = False
+        self._seq = -1  # assigned by the engine at schedule time
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped.
+
+        Cancellation is O(1); the event stays in the queue but is discarded
+        at dispatch time.  This is how in-flight network deliveries are
+        rescheduled when bandwidth shares change.
+        """
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.9f} handler={self.handler!r}{state}>"
+
+
+@runtime_checkable
+class EventHandler(Protocol):
+    """Anything that can be the target of an :class:`Event`."""
+
+    def handle(self, event: Event) -> None:
+        """React to *event* firing at its scheduled time."""
+
+
+class CallbackEvent(Event):
+    """An event that invokes a plain callable instead of a handler object.
+
+    Convenient for one-off continuations::
+
+        engine.schedule(CallbackEvent(t, lambda ev: do_something()))
+    """
+
+    __slots__ = ()
+
+    def __init__(self, time: float, callback: Callable[[Event], None], payload=None):
+        super().__init__(time, _CallbackAdapter(callback), payload)
+
+
+class _CallbackAdapter:
+    __slots__ = ("_callback",)
+
+    def __init__(self, callback: Callable[[Event], None]):
+        self._callback = callback
+
+    def handle(self, event: Event) -> None:
+        self._callback(event)

@@ -1,0 +1,12 @@
+"""Reproduction harness: one module per paper table/figure.
+
+Each ``figNN`` module exposes ``run(...) -> ExperimentResult`` that
+regenerates the corresponding evaluation artifact — same workloads, same
+platforms, same rows/series — with the hardware oracle standing in for the
+paper's physical testbeds (see DESIGN.md).  ``quick=True`` runs a
+representative subset for fast CI; the defaults reproduce the full figure.
+"""
+
+from repro.experiments.harness import ExperimentResult, Row, predict, trace_for
+
+__all__ = ["ExperimentResult", "Row", "predict", "trace_for"]

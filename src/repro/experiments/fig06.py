@@ -1,0 +1,58 @@
+"""Figure 6: single-GPU batch-size extrapolation.
+
+Predict batch-256 single-GPU iteration time from a batch-128 trace, on A40
+and A100, and compare against the measured batch-256 run.  The paper
+reports average errors of 1.10% (A40) and 3.25% (A100); CNNs only (larger
+models run out of memory at batch 256 on real hardware).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.config import SimulationConfig
+from repro.experiments.harness import (
+    CNN_SET,
+    QUICK_SET,
+    ExperimentResult,
+    Row,
+    figure_label,
+    predict,
+    trace_for,
+)
+from repro.gpus.specs import custom_platform
+from repro.oracle.oracle import HardwareOracle
+from repro.workloads.registry import get_model
+
+TRACED_BATCH = 128
+TARGET_BATCH = 256
+
+
+def run(models: Optional[List[str]] = None, quick: bool = False,
+        runs: int = 10) -> ExperimentResult:
+    """Reproduce Figure 6."""
+    models = models or (QUICK_SET[:3] if quick else CNN_SET)
+    result = ExperimentResult(
+        "fig06",
+        "Single-GPU prediction at batch 256 from a batch-128 trace",
+    )
+    for gpu_name in ("A40", "A100"):
+        platform = custom_platform(gpu_name, 1, name=f"single-{gpu_name}")
+        oracle = HardwareOracle(platform)
+        for model_name in models:
+            model = get_model(model_name)
+            measured = oracle.measure_single_gpu(model, TARGET_BATCH, runs=runs)
+            trace = trace_for(model_name, gpu_name, TRACED_BATCH)
+            config = SimulationConfig(parallelism="single", batch_size=TARGET_BATCH)
+            predicted = predict(trace, config)
+            result.add(Row(
+                label=f"{figure_label(model_name)}/{gpu_name}",
+                measured=measured.total,
+                predicted=predicted.total_time,
+            ))
+    result.notes = (
+        f"avg |err| A40 {result.mean_abs_error('/A40') * 100:.2f}% "
+        f"(paper 1.10%), A100 {result.mean_abs_error('/A100') * 100:.2f}% "
+        "(paper 3.25%)"
+    )
+    return result

@@ -1,0 +1,52 @@
+"""Figure 7: standard (threaded) data parallelism on P1.
+
+``torch.nn.DataParallel`` on 2x A40 over PCIe, per-GPU batch 128.  The
+paper reports a 7.39% average error — the worst of the data-parallel
+variants, because TrioSim does not model the GIL serialization that makes
+threaded DataParallel slow.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.config import SimulationConfig
+from repro.experiments.harness import (
+    FULL_SET,
+    QUICK_SET,
+    ExperimentResult,
+    Row,
+    figure_label,
+    predict,
+    trace_batch,
+    trace_for,
+)
+from repro.gpus.specs import platform_p1
+from repro.oracle.oracle import HardwareOracle
+from repro.workloads.registry import get_model
+
+
+def run(models: Optional[List[str]] = None, quick: bool = False,
+        runs: int = 10) -> ExperimentResult:
+    """Reproduce Figure 7."""
+    models = models or (QUICK_SET if quick else FULL_SET)
+    platform = platform_p1()
+    oracle = HardwareOracle(platform)
+    result = ExperimentResult(
+        "fig07", "Standard data parallelism on P1 (2x A40, PCIe)"
+    )
+    for model_name in models:
+        batch = trace_batch(model_name)
+        measured = oracle.measure_data_parallel(get_model(model_name), batch, runs=runs)
+        trace = trace_for(model_name, platform.gpu.name, batch)
+        config = SimulationConfig.for_platform(platform, parallelism="dp")
+        predicted = predict(trace, config)
+        result.add(Row(
+            label=figure_label(model_name),
+            measured=measured.total,
+            predicted=predicted.total_time,
+        ))
+    result.notes = (
+        f"avg |err| {result.mean_abs_error() * 100:.2f}% (paper 7.39%)"
+    )
+    return result

@@ -1,0 +1,55 @@
+"""Figure 9: tensor parallelism on P1 and P2.
+
+BlackSamorez-style tensor parallelism (shardable layers split across GPUs,
+output gathered per layer) at batch 128.  Paper: 4.54% (P1) and 11.24%
+(P2) average error — larger on P2 because four-way shards are smaller and
+GPU efficiency effects the linear model misses grow.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.config import SimulationConfig
+from repro.experiments.harness import (
+    FULL_SET,
+    QUICK_SET,
+    ExperimentResult,
+    Row,
+    figure_label,
+    predict,
+    trace_batch,
+    trace_for,
+)
+from repro.gpus.specs import platform_p1, platform_p2
+from repro.oracle.oracle import HardwareOracle
+from repro.workloads.registry import get_model
+
+
+def run(models: Optional[List[str]] = None, quick: bool = False,
+        runs: int = 10) -> ExperimentResult:
+    """Reproduce Figure 9."""
+    models = models or (QUICK_SET if quick else FULL_SET)
+    result = ExperimentResult(
+        "fig09", "Tensor parallelism on P1 (2x A40) and P2 (4x A100)"
+    )
+    for platform in (platform_p1(), platform_p2()):
+        oracle = HardwareOracle(platform)
+        for model_name in models:
+            batch = trace_batch(model_name)
+            measured = oracle.measure_tensor_parallel(
+                get_model(model_name), batch, runs=runs
+            )
+            trace = trace_for(model_name, platform.gpu.name, batch)
+            config = SimulationConfig.for_platform(platform, parallelism="tp")
+            predicted = predict(trace, config)
+            result.add(Row(
+                label=f"{figure_label(model_name)}/{platform.name}",
+                measured=measured.total,
+                predicted=predicted.total_time,
+            ))
+    result.notes = (
+        f"avg |err| P1 {result.mean_abs_error('/P1') * 100:.2f}% (paper 4.54%), "
+        f"P2 {result.mean_abs_error('/P2') * 100:.2f}% (paper 11.24%)"
+    )
+    return result

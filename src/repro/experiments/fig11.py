@@ -1,0 +1,100 @@
+"""Figure 11: predicting a new GPU (8x H100, batch 256).
+
+Two prediction cases, both validated against measured 8x H100 runs:
+
+* **Case 1 (cross-GPU)** — input traces collected on a *single A40* and a
+  *single A100* at batch 128; TrioSim rescales them with Li's Model-style
+  throughput ratios and extrapolates to 8x H100 at batch 256.
+* **Case 2 (same-GPU)** — input trace collected on a single H100 at batch
+  256.
+
+Strategies: DDP, TP, and PP with 1 and 2 chunks.  CNNs only (the paper
+excludes transformers: tracing them at batch 256 OOMs on real hardware).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.config import SimulationConfig
+from repro.experiments.harness import (
+    CNN_SET,
+    ExperimentResult,
+    Row,
+    figure_label,
+    predict,
+    trace_for,
+)
+from repro.gpus.specs import platform_p3
+from repro.oracle.oracle import HardwareOracle
+from repro.workloads.registry import get_model
+
+TARGET_BATCH = 256
+#: Case 1 source traces: (gpu, traced batch).
+CASE1_SOURCES = (("A40", 128), ("A100", 128))
+
+
+def _strategies(platform):
+    return (
+        ("ddp", SimulationConfig.for_platform(platform, parallelism="ddp",
+                                              batch_size=TARGET_BATCH)),
+        ("tp", SimulationConfig.for_platform(platform, parallelism="tp",
+                                             batch_size=TARGET_BATCH)),
+        ("pp-c1", SimulationConfig.for_platform(platform, parallelism="pp",
+                                                chunks=1, batch_size=TARGET_BATCH)),
+        ("pp-c2", SimulationConfig.for_platform(platform, parallelism="pp",
+                                                chunks=2, batch_size=TARGET_BATCH)),
+    )
+
+
+def _measure(oracle: HardwareOracle, model, strategy: str, runs: int) -> float:
+    if strategy == "ddp":
+        return oracle.measure_ddp(model, TARGET_BATCH, runs=runs).total
+    if strategy == "tp":
+        return oracle.measure_tensor_parallel(model, TARGET_BATCH, runs=runs).total
+    chunks = int(strategy.rsplit("c", 1)[1])
+    return oracle.measure_pipeline(model, TARGET_BATCH, chunks, runs=runs).total
+
+
+def run(models: Optional[List[str]] = None, quick: bool = False,
+        runs: int = 10) -> ExperimentResult:
+    """Reproduce Figure 11."""
+    models = models or (["resnet50", "densenet121", "vgg16"] if quick else CNN_SET)
+    platform = platform_p3()
+    oracle = HardwareOracle(platform)
+    result = ExperimentResult(
+        "fig11", "New-GPU prediction: 8x H100 at batch 256 (cases 1 and 2)"
+    )
+    for model_name in models:
+        model = get_model(model_name)
+        for strategy, config in _strategies(platform):
+            measured = _measure(oracle, model, strategy, runs)
+            # Case 1: cross-GPU traces at batch 128.
+            for src_gpu, src_batch in CASE1_SOURCES:
+                trace = trace_for(model_name, src_gpu, src_batch)
+                predicted = predict(trace, config)
+                result.add(Row(
+                    label=f"{figure_label(model_name)}/{strategy}/case1-{src_gpu}",
+                    measured=measured,
+                    predicted=predicted.total_time,
+                ))
+            # Case 2: same-GPU trace at the target batch.
+            trace = trace_for(model_name, "H100", TARGET_BATCH)
+            predicted = predict(trace, config)
+            result.add(Row(
+                label=f"{figure_label(model_name)}/{strategy}/case2",
+                measured=measured,
+                predicted=predicted.total_time,
+            ))
+    summary = []
+    for strategy in ("ddp", "tp", "pp-c1", "pp-c2"):
+        case1 = result.mean_abs_error(f"/{strategy}/case1")
+        case2 = result.mean_abs_error(f"/{strategy}/case2")
+        summary.append(
+            f"{strategy} case1 {case1 * 100:.2f}% / case2 {case2 * 100:.2f}%"
+        )
+    result.notes = (
+        "avg |err| " + ", ".join(summary)
+        + " (paper case1: 9.09/9.07/5.65/16.28%, case2: 6.69/9.09/4.20/13.76%)"
+    )
+    return result

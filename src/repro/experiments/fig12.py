@@ -1,0 +1,82 @@
+"""Figure 12: comparing parallelism strategies on P2.
+
+Fixed *total* batch of 128 on 4x A100 GPUs; pipeline micro-batch 64 (2
+chunks).  The claims to reproduce: (a) data parallelism is the most
+efficient option at constant total work, (b) tensor parallelism generally
+does not perform well except on transformers, and (c) TrioSim predicts the
+relative ordering (in particular whether TP beats PP) for every model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.config import SimulationConfig
+from repro.experiments.harness import (
+    FULL_SET,
+    QUICK_SET,
+    ExperimentResult,
+    Row,
+    figure_label,
+    predict,
+    trace_batch,
+    trace_for,
+)
+from repro.gpus.specs import platform_p2
+from repro.oracle.oracle import HardwareOracle
+from repro.workloads.registry import get_model
+
+TOTAL_BATCH = 128
+CHUNKS = 2  # micro-batch 64
+
+
+def run(models: Optional[List[str]] = None, quick: bool = False,
+        runs: int = 10) -> ExperimentResult:
+    """Reproduce Figure 12."""
+    models = models or (QUICK_SET if quick else FULL_SET)
+    platform = platform_p2()
+    oracle = HardwareOracle(platform)
+    result = ExperimentResult(
+        "fig12", "Parallelism comparison on P2, total batch 128 on 4 GPUs"
+    )
+    ordering_correct = 0
+    ordering_total = 0
+    for model_name in models:
+        model = get_model(model_name)
+        traced = trace_batch(model_name)
+        total_batch = min(TOTAL_BATCH, traced)  # Llama traces at 16
+        per_gpu = total_batch // platform.num_gpus
+        trace = trace_for(model_name, platform.gpu.name, traced)
+        measured: Dict[str, float] = {}
+        predicted: Dict[str, float] = {}
+
+        measured["dp"] = oracle.measure_ddp(model, per_gpu, runs=runs).total
+        predicted["dp"] = predict(trace, SimulationConfig.for_platform(
+            platform, parallelism="ddp", batch_size=per_gpu)).total_time
+
+        measured["tp"] = oracle.measure_tensor_parallel(
+            model, total_batch, runs=runs).total
+        predicted["tp"] = predict(trace, SimulationConfig.for_platform(
+            platform, parallelism="tp", batch_size=total_batch)).total_time
+
+        measured["pp"] = oracle.measure_pipeline(
+            model, total_batch, CHUNKS, runs=runs).total
+        predicted["pp"] = predict(trace, SimulationConfig.for_platform(
+            platform, parallelism="pp", chunks=CHUNKS,
+            batch_size=total_batch)).total_time
+
+        for strategy in ("dp", "tp", "pp"):
+            result.add(Row(
+                label=f"{figure_label(model_name)}/{strategy}",
+                measured=measured[strategy],
+                predicted=predicted[strategy],
+            ))
+        # Does the simulator preserve the TP-vs-PP ordering?
+        ordering_total += 1
+        if (measured["tp"] < measured["pp"]) == (predicted["tp"] < predicted["pp"]):
+            ordering_correct += 1
+    result.notes = (
+        f"TP-vs-PP ordering preserved for {ordering_correct}/{ordering_total} "
+        "models (paper: all)"
+    )
+    return result

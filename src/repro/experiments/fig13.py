@@ -1,0 +1,61 @@
+"""Figure 13: communication/computation breakdown on P1.
+
+TrioSim's per-run output decomposes time into communication and
+computation; the paper plots the ratio for tensor-parallel and DDP
+training on P1.  The claim to reproduce: the communication share under
+tensor parallelism is (much) higher than under distributed data
+parallelism.  This is a simulator-output figure — no hardware baseline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.config import SimulationConfig
+from repro.experiments.harness import (
+    FULL_SET,
+    QUICK_SET,
+    ExperimentResult,
+    Row,
+    figure_label,
+    predict,
+    trace_batch,
+    trace_for,
+)
+from repro.gpus.specs import platform_p1
+
+
+def run(models: Optional[List[str]] = None, quick: bool = False,
+        runs: int = 10) -> ExperimentResult:
+    """Reproduce Figure 13 (``runs`` is accepted for API symmetry)."""
+    models = models or (QUICK_SET if quick else FULL_SET)
+    platform = platform_p1()
+    result = ExperimentResult(
+        "fig13", "Communication vs computation ratio on P1 (TP vs DDP)"
+    )
+    tp_higher = 0
+    for model_name in models:
+        trace = trace_for(model_name, platform.gpu.name, trace_batch(model_name))
+        ratios = {}
+        for strategy in ("tp", "ddp"):
+            config = SimulationConfig.for_platform(platform, parallelism=strategy)
+            res = predict(trace, config)
+            ratios[strategy] = res.communication_ratio
+            result.add(Row(
+                label=f"{figure_label(model_name)}/{strategy}",
+                measured=None,
+                predicted=res.total_time,
+                detail={
+                    "comm_ratio": res.communication_ratio,
+                    "compute": res.compute_time,
+                    "comm": res.communication_time,
+                },
+            ))
+        if ratios["tp"] > ratios["ddp"]:
+            tp_higher += 1
+    result.notes = (
+        f"TP comm share exceeds DDP for {tp_higher}/{len(models)} models "
+        "(paper: the communication time ratio in tensor parallel is higher "
+        "than in data parallel on P1)"
+    )
+    return result

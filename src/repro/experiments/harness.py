@@ -1,0 +1,155 @@
+"""Shared infrastructure for the per-figure experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional
+
+from repro.core.config import SimulationConfig
+from repro.core.results import SimulationResult
+from repro.core.simulator import TrioSim
+from repro.trace.trace import Trace
+from repro.trace.tracer import Tracer
+from repro.workloads.registry import get_model, short_name
+from repro.gpus.specs import get_gpu
+
+#: The paper traces Llama at batch 16 "to avoid out-of-memory issues
+#: during real-hardware tracing" (§6); everything else at 128.
+DEFAULT_BATCH = 128
+LLAMA_BATCH = 16
+
+#: Figure workload sets (paper §5), with short subsets for quick runs.
+CNN_SET = [
+    "resnet18", "resnet34", "resnet50", "resnet101", "resnet152",
+    "densenet121", "densenet161", "densenet169", "densenet201",
+    "vgg11", "vgg13", "vgg16", "vgg19",
+]
+TRANSFORMER_SET = ["gpt2", "bert", "t5-small", "flan-t5-small", "llama-3.2-1b"]
+FULL_SET = CNN_SET + TRANSFORMER_SET
+QUICK_SET = ["resnet50", "densenet121", "vgg16", "gpt2"]
+
+#: The paper's pipeline figures cover the models its PP libraries support.
+PIPELINE_SET = [
+    "resnet18", "resnet50", "resnet101", "resnet152",
+    "densenet121", "densenet169", "densenet201",
+    "gpt2", "bert", "llama-3.2-1b",
+]
+
+
+def trace_batch(model_name: str) -> int:
+    """The batch size the paper traces each model at."""
+    return LLAMA_BATCH if model_name.startswith("llama") else DEFAULT_BATCH
+
+
+@lru_cache(maxsize=256)
+def trace_for(model_name: str, gpu_name: str,
+              batch: Optional[int] = None) -> Trace:
+    """Collect (and cache) the single-GPU trace of one workload."""
+    batch = batch or trace_batch(model_name)
+    tracer = Tracer(get_gpu(gpu_name))
+    return tracer.trace(get_model(model_name), batch)
+
+
+def predict(trace: Trace, config: SimulationConfig,
+            timeline: bool = False) -> SimulationResult:
+    """One TrioSim prediction run."""
+    return TrioSim(trace, config, record_timeline=timeline).run()
+
+
+@dataclass
+class Row:
+    """One bar of a figure: a (configuration, measured, predicted) triple.
+
+    ``measured`` may be ``None`` for simulation-only artifacts (the case
+    studies have no hardware counterpart).
+    """
+
+    label: str
+    measured: Optional[float]
+    predicted: float
+    detail: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def error(self) -> Optional[float]:
+        """Signed relative error (predicted vs measured)."""
+        if self.measured is None or self.measured == 0:
+            return None
+        return (self.predicted - self.measured) / self.measured
+
+    @property
+    def abs_error(self) -> Optional[float]:
+        err = self.error
+        return abs(err) if err is not None else None
+
+    @property
+    def normalized(self) -> Optional[float]:
+        """predicted / measured — the paper's normalized-time y-axis."""
+        if self.measured is None or self.measured == 0:
+            return None
+        return self.predicted / self.measured
+
+
+@dataclass
+class ExperimentResult:
+    """All rows of one reproduced table/figure."""
+
+    experiment_id: str
+    title: str
+    rows: List[Row] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, row: Row) -> Row:
+        self.rows.append(row)
+        return row
+
+    def mean_abs_error(self, label_contains: str = "") -> float:
+        """Mean |error| over rows whose label contains the filter string."""
+        errs = [
+            r.abs_error for r in self.rows
+            if r.abs_error is not None and label_contains in r.label
+        ]
+        if not errs:
+            raise ValueError(f"no measured rows match {label_contains!r}")
+        return sum(errs) / len(errs)
+
+    def row(self, label: str) -> Row:
+        for r in self.rows:
+            if r.label == label:
+                return r
+        raise KeyError(label)
+
+    def to_csv(self) -> str:
+        """The figure's rows as CSV (label, measured, predicted, error)
+        for downstream plotting."""
+        lines = ["label,measured_s,predicted_s,error"]
+        for r in self.rows:
+            measured = f"{r.measured:.9f}" if r.measured is not None else ""
+            error = f"{r.error:.6f}" if r.error is not None else ""
+            lines.append(f"{r.label},{measured},{r.predicted:.9f},{error}")
+        return "\n".join(lines)
+
+    def table(self) -> str:
+        """Render the figure's rows the way the paper reports them."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        width = max((len(r.label) for r in self.rows), default=10)
+        for r in self.rows:
+            if r.measured is not None:
+                lines.append(
+                    f"  {r.label:<{width}}  measured {r.measured * 1e3:9.2f} ms"
+                    f"  predicted {r.predicted * 1e3:9.2f} ms"
+                    f"  err {r.error * 100:+6.2f}%"
+                )
+            else:
+                lines.append(
+                    f"  {r.label:<{width}}  value {r.predicted * 1e3:9.2f} ms"
+                )
+        if self.notes:
+            lines.append(f"  -- {self.notes}")
+        return "\n".join(lines)
+
+
+def figure_label(model_name: str, suffix: str = "") -> str:
+    """Paper-style label for a model (RN-50, DN-121, ...)."""
+    base = short_name(model_name)
+    return f"{base}{suffix}" if suffix else base

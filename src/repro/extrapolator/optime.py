@@ -1,0 +1,90 @@
+"""Operator-time resolution during extrapolation.
+
+:class:`OpTimeModel` answers "how long does this traced operator take under
+the simulated configuration?"  It encodes the paper's two-mode policy
+(§4.4): when the simulated batch/shard match the trace, the trace-provided
+time is used verbatim; otherwise Li's Model scales the traced time by its
+predicted ratio.
+
+Scaling rules (per-operator, from the trace's tensor table):
+
+* Batch scale ``b`` (forward/backward ops): FLOPs x ``b``; activation
+  bytes x ``b``; parameter bytes unchanged.  Optimizer ops touch only
+  parameters and never scale with batch.
+* Shard ``n`` (tensor parallelism, shardable ops only): FLOPs / ``n``;
+  output activations and parameters / ``n``; input activations replicated.
+"""
+
+from __future__ import annotations
+
+from repro.perfmodel.li_model import LiModel
+from repro.trace.records import OperatorRecord
+from repro.trace.trace import Trace
+from repro.workloads.graph import TENSOR_PARALLEL_KINDS
+
+
+class OpTimeModel:
+    """Resolves operator durations under batch scaling and sharding.
+
+    ``perf_model`` may be any fitted
+    :class:`~repro.perfmodel.base.OperatorPerformanceModel` (Li's Model by
+    default; see :class:`~repro.perfmodel.piecewise.PiecewiseThroughputModel`
+    for the under-utilization-aware alternative).
+    """
+
+    def __init__(self, trace: Trace, perf_model=None):
+        self.trace = trace
+        self._model = perf_model
+
+    @property
+    def li_model(self):
+        """The active performance model (fitted lazily: Li's Model)."""
+        if self._model is None:
+            self._model = LiModel.fit(self.trace)
+        return self._model
+
+    def shardable(self, op: OperatorRecord) -> bool:
+        """Whether tensor parallelism may split this operator."""
+        return op.kind in TENSOR_PARALLEL_KINDS
+
+    def duration(self, op: OperatorRecord, batch_scale: float = 1.0,
+                 shard: int = 1) -> float:
+        """Duration of *op* at a scaled batch and/or sharded across GPUs."""
+        if batch_scale <= 0:
+            raise ValueError("batch_scale must be positive")
+        if shard < 1:
+            raise ValueError("shard must be >= 1")
+        if op.phase == "optimizer":
+            batch_scale = 1.0  # parameter updates are batch-independent
+        if shard > 1 and not self.shardable(op):
+            shard = 1
+        if batch_scale == 1.0 and shard == 1:
+            return op.duration
+        in_act, out_act, param = self.trace.op_bytes_detail(op)
+        total = in_act + out_act + param
+        new_bytes = (
+            in_act * batch_scale
+            + out_act * batch_scale / shard
+            + param / shard
+        )
+        bytes_scale = new_bytes / total if total > 0 else 1.0
+        flops_scale = batch_scale / shard
+        return self.li_model.predict_scaled(self.trace, op, flops_scale, bytes_scale)
+
+    # ------------------------------------------------------------------
+    # Byte queries used when inserting communication operators
+    # ------------------------------------------------------------------
+    def output_act_bytes(self, op: OperatorRecord, batch_scale: float = 1.0) -> float:
+        """Output activation payload at a scaled batch (what pipeline and
+        tensor parallelism move between GPUs)."""
+        _in, out_act, _param = self.trace.op_bytes_detail(op)
+        return out_act * batch_scale
+
+    def gradient_bytes(self, op: OperatorRecord) -> float:
+        """Parameter-gradient bytes this operator produces (what data
+        parallelism AllReduces)."""
+        return sum(
+            self.trace.tensors[t].nbytes
+            for t in op.outputs
+            if self.trace.tensors[t].category == "gradient"
+        )

@@ -1,0 +1,32 @@
+"""GPU and interconnect specification database.
+
+Supplies the hardware parameters TrioSim and the hardware oracle share:
+peak math throughput, memory bandwidth, and link characteristics for the
+paper's three platforms (P1 = 2x A40 over PCIe, P2 = 4x A100 over NVLink,
+P3 = 8x H100 over NVLink), plus the derating factors that stand in for the
+paper's nccl-tests achieved-bandwidth measurements.
+"""
+
+from repro.gpus.specs import (
+    GPU_SPECS,
+    INTERCONNECTS,
+    GPUSpec,
+    InterconnectSpec,
+    get_gpu,
+    get_interconnect,
+    platform_p1,
+    platform_p2,
+    platform_p3,
+)
+
+__all__ = [
+    "GPU_SPECS",
+    "GPUSpec",
+    "INTERCONNECTS",
+    "InterconnectSpec",
+    "get_gpu",
+    "get_interconnect",
+    "platform_p1",
+    "platform_p2",
+    "platform_p3",
+]

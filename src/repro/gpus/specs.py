@@ -1,0 +1,199 @@
+"""GPU and interconnect specifications for the paper's platforms.
+
+The numbers are public datasheet values.  Like the paper, we distinguish
+*theoretical* link bandwidth from *achieved* bandwidth: the paper measures
+achieved bandwidth with nccl-tests and feeds that to the simulator; we
+apply an ``achieved_fraction`` derating per interconnect generation instead
+(the oracle "hardware" and the simulator both use the achieved value, just
+as the paper uses one set of measured throughputs per platform).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+GIGA = 1e9
+TERA = 1e12
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Performance-relevant parameters of one GPU model.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, e.g. ``"A100"``.
+    matmul_tflops:
+        Dense tensor-core throughput for TF32 matmul/convolution (TFLOP/s).
+        PyTorch dispatches conv and linear layers here on Ampere+.
+    vector_tflops:
+        FP32 CUDA-core throughput for elementwise/normalization ops.
+    mem_bandwidth:
+        HBM/GDDR bandwidth in bytes per second.
+    mem_capacity:
+        Device memory in bytes (used for out-of-memory checks).
+    kernel_overhead:
+        Fixed per-kernel launch + scheduling cost in seconds, the floor on
+        tiny-operator execution time.
+    max_efficiency:
+        Fraction of peak matmul throughput achievable by large,
+        well-shaped GEMMs (cuDNN/cuBLAS never reach 100%).
+    """
+
+    name: str
+    matmul_tflops: float
+    vector_tflops: float
+    mem_bandwidth: float
+    mem_capacity: float
+    kernel_overhead: float = 4e-6
+    max_efficiency: float = 0.62
+
+    @property
+    def matmul_flops(self) -> float:
+        """Peak dense matmul throughput in FLOP/s."""
+        return self.matmul_tflops * TERA
+
+    @property
+    def vector_flops(self) -> float:
+        """Peak vector FP32 throughput in FLOP/s."""
+        return self.vector_tflops * TERA
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Parameters of one GPU-GPU link technology.
+
+    ``theoretical_bandwidth`` is the per-direction datasheet value;
+    ``achieved_fraction`` derates it to the nccl-tests-style measured value
+    actually used in simulation (paper §5: "the theoretical bandwidth of the
+    links is not usually useful").
+    """
+
+    name: str
+    theoretical_bandwidth: float
+    achieved_fraction: float
+    latency: float
+
+    @property
+    def achieved_bandwidth(self) -> float:
+        """Measured (derated) bandwidth in bytes per second."""
+        return self.theoretical_bandwidth * self.achieved_fraction
+
+
+GPU_SPECS: Dict[str, GPUSpec] = {
+    "A40": GPUSpec(
+        name="A40",
+        matmul_tflops=74.8,     # TF32 tensor core, dense
+        vector_tflops=37.4,     # FP32 CUDA core
+        mem_bandwidth=696 * GIGA,
+        mem_capacity=48 * GIGA,
+        kernel_overhead=4.5e-6,
+        max_efficiency=0.60,
+    ),
+    "A100": GPUSpec(
+        name="A100",
+        matmul_tflops=156.0,    # TF32 tensor core, dense
+        vector_tflops=19.5,
+        mem_bandwidth=2039 * GIGA,
+        mem_capacity=80 * GIGA,
+        kernel_overhead=4.0e-6,
+        max_efficiency=0.62,
+    ),
+    "H100": GPUSpec(
+        name="H100",
+        matmul_tflops=494.5,    # TF32 tensor core, dense
+        vector_tflops=66.9,
+        mem_bandwidth=3350 * GIGA,
+        mem_capacity=80 * GIGA,
+        kernel_overhead=3.5e-6,
+        max_efficiency=0.64,
+    ),
+}
+
+INTERCONNECTS: Dict[str, InterconnectSpec] = {
+    # PCIe 4.0 x16, per direction.
+    "pcie4": InterconnectSpec("pcie4", 32 * GIGA, 0.65, 4e-6),
+    # NVLink 3 (A100): per-pair aggregate in a 4-GPU fully linked board.
+    "nvlink3": InterconnectSpec("nvlink3", 300 * GIGA, 0.78, 1.5e-6),
+    # NVLink 4 + NVSwitch (H100 HGX): any-to-any.
+    "nvlink4": InterconnectSpec("nvlink4", 450 * GIGA, 0.80, 1.2e-6),
+}
+
+
+def get_gpu(name: str) -> GPUSpec:
+    """Look up a GPU spec by (case-insensitive) name."""
+    key = name.upper()
+    if key not in GPU_SPECS:
+        raise KeyError(f"unknown GPU {name!r}; known: {sorted(GPU_SPECS)}")
+    return GPU_SPECS[key]
+
+
+def get_interconnect(name: str) -> InterconnectSpec:
+    """Look up an interconnect spec by name."""
+    key = name.lower()
+    if key not in INTERCONNECTS:
+        raise KeyError(
+            f"unknown interconnect {name!r}; known: {sorted(INTERCONNECTS)}"
+        )
+    return INTERCONNECTS[key]
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A validation platform: identical GPUs joined by one interconnect.
+
+    ``topology`` names a builder in :mod:`repro.network.topology` (e.g.
+    ``"ring"``, ``"switch"``); the paper's platforms use a ring of PCIe/
+    NVLink links (P1, P2) and an NVSwitch-style full crossbar (P3).
+    """
+
+    name: str
+    gpu: GPUSpec
+    num_gpus: int
+    interconnect: InterconnectSpec
+    topology: str
+
+    @property
+    def gpus(self) -> List[GPUSpec]:
+        return [self.gpu] * self.num_gpus
+
+    @property
+    def link_bandwidth(self) -> float:
+        return self.interconnect.achieved_bandwidth
+
+    @property
+    def link_latency(self) -> float:
+        return self.interconnect.latency
+
+
+def platform_p1() -> Platform:
+    """P1: 2x NVIDIA A40 connected with PCIe (paper §5)."""
+    return Platform("P1", get_gpu("A40"), 2, get_interconnect("pcie4"), "ring")
+
+
+def platform_p2(num_gpus: int = 4) -> Platform:
+    """P2: 4x NVIDIA A100 connected with NVLink (paper §5).
+
+    ``num_gpus`` may be lowered to 2 for the paper's 2-GPU pipeline runs.
+    """
+    if not 1 <= num_gpus <= 4:
+        raise ValueError("P2 has at most 4 GPUs")
+    return Platform("P2", get_gpu("A100"), num_gpus, get_interconnect("nvlink3"), "ring")
+
+
+def platform_p3() -> Platform:
+    """P3: 8x NVIDIA H100 connected with NVLink/NVSwitch (paper §5)."""
+    return Platform("P3", get_gpu("H100"), 8, get_interconnect("nvlink4"), "switch")
+
+
+def custom_platform(
+    gpu: str,
+    num_gpus: int,
+    interconnect: str = "nvlink3",
+    topology: str = "ring",
+    name: str = "custom",
+) -> Platform:
+    """Build an arbitrary homogeneous platform (for case studies)."""
+    return Platform(name, get_gpu(gpu), num_gpus, get_interconnect(interconnect), topology)

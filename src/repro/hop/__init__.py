@@ -1,0 +1,5 @@
+"""Hop: heterogeneity-aware decentralized training (case study §7.2)."""
+
+from repro.hop.protocol import HopConfig, HopResult, HopSimulation, random_slowdowns
+
+__all__ = ["HopConfig", "HopResult", "HopSimulation", "random_slowdowns"]

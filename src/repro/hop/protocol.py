@@ -1,0 +1,216 @@
+"""The Hop protocol (Luo et al., ASPLOS 2019) on the simulation engine.
+
+Hop decentralizes training: every worker exchanges model updates only with
+its neighbours on a communication graph, synchronizing through *update
+queues* (a worker may start its next iteration once it holds enough
+neighbour updates) and *token queues* (a strict bound on how far apart two
+neighbours may drift).  Its headline feature is **backup workers**: with
+``b`` backup workers a node may proceed while missing up to ``b``
+neighbour updates per iteration, so one slow worker (or slow link) no
+longer stalls the whole system.
+
+The paper's case study (§7.2, Figure 16) re-runs Hop's experiment inside
+TrioSim: 8 A100 GPUs, VGG-11 at batch 128, per-GPU communication slowed by
+a random factor in [1, 10], on ring-based and double-ring graphs, with and
+without one backup worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import networkx as nx
+import numpy as np
+
+from repro.engine.engine import Engine
+
+
+def random_slowdowns(num_workers: int, seed: int, low: float = 1.0,
+                     high: float = 10.0) -> List[float]:
+    """One heterogeneity scenario: a communication slowdown per worker,
+    uniform in [low, high] (the paper's "factor of random number between
+    1 and 10")."""
+    rng = np.random.default_rng(seed)
+    return [float(f) for f in rng.uniform(low, high, size=num_workers)]
+
+
+@dataclass
+class HopConfig:
+    """Configuration of one Hop simulation.
+
+    Attributes
+    ----------
+    graph:
+        Communication graph (see
+        :func:`repro.network.topology.ring_with_chords` and
+        :func:`~repro.network.topology.double_ring`).  Node names are the
+        worker names.
+    compute_time:
+        Per-iteration local computation time of one worker (seconds).
+    update_bytes:
+        Size of the model update exchanged with each neighbour.
+    bandwidth / latency:
+        Baseline link characteristics; worker *i*'s outgoing transfers are
+        slowed by ``slowdowns[i]``.
+    slowdowns:
+        Per-worker communication slowdown factors (>= 1).
+    backup_workers:
+        Updates a worker may miss per iteration and still proceed.
+    staleness_bound:
+        Token-queue bound: a worker cannot run more than this many
+        iterations ahead of an update it has not yet received from any
+        neighbour.
+    iterations:
+        Training iterations to simulate.
+    """
+
+    graph: nx.Graph
+    compute_time: float
+    update_bytes: float
+    bandwidth: float
+    latency: float = 2e-6
+    slowdowns: Optional[List[float]] = None
+    backup_workers: int = 0
+    staleness_bound: int = 2
+    iterations: int = 20
+
+    def __post_init__(self):
+        if self.backup_workers < 0:
+            raise ValueError("backup_workers must be >= 0")
+        if self.staleness_bound < 1:
+            raise ValueError("staleness_bound must be >= 1")
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        n = self.graph.number_of_nodes()
+        if self.slowdowns is None:
+            self.slowdowns = [1.0] * n
+        if len(self.slowdowns) != n:
+            raise ValueError("need one slowdown per worker")
+        min_degree = min(dict(self.graph.degree).values())
+        if self.backup_workers >= min_degree:
+            raise ValueError(
+                "backup_workers must be smaller than the minimum degree"
+            )
+
+
+@dataclass
+class HopResult:
+    """Outcome of one Hop simulation."""
+
+    total_time: float
+    finish_times: Dict[str, float]
+    updates_sent: int
+    updates_missed: int
+
+    @property
+    def makespan(self) -> float:
+        return self.total_time
+
+
+class _Worker:
+    """One Hop worker: compute, gossip, advance when the queues allow."""
+
+    def __init__(self, sim: "HopSimulation", name: str, index: int):
+        self.sim = sim
+        self.name = name
+        self.index = index
+        self.neighbours = sorted(sim.config.graph.neighbors(name))
+        self.iteration = 0                # iterations completed
+        self.computing = False
+        # update queue: received[t] = set of neighbours heard for iter t
+        self.received: Dict[int, set] = {}
+        # token queue: newest iteration heard per neighbour
+        self.neighbour_progress: Dict[str, int] = {n: -1 for n in self.neighbours}
+        self.finish_time: Optional[float] = None
+
+    # -- update queue ---------------------------------------------------
+    def updates_for(self, iteration: int) -> int:
+        return len(self.received.get(iteration, ()))
+
+    def can_start(self, iteration: int) -> bool:
+        """Whether iteration *iteration* (0-based) may begin."""
+        if iteration == 0:
+            return True
+        needed = len(self.neighbours) - self.sim.config.backup_workers
+        if self.updates_for(iteration - 1) < needed:
+            return False
+        # Token queue: no neighbour may lag more than the bound.
+        bound = self.sim.config.staleness_bound
+        for progress in self.neighbour_progress.values():
+            if iteration - 1 - progress > bound:
+                return False
+        return True
+
+    # -- state machine ---------------------------------------------------
+    def try_start(self) -> None:
+        if self.computing or self.iteration >= self.sim.config.iterations:
+            return
+        if not self.can_start(self.iteration):
+            return
+        self.computing = True
+        self.sim.engine.call_after(
+            self.sim.config.compute_time, lambda _ev: self.on_compute_done()
+        )
+
+    def on_compute_done(self) -> None:
+        self.computing = False
+        done = self.iteration
+        self.iteration += 1
+        missed = len(self.neighbours) - self.updates_for(done - 1) if done else 0
+        self.sim.updates_missed += max(missed, 0) if done else 0
+        self.sim.send_updates(self, done)
+        if self.iteration >= self.sim.config.iterations:
+            self.finish_time = self.sim.engine.now
+        else:
+            self.try_start()
+
+    def on_update(self, src: str, iteration: int) -> None:
+        self.received.setdefault(iteration, set()).add(src)
+        if iteration > self.neighbour_progress[src]:
+            self.neighbour_progress[src] = iteration
+        self.try_start()
+
+
+class HopSimulation:
+    """Runs the Hop protocol over an engine and reports the makespan."""
+
+    def __init__(self, config: HopConfig, engine: Optional[Engine] = None):
+        self.config = config
+        self.engine = engine or Engine()
+        names = sorted(config.graph.nodes)
+        self.workers = {
+            name: _Worker(self, name, i) for i, name in enumerate(names)
+        }
+        self.updates_sent = 0
+        self.updates_missed = 0
+
+    def _transfer_time(self, src_index: int) -> float:
+        effective = self.config.bandwidth / self.config.slowdowns[src_index]
+        return self.config.latency + self.config.update_bytes / effective
+
+    def send_updates(self, worker: _Worker, iteration: int) -> None:
+        """Gossip *worker*'s update for *iteration* to all neighbours."""
+        delay = self._transfer_time(worker.index)
+        for neighbour in worker.neighbours:
+            self.updates_sent += 1
+            self.engine.call_after(
+                delay,
+                lambda _ev, dst=neighbour, src=worker.name, it=iteration:
+                    self.workers[dst].on_update(src, it),
+            )
+
+    def run(self) -> HopResult:
+        for worker in self.workers.values():
+            worker.try_start()
+        self.engine.run()
+        unfinished = [w.name for w in self.workers.values() if w.finish_time is None]
+        if unfinished:
+            raise RuntimeError(f"workers never finished: {unfinished}")
+        finish = {w.name: w.finish_time for w in self.workers.values()}
+        return HopResult(
+            total_time=max(finish.values()),
+            finish_times=finish,
+            updates_sent=self.updates_sent,
+            updates_missed=self.updates_missed,
+        )

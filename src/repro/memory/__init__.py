@@ -1,0 +1,6 @@
+"""Tensor placement tracking and memory estimation."""
+
+from repro.memory.estimator import MemoryEstimate, check_fits, estimate_memory
+from repro.memory.tensor_store import TensorStore
+
+__all__ = ["MemoryEstimate", "TensorStore", "check_fits", "estimate_memory"]

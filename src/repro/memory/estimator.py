@@ -1,0 +1,139 @@
+"""Per-GPU memory estimation and out-of-memory checking.
+
+The paper repeatedly hits memory walls on real hardware ("other models
+are out of memory when the batch size is 256"; Llama traced at batch 16
+"to avoid out-of-memory issues").  This estimator predicts, from a trace
+alone, whether a configuration fits a GPU — letting users rule out
+configurations *before* simulating them, something the physical-testbed
+workflow cannot do cheaply.
+
+The standard training-footprint accounting:
+
+* parameters + gradients + optimizer state (SGD momentum: 1x params),
+* activations saved for backward (every forward output), divided by the
+  parallelism's sharding rules,
+* a fixed framework/workspace reserve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.gpus.specs import GPUSpec, get_gpu
+from repro.trace.trace import Trace
+from repro.workloads.graph import TENSOR_PARALLEL_KINDS
+
+#: CUDA context + cuDNN workspace + allocator slack (bytes).
+FRAMEWORK_RESERVE = 1.5e9
+
+#: Optimizer state multiple of parameter bytes (SGD with momentum).
+OPTIMIZER_STATE_FACTOR = 1.0
+
+
+@dataclass(frozen=True)
+class MemoryEstimate:
+    """Predicted peak memory of one GPU under a configuration."""
+
+    params: float
+    gradients: float
+    optimizer_state: float
+    activations: float
+    reserve: float = FRAMEWORK_RESERVE
+
+    @property
+    def total(self) -> float:
+        return (self.params + self.gradients + self.optimizer_state
+                + self.activations + self.reserve)
+
+    def fits(self, gpu: GPUSpec) -> bool:
+        return self.total <= gpu.mem_capacity
+
+    def headroom(self, gpu: GPUSpec) -> float:
+        """Free bytes left on *gpu* (negative when over capacity)."""
+        return gpu.mem_capacity - self.total
+
+
+def estimate_memory(trace: Trace, parallelism: str = "single",
+                    num_gpus: int = 1, batch_size: Optional[int] = None,
+                    chunks: int = 1, dp_degree: Optional[int] = None,
+                    pp_schedule: str = "gpipe") -> MemoryEstimate:
+    """Peak per-GPU memory for a configuration derived from *trace*.
+
+    Sharding rules follow the extrapolators: ``dp``/``ddp`` replicate
+    parameters and scale activations with the per-GPU batch; ``tp`` shards
+    parameters and output activations of shardable layers; ``pp`` holds a
+    1/``num_gpus`` slice of both, with activations of all in-flight
+    micro-batches resident (GPipe stores every micro-batch's forward
+    activations until its backward).
+    """
+    if parallelism not in ("single", "dp", "ddp", "tp", "pp", "fsdp", "hybrid"):
+        raise ValueError(f"unknown parallelism {parallelism!r}")
+    if num_gpus < 1 or chunks < 1:
+        raise ValueError("num_gpus and chunks must be >= 1")
+    batch_scale = (batch_size / trace.batch_size) if batch_size else 1.0
+
+    param_bytes = float(sum(t.nbytes for t in trace.weight_tensors()))
+    # Forward activations saved for backward: sum of per-op outputs.
+    act_bytes = 0.0
+    shardable_params = 0.0
+    shardable_acts = 0.0
+    for op in trace.forward_ops:
+        _in, out_act, op_params = trace.op_bytes_detail(op)
+        act_bytes += out_act
+        if op.kind in TENSOR_PARALLEL_KINDS:
+            shardable_acts += out_act
+            shardable_params += op_params
+    act_bytes *= batch_scale
+    shardable_acts *= batch_scale
+
+    if parallelism in ("single", "dp", "ddp"):
+        params = param_bytes
+        acts = act_bytes
+    elif parallelism == "fsdp":
+        # ZeRO-3: everything parameter-shaped shards across ranks; only
+        # one gathered unit of full parameters is live at a time.
+        params = param_bytes / num_gpus + 25 * 1024 * 1024
+        acts = act_bytes
+    elif parallelism == "tp":
+        params = (param_bytes - shardable_params) + shardable_params / num_gpus
+        acts = (act_bytes - shardable_acts) + shardable_acts / num_gpus
+    elif parallelism == "hybrid":
+        # DP x PP: each GPU holds one stage of one replica.
+        stages = num_gpus // (dp_degree or 1)
+        params = param_bytes / max(stages, 1)
+        acts = act_bytes / max(stages, 1)
+    else:  # pp: one stage's slice of parameters and activations
+        params = param_bytes / num_gpus
+        acts = act_bytes / num_gpus  # GPipe: all chunks' micros resident
+        if pp_schedule == "1f1b" and chunks > num_gpus:
+            # 1F1B keeps at most `num_gpus` micro-batches of activations
+            # alive per stage instead of all `chunks`.
+            acts *= num_gpus / chunks
+    grads = params
+    opt_state = OPTIMIZER_STATE_FACTOR * params
+    return MemoryEstimate(
+        params=params, gradients=grads,
+        optimizer_state=opt_state, activations=acts,
+    )
+
+
+def check_fits(trace: Trace, gpu_name: str, **config) -> Dict[str, float]:
+    """Convenience wrapper: estimate and compare against a named GPU.
+
+    Returns a dict with the component sizes, total, capacity, and
+    headroom; raises nothing (callers decide how to react).
+    """
+    gpu = get_gpu(gpu_name)
+    estimate = estimate_memory(trace, **config)
+    return {
+        "params": estimate.params,
+        "gradients": estimate.gradients,
+        "optimizer_state": estimate.optimizer_state,
+        "activations": estimate.activations,
+        "reserve": estimate.reserve,
+        "total": estimate.total,
+        "capacity": gpu.mem_capacity,
+        "headroom": estimate.headroom(gpu),
+        "fits": float(estimate.fits(gpu)),
+    }

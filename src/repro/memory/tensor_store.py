@@ -1,0 +1,88 @@
+"""Tensor placement: which GPU holds which tensor.
+
+The trace extrapolator consults the store before every operator (paper
+§4.3: "TrioSim then checks if these GPUs have the required data ... if
+not, TrioSim inserts data movement operators").  The store follows the
+paper's assumptions: a tensor lives at a single authoritative location,
+and copies made for an operator are tracked so later operators on the same
+GPU need no re-fetch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+
+class TensorStore:
+    """Tracks tensor residency across devices.
+
+    Capacity accounting is optional: pass per-device capacities to have
+    :meth:`place` raise when a device would exceed its memory.
+    """
+
+    def __init__(self, capacities: Optional[Dict[str, float]] = None):
+        self._locations: Dict[int, Set[str]] = {}
+        self._home: Dict[int, str] = {}
+        self._sizes: Dict[int, float] = {}
+        self._capacities = dict(capacities) if capacities else None
+        self._used: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def place(self, tensor_id: int, device: str, nbytes: float = 0.0) -> None:
+        """Record that *device* holds *tensor_id* (its home if first)."""
+        if tensor_id not in self._locations:
+            self._locations[tensor_id] = set()
+            self._home[tensor_id] = device
+            self._sizes[tensor_id] = float(nbytes)
+        if device in self._locations[tensor_id]:
+            return
+        size = self._sizes[tensor_id]
+        if self._capacities is not None:
+            used = self._used.get(device, 0.0) + size
+            cap = self._capacities.get(device)
+            if cap is not None and used > cap:
+                raise MemoryError(
+                    f"device {device} over capacity placing tensor {tensor_id}"
+                )
+            self._used[device] = used
+        self._locations[tensor_id].add(device)
+
+    def evict(self, tensor_id: int, device: str) -> None:
+        """Drop *device*'s copy (the home copy may not be evicted)."""
+        if self._home.get(tensor_id) == device:
+            raise ValueError(f"cannot evict home copy of tensor {tensor_id}")
+        locations = self._locations.get(tensor_id, set())
+        if device in locations:
+            locations.remove(device)
+            if self._capacities is not None:
+                self._used[device] -= self._sizes[tensor_id]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def holds(self, tensor_id: int, device: str) -> bool:
+        return device in self._locations.get(tensor_id, set())
+
+    def home_of(self, tensor_id: int) -> str:
+        """The authoritative location (paper assumption: a tensor is
+        always stored on a single remote location)."""
+        return self._home[tensor_id]
+
+    def locations(self, tensor_id: int) -> Set[str]:
+        return set(self._locations.get(tensor_id, set()))
+
+    def used_bytes(self, device: str) -> float:
+        return self._used.get(device, 0.0)
+
+    def missing(self, tensor_ids: Iterable[int], device: str) -> List[int]:
+        """Tensor IDs the device must fetch before an operator can run."""
+        return [t for t in tensor_ids if not self.holds(t, device)]
+
+    def fetch_plan(self, tensor_ids: Iterable[int], device: str) -> List[tuple]:
+        """(tensor_id, src_device, nbytes) transfers needed by *device*."""
+        plan = []
+        for tid in self.missing(tensor_ids, device):
+            plan.append((tid, self.home_of(tid), self._sizes.get(tid, 0.0)))
+        return plan

@@ -1,0 +1,51 @@
+"""Lightweight network models.
+
+TrioSim's default transport is a flow-based packet-switching model
+(:class:`~repro.network.flow.FlowNetwork`): transfers are flows that share
+link bandwidth max-min fairly; every flow start/finish triggers a
+re-allocation and reschedules in-flight delivery events — the 4-step
+process of the paper's Figure 5.  A network model only has to implement
+``send`` and deliver via a callback, so alternatives drop in freely; the
+circuit-switching :class:`~repro.network.photonic.PhotonicNetwork`
+(the Lightmatter Passage case study, §7.1) is the bundled example.
+
+Topology builders live in :mod:`repro.network.topology` (ring, switch,
+2-D mesh, fat tree, DGX hypercube mesh, the Hop graphs, the wafer mesh).
+"""
+
+from repro.network.base import NetworkModel, Transfer
+from repro.network.flow import FlowNetwork
+from repro.network.photonic import PhotonicNetwork
+from repro.network.topology import (
+    build_topology,
+    dgx_hypercube,
+    double_ring,
+    fat_tree,
+    gpu_names,
+    mesh2d,
+    multi_node,
+    node_groups,
+    ring,
+    ring_with_chords,
+    switch,
+    wafer_mesh,
+)
+
+__all__ = [
+    "FlowNetwork",
+    "NetworkModel",
+    "PhotonicNetwork",
+    "Transfer",
+    "build_topology",
+    "dgx_hypercube",
+    "double_ring",
+    "fat_tree",
+    "gpu_names",
+    "mesh2d",
+    "multi_node",
+    "node_groups",
+    "ring",
+    "ring_with_chords",
+    "switch",
+    "wafer_mesh",
+]

@@ -1,0 +1,230 @@
+"""Flow-based packet-switching network model (the default transport).
+
+A transfer is a *flow* holding its remaining bytes and current rate.  The
+model implements the paper's 4-step packet process (Figure 5):
+
+1. **Routing** — shortest path over the topology, cached per (src, dst).
+2. **Bandwidth allocation** — max-min fair shares over directed link
+   capacities (progressive filling).
+3. **Progress update** — whenever any flow starts or completes, every
+   in-flight flow's remaining bytes are brought up to date and its delivery
+   event is cancelled and rescheduled under the new allocation.
+4. **Delivery** — at the delivery event, the callback fires and bandwidth
+   is re-allocated for the survivors.
+
+Path latency is paid once, up front: a flow joins the bandwidth allocation
+after its route latency elapses.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.engine.engine import Engine
+from repro.engine.events import Event
+from repro.engine.hooks import HookCtx, Hookable
+from repro.network.base import Transfer
+
+_RATE_EPS = 1e-9
+
+#: Hook positions for observers.
+HOOK_FLOW_START = "flow_start"
+HOOK_FLOW_DELIVER = "flow_deliver"
+
+DirectedEdge = Tuple[str, str]
+
+
+class _Flow(Transfer):
+    """Internal flow state layered on the public Transfer record."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.route: List[DirectedEdge] = []
+        self.remaining: float = self.nbytes
+        self.rate: float = 0.0
+        self.last_update: float = 0.0
+        self.deliver_event: Optional[Event] = None
+
+
+class FlowNetwork(Hookable):
+    """Max-min fair flow network over an annotated topology graph.
+
+    Parameters
+    ----------
+    engine:
+        The simulation engine flows schedule their delivery events on.
+    topology:
+        ``networkx.Graph`` with ``bandwidth`` and ``latency`` edge
+        attributes (see :mod:`repro.network.topology`).  Links are full
+        duplex: each undirected edge provides its bandwidth independently
+        in both directions.
+    """
+
+    def __init__(self, engine: Engine, topology: nx.Graph):
+        super().__init__()
+        self.engine = engine
+        self.topology = topology
+        self._route_cache: Dict[Tuple[str, str], List[DirectedEdge]] = {}
+        # Keyed by transfer_id; dict preserves insertion order, keeping
+        # the max-min computation deterministic with O(1) removal.
+        self._active: Dict[int, _Flow] = {}
+        self._ids = itertools.count()
+        self._realloc_pending = False
+        self.delivered_count = 0
+        self.total_bytes_delivered = 0.0
+        self.reallocations = 0
+
+    # ------------------------------------------------------------------
+    # Step 1: routing
+    # ------------------------------------------------------------------
+    def route(self, src: str, dst: str) -> List[DirectedEdge]:
+        """Directed edge list of the cached shortest path src -> dst."""
+        key = (src, dst)
+        if key not in self._route_cache:
+            path = nx.shortest_path(self.topology, src, dst)
+            self._route_cache[key] = list(zip(path, path[1:]))
+        return self._route_cache[key]
+
+    def path_latency(self, src: str, dst: str) -> float:
+        return sum(self.topology[u][v]["latency"] for u, v in self.route(src, dst))
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, nbytes: float,
+             callback: Callable[[Transfer], None], tag: object = None) -> Transfer:
+        """Start a transfer; the callback fires at delivery."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if src not in self.topology or dst not in self.topology:
+            raise KeyError(f"unknown endpoint in {src}->{dst}")
+        flow = _Flow(next(self._ids), src, dst, float(nbytes), callback, tag)
+        flow.start_time = self.engine.now
+        self.invoke_hooks(HookCtx(HOOK_FLOW_START, self.engine.now, flow))
+        if src == dst or nbytes == 0:
+            # Local move: no wire time; deliver via a zero-delay event so
+            # callback ordering stays consistent with real transfers.
+            self.engine.call_after(0.0, lambda _ev, f=flow: self._deliver(f))
+            return flow
+        flow.route = self.route(src, dst)
+        latency = self.path_latency(src, dst)
+        self.engine.call_after(latency, lambda _ev, f=flow: self._activate(f))
+        return flow
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._active)
+
+    def _active_list(self) -> List["_Flow"]:
+        return list(self._active.values())
+
+    # ------------------------------------------------------------------
+    # Steps 2-3: allocation and progress updates
+    # ------------------------------------------------------------------
+    def _activate(self, flow: _Flow) -> None:
+        flow.last_update = self.engine.now
+        self._active[flow.transfer_id] = flow
+        self._request_reallocate()
+
+    def _request_reallocate(self) -> None:
+        """Coalesce reallocation requests within one virtual instant.
+
+        Collectives start/finish whole waves of flows at the same time;
+        recomputing shares once per wave instead of once per flow keeps
+        large systems (hundreds of GPUs) fast without changing any
+        delivery time: flows accrue no progress between the request and
+        the zero-delay recompute.
+        """
+        if self._realloc_pending:
+            return
+        self._realloc_pending = True
+        self.engine.call_after(0.0, self._deferred_reallocate)
+
+    def _deferred_reallocate(self, _event) -> None:
+        self._realloc_pending = False
+        self._reallocate()
+
+    def _settle_progress(self) -> None:
+        now = self.engine.now
+        for flow in self._active.values():
+            flow.remaining -= flow.rate * (now - flow.last_update)
+            flow.remaining = max(flow.remaining, 0.0)
+            flow.last_update = now
+
+    def _reallocate(self) -> None:
+        """Recompute max-min fair rates and reschedule all deliveries."""
+        self.reallocations += 1
+        self._settle_progress()
+        rates = self._maxmin_rates()
+        now = self.engine.now
+        for flow in self._active.values():
+            flow.rate = rates[flow.transfer_id]
+            if flow.deliver_event is not None:
+                flow.deliver_event.cancel()
+                flow.deliver_event = None
+            if flow.rate > _RATE_EPS:
+                eta = flow.remaining / flow.rate
+                flow.deliver_event = self.engine.call_after(
+                    eta, lambda _ev, f=flow: self._deliver(f)
+                )
+
+    def _maxmin_rates(self) -> Dict[int, float]:
+        """Progressive filling over directed link capacities."""
+        residual: Dict[DirectedEdge, float] = {}
+        users: Dict[DirectedEdge, Set[int]] = {}
+        for flow in self._active.values():
+            for edge in flow.route:
+                if edge not in residual:
+                    u, v = edge
+                    residual[edge] = self.topology[u][v]["bandwidth"]
+                    users[edge] = set()
+                users[edge].add(flow.transfer_id)
+        rates = {flow.transfer_id: 0.0 for flow in self._active.values()}
+        unfrozen = set(rates)
+        flow_routes = {f.transfer_id: f.route for f in self._active.values()}
+        while unfrozen:
+            # Smallest equal increment any loaded edge can still give.
+            delta = None
+            for edge, flow_ids in users.items():
+                live = len(flow_ids & unfrozen)
+                if live:
+                    candidate = residual[edge] / live
+                    if delta is None or candidate < delta:
+                        delta = candidate
+            if delta is None:
+                break
+            saturated: Set[DirectedEdge] = set()
+            for edge, flow_ids in users.items():
+                live = len(flow_ids & unfrozen)
+                if live:
+                    residual[edge] -= delta * live
+                    if residual[edge] <= _RATE_EPS * max(delta, 1.0):
+                        saturated.add(edge)
+            for fid in list(unfrozen):
+                rates[fid] += delta
+            frozen = {
+                fid for fid in unfrozen
+                if any(edge in saturated for edge in flow_routes[fid])
+            }
+            if not frozen:
+                break  # numerical safety; should not happen
+            unfrozen -= frozen
+        return rates
+
+    # ------------------------------------------------------------------
+    # Step 4: delivery
+    # ------------------------------------------------------------------
+    def _deliver(self, flow: _Flow) -> None:
+        flow.deliver_time = self.engine.now
+        flow.deliver_event = None
+        if flow.transfer_id in self._active:
+            del self._active[flow.transfer_id]
+            if self._active:
+                self._request_reallocate()
+        self.delivered_count += 1
+        self.total_bytes_delivered += flow.nbytes
+        self.invoke_hooks(HookCtx(HOOK_FLOW_DELIVER, self.engine.now, flow))
+        flow.callback(flow)

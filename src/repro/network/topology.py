@@ -1,0 +1,229 @@
+"""Network topology builders.
+
+Every builder returns a :class:`networkx.Graph` whose nodes are device
+names (``gpu0`` ... ``gpuN-1`` plus any switch nodes) and whose edges carry
+``bandwidth`` (bytes/second, per direction) and ``latency`` (seconds)
+attributes.  The paper's configurable topologies — ring, switch
+(NVSwitch-style crossbar), mesh, fat tree, the DGX hypercube mesh, and the
+Hop case-study graphs — are all provided.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import networkx as nx
+
+
+def gpu_names(n: int) -> List[str]:
+    """Canonical device names for an *n*-GPU system."""
+    return [f"gpu{i}" for i in range(n)]
+
+
+def _empty(n: int) -> nx.Graph:
+    if n < 1:
+        raise ValueError("need at least one node")
+    graph = nx.Graph()
+    graph.add_nodes_from(gpu_names(n))
+    return graph
+
+
+def _add_link(graph: nx.Graph, u: str, v: str, bandwidth: float, latency: float) -> None:
+    if bandwidth <= 0:
+        raise ValueError("bandwidth must be positive")
+    if latency < 0:
+        raise ValueError("latency must be non-negative")
+    graph.add_edge(u, v, bandwidth=float(bandwidth), latency=float(latency))
+
+
+def ring(n: int, bandwidth: float, latency: float = 1e-6) -> nx.Graph:
+    """Bidirectional ring of *n* GPUs (NVLink ring / paired PCIe)."""
+    graph = _empty(n)
+    names = gpu_names(n)
+    if n == 1:
+        return graph
+    if n == 2:
+        _add_link(graph, names[0], names[1], bandwidth, latency)
+        return graph
+    for i in range(n):
+        _add_link(graph, names[i], names[(i + 1) % n], bandwidth, latency)
+    return graph
+
+
+def switch(n: int, bandwidth: float, latency: float = 1e-6,
+           switch_name: str = "switch0") -> nx.Graph:
+    """NVSwitch-style crossbar: every GPU has a full-bandwidth port into a
+    central switch, enabling contention-free any-to-any communication."""
+    graph = _empty(n)
+    graph.add_node(switch_name)
+    for name in gpu_names(n):
+        _add_link(graph, name, switch_name, bandwidth, latency / 2)
+    return graph
+
+
+def mesh2d(rows: int, cols: int, bandwidth: float, latency: float = 1e-6) -> nx.Graph:
+    """2-D mesh of ``rows x cols`` GPUs (wafer-scale layout, §7.1)."""
+    n = rows * cols
+    graph = _empty(n)
+    names = gpu_names(n)
+    for r in range(rows):
+        for c in range(cols):
+            idx = r * cols + c
+            if c + 1 < cols:
+                _add_link(graph, names[idx], names[idx + 1], bandwidth, latency)
+            if r + 1 < rows:
+                _add_link(graph, names[idx], names[idx + cols], bandwidth, latency)
+    return graph
+
+
+def wafer_mesh(rows: int, cols: int, bandwidth: float,
+               latency: float = 1e-6) -> nx.Graph:
+    """2-D mesh with GPUs named in boustrophedon (snake) order.
+
+    Consecutive GPU indices are physically adjacent, so the data-parallel
+    AllReduce ring gpu0 - gpu1 - ... - gpuN-1 embeds onto distinct mesh
+    links — except the ring-closing hop back to gpu0, which crosses the
+    wafer and becomes the slow link the flow model must handle (this is
+    the wafer-scale case-study topology of §7.1).
+    """
+    n = rows * cols
+    graph = _empty(n)
+    index = {}
+    snake = 0
+    for r in range(rows):
+        cs = range(cols) if r % 2 == 0 else range(cols - 1, -1, -1)
+        for c in cs:
+            index[(r, c)] = f"gpu{snake}"
+            snake += 1
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                _add_link(graph, index[(r, c)], index[(r, c + 1)], bandwidth, latency)
+            if r + 1 < rows:
+                _add_link(graph, index[(r, c)], index[(r + 1, c)], bandwidth, latency)
+    return graph
+
+
+def fat_tree(n: int, bandwidth: float, latency: float = 1e-6,
+             radix: int = 4, uplink_factor: float = 2.0) -> nx.Graph:
+    """Two-level fat tree: leaf switches of *radix* GPUs, fattened uplinks
+    into a root switch (the PCIe hierarchical-tree arrangement)."""
+    graph = _empty(n)
+    names = gpu_names(n)
+    num_leaves = (n + radix - 1) // radix
+    graph.add_node("root")
+    for leaf in range(num_leaves):
+        leaf_name = f"leaf{leaf}"
+        graph.add_node(leaf_name)
+        _add_link(graph, leaf_name, "root", bandwidth * uplink_factor, latency)
+        for i in range(leaf * radix, min((leaf + 1) * radix, n)):
+            _add_link(graph, names[i], leaf_name, bandwidth, latency / 2)
+    return graph
+
+
+def dgx_hypercube(bandwidth: float, latency: float = 1e-6) -> nx.Graph:
+    """The DGX-2-style 8-GPU hypercube mesh with doubled-bandwidth links
+    closing a ring (paper §2.1)."""
+    graph = _empty(8)
+    names = gpu_names(8)
+    for i in range(8):
+        for bit in (1, 2, 4):
+            j = i ^ bit
+            if i < j:
+                _add_link(graph, names[i], names[j], bandwidth, latency)
+    # Double-bandwidth links strengthening the AllReduce ring 0-1-3-2-6-7-5-4.
+    ring_order = [0, 1, 3, 2, 6, 7, 5, 4]
+    for a, b in zip(ring_order, ring_order[1:] + ring_order[:1]):
+        u, v = names[a], names[b]
+        graph[u][v]["bandwidth"] = 2 * bandwidth
+    return graph
+
+
+def multi_node(num_nodes: int, gpus_per_node: int,
+               intra_bandwidth: float, inter_bandwidth: float,
+               intra_latency: float = 1e-6,
+               inter_latency: float = 5e-6) -> nx.Graph:
+    """A cluster of GPU nodes: an NVSwitch-style crossbar inside each node
+    and a ring of node switches between nodes (the slow fabric).
+
+    GPU ``i`` of node ``k`` is ``gpu{k * gpus_per_node + i}``; use
+    :func:`node_groups` to get the per-node name lists for hierarchical
+    collectives.
+    """
+    if num_nodes < 1 or gpus_per_node < 1:
+        raise ValueError("num_nodes and gpus_per_node must be >= 1")
+    n = num_nodes * gpus_per_node
+    graph = _empty(n)
+    names = gpu_names(n)
+    for node in range(num_nodes):
+        sw = f"nsw{node}"
+        graph.add_node(sw)
+        for i in range(gpus_per_node):
+            _add_link(graph, names[node * gpus_per_node + i], sw,
+                      intra_bandwidth, intra_latency / 2)
+    if num_nodes == 2:
+        _add_link(graph, "nsw0", "nsw1", inter_bandwidth, inter_latency)
+    elif num_nodes > 2:
+        for node in range(num_nodes):
+            _add_link(graph, f"nsw{node}", f"nsw{(node + 1) % num_nodes}",
+                      inter_bandwidth, inter_latency)
+    return graph
+
+
+def node_groups(num_nodes: int, gpus_per_node: int) -> List[List[str]]:
+    """Per-node GPU name lists matching :func:`multi_node`'s layout."""
+    names = gpu_names(num_nodes * gpus_per_node)
+    return [
+        names[node * gpus_per_node:(node + 1) * gpus_per_node]
+        for node in range(num_nodes)
+    ]
+
+
+def ring_with_chords(n: int, bandwidth: float, latency: float = 1e-6) -> nx.Graph:
+    """Hop's ring-based graph: a bidirectional ring plus a chord from each
+    node to its most distant node (paper Figure 16a, top)."""
+    graph = ring(n, bandwidth, latency)
+    names = gpu_names(n)
+    for i in range(n):
+        j = (i + n // 2) % n
+        if not graph.has_edge(names[i], names[j]):
+            _add_link(graph, names[i], names[j], bandwidth, latency)
+    return graph
+
+
+def double_ring(n: int, bandwidth: float, latency: float = 1e-6) -> nx.Graph:
+    """Hop's double-ring graph: two rings of ``n/2`` nodes interconnected
+    node-to-node (paper Figure 16a, bottom)."""
+    if n % 2:
+        raise ValueError("double_ring needs an even node count")
+    half = n // 2
+    graph = _empty(n)
+    names = gpu_names(n)
+    for ring_idx in (0, 1):
+        base = ring_idx * half
+        for i in range(half):
+            u = names[base + i]
+            v = names[base + (i + 1) % half]
+            if u != v and not graph.has_edge(u, v):
+                _add_link(graph, u, v, bandwidth, latency)
+    for i in range(half):
+        _add_link(graph, names[i], names[half + i], bandwidth, latency)
+    return graph
+
+
+_BUILDERS: Dict[str, Callable] = {
+    "ring": ring,
+    "switch": switch,
+    "fat_tree": fat_tree,
+    "dgx_hypercube": lambda n, bw, lat=1e-6: dgx_hypercube(bw, lat),
+    "ring_with_chords": ring_with_chords,
+    "double_ring": double_ring,
+}
+
+
+def build_topology(name: str, n: int, bandwidth: float,
+                   latency: float = 1e-6) -> nx.Graph:
+    """Build a named topology (``mesh2d`` takes rows/cols; use it directly)."""
+    if name not in _BUILDERS:
+        raise KeyError(f"unknown topology {name!r}; known: {sorted(_BUILDERS)}")
+    return _BUILDERS[name](n, bandwidth, latency)

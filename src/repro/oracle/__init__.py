@@ -1,0 +1,19 @@
+"""Hardware oracle: the reference "real hardware" emulator.
+
+The paper validates TrioSim against physical A40/A100/H100 testbeds.  This
+package substitutes for those testbeds (see DESIGN.md).  It is a *separate,
+strictly richer* model of multi-GPU execution than the lightweight
+simulator: it includes per-kernel launch overheads, CPU issue rates, GIL
+serialization for threaded DataParallel, NCCL protocol costs (per-message
+latency, message-size bandwidth efficiency, ring segmentation), imperfect
+communication/computation overlap, and deterministic measurement noise —
+all effects TrioSim deliberately abstracts away.  The gap between the
+oracle's "measured" times and TrioSim's predictions is therefore exactly
+what the paper's error metric measures: the cost of TrioSim's abstractions.
+"""
+
+from repro.oracle.gpu_model import GPUExecutionModel
+from repro.oracle.nccl import NCCLModel
+from repro.oracle.oracle import HardwareOracle
+
+__all__ = ["GPUExecutionModel", "HardwareOracle", "NCCLModel"]

@@ -1,0 +1,437 @@
+"""The hardware oracle: "real hardware" measurements for validation.
+
+:class:`HardwareOracle` emulates the paper's physical testbeds.  For every
+parallelism strategy it implements a *detailed* execution model — richer
+than TrioSim's — including:
+
+* per-kernel CPU issue cost (the host can bottleneck small kernels),
+* GIL serialization across threads for ``DataParallel`` (standard DP),
+* NCCL protocol costs (launch, per-step latency, message-size efficiency),
+* bandwidth interference when communication overlaps computation (DDP),
+* per-micro-batch CPU scheduling overhead in pipeline parallelism, and
+* deterministic per-run measurement noise.
+
+The public ``measure_*`` methods average several "runs" the way the paper
+averages batches 31-40 after warm-up.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.gpus.specs import Platform
+from repro.oracle.gpu_model import GPUExecutionModel
+from repro.oracle.nccl import NCCLModel
+from repro.workloads.graph import ModelGraph
+
+#: Host-side time to enqueue one CUDA kernel (seconds).  A few microseconds
+#: per launch is typical of PyTorch eager mode.
+CPU_TIME_PER_OP = 6.5e-6
+
+#: Additional host time per micro-batch per stage under
+#: ``torch.distributed.pipeline``-style scheduling (RPC + queue handling).
+CPU_TIME_PER_MICROBATCH = 2.2e-4
+
+#: Per-operator host cost inside a pipeline partition: the RPC-driven
+#: scheduler re-enters Python for every module call, so it is several
+#: times the plain eager-mode launch cost.  With small micro-batches this
+#: floor dominates layer-heavy models — the paper's Figure 10 anomaly
+#: where 4 chunks run *slower* than 2.
+CPU_TIME_PER_OP_PIPELINE = 1.8e-5
+
+#: DDP gradient bucket size (PyTorch default is 25 MiB).
+DDP_BUCKET_BYTES = 25 * 1024 * 1024
+
+#: Bandwidth derating applied to AllReduce while it overlaps backward
+#: computation (memory-system interference).
+OVERLAP_INTERFERENCE = 0.92
+
+#: Threaded DataParallel compute inflation per GPU: all replica threads
+#: contend on the Python GIL while launching kernels, stretching the whole
+#: compute phase (this is the main reason DDP is recommended over DP, and
+#: the main thing TrioSim's DP extrapolation does not model).
+GIL_COMPUTE_INFLATION_PER_GPU = 0.05
+
+#: Clock derate under sustained multi-GPU load (shared thermal/power
+#: envelope): multi-GPU kernels run slightly slower than the single-GPU
+#: profiling run the trace was collected from.
+MULTI_GPU_CLOCK_DERATE = 0.988
+
+
+@dataclass(frozen=True)
+class IterationMeasurement:
+    """One measured training-iteration time with a component breakdown."""
+
+    total: float
+    compute: float
+    communication: float
+    detail: Dict[str, float]
+
+
+def _optimizer_time(model: ModelGraph, gpu_model: GPUExecutionModel) -> float:
+    """SGD step: a memory-bound sweep over parameters and gradients."""
+    param_bytes = model.total_param_bytes
+    return gpu_model.base_time("elementwise", 2.0 * model.total_params, 3.0 * param_bytes)
+
+
+class HardwareOracle:
+    """Reference emulator of a multi-GPU platform.
+
+    Parameters
+    ----------
+    platform:
+        GPUs + interconnect being emulated.
+    noise_sigma:
+        Per-operator measurement noise; the paper-style run averaging
+        reduces it further.
+    seed:
+        Seed for all stochastic elements (deterministic across calls).
+    """
+
+    def __init__(self, platform: Platform, noise_sigma: float = 0.012, seed: int = 7):
+        self.platform = platform
+        self.gpu_model = GPUExecutionModel(platform.gpu, noise_sigma, seed)
+        self.nccl = NCCLModel(platform.link_bandwidth, platform.link_latency)
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _run_noise(self, tag: str, run: int) -> float:
+        """Whole-iteration measurement jitter (timer granularity, clocks)."""
+        if self.gpu_model.noise_sigma <= 0:
+            return 1.0
+        digest = hashlib.blake2b(
+            repr((self.seed, self.platform.name, tag, run)).encode(), digest_size=8
+        ).digest()
+        rng = np.random.default_rng(int.from_bytes(digest, "little"))
+        return float(np.exp(rng.normal(0.0, self.gpu_model.noise_sigma / 2)))
+
+    def _layer_times(self, model: ModelGraph, batch: int, direction: str,
+                     run: int, shard: int = 1,
+                     derate: float = MULTI_GPU_CLOCK_DERATE) -> List[float]:
+        gm = self.gpu_model
+        return [
+            gm.measured_layer_time(
+                layer, batch, direction,
+                shard=shard if (shard > 1 and layer.tensor_parallelizable) else 1,
+                run=run,
+            ) / derate
+            for layer in model
+        ]
+
+    def _compute_pass(self, model: ModelGraph, batch: int, run: int,
+                      derate: float = MULTI_GPU_CLOCK_DERATE) -> Tuple[float, float]:
+        """(forward, backward) GPU busy time for one replica, CPU-floored."""
+        fwd = sum(self._layer_times(model, batch, "fwd", run, derate=derate))
+        bwd = sum(self._layer_times(model, batch, "bwd", run, derate=derate))
+        cpu_floor = len(model.layers) * CPU_TIME_PER_OP
+        return max(fwd, cpu_floor), max(bwd, 2 * cpu_floor)
+
+    def _average(self, fn, runs: int) -> IterationMeasurement:
+        """Average *runs* measurements the way the paper averages batches."""
+        results = [fn(run) for run in range(runs)]
+        total = float(np.mean([r.total for r in results]))
+        compute = float(np.mean([r.compute for r in results]))
+        comm = float(np.mean([r.communication for r in results]))
+        detail: Dict[str, float] = {}
+        for key in results[0].detail:
+            detail[key] = float(np.mean([r.detail[key] for r in results]))
+        return IterationMeasurement(total, compute, comm, detail)
+
+    # ------------------------------------------------------------------
+    # Single GPU
+    # ------------------------------------------------------------------
+    def measure_single_gpu(self, model: ModelGraph, batch: int,
+                           runs: int = 10) -> IterationMeasurement:
+        """One training iteration on a single GPU (fwd + bwd + optimizer)."""
+
+        def one(run: int) -> IterationMeasurement:
+            fwd, bwd = self._compute_pass(model, batch, run, derate=1.0)
+            opt = _optimizer_time(model, self.gpu_model)
+            total = (fwd + bwd + opt) * self._run_noise("single", run)
+            return IterationMeasurement(total, total, 0.0, {"fwd": fwd, "bwd": bwd})
+
+        return self._average(one, runs)
+
+    # ------------------------------------------------------------------
+    # Standard (threaded) data parallelism — torch.nn.DataParallel
+    # ------------------------------------------------------------------
+    def measure_data_parallel(self, model: ModelGraph, per_gpu_batch: int,
+                              runs: int = 10) -> IterationMeasurement:
+        """Threaded DataParallel: replicate, scatter, compute under the GIL,
+        reduce gradients to GPU 0, step the optimizer there."""
+        n = self.platform.num_gpus
+
+        def one(run: int) -> IterationMeasurement:
+            param_bytes = model.total_param_bytes
+            replicate = self.nccl.broadcast_time(param_bytes, n)
+            scatter = self.nccl.p2p_time(
+                model.layers[0].input_bytes(per_gpu_batch)
+            ) * max(n - 1, 0)
+            fwd, bwd = self._compute_pass(model, per_gpu_batch, run)
+            # All n threads issue kernels through one Python GIL: launches
+            # serialize, stretching compute, with a hard floor when the
+            # host cannot keep every GPU fed at all.
+            gil_floor = n * len(model.layers) * CPU_TIME_PER_OP * 3
+            compute = max(
+                (fwd + bwd) * (1.0 + GIL_COMPUTE_INFLATION_PER_GPU * n),
+                gil_floor,
+            )
+            reduce = self.nccl.ring_reduce_time(param_bytes, n)
+            opt = _optimizer_time(model, self.gpu_model)
+            comm = replicate + scatter + reduce
+            total = (compute + comm + opt) * self._run_noise("dp", run)
+            return IterationMeasurement(
+                total, compute + opt, comm,
+                {"replicate": replicate, "scatter": scatter, "reduce": reduce},
+            )
+
+        return self._average(one, runs)
+
+    # ------------------------------------------------------------------
+    # DistributedDataParallel — bucketed AllReduce overlapping backward
+    # ------------------------------------------------------------------
+    def measure_ddp(self, model: ModelGraph, per_gpu_batch: int,
+                    runs: int = 10) -> IterationMeasurement:
+        """DDP: per-process replicas; gradient buckets AllReduce as soon as
+        they fill, overlapping the remaining backward computation."""
+        n = self.platform.num_gpus
+
+        def one(run: int) -> IterationMeasurement:
+            fwd, _ = self._compute_pass(model, per_gpu_batch, run)
+            bwd_times = self._layer_times(model, per_gpu_batch, "bwd", run)
+            # Backward visits layers in reverse; track when each gradient
+            # bucket becomes ready.
+            bucket_ready: List[Tuple[float, float]] = []  # (ready time, bytes)
+            acc_bytes = 0.0
+            t = 0.0
+            for layer, bt in zip(reversed(model.layers), reversed(bwd_times)):
+                t += bt
+                acc_bytes += layer.param_bytes
+                if acc_bytes >= DDP_BUCKET_BYTES:
+                    bucket_ready.append((t, acc_bytes))
+                    acc_bytes = 0.0
+            if acc_bytes > 0:
+                bucket_ready.append((t, acc_bytes))
+            bwd_end = t
+            # AllReduces run on a dedicated stream, serialized with each
+            # other; overlapped ones see derated bandwidth.
+            comm_end = 0.0
+            comm_busy = 0.0
+            for ready, nbytes in bucket_ready:
+                start = max(ready, comm_end)
+                dur = self.nccl.ring_all_reduce_time(nbytes, n)
+                if start < bwd_end:  # overlapping backward: interference
+                    dur /= OVERLAP_INTERFERENCE
+                comm_end = start + dur
+                comm_busy += dur
+            opt = _optimizer_time(model, self.gpu_model)
+            total = (fwd + max(bwd_end, comm_end) + opt) * self._run_noise("ddp", run)
+            exposed = max(comm_end - bwd_end, 0.0)
+            return IterationMeasurement(
+                total, fwd + bwd_end + opt, comm_busy,
+                {"exposed_comm": exposed, "buckets": float(len(bucket_ready))},
+            )
+
+        return self._average(one, runs)
+
+    # ------------------------------------------------------------------
+    # Tensor parallelism — per-layer sharding + gather
+    # ------------------------------------------------------------------
+    #: Megatron TP layer roles (mirrors the extrapolator's suffixes).
+    _MEGATRON_COLUMN = (
+        ".q_proj", ".k_proj", ".v_proj", ".up_proj", ".gate_proj",
+        ".scores", ".softmax", ".context", ".act", ".gate_mul",
+    )
+    _MEGATRON_ROW = (".out_proj", ".down_proj")
+
+    def measure_tensor_parallel(self, model: ModelGraph, batch: int,
+                                runs: int = 10,
+                                scheme: str = "layerwise") -> IterationMeasurement:
+        """TP ground truth.  ``layerwise`` is the BlackSamorez style the
+        paper validates (shard + gather every layer); ``megatron`` pairs
+        column/row-parallel projections with two AllReduces per block."""
+        if scheme not in ("layerwise", "megatron"):
+            raise ValueError(f"unknown TP scheme {scheme!r}")
+        n = self.platform.num_gpus
+
+        def one(run: int) -> IterationMeasurement:
+            compute = 0.0
+            comm = 0.0
+            for layer in model:
+                interior = (scheme == "megatron"
+                            and layer.name.endswith(self._MEGATRON_COLUMN))
+                shard = n if layer.tensor_parallelizable else 1
+                if layer.tensor_parallelizable:
+                    ft = self.gpu_model.measured_layer_time(layer, batch, "fwd", shard, run)
+                    bt = self.gpu_model.measured_layer_time(layer, batch, "bwd", shard, run)
+                elif interior:
+                    # Element-wise interior math splits across heads.
+                    sub_batch = max(batch // n, 1)
+                    ft = self.gpu_model.measured_layer_time(layer, sub_batch, "fwd", 1, run)
+                    bt = self.gpu_model.measured_layer_time(layer, sub_batch, "bwd", 1, run)
+                else:
+                    ft = self.gpu_model.measured_layer_time(layer, batch, "fwd", 1, run)
+                    bt = self.gpu_model.measured_layer_time(layer, batch, "bwd", 1, run)
+                compute += (ft + bt) / MULTI_GPU_CLOCK_DERATE
+                if scheme == "megatron":
+                    if layer.name.endswith(self._MEGATRON_ROW):
+                        out = layer.output_bytes(batch)
+                        comm += 2 * self.nccl.ring_all_reduce_time(out, n)
+                    elif shard > 1 and not (
+                        interior or layer.name.endswith(self._MEGATRON_COLUMN)
+                    ):
+                        comm += self.nccl.all_gather_time(layer.output_bytes(batch), n)
+                        comm += self.nccl.ring_all_reduce_time(layer.input_bytes(batch), n)
+                elif shard > 1:
+                    # Forward: all-gather the sharded output.
+                    comm += self.nccl.all_gather_time(layer.output_bytes(batch), n)
+                    # Backward: every shard holds a partial input gradient;
+                    # AllReduce them into the full grad-input.
+                    comm += self.nccl.ring_all_reduce_time(layer.input_bytes(batch), n)
+            cpu_floor = 2 * len(model.layers) * CPU_TIME_PER_OP
+            compute = max(compute, cpu_floor)
+            opt = _optimizer_time(model, self.gpu_model)
+            total = (compute + comm + opt) * self._run_noise("tp", run)
+            return IterationMeasurement(total, compute + opt, comm, {})
+
+        return self._average(one, runs)
+
+    # ------------------------------------------------------------------
+    # Fully-sharded data parallelism (ZeRO-3 / FSDP)
+    # ------------------------------------------------------------------
+    def measure_fsdp(self, model: ModelGraph, per_gpu_batch: int,
+                     runs: int = 10,
+                     unit_bytes: int = DDP_BUCKET_BYTES) -> IterationMeasurement:
+        """FSDP ground truth: per-unit parameter all-gathers (forward and
+        backward) plus gradient reduce-scatters, streaming alongside
+        compute; only the first gather and any excess communication are
+        exposed."""
+        n = self.platform.num_gpus
+
+        def one(run: int) -> IterationMeasurement:
+            fwd, bwd = self._compute_pass(model, per_gpu_batch, run)
+            units: List[float] = []
+            acc = 0.0
+            for layer in model:
+                acc += layer.param_bytes
+                if acc >= unit_bytes:
+                    units.append(acc)
+                    acc = 0.0
+            if acc > 0:
+                units.append(acc)
+            comm = sum(
+                2 * self.nccl.all_gather_time(u, n)
+                + self.nccl.ring_all_reduce_time(u, n) / 2  # reduce-scatter
+                for u in units
+            )
+            first_gather = self.nccl.all_gather_time(units[0], n) if units else 0.0
+            compute = fwd + bwd
+            streamed = max(compute, comm / OVERLAP_INTERFERENCE)
+            opt = _optimizer_time(model, self.gpu_model) / n
+            total = (first_gather + streamed + opt) * self._run_noise("fsdp", run)
+            return IterationMeasurement(
+                total, compute + opt, comm,
+                {"units": float(len(units)), "exposed": max(comm - compute, 0.0)},
+            )
+
+        return self._average(one, runs)
+
+    # ------------------------------------------------------------------
+    # Hybrid parallelism — data-parallel replicas of a pipeline
+    # ------------------------------------------------------------------
+    def measure_hybrid(self, model: ModelGraph, per_replica_batch: int,
+                       dp_degree: int, chunks: int = 1,
+                       runs: int = 10) -> IterationMeasurement:
+        """DP x PP: ``dp_degree`` replica pipelines over
+        ``num_gpus / dp_degree`` stages each, followed by per-stage
+        gradient AllReduce across replicas and a local optimizer step."""
+        if dp_degree < 1 or self.platform.num_gpus % dp_degree:
+            raise ValueError("num_gpus must be divisible by dp_degree")
+        pp_stages = self.platform.num_gpus // dp_degree
+
+        def one(run: int) -> IterationMeasurement:
+            pipe = self.measure_pipeline(
+                model, per_replica_batch, chunks, num_stages=pp_stages, runs=1
+            )
+            stages = model.split_stages(pp_stages)
+            slowest_sync = max(
+                self.nccl.ring_all_reduce_time(
+                    sum(l.param_bytes for l in stage), dp_degree
+                )
+                for stage in stages
+            )
+            opt = _optimizer_time(model, self.gpu_model) / pp_stages
+            total = (pipe.total + slowest_sync) * self._run_noise("hybrid", run)
+            return IterationMeasurement(
+                total, pipe.compute, pipe.communication + slowest_sync,
+                {"pipeline": pipe.total, "sync": slowest_sync},
+            )
+
+        return self._average(one, runs)
+
+    # ------------------------------------------------------------------
+    # Pipeline parallelism — GPipe schedule
+    # ------------------------------------------------------------------
+    def measure_pipeline(self, model: ModelGraph, batch: int, chunks: int,
+                         num_stages: Optional[int] = None,
+                         runs: int = 10) -> IterationMeasurement:
+        """GPipe: contiguous stages, ``chunks`` micro-batches, all-forward
+        then all-backward, activations forwarded between neighbours.
+
+        The host pays :data:`CPU_TIME_PER_MICROBATCH` per (stage,
+        micro-batch) — the effect behind the paper's Figure 10 anomaly
+        where 4 chunks can be *slower* than 2 on layer-heavy models.
+        """
+        n = num_stages or self.platform.num_gpus
+        if batch % chunks:
+            raise ValueError(f"batch {batch} not divisible into {chunks} chunks")
+        micro = batch // chunks
+        stages = model.split_stages(n)
+
+        def one(run: int) -> IterationMeasurement:
+            gm = self.gpu_model
+            stage_fwd: List[float] = []
+            stage_bwd: List[float] = []
+            xfer: List[float] = []
+            for s, stage_layers in enumerate(stages):
+                fwd = sum(
+                    gm.measured_layer_time(l, micro, "fwd", 1, run) for l in stage_layers
+                ) / MULTI_GPU_CLOCK_DERATE
+                bwd = sum(
+                    gm.measured_layer_time(l, micro, "bwd", 1, run) for l in stage_layers
+                ) / MULTI_GPU_CLOCK_DERATE
+                cpu = len(stage_layers) * CPU_TIME_PER_OP_PIPELINE + CPU_TIME_PER_MICROBATCH
+                stage_fwd.append(max(fwd, cpu) + CPU_TIME_PER_MICROBATCH)
+                stage_bwd.append(max(bwd, 2 * cpu) + CPU_TIME_PER_MICROBATCH)
+                if s < n - 1:
+                    boundary = stage_layers[-1]
+                    xfer.append(self.nccl.p2p_time(boundary.output_bytes(micro)))
+            # Forward wave-front recurrence.
+            fwd_done = np.zeros((n, chunks))
+            for m in range(chunks):
+                for s in range(n):
+                    prev_same = fwd_done[s, m - 1] if m > 0 else 0.0
+                    prev_stage = fwd_done[s - 1, m] + xfer[s - 1] if s > 0 else 0.0
+                    fwd_done[s, m] = max(prev_same, prev_stage) + stage_fwd[s]
+            # Backward wave-front (reverse order of stages and micro-batches).
+            bwd_done = np.zeros((n, chunks))
+            for m in range(chunks - 1, -1, -1):
+                for s in range(n - 1, -1, -1):
+                    prev_same = bwd_done[s, m + 1] if m < chunks - 1 else fwd_done[s, chunks - 1]
+                    prev_stage = (
+                        bwd_done[s + 1, m] + xfer[s] if s < n - 1 else fwd_done[n - 1, chunks - 1]
+                    )
+                    bwd_done[s, m] = max(prev_same, prev_stage) + stage_bwd[s]
+            end = float(bwd_done[0, 0].max() if chunks == 1 else bwd_done[:, 0].max())
+            opt = _optimizer_time(model, gm) / n
+            total = (end + opt) * self._run_noise("pp", run)
+            comm = float(sum(xfer)) * chunks * 2
+            return IterationMeasurement(total, total - comm, comm, {"micro": float(micro)})
+
+        return self._average(one, runs)

@@ -1,0 +1,24 @@
+"""Operator performance models.
+
+:class:`~repro.perfmodel.li_model.LiModel` implements the paper's
+linear-regression operator model (Li's Model, MICRO'23): per operator
+class, execution time is regressed on FLOPs and bytes-moved features.
+TrioSim uses it whenever the simulated operator differs from the traced
+one — different batch size (data/pipeline parallelism), sharded tensors
+(tensor parallelism), or a different GPU (cross-GPU prediction).
+"""
+
+from repro.perfmodel.base import AnchoredScalingMixin, OperatorPerformanceModel
+from repro.perfmodel.features import op_features
+from repro.perfmodel.piecewise import PiecewiseThroughputModel
+from repro.perfmodel.li_model import LiModel
+from repro.perfmodel.scaling import CrossGPUScaler
+
+__all__ = [
+    "AnchoredScalingMixin",
+    "CrossGPUScaler",
+    "LiModel",
+    "OperatorPerformanceModel",
+    "PiecewiseThroughputModel",
+    "op_features",
+]

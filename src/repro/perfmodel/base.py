@@ -1,0 +1,52 @@
+"""The operator-performance-model contract.
+
+The paper (§8.2) notes that TrioSim "allows the integration of
+alternative compute models, such as NeuSight" for workloads where the
+linear model's high-utilization assumption fails.  Anything implementing
+:class:`OperatorPerformanceModel` can be plugged into
+:class:`~repro.extrapolator.optime.OpTimeModel` (and selected via
+``SimulationConfig.perf_model``).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.trace.records import OperatorRecord
+from repro.trace.trace import Trace
+
+_EPS = 1e-12
+
+
+@runtime_checkable
+class OperatorPerformanceModel(Protocol):
+    """Predicts operator execution times from (class, FLOPs, bytes)."""
+
+    def predict(self, kind: str, flops: float, nbytes: float) -> float:
+        """Predicted execution time of one operator."""
+
+    def predict_scaled(self, trace: Trace, op: OperatorRecord,
+                       flops_scale: float, bytes_scale: float) -> float:
+        """Traced time rescaled to new work/traffic (hybrid mode)."""
+
+
+class AnchoredScalingMixin:
+    """Shared hybrid-mode implementation: anchor to the traced time.
+
+    Subclasses provide :meth:`predict`; this mixin derives
+    :meth:`predict_scaled` as ``trace_time x predicted ratio``, preserving
+    the paper's rule that unchanged parameters replay trace times
+    verbatim.
+    """
+
+    def predict_scaled(self, trace: Trace, op: OperatorRecord,
+                       flops_scale: float, bytes_scale: float) -> float:
+        if flops_scale == 1.0 and bytes_scale == 1.0:
+            return op.duration
+        nbytes = trace.op_bytes(op)
+        base = self.predict(op.kind, op.flops, nbytes)
+        scaled = self.predict(op.kind, op.flops * flops_scale,
+                              nbytes * bytes_scale)
+        if base <= _EPS:
+            return scaled
+        return op.duration * scaled / base

@@ -1,0 +1,148 @@
+"""Li's Model: per-operator-class linear regression on (FLOPs, bytes).
+
+The model fits, for every operator class present in a trace, a
+non-negative linear law ``time = a*flops + b*bytes + c``.  Relative
+weighting makes the fit minimize *relative* error, so small operators are
+not drowned out by large ones.
+
+TrioSim uses the model in hybrid form (paper §4.4): when an operator's
+parameters change (batch size, shard), the new time is the *traced* time
+scaled by the model's predicted ratio — anchoring to the measurement keeps
+the prediction exact when nothing changes and smooth as parameters move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.perfmodel.features import NUM_FEATURES, features, op_features
+from repro.trace.records import OperatorRecord
+from repro.trace.trace import Trace
+
+_EPS = 1e-12
+
+
+def _nnls(X: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Non-negative least squares (scipy when available, else projected
+    gradient fallback so the library has no hard scipy dependency)."""
+    try:
+        from scipy.optimize import nnls
+
+        coef, _ = nnls(X, y)
+        return coef
+    except ImportError:  # pragma: no cover - exercised only without scipy
+        coef = np.zeros(X.shape[1])
+        step = 1.0 / (np.linalg.norm(X, ord=2) ** 2 + _EPS)
+        for _ in range(2000):
+            grad = X.T @ (X @ coef - y)
+            coef = np.maximum(coef - step * grad, 0.0)
+        return coef
+
+
+@dataclass
+class _ClassModel:
+    """Fitted coefficients for one operator class."""
+
+    coef: np.ndarray
+    samples: int
+
+    def predict(self, feats: np.ndarray) -> float:
+        return float(self.coef @ feats)
+
+
+class LiModel:
+    """Regression-based operator execution-time model.
+
+    Usage::
+
+        model = LiModel.fit(trace)
+        t = model.predict("conv", flops=2e9, nbytes=4e6)
+        t2 = model.predict_scaled(trace, op, flops_scale=2.0, bytes_scale=2.0)
+    """
+
+    #: Minimum samples required to fit a full 3-coefficient law; smaller
+    #: classes fall back to a pure-throughput model.
+    MIN_SAMPLES = 4
+
+    def __init__(self):
+        self._classes: Dict[str, _ClassModel] = {}
+        self._global: Optional[_ClassModel] = None
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    @classmethod
+    def fit(cls, trace: Trace) -> "LiModel":
+        """Fit per-class regressions on all operators of *trace*."""
+        model = cls()
+        by_kind: Dict[str, list] = {}
+        rows_all = []
+        y_all = []
+        for op in trace.operators:
+            feats = op_features(trace, op)
+            by_kind.setdefault(op.kind, []).append((feats, op.duration))
+            rows_all.append(feats)
+            y_all.append(op.duration)
+        for kind, samples in by_kind.items():
+            model._classes[kind] = cls._fit_class(samples)
+        model._global = cls._fit_class(list(zip(rows_all, y_all)))
+        return model
+
+    @staticmethod
+    def _fit_class(samples) -> _ClassModel:
+        X = np.array([feats for feats, _dur in samples])
+        y = np.array([dur for _feats, dur in samples])
+        if len(samples) >= LiModel.MIN_SAMPLES and np.linalg.matrix_rank(X) >= 2:
+            # Relative weighting: minimize sum((pred - y)^2 / y^2).
+            w = 1.0 / np.maximum(y, _EPS)
+            coef = _nnls(X * w[:, None], y * w)
+            if coef @ X.mean(axis=0) > _EPS:
+                return _ClassModel(coef, len(samples))
+        # Throughput fallback: time proportional to the dominant feature.
+        total_flops = float(X[:, 0].sum())
+        total_bytes = float(X[:, 1].sum())
+        total_time = float(y.sum())
+        coef = np.zeros(NUM_FEATURES)
+        if total_flops > 0:
+            coef[0] = total_time / total_flops
+        elif total_bytes > 0:
+            coef[1] = total_time / total_bytes
+        else:
+            coef[2] = total_time / max(len(samples), 1)
+        return _ClassModel(coef, len(samples))
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    @property
+    def known_kinds(self):
+        return sorted(self._classes)
+
+    def predict(self, kind: str, flops: float, nbytes: float) -> float:
+        """Predicted execution time of an operator of class *kind*."""
+        feats = features(flops, nbytes)
+        cls_model = self._classes.get(kind, self._global)
+        if cls_model is None:
+            raise RuntimeError("model is not fitted")
+        return max(cls_model.predict(feats), 0.0)
+
+    def predict_scaled(self, trace: Trace, op: OperatorRecord,
+                       flops_scale: float, bytes_scale: float) -> float:
+        """Hybrid prediction: traced time scaled by the model's ratio.
+
+        Returns ``op.duration`` untouched when both scales are 1 — the
+        paper's rule that trace-provided times are used verbatim whenever
+        simulation parameters match the trace.
+        """
+        if flops_scale == 1.0 and bytes_scale == 1.0:
+            return op.duration
+        nbytes = trace.op_bytes(op)
+        base = self.predict(op.kind, op.flops, nbytes)
+        scaled = self.predict(op.kind, op.flops * flops_scale, nbytes * bytes_scale)
+        if base <= _EPS:
+            # Degenerate fit; fall back to direct prediction.
+            return scaled
+        return op.duration * scaled / base

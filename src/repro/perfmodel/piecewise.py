@@ -1,0 +1,111 @@
+"""Piecewise-throughput operator model (the NeuSight-style alternative).
+
+Where Li's Model fits one linear law per operator class, this model
+learns a *throughput curve*: operators are bucketed by size, each bucket
+gets its own effective throughput, and predictions interpolate between
+buckets in log-size space.  Because throughput is allowed to fall at
+small sizes, the model captures the under-utilization regime the linear
+law cannot — the paper's stated reason for supporting alternative compute
+models (§8.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.oracle.gpu_model import MATMUL_KINDS
+from repro.perfmodel.base import AnchoredScalingMixin
+from repro.trace.trace import Trace
+
+_EPS = 1e-12
+
+
+@dataclass
+class _Curve:
+    """Monotone-interpolated throughput over log operator size."""
+
+    log_sizes: np.ndarray       # bucket centers, log space
+    throughputs: np.ndarray     # feature units per second
+
+    def throughput(self, size: float) -> float:
+        if size <= 0:
+            return float(self.throughputs[0])
+        return float(np.interp(
+            np.log(size), self.log_sizes, self.throughputs,
+            left=self.throughputs[0], right=self.throughputs[-1],
+        ))
+
+
+class PiecewiseThroughputModel(AnchoredScalingMixin):
+    """Per-class piecewise throughput curves fitted from a trace.
+
+    The size feature is FLOPs for matmul-class operators and bytes for
+    everything else (memory-bound classes), matching how each class
+    actually saturates a GPU.
+    """
+
+    #: Number of quantile buckets per class (fewer when data is scarce).
+    BUCKETS = 6
+
+    def __init__(self):
+        self._curves: Dict[str, _Curve] = {}
+        self._global: _Curve = None
+
+    @staticmethod
+    def _feature(kind: str, flops: float, nbytes: float) -> float:
+        return flops if kind in MATMUL_KINDS else nbytes
+
+    @classmethod
+    def fit(cls, trace: Trace) -> "PiecewiseThroughputModel":
+        model = cls()
+        samples: Dict[str, List[Tuple[float, float]]] = {}
+        everything: List[Tuple[float, float]] = []
+        for op in trace.operators:
+            feature = cls._feature(op.kind, op.flops, trace.op_bytes(op))
+            if feature <= 0 or op.duration <= 0:
+                continue
+            samples.setdefault(op.kind, []).append((feature, op.duration))
+            everything.append((feature, op.duration))
+        if not everything:
+            raise ValueError("trace has no usable operators")
+        for kind, pairs in samples.items():
+            model._curves[kind] = cls._fit_curve(pairs)
+        model._global = cls._fit_curve(everything)
+        return model
+
+    @classmethod
+    def _fit_curve(cls, pairs: List[Tuple[float, float]]) -> _Curve:
+        pairs = sorted(pairs)
+        features = np.array([f for f, _t in pairs])
+        times = np.array([t for _f, t in pairs])
+        buckets = min(cls.BUCKETS, len(pairs))
+        edges = np.array_split(np.arange(len(pairs)), buckets)
+        log_sizes = []
+        throughputs = []
+        for idx in edges:
+            if len(idx) == 0:
+                continue
+            total_feature = features[idx].sum()
+            total_time = times[idx].sum()
+            log_sizes.append(np.log(max(features[idx].mean(), _EPS)))
+            throughputs.append(total_feature / max(total_time, _EPS))
+        return _Curve(np.array(log_sizes), np.array(throughputs))
+
+    # ------------------------------------------------------------------
+    # OperatorPerformanceModel API
+    # ------------------------------------------------------------------
+    @property
+    def known_kinds(self) -> List[str]:
+        return sorted(self._curves)
+
+    def predict(self, kind: str, flops: float, nbytes: float) -> float:
+        if self._global is None:
+            raise RuntimeError("model is not fitted")
+        feature = self._feature(kind, flops, nbytes)
+        curve = self._curves.get(kind, self._global)
+        if feature <= 0:
+            return 0.0
+        return feature / max(curve.throughput(feature), _EPS)

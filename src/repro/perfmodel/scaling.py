@@ -1,0 +1,80 @@
+"""Cross-GPU prediction: transfer a trace to a different GPU.
+
+Li's Model supports "new GPUs" by rescaling operator times with the
+throughput ratios of the source and target devices.  Each operator is
+classified as compute- or memory-bound on the *source* GPU (by comparing
+its roofline terms) and its time is scaled by the corresponding peak
+ratio.  The result is a synthetic trace "as if collected" on the target
+GPU, which the rest of TrioSim consumes unchanged — this is the paper's
+Figure 11 Case 1 (A40/A100 traces predicting an H100 system).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpus.specs import GPUSpec, get_gpu
+from repro.oracle.gpu_model import MATMUL_KINDS
+from repro.trace.records import OperatorRecord
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class CrossGPUScaler:
+    """Rescales traced operator times from ``source`` to ``target``."""
+
+    source: GPUSpec
+    target: GPUSpec
+
+    @classmethod
+    def between(cls, source_name: str, target_name: str) -> "CrossGPUScaler":
+        return cls(get_gpu(source_name), get_gpu(target_name))
+
+    #: Typical achieved fraction of peak memory bandwidth, used only to
+    #: classify operators as compute- or memory-bound.
+    _MEM_EFFICIENCY = 0.8
+
+    def _peaks(self, kind: str, spec: GPUSpec) -> float:
+        if kind in MATMUL_KINDS:
+            return spec.matmul_flops * spec.max_efficiency
+        return spec.vector_flops
+
+    def op_scale(self, trace: Trace, op: OperatorRecord) -> float:
+        """Multiplier applied to *op*'s duration on the target GPU.
+
+        The operator is classified compute- or memory-bound on the
+        *source* GPU using achievable (efficiency-derated) throughputs,
+        then scaled by the corresponding source/target ratio.
+        """
+        nbytes = trace.op_bytes(op)
+        src_peak = self._peaks(op.kind, self.source)
+        math_time = op.flops / src_peak if src_peak > 0 else 0.0
+        mem_time = nbytes / (self.source.mem_bandwidth * self._MEM_EFFICIENCY)
+        if math_time >= mem_time:
+            return src_peak / self._peaks(op.kind, self.target)
+        return self.source.mem_bandwidth / self.target.mem_bandwidth
+
+    def convert_trace(self, trace: Trace) -> Trace:
+        """A copy of *trace* with durations rescaled to the target GPU."""
+        converted = Trace(
+            model_name=trace.model_name,
+            gpu_name=self.target.name,
+            batch_size=trace.batch_size,
+            seq_len=trace.seq_len,
+        )
+        converted.tensors = dict(trace.tensors)
+        for op in trace.operators:
+            scale = self.op_scale(trace, op)
+            converted.operators.append(
+                OperatorRecord(
+                    name=op.name,
+                    kind=op.kind,
+                    layer=op.layer,
+                    phase=op.phase,
+                    duration=op.duration * scale,
+                    flops=op.flops,
+                    inputs=op.inputs,
+                    outputs=op.outputs,
+                )
+            )
+        return converted

@@ -1,0 +1,27 @@
+"""Operator-level traces: format, (de)serialization, and the tracer.
+
+The trace format follows the paper (§4.2): an operator table (name,
+measured execution time, input/output tensor IDs) plus a tensor table
+(dimensions, dtype, category) — the blend of the PyTorch Profiler and the
+Execution Graph Observer outputs.  The :class:`~repro.trace.tracer.Tracer`
+produces such traces by executing a workload graph on the hardware oracle's
+single-GPU model (our substitute for profiling on a physical GPU).
+"""
+
+from repro.trace.records import OperatorRecord, TensorRecord
+from repro.trace.trace import Trace
+from repro.trace.tracer import Tracer
+from repro.trace.execution_graph import ExecutionGraph
+from repro.trace.tools import TraceDiff, diff, filter_phase, summarize
+
+__all__ = [
+    "ExecutionGraph",
+    "OperatorRecord",
+    "TensorRecord",
+    "Trace",
+    "TraceDiff",
+    "Tracer",
+    "diff",
+    "filter_phase",
+    "summarize",
+]

@@ -1,0 +1,75 @@
+"""Execution-graph view of a trace (the Execution Graph Observer analog).
+
+Builds the producer/consumer dependency structure between operators from
+their tensor IDs: operator B depends on operator A when B reads a tensor A
+wrote.  The trace extrapolator uses this to know what data an operator
+needs (and therefore what must move between GPUs), and tools can use it to
+validate that a trace is a well-formed single iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.trace.trace import Trace
+
+
+class ExecutionGraph:
+    """Dependency graph over a trace's operators."""
+
+    def __init__(self, trace: Trace):
+        self.trace = trace
+        self._producers: Dict[int, int] = {}
+        self._deps: List[Set[int]] = []
+        self._dependents: List[Set[int]] = []
+        self._build()
+
+    def _build(self) -> None:
+        ops = self.trace.operators
+        self._deps = [set() for _ in ops]
+        self._dependents = [set() for _ in ops]
+        for idx, op in enumerate(ops):
+            for tid in op.inputs:
+                producer = self._producers.get(tid)
+                if producer is not None and producer != idx:
+                    self._deps[idx].add(producer)
+                    self._dependents[producer].add(idx)
+            for tid in op.outputs:
+                self._producers[tid] = idx
+
+    def dependencies(self, op_index: int) -> Set[int]:
+        """Indices of operators *op_index* reads from."""
+        return set(self._deps[op_index])
+
+    def dependents(self, op_index: int) -> Set[int]:
+        """Indices of operators that read *op_index*'s outputs."""
+        return set(self._dependents[op_index])
+
+    def producer_of(self, tensor_id: int) -> int:
+        """Index of the last operator writing *tensor_id*.
+
+        Raises ``KeyError`` for graph inputs (never written by an op).
+        """
+        return self._producers[tensor_id]
+
+    def consumers_of(self, tensor_id: int) -> List[int]:
+        return [
+            idx
+            for idx, op in enumerate(self.trace.operators)
+            if tensor_id in op.inputs
+        ]
+
+    def is_topologically_ordered(self) -> bool:
+        """Whether trace order respects all data dependencies (it must,
+        since a trace records a real execution)."""
+        return all(dep < idx for idx, deps in enumerate(self._deps) for dep in deps)
+
+    def critical_path_time(self) -> float:
+        """Length of the dependency-weighted critical path — the fastest
+        possible execution with unlimited parallelism."""
+        ops = self.trace.operators
+        finish = [0.0] * len(ops)
+        for idx, op in enumerate(ops):
+            start = max((finish[d] for d in self._deps[idx]), default=0.0)
+            finish[idx] = start + op.duration
+        return max(finish, default=0.0)

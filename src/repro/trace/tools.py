@@ -1,0 +1,124 @@
+"""Trace inspection and comparison utilities.
+
+Small tools for working with trace files: a human-readable summary
+(operator/phase/kind breakdowns, heaviest operators), a structural diff
+between two traces of the same model (where did the time go after a
+change?), and phase filtering.  Exposed on the CLI as
+``python -m repro inspect``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.trace.records import OperatorRecord
+from repro.trace.trace import Trace
+
+
+def summarize(trace: Trace, top: int = 10) -> str:
+    """A multi-line human-readable digest of a trace."""
+    lines = [
+        f"{trace.model_name} on {trace.gpu_name}, batch {trace.batch_size}"
+        + (f", seq {trace.seq_len}" if trace.seq_len else ""),
+        f"  {len(trace.operators)} operators, {len(trace.tensors)} tensors, "
+        f"{trace.total_duration * 1e3:.2f} ms GPU time",
+        f"  gradients: {trace.gradient_bytes / 1e6:.1f} MB "
+        f"(what data parallelism AllReduces)",
+    ]
+    lines.append("  by phase:")
+    for phase in ("forward", "backward", "optimizer"):
+        ops = trace.ops_in_phase(phase)
+        if not ops:
+            continue
+        duration = sum(op.duration for op in ops)
+        lines.append(
+            f"    {phase:<9} {len(ops):>5} ops  {duration * 1e3:9.2f} ms "
+            f"({duration / trace.total_duration * 100:5.1f}%)"
+        )
+    by_kind: Dict[str, List[OperatorRecord]] = defaultdict(list)
+    for op in trace.operators:
+        by_kind[op.kind].append(op)
+    lines.append("  by operator class:")
+    for kind, ops in sorted(by_kind.items(),
+                            key=lambda kv: -sum(o.duration for o in kv[1])):
+        duration = sum(op.duration for op in ops)
+        lines.append(
+            f"    {kind:<12} {len(ops):>5} ops  {duration * 1e3:9.2f} ms "
+            f"({duration / trace.total_duration * 100:5.1f}%)"
+        )
+    lines.append(f"  heaviest {top} operators:")
+    for op in sorted(trace.operators, key=lambda o: -o.duration)[:top]:
+        lines.append(
+            f"    {op.name:<40} {op.duration * 1e3:8.3f} ms  "
+            f"{op.flops / 1e9:8.2f} GFLOP"
+        )
+    return "\n".join(lines)
+
+
+def filter_phase(trace: Trace, phase: str) -> Trace:
+    """A new trace containing only one phase's operators (tensors kept)."""
+    filtered = Trace(
+        model_name=trace.model_name,
+        gpu_name=trace.gpu_name,
+        batch_size=trace.batch_size,
+        seq_len=trace.seq_len,
+    )
+    filtered.tensors = dict(trace.tensors)
+    filtered.operators = list(trace.ops_in_phase(phase))
+    return filtered
+
+
+@dataclass
+class TraceDiff:
+    """Structural comparison of two traces (usually same model, different
+    GPU/batch/seed)."""
+
+    total_a: float
+    total_b: float
+    only_in_a: List[str] = field(default_factory=list)
+    only_in_b: List[str] = field(default_factory=list)
+    changed: List[Tuple[str, float, float]] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        """total_a / total_b — how much faster trace B is overall."""
+        return self.total_a / self.total_b if self.total_b else float("inf")
+
+    def table(self, top: int = 10) -> str:
+        lines = [
+            f"total: {self.total_a * 1e3:.2f} ms -> {self.total_b * 1e3:.2f} ms "
+            f"({self.speedup:.2f}x)"
+        ]
+        if self.only_in_a:
+            lines.append(f"only in A: {len(self.only_in_a)} ops")
+        if self.only_in_b:
+            lines.append(f"only in B: {len(self.only_in_b)} ops")
+        movers = sorted(self.changed, key=lambda c: -abs(c[2] - c[1]))[:top]
+        if movers:
+            lines.append("biggest movers:")
+            for name, ta, tb in movers:
+                lines.append(
+                    f"  {name:<40} {ta * 1e3:8.3f} -> {tb * 1e3:8.3f} ms "
+                    f"({(tb - ta) * 1e3:+8.3f})"
+                )
+        return "\n".join(lines)
+
+
+def diff(trace_a: Trace, trace_b: Trace,
+         min_change: float = 0.0) -> TraceDiff:
+    """Compare per-operator durations between two traces by op name."""
+    a_ops = {op.name: op.duration for op in trace_a.operators}
+    b_ops = {op.name: op.duration for op in trace_b.operators}
+    result = TraceDiff(
+        total_a=trace_a.total_duration,
+        total_b=trace_b.total_duration,
+        only_in_a=sorted(set(a_ops) - set(b_ops)),
+        only_in_b=sorted(set(b_ops) - set(a_ops)),
+    )
+    for name in sorted(set(a_ops) & set(b_ops)):
+        ta, tb = a_ops[name], b_ops[name]
+        if abs(tb - ta) >= min_change:
+            result.changed.append((name, ta, tb))
+    return result

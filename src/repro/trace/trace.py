@@ -1,0 +1,200 @@
+"""The trace container: the primary input to TrioSim.
+
+A :class:`Trace` holds the two tables of the paper's format and the
+metadata needed to interpret them (model, GPU, batch size).  Traces
+round-trip through JSON so users can persist and share them exactly like
+the original tool's profiler dumps.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.trace.records import OperatorRecord, TensorRecord
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class Trace:
+    """An operator-level single-GPU execution trace.
+
+    Attributes
+    ----------
+    model_name:
+        Workload the trace was collected from (zoo name).
+    gpu_name:
+        GPU the trace was collected on (``"A40"``, ``"A100"``, ...).
+    batch_size:
+        Batch size during collection; the performance model scales
+        operator times when the simulated batch differs.
+    seq_len:
+        Sequence length for transformer traces (informational).
+    operators:
+        Operator table, in execution order.
+    tensors:
+        Tensor table keyed by tensor ID.
+    """
+
+    model_name: str
+    gpu_name: str
+    batch_size: int
+    seq_len: Optional[int] = None
+    operators: List[OperatorRecord] = field(default_factory=list)
+    tensors: Dict[int, TensorRecord] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_tensor(self, record: TensorRecord) -> TensorRecord:
+        if record.tensor_id in self.tensors:
+            raise ValueError(f"duplicate tensor id {record.tensor_id}")
+        self.tensors[record.tensor_id] = record
+        return record
+
+    def add_operator(self, record: OperatorRecord) -> OperatorRecord:
+        for tid in (*record.inputs, *record.outputs):
+            if tid not in self.tensors:
+                raise ValueError(
+                    f"operator {record.name} references unknown tensor {tid}"
+                )
+        self.operators.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def ops_in_phase(self, phase: str) -> List[OperatorRecord]:
+        return [op for op in self.operators if op.phase == phase]
+
+    @property
+    def forward_ops(self) -> List[OperatorRecord]:
+        return self.ops_in_phase("forward")
+
+    @property
+    def backward_ops(self) -> List[OperatorRecord]:
+        return self.ops_in_phase("backward")
+
+    @property
+    def optimizer_ops(self) -> List[OperatorRecord]:
+        return self.ops_in_phase("optimizer")
+
+    @property
+    def total_duration(self) -> float:
+        """Sum of all operator durations (GPU busy time)."""
+        return sum(op.duration for op in self.operators)
+
+    def phase_duration(self, phase: str) -> float:
+        return sum(op.duration for op in self.ops_in_phase(phase))
+
+    def op_bytes(self, op: OperatorRecord) -> int:
+        """Bytes touched by an operator (inputs + outputs), from the
+        tensor table — the regression model's memory feature."""
+        return sum(self.tensors[t].nbytes for t in (*op.inputs, *op.outputs))
+
+    def op_bytes_detail(self, op: OperatorRecord) -> Tuple[int, int, int]:
+        """Bytes of an operator split as (input activations, output
+        activations, parameters).  Parameter bytes cover ``weight`` and
+        ``gradient`` tensors; they do not scale with batch size, which is
+        why the performance model needs this split."""
+        param = 0
+        in_act = 0
+        out_act = 0
+        for tid in op.inputs:
+            t = self.tensors[tid]
+            if t.category in ("weight", "gradient"):
+                param += t.nbytes
+            else:
+                in_act += t.nbytes
+        for tid in op.outputs:
+            t = self.tensors[tid]
+            if t.category in ("weight", "gradient"):
+                param += t.nbytes
+            else:
+                out_act += t.nbytes
+        return in_act, out_act, param
+
+    def weight_tensors(self) -> List[TensorRecord]:
+        return [t for t in self.tensors.values() if t.category == "weight"]
+
+    def gradient_tensors(self) -> List[TensorRecord]:
+        return [t for t in self.tensors.values() if t.category == "gradient"]
+
+    @property
+    def gradient_bytes(self) -> int:
+        """Total gradient payload — what data parallelism AllReduces."""
+        return sum(t.nbytes for t in self.gradient_tensors())
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "format_version": _FORMAT_VERSION,
+            "model_name": self.model_name,
+            "gpu_name": self.gpu_name,
+            "batch_size": self.batch_size,
+            "seq_len": self.seq_len,
+            "tensors": [
+                {
+                    "id": t.tensor_id,
+                    "dims": list(t.dims),
+                    "dtype": t.dtype,
+                    "category": t.category,
+                }
+                for t in self.tensors.values()
+            ],
+            "operators": [
+                {
+                    "name": op.name,
+                    "kind": op.kind,
+                    "layer": op.layer,
+                    "phase": op.phase,
+                    "duration": op.duration,
+                    "flops": op.flops,
+                    "inputs": list(op.inputs),
+                    "outputs": list(op.outputs),
+                }
+                for op in self.operators
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Trace":
+        version = data.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported trace format version {version}")
+        trace = cls(
+            model_name=data["model_name"],
+            gpu_name=data["gpu_name"],
+            batch_size=data["batch_size"],
+            seq_len=data.get("seq_len"),
+        )
+        for t in data["tensors"]:
+            trace.add_tensor(
+                TensorRecord(t["id"], tuple(t["dims"]), t["dtype"], t["category"])
+            )
+        for op in data["operators"]:
+            trace.add_operator(
+                OperatorRecord(
+                    name=op["name"],
+                    kind=op["kind"],
+                    layer=op["layer"],
+                    phase=op["phase"],
+                    duration=op["duration"],
+                    flops=op["flops"],
+                    inputs=tuple(op["inputs"]),
+                    outputs=tuple(op["outputs"]),
+                )
+            )
+        return trace
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Trace":
+        return cls.from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,23 @@
+"""DNN workload definitions.
+
+Each workload is a :class:`~repro.workloads.graph.ModelGraph`: an ordered
+chain of :class:`~repro.workloads.graph.Layer` records carrying the shape
+math (FLOPs, parameter counts, activation sizes) needed by the tracer, the
+performance model, and the parallelism extrapolators.
+
+The zoo matches the paper's evaluation set: ResNet-18/34/50/101/152,
+DenseNet-121/161/169/201, VGG-11/13/16/19 (image classification), and
+GPT-2, BERT-Base, T5-Small, FLAN-T5-Small, Llama-3.2-1B (transformers).
+"""
+
+from repro.workloads.graph import Layer, ModelGraph
+from repro.workloads.registry import MODEL_NAMES, CNN_NAMES, TRANSFORMER_NAMES, get_model
+
+__all__ = [
+    "CNN_NAMES",
+    "Layer",
+    "MODEL_NAMES",
+    "ModelGraph",
+    "TRANSFORMER_NAMES",
+    "get_model",
+]

@@ -1,0 +1,84 @@
+"""DenseNet model graphs (Huang et al., 2017) matching torchvision.
+
+Each dense layer is BN - ReLU - 1x1 conv (4k channels) - BN - ReLU - 3x3
+conv (k channels), concatenated onto the running feature map.  Transition
+layers (BN - 1x1 conv halving channels - 2x2 avgpool) sit between blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.workloads import ops
+from repro.workloads.graph import ModelGraph
+
+#: variant -> (growth rate k, block config, initial features)
+_CONFIGS = {
+    "densenet121": (32, (6, 12, 24, 16), 64),
+    "densenet161": (48, (6, 12, 36, 24), 96),
+    "densenet169": (32, (6, 12, 32, 32), 64),
+    "densenet201": (32, (6, 12, 48, 32), 64),
+}
+_BOTTLENECK_WIDTH = 4
+_NUM_CLASSES = 1000
+
+
+def _dense_layer(graph: ModelGraph, prefix: str, in_ch: int, growth: int,
+                 hw: Tuple[int, int]) -> int:
+    """Append one dense layer; returns the new channel count after concat."""
+    elems_in = in_ch * hw[0] * hw[1]
+    graph.add(ops.batchnorm2d(f"{prefix}.norm1", in_ch, hw))
+    graph.add(ops.activation(f"{prefix}.relu1", elems_in))
+    bottleneck_ch = _BOTTLENECK_WIDTH * growth
+    conv1, _ = ops.conv2d(f"{prefix}.conv1", in_ch, bottleneck_ch, hw, 1, 1, 0)
+    graph.add(conv1)
+    graph.add(ops.batchnorm2d(f"{prefix}.norm2", bottleneck_ch, hw))
+    graph.add(ops.activation(f"{prefix}.relu2", bottleneck_ch * hw[0] * hw[1]))
+    conv2, _ = ops.conv2d(f"{prefix}.conv2", bottleneck_ch, growth, hw, 3, 1, 1)
+    graph.add(conv2)
+    out_ch = in_ch + growth
+    graph.add(ops.concat(f"{prefix}.concat", out_ch * hw[0] * hw[1]))
+    return out_ch
+
+
+def _transition(graph: ModelGraph, prefix: str, in_ch: int,
+                hw: Tuple[int, int]) -> Tuple[int, Tuple[int, int]]:
+    """Append a transition layer; returns (out_channels, out_hw)."""
+    graph.add(ops.batchnorm2d(f"{prefix}.norm", in_ch, hw))
+    graph.add(ops.activation(f"{prefix}.relu", in_ch * hw[0] * hw[1]))
+    out_ch = in_ch // 2
+    conv, _ = ops.conv2d(f"{prefix}.conv", in_ch, out_ch, hw, 1, 1, 0)
+    graph.add(conv)
+    pool, out_hw = ops.pool2d(f"{prefix}.pool", out_ch, hw, 2, 2, 0)
+    graph.add(pool)
+    return out_ch, out_hw
+
+
+def build_densenet(variant: str, image_hw: Tuple[int, int] = (224, 224)) -> ModelGraph:
+    """Construct one of the four DenseNet variants as a :class:`ModelGraph`."""
+    variant = variant.lower()
+    if variant not in _CONFIGS:
+        raise KeyError(f"unknown DenseNet variant {variant!r}")
+    growth, block_config, init_features = _CONFIGS[variant]
+
+    graph = ModelGraph(variant, family="cnn")
+    stem, hw = ops.conv2d("stem.conv", 3, init_features, image_hw, 7, 2, 3)
+    graph.add(stem)
+    graph.add(ops.batchnorm2d("stem.bn", init_features, hw))
+    graph.add(ops.activation("stem.relu", init_features * hw[0] * hw[1]))
+    maxpool, hw = ops.pool2d("stem.maxpool", init_features, hw, 3, 2, 1)
+    graph.add(maxpool)
+
+    channels = init_features
+    for block_idx, num_layers in enumerate(block_config):
+        for layer_idx in range(num_layers):
+            prefix = f"denseblock{block_idx + 1}.layer{layer_idx + 1}"
+            channels = _dense_layer(graph, prefix, channels, growth, hw)
+        if block_idx != len(block_config) - 1:
+            channels, hw = _transition(graph, f"transition{block_idx + 1}", channels, hw)
+
+    graph.add(ops.batchnorm2d("final.norm", channels, hw))
+    graph.add(ops.activation("final.relu", channels * hw[0] * hw[1]))
+    graph.add(ops.global_avgpool("final.avgpool", channels, hw))
+    graph.add(ops.linear("classifier", channels, _NUM_CLASSES))
+    return graph

@@ -1,0 +1,191 @@
+"""Model graphs: ordered layers with shape math.
+
+A :class:`Layer` stores everything downstream components need to reason
+about one DNN layer *per sample*: forward/backward FLOPs, parameter count,
+and input/output activation element counts.  Batch-dependent quantities are
+obtained by multiplying by the batch size; this is exactly the scaling
+TrioSim's performance model exploits when the user changes the batch size
+away from the traced one.
+
+A :class:`ModelGraph` is a sequential chain of layers.  Residual and dense
+connectivity are folded into explicit elementwise-add / concat layers, so
+the chain ordering is a valid execution order — which is what pipeline
+parallelism needs to split the model into contiguous stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+#: Bytes per element; the zoo uses FP32 training like the paper's setup.
+DTYPE_BYTES = 4
+
+#: Operator classes that tensor parallelism can shard (paper §4.3: "we
+#: simulate tensor parallelism for layers, such as convolution, linear, and
+#: embedding").
+TENSOR_PARALLEL_KINDS = frozenset({"conv", "linear", "embedding", "matmul"})
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One DNN layer with per-sample shape math.
+
+    Attributes
+    ----------
+    name:
+        Unique name within the model, e.g. ``"layer2.0.conv1"``.
+    kind:
+        Operator class used by the regression model to group operators:
+        one of ``conv``, ``linear``, ``matmul``, ``embedding``, ``norm``,
+        ``elementwise``, ``pool``, ``softmax``.
+    fwd_flops:
+        Forward-pass floating point operations per sample.
+    bwd_flops:
+        Backward-pass FLOPs per sample (≈2x forward for parameterized
+        layers: grad w.r.t. input plus grad w.r.t. weights).
+    params:
+        Number of trainable parameters (shared across the batch).
+    input_elems / output_elems:
+        Activation element counts per sample.
+    """
+
+    name: str
+    kind: str
+    fwd_flops: float
+    bwd_flops: float
+    params: int
+    input_elems: int
+    output_elems: int
+
+    @property
+    def param_bytes(self) -> int:
+        """Size of the weights (== size of the gradients) in bytes."""
+        return self.params * DTYPE_BYTES
+
+    def input_bytes(self, batch: int) -> int:
+        """Input activation bytes for a given batch size."""
+        return self.input_elems * batch * DTYPE_BYTES
+
+    def output_bytes(self, batch: int) -> int:
+        """Output activation bytes for a given batch size."""
+        return self.output_elems * batch * DTYPE_BYTES
+
+    def moved_bytes(self, batch: int) -> int:
+        """Total bytes touched by the forward op (roofline memory term)."""
+        return self.input_bytes(batch) + self.output_bytes(batch) + self.param_bytes
+
+    @property
+    def tensor_parallelizable(self) -> bool:
+        """Whether tensor parallelism shards this layer."""
+        return self.kind in TENSOR_PARALLEL_KINDS
+
+    def __post_init__(self):
+        if self.fwd_flops < 0 or self.bwd_flops < 0:
+            raise ValueError(f"layer {self.name}: negative FLOPs")
+        if self.params < 0:
+            raise ValueError(f"layer {self.name}: negative params")
+
+
+@dataclass
+class ModelGraph:
+    """A DNN model as an ordered chain of layers.
+
+    ``family`` groups models for reporting (``"cnn"`` or ``"transformer"``)
+    and ``default_seq_len`` records the sequence length transformer shape
+    math was generated with (informational).
+    """
+
+    name: str
+    layers: List[Layer] = field(default_factory=list)
+    family: str = "cnn"
+    default_seq_len: Optional[int] = None
+
+    def add(self, layer: Layer) -> Layer:
+        """Append *layer*, enforcing unique names."""
+        if any(existing.name == layer.name for existing in self.layers):
+            raise ValueError(f"duplicate layer name {layer.name!r} in {self.name}")
+        self.layers.append(layer)
+        return layer
+
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    @property
+    def total_params(self) -> int:
+        return sum(layer.params for layer in self.layers)
+
+    @property
+    def total_param_bytes(self) -> int:
+        return self.total_params * DTYPE_BYTES
+
+    def total_fwd_flops(self, batch: int = 1) -> float:
+        """Forward FLOPs for one batch."""
+        return batch * sum(layer.fwd_flops for layer in self.layers)
+
+    def total_bwd_flops(self, batch: int = 1) -> float:
+        """Backward FLOPs for one batch."""
+        return batch * sum(layer.bwd_flops for layer in self.layers)
+
+    def total_training_flops(self, batch: int = 1) -> float:
+        """Forward + backward FLOPs for one training iteration."""
+        return self.total_fwd_flops(batch) + self.total_bwd_flops(batch)
+
+    def split_stages(self, num_stages: int) -> List[List[Layer]]:
+        """Partition layers into contiguous stages of balanced compute.
+
+        This is the automatic layer assignment the trace extrapolator uses
+        for pipeline parallelism (paper §8.2: "the simulator automatically
+        assigns layers to GPUs to balance workloads").  A greedy sweep cuts
+        the chain where cumulative training FLOPs cross equal-share
+        boundaries, guaranteeing every stage is non-empty.
+        """
+        if num_stages < 1:
+            raise ValueError("num_stages must be >= 1")
+        if num_stages > len(self.layers):
+            raise ValueError(
+                f"cannot split {len(self.layers)} layers into {num_stages} stages"
+            )
+        total = sum(l.fwd_flops + l.bwd_flops for l in self.layers) or 1.0
+        target = total / num_stages
+        stages: List[List[Layer]] = [[] for _ in range(num_stages)]
+        acc = 0.0
+        stage = 0
+        remaining = len(self.layers)
+        for layer in self.layers:
+            # Leave at least one layer for each of the remaining stages.
+            must_advance = acc >= target and stage < num_stages - 1
+            room_to_advance = remaining > (num_stages - 1 - stage)
+            if must_advance and stages[stage] and room_to_advance:
+                stage += 1
+                acc = 0.0
+            stages[stage].append(layer)
+            acc += layer.fwd_flops + layer.bwd_flops
+            remaining -= 1
+        # A skewed FLOPs distribution can leave trailing stages empty.
+        # Fix each empty stage by cascading one layer rightward from the
+        # nearest multi-layer stage to its left (contiguity is preserved;
+        # terminates because layers >= stages).
+        for j in range(1, num_stages):
+            if stages[j]:
+                continue
+            donor = j - 1
+            while not stages[donor] or len(stages[donor]) == 1:
+                donor -= 1
+                if donor < 0:  # pragma: no cover - impossible by invariant
+                    raise RuntimeError("stage rebalancing failed")
+            for k in range(donor, j):
+                stages[k + 1].insert(0, stages[k].pop())
+        return stages
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        gflops = self.total_fwd_flops(1) / 1e9
+        mparams = self.total_params / 1e6
+        return (
+            f"{self.name}: {len(self.layers)} layers, "
+            f"{mparams:.1f}M params, {gflops:.2f} GFLOPs/sample fwd"
+        )

@@ -1,0 +1,232 @@
+"""Layer constructors with standard shape/FLOP math.
+
+These helpers build :class:`~repro.workloads.graph.Layer` records for the
+common DNN operator types.  FLOP conventions follow the usual accounting
+(one multiply-add = 2 FLOPs); backward FLOPs are approximately twice the
+forward FLOPs for parameterized layers (gradient w.r.t. inputs plus
+gradient w.r.t. weights) and equal to forward for element-wise layers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.workloads.graph import Layer
+
+Shape2d = Tuple[int, int]
+
+
+def conv_out_hw(in_hw: Shape2d, kernel: int, stride: int, padding: int) -> Shape2d:
+    """Spatial output size of a convolution/pooling window."""
+    h, w = in_hw
+    out_h = (h + 2 * padding - kernel) // stride + 1
+    out_w = (w + 2 * padding - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(f"conv reduces {in_hw} below 1x1")
+    return out_h, out_w
+
+
+def conv2d(
+    name: str,
+    in_ch: int,
+    out_ch: int,
+    in_hw: Shape2d,
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+    bias: bool = False,
+) -> Tuple[Layer, Shape2d]:
+    """2-D convolution; returns the layer and its spatial output size."""
+    out_hw = conv_out_hw(in_hw, kernel, stride, padding)
+    out_elems = out_ch * out_hw[0] * out_hw[1]
+    in_elems = in_ch * in_hw[0] * in_hw[1]
+    macs = kernel * kernel * in_ch * out_elems
+    params = kernel * kernel * in_ch * out_ch + (out_ch if bias else 0)
+    layer = Layer(
+        name=name,
+        kind="conv",
+        fwd_flops=2.0 * macs,
+        bwd_flops=4.0 * macs,
+        params=params,
+        input_elems=in_elems,
+        output_elems=out_elems,
+    )
+    return layer, out_hw
+
+
+def linear(name: str, in_features: int, out_features: int, bias: bool = True,
+           tokens: int = 1) -> Layer:
+    """Fully connected layer; ``tokens`` > 1 models per-token application
+    (e.g. a transformer projection applied at every sequence position)."""
+    macs = in_features * out_features * tokens
+    params = in_features * out_features + (out_features if bias else 0)
+    return Layer(
+        name=name,
+        kind="linear",
+        fwd_flops=2.0 * macs,
+        bwd_flops=4.0 * macs,
+        params=params,
+        input_elems=in_features * tokens,
+        output_elems=out_features * tokens,
+    )
+
+
+def matmul(name: str, m: int, k: int, n: int) -> Layer:
+    """Parameter-free batched matmul (attention score / context products)."""
+    macs = m * k * n
+    return Layer(
+        name=name,
+        kind="matmul",
+        fwd_flops=2.0 * macs,
+        bwd_flops=4.0 * macs,
+        params=0,
+        input_elems=m * k + k * n,
+        output_elems=m * n,
+    )
+
+
+def batchnorm2d(name: str, channels: int, hw: Shape2d) -> Layer:
+    """Batch normalization over a C x H x W activation."""
+    elems = channels * hw[0] * hw[1]
+    return Layer(
+        name=name,
+        kind="norm",
+        fwd_flops=5.0 * elems,
+        bwd_flops=8.0 * elems,
+        params=2 * channels,
+        input_elems=elems,
+        output_elems=elems,
+    )
+
+
+def layernorm(name: str, features: int, tokens: int = 1) -> Layer:
+    """Layer normalization over the feature dimension at each token."""
+    elems = features * tokens
+    return Layer(
+        name=name,
+        kind="norm",
+        fwd_flops=5.0 * elems,
+        bwd_flops=8.0 * elems,
+        params=2 * features,
+        input_elems=elems,
+        output_elems=elems,
+    )
+
+
+def rmsnorm(name: str, features: int, tokens: int = 1) -> Layer:
+    """RMS normalization (Llama family); slightly cheaper than LayerNorm."""
+    elems = features * tokens
+    return Layer(
+        name=name,
+        kind="norm",
+        fwd_flops=4.0 * elems,
+        bwd_flops=6.0 * elems,
+        params=features,
+        input_elems=elems,
+        output_elems=elems,
+    )
+
+
+def activation(name: str, elems: int, flops_per_elem: float = 1.0) -> Layer:
+    """Element-wise nonlinearity (ReLU: 1 FLOP/elem, GELU/SiLU: ~8)."""
+    return Layer(
+        name=name,
+        kind="elementwise",
+        fwd_flops=flops_per_elem * elems,
+        bwd_flops=flops_per_elem * elems,
+        params=0,
+        input_elems=elems,
+        output_elems=elems,
+    )
+
+
+def add(name: str, elems: int) -> Layer:
+    """Residual element-wise addition of two equal-shaped tensors."""
+    return Layer(
+        name=name,
+        kind="elementwise",
+        fwd_flops=float(elems),
+        bwd_flops=float(elems),
+        params=0,
+        input_elems=2 * elems,
+        output_elems=elems,
+    )
+
+
+def concat(name: str, in_elems: int) -> Layer:
+    """Channel concatenation (pure data movement, counted as 0.5 FLOP/elem
+    to keep the regression features non-degenerate)."""
+    return Layer(
+        name=name,
+        kind="elementwise",
+        fwd_flops=0.5 * in_elems,
+        bwd_flops=0.5 * in_elems,
+        params=0,
+        input_elems=in_elems,
+        output_elems=in_elems,
+    )
+
+
+def pool2d(
+    name: str,
+    channels: int,
+    in_hw: Shape2d,
+    kernel: int,
+    stride: int,
+    padding: int = 0,
+) -> Tuple[Layer, Shape2d]:
+    """Max/average pooling; returns the layer and the output spatial size."""
+    out_hw = conv_out_hw(in_hw, kernel, stride, padding)
+    out_elems = channels * out_hw[0] * out_hw[1]
+    in_elems = channels * in_hw[0] * in_hw[1]
+    layer = Layer(
+        name=name,
+        kind="pool",
+        fwd_flops=float(kernel * kernel * out_elems),
+        bwd_flops=float(kernel * kernel * out_elems),
+        params=0,
+        input_elems=in_elems,
+        output_elems=out_elems,
+    )
+    return layer, out_hw
+
+
+def global_avgpool(name: str, channels: int, in_hw: Shape2d) -> Layer:
+    """Adaptive average pooling to 1x1."""
+    in_elems = channels * in_hw[0] * in_hw[1]
+    return Layer(
+        name=name,
+        kind="pool",
+        fwd_flops=float(in_elems),
+        bwd_flops=float(in_elems),
+        params=0,
+        input_elems=in_elems,
+        output_elems=channels,
+    )
+
+
+def embedding(name: str, vocab: int, dim: int, tokens: int) -> Layer:
+    """Embedding lookup: a gather, memory-bound, with a large weight table."""
+    return Layer(
+        name=name,
+        kind="embedding",
+        fwd_flops=float(dim * tokens),
+        bwd_flops=2.0 * dim * tokens,
+        params=vocab * dim,
+        input_elems=tokens,
+        output_elems=dim * tokens,
+    )
+
+
+def softmax(name: str, elems: int) -> Layer:
+    """Softmax (attention scores or classifier output)."""
+    return Layer(
+        name=name,
+        kind="softmax",
+        fwd_flops=5.0 * elems,
+        bwd_flops=7.0 * elems,
+        params=0,
+        input_elems=elems,
+        output_elems=elems,
+    )

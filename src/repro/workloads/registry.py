@@ -1,0 +1,69 @@
+"""Model registry: one entry point to the whole workload zoo."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.densenet import build_densenet
+from repro.workloads.graph import ModelGraph
+from repro.workloads.resnet import build_resnet
+from repro.workloads.transformers import CONFIGS as _TRANSFORMER_CONFIGS
+from repro.workloads.transformers import build_transformer, build_vit
+from repro.workloads.vgg import build_vgg
+
+#: Names used in the paper's figures, in figure order.
+CNN_NAMES: List[str] = [
+    "resnet18", "resnet34", "resnet50", "resnet101", "resnet152",
+    "densenet121", "densenet161", "densenet169", "densenet201",
+    "vgg11", "vgg13", "vgg16", "vgg19",
+]
+TRANSFORMER_NAMES: List[str] = list(_TRANSFORMER_CONFIGS)
+#: Zoo extensions outside the paper's evaluation set.
+EXTRA_NAMES: List[str] = ["vit-b-16"]
+MODEL_NAMES: List[str] = CNN_NAMES + TRANSFORMER_NAMES + EXTRA_NAMES
+
+#: Short labels matching the paper's figures (RN-50, DN-121, ...).
+SHORT_NAMES: Dict[str, str] = {
+    **{f"resnet{n}": f"RN-{n}" for n in (18, 34, 50, 101, 152)},
+    **{f"densenet{n}": f"DN-{n}" for n in (121, 161, 169, 201)},
+    **{f"vgg{n}": f"VGG-{n}" for n in (11, 13, 16, 19)},
+    "gpt2": "GPT-2",
+    "bert": "BERT",
+    "t5-small": "T5",
+    "flan-t5-small": "FLAN-T5",
+    "llama-3.2-1b": "Llama",
+    "vit-b-16": "ViT-B",
+}
+
+_cache: Dict[str, ModelGraph] = {}
+
+
+def get_model(name: str, seq_len: int = 128) -> ModelGraph:
+    """Build (and cache) a model graph by name.
+
+    ``seq_len`` applies to transformer variants only; CNNs always use the
+    ImageNet 224x224 input like the torchvision models in the paper.
+    """
+    key = f"{name.lower()}:{seq_len}"
+    if key in _cache:
+        return _cache[key]
+    lowered = name.lower()
+    if lowered.startswith("resnet"):
+        graph = build_resnet(lowered)
+    elif lowered.startswith("densenet"):
+        graph = build_densenet(lowered)
+    elif lowered.startswith("vgg"):
+        graph = build_vgg(lowered)
+    elif lowered in _TRANSFORMER_CONFIGS:
+        graph = build_transformer(lowered, seq_len=seq_len)
+    elif lowered == "vit-b-16":
+        graph = build_vit(lowered)
+    else:
+        raise KeyError(f"unknown model {name!r}; known: {MODEL_NAMES}")
+    _cache[key] = graph
+    return graph
+
+
+def short_name(name: str) -> str:
+    """The paper's figure label for a model (e.g. ``RN-50``)."""
+    return SHORT_NAMES.get(name.lower(), name)

@@ -1,0 +1,102 @@
+"""ResNet model graphs (He et al., 2016) matching torchvision variants.
+
+ResNet-18/34 use BasicBlock (two 3x3 convs); ResNet-50/101/152 use
+Bottleneck (1x1 - 3x3 - 1x1 with 4x expansion).  Input is the standard
+ImageNet 3 x 224 x 224.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.workloads import ops
+from repro.workloads.graph import ModelGraph
+
+_BASIC_CONFIGS = {
+    "resnet18": [2, 2, 2, 2],
+    "resnet34": [3, 4, 6, 3],
+}
+_BOTTLENECK_CONFIGS = {
+    "resnet50": [3, 4, 6, 3],
+    "resnet101": [3, 4, 23, 3],
+    "resnet152": [3, 8, 36, 3],
+}
+_STAGE_CHANNELS = [64, 128, 256, 512]
+_EXPANSION = 4
+_NUM_CLASSES = 1000
+
+
+def _basic_block(graph: ModelGraph, prefix: str, in_ch: int, out_ch: int,
+                 hw: Tuple[int, int], stride: int) -> Tuple[int, Tuple[int, int]]:
+    """Append one BasicBlock; returns (out_channels, out_hw)."""
+    conv1, mid_hw = ops.conv2d(f"{prefix}.conv1", in_ch, out_ch, hw, 3, stride, 1)
+    graph.add(conv1)
+    graph.add(ops.batchnorm2d(f"{prefix}.bn1", out_ch, mid_hw))
+    graph.add(ops.activation(f"{prefix}.relu1", out_ch * mid_hw[0] * mid_hw[1]))
+    conv2, out_hw = ops.conv2d(f"{prefix}.conv2", out_ch, out_ch, mid_hw, 3, 1, 1)
+    graph.add(conv2)
+    graph.add(ops.batchnorm2d(f"{prefix}.bn2", out_ch, out_hw))
+    if stride != 1 or in_ch != out_ch:
+        down, _ = ops.conv2d(f"{prefix}.downsample", in_ch, out_ch, hw, 1, stride, 0)
+        graph.add(down)
+        graph.add(ops.batchnorm2d(f"{prefix}.downsample_bn", out_ch, out_hw))
+    graph.add(ops.add(f"{prefix}.residual", out_ch * out_hw[0] * out_hw[1]))
+    graph.add(ops.activation(f"{prefix}.relu2", out_ch * out_hw[0] * out_hw[1]))
+    return out_ch, out_hw
+
+
+def _bottleneck_block(graph: ModelGraph, prefix: str, in_ch: int, width: int,
+                      hw: Tuple[int, int], stride: int) -> Tuple[int, Tuple[int, int]]:
+    """Append one Bottleneck block; returns (out_channels, out_hw)."""
+    out_ch = width * _EXPANSION
+    conv1, _ = ops.conv2d(f"{prefix}.conv1", in_ch, width, hw, 1, 1, 0)
+    graph.add(conv1)
+    graph.add(ops.batchnorm2d(f"{prefix}.bn1", width, hw))
+    graph.add(ops.activation(f"{prefix}.relu1", width * hw[0] * hw[1]))
+    conv2, mid_hw = ops.conv2d(f"{prefix}.conv2", width, width, hw, 3, stride, 1)
+    graph.add(conv2)
+    graph.add(ops.batchnorm2d(f"{prefix}.bn2", width, mid_hw))
+    graph.add(ops.activation(f"{prefix}.relu2", width * mid_hw[0] * mid_hw[1]))
+    conv3, out_hw = ops.conv2d(f"{prefix}.conv3", width, out_ch, mid_hw, 1, 1, 0)
+    graph.add(conv3)
+    graph.add(ops.batchnorm2d(f"{prefix}.bn3", out_ch, out_hw))
+    if stride != 1 or in_ch != out_ch:
+        down, _ = ops.conv2d(f"{prefix}.downsample", in_ch, out_ch, hw, 1, stride, 0)
+        graph.add(down)
+        graph.add(ops.batchnorm2d(f"{prefix}.downsample_bn", out_ch, out_hw))
+    graph.add(ops.add(f"{prefix}.residual", out_ch * out_hw[0] * out_hw[1]))
+    graph.add(ops.activation(f"{prefix}.relu3", out_ch * out_hw[0] * out_hw[1]))
+    return out_ch, out_hw
+
+
+def build_resnet(variant: str, image_hw: Tuple[int, int] = (224, 224)) -> ModelGraph:
+    """Construct one of the five ResNet variants as a :class:`ModelGraph`."""
+    variant = variant.lower()
+    if variant in _BASIC_CONFIGS:
+        block_counts, bottleneck = _BASIC_CONFIGS[variant], False
+    elif variant in _BOTTLENECK_CONFIGS:
+        block_counts, bottleneck = _BOTTLENECK_CONFIGS[variant], True
+    else:
+        raise KeyError(f"unknown ResNet variant {variant!r}")
+
+    graph = ModelGraph(variant, family="cnn")
+    stem, hw = ops.conv2d("stem.conv", 3, 64, image_hw, 7, 2, 3)
+    graph.add(stem)
+    graph.add(ops.batchnorm2d("stem.bn", 64, hw))
+    graph.add(ops.activation("stem.relu", 64 * hw[0] * hw[1]))
+    maxpool, hw = ops.pool2d("stem.maxpool", 64, hw, 3, 2, 1)
+    graph.add(maxpool)
+
+    channels = 64
+    for stage_idx, (width, count) in enumerate(zip(_STAGE_CHANNELS, block_counts)):
+        for block_idx in range(count):
+            stride = 2 if (stage_idx > 0 and block_idx == 0) else 1
+            prefix = f"layer{stage_idx + 1}.{block_idx}"
+            if bottleneck:
+                channels, hw = _bottleneck_block(graph, prefix, channels, width, hw, stride)
+            else:
+                channels, hw = _basic_block(graph, prefix, channels, width, hw, stride)
+
+    graph.add(ops.global_avgpool("avgpool", channels, hw))
+    graph.add(ops.linear("fc", channels, _NUM_CLASSES))
+    return graph

@@ -1,0 +1,179 @@
+"""Transformer model graphs: GPT-2, BERT-Base, T5-Small, FLAN-T5-Small,
+and Llama-3.2-1B.
+
+Shape math follows the standard decomposition of a transformer block into
+operators the PyTorch profiler would record: layer norms, the QKV / output
+projections, the two attention matmuls (scores and context), the softmax,
+and the MLP.  All graphs are built for a fixed sequence length (default
+128), which plays the role of the spatial size in the CNN zoo: per-sample
+quantities are per-sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads import ops
+from repro.workloads.graph import ModelGraph
+
+_GELU_FLOPS = 8.0
+_SILU_FLOPS = 5.0
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Architecture hyperparameters of one transformer variant."""
+
+    name: str
+    vocab: int
+    d_model: int
+    num_layers: int
+    num_heads: int
+    d_ff: int
+    seq_len: int = 128
+    num_kv_heads: int = 0        # 0 => multi-head (kv == q heads)
+    gated_mlp: bool = False      # SwiGLU (Llama/T5-gated) has 3 MLP matrices
+    rmsnorm: bool = False
+    decoder_layers: int = 0      # encoder-decoder models (T5)
+    tied_lm_head: bool = True
+
+    @property
+    def head_dim(self) -> int:
+        return self.d_model // self.num_heads
+
+    @property
+    def kv_heads(self) -> int:
+        return self.num_kv_heads or self.num_heads
+
+
+CONFIGS = {
+    "gpt2": TransformerConfig(
+        "gpt2", vocab=50257, d_model=768, num_layers=12, num_heads=12, d_ff=3072
+    ),
+    "bert": TransformerConfig(
+        "bert", vocab=30522, d_model=768, num_layers=12, num_heads=12, d_ff=3072
+    ),
+    "t5-small": TransformerConfig(
+        "t5-small", vocab=32128, d_model=512, num_layers=6, num_heads=8,
+        d_ff=2048, decoder_layers=6,
+    ),
+    # FLAN-T5-Small shares T5's architecture but uses the v1.1 gated MLP.
+    "flan-t5-small": TransformerConfig(
+        "flan-t5-small", vocab=32128, d_model=512, num_layers=6, num_heads=6,
+        d_ff=1024, decoder_layers=6, gated_mlp=True,
+    ),
+    "llama-3.2-1b": TransformerConfig(
+        "llama-3.2-1b", vocab=128256, d_model=2048, num_layers=16,
+        num_heads=32, d_ff=8192, num_kv_heads=8, gated_mlp=True, rmsnorm=True,
+    ),
+}
+
+
+def _norm(cfg: TransformerConfig, name: str):
+    if cfg.rmsnorm:
+        return ops.rmsnorm(name, cfg.d_model, cfg.seq_len)
+    return ops.layernorm(name, cfg.d_model, cfg.seq_len)
+
+
+def _attention(graph: ModelGraph, cfg: TransformerConfig, prefix: str,
+               kv_seq: int) -> None:
+    """Append one attention sub-block (norm, QKV, matmuls, softmax, proj).
+
+    ``kv_seq`` is the key/value sequence length; it differs from the query
+    length only for T5 cross-attention.
+    """
+    s, d = cfg.seq_len, cfg.d_model
+    kv_dim = cfg.kv_heads * cfg.head_dim
+    graph.add(_norm(cfg, f"{prefix}.norm"))
+    graph.add(ops.linear(f"{prefix}.q_proj", d, d, bias=not cfg.rmsnorm, tokens=s))
+    graph.add(ops.linear(f"{prefix}.k_proj", d, kv_dim, bias=not cfg.rmsnorm, tokens=kv_seq))
+    graph.add(ops.linear(f"{prefix}.v_proj", d, kv_dim, bias=not cfg.rmsnorm, tokens=kv_seq))
+    # Scores: (heads, s, head_dim) @ (heads, head_dim, kv_seq).
+    graph.add(ops.matmul(f"{prefix}.scores", cfg.num_heads * s, cfg.head_dim, kv_seq))
+    graph.add(ops.softmax(f"{prefix}.softmax", cfg.num_heads * s * kv_seq))
+    # Context: (heads, s, kv_seq) @ (heads, kv_seq, head_dim).
+    graph.add(ops.matmul(f"{prefix}.context", cfg.num_heads * s, kv_seq, cfg.head_dim))
+    graph.add(ops.linear(f"{prefix}.out_proj", d, d, bias=not cfg.rmsnorm, tokens=s))
+    graph.add(ops.add(f"{prefix}.residual", s * d))
+
+
+def _mlp(graph: ModelGraph, cfg: TransformerConfig, prefix: str) -> None:
+    """Append one MLP sub-block (norm, up/gate, activation, down)."""
+    s, d, ff = cfg.seq_len, cfg.d_model, cfg.d_ff
+    graph.add(_norm(cfg, f"{prefix}.norm"))
+    graph.add(ops.linear(f"{prefix}.up_proj", d, ff, bias=not cfg.rmsnorm, tokens=s))
+    if cfg.gated_mlp:
+        graph.add(ops.linear(f"{prefix}.gate_proj", d, ff, bias=False, tokens=s))
+        graph.add(ops.activation(f"{prefix}.act", s * ff, _SILU_FLOPS))
+        graph.add(ops.add(f"{prefix}.gate_mul", s * ff))
+    else:
+        graph.add(ops.activation(f"{prefix}.act", s * ff, _GELU_FLOPS))
+    graph.add(ops.linear(f"{prefix}.down_proj", ff, d, bias=not cfg.rmsnorm, tokens=s))
+    graph.add(ops.add(f"{prefix}.residual", s * d))
+
+
+def build_vit(variant: str = "vit-b-16",
+              image_hw: tuple = (224, 224)) -> ModelGraph:
+    """Vision Transformer (ViT-B/16): conv patch embedding + encoder.
+
+    Not part of the paper's evaluation set, but a natural zoo extension:
+    it exercises the CNN and transformer operator classes in one model
+    (patch-embedding convolution feeding transformer blocks).
+    """
+    if variant.lower() != "vit-b-16":
+        raise KeyError(f"unknown ViT variant {variant!r}")
+    patch, d_model, layers, heads, d_ff = 16, 768, 12, 12, 3072
+    tokens = (image_hw[0] // patch) * (image_hw[1] // patch) + 1  # + [CLS]
+    cfg = TransformerConfig(
+        "vit-b-16", vocab=0, d_model=d_model, num_layers=layers,
+        num_heads=heads, d_ff=d_ff, seq_len=tokens,
+    )
+    graph = ModelGraph(cfg.name, family="transformer", default_seq_len=tokens)
+    embed, _hw = ops.conv2d("patch_embed", 3, d_model, image_hw,
+                            patch, patch, 0, bias=True)
+    graph.add(embed)
+    graph.add(ops.embedding("embed.positions", tokens, d_model, tokens))
+    graph.add(ops.add("embed.sum", tokens * d_model))
+    for i in range(layers):
+        _attention(graph, cfg, f"encoder.{i}.attn", kv_seq=tokens)
+        _mlp(graph, cfg, f"encoder.{i}.mlp")
+    graph.add(_norm(cfg, "final.norm"))
+    graph.add(ops.linear("head", d_model, 1000))
+    return graph
+
+
+def build_transformer(variant: str, seq_len: int = 128) -> ModelGraph:
+    """Construct a transformer :class:`ModelGraph` by variant name."""
+    key = variant.lower()
+    if key not in CONFIGS:
+        raise KeyError(f"unknown transformer {variant!r}; known: {sorted(CONFIGS)}")
+    base = CONFIGS[key]
+    cfg = TransformerConfig(**{**base.__dict__, "seq_len": seq_len})
+
+    graph = ModelGraph(cfg.name, family="transformer", default_seq_len=seq_len)
+    graph.add(ops.embedding("embed.tokens", cfg.vocab, cfg.d_model, cfg.seq_len))
+    if not cfg.rmsnorm and cfg.decoder_layers == 0:
+        # GPT-2/BERT learn absolute position embeddings.
+        graph.add(ops.embedding("embed.positions", cfg.seq_len, cfg.d_model, cfg.seq_len))
+        graph.add(ops.add("embed.sum", cfg.seq_len * cfg.d_model))
+
+    for i in range(cfg.num_layers):
+        _attention(graph, cfg, f"encoder.{i}.attn", kv_seq=cfg.seq_len)
+        _mlp(graph, cfg, f"encoder.{i}.mlp")
+
+    for i in range(cfg.decoder_layers):
+        _attention(graph, cfg, f"decoder.{i}.self_attn", kv_seq=cfg.seq_len)
+        _attention(graph, cfg, f"decoder.{i}.cross_attn", kv_seq=cfg.seq_len)
+        _mlp(graph, cfg, f"decoder.{i}.mlp")
+
+    graph.add(_norm(cfg, "final.norm"))
+    # The LM head matmul is executed even when weights are tied.
+    head = ops.linear("lm_head", cfg.d_model, cfg.vocab, bias=False, tokens=cfg.seq_len)
+    if cfg.tied_lm_head:
+        head = type(head)(
+            name=head.name, kind=head.kind, fwd_flops=head.fwd_flops,
+            bwd_flops=head.bwd_flops, params=0,
+            input_elems=head.input_elems, output_elems=head.output_elems,
+        )
+    graph.add(head)
+    return graph

@@ -1,0 +1,61 @@
+"""VGG model graphs (Simonyan & Zisserman, 2014) matching torchvision.
+
+The classic configurations A/B/D/E (VGG-11/13/16/19): stacks of 3x3 convs
+with 'M' max-pooling markers, followed by the 4096-4096-1000 classifier.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+from repro.workloads import ops
+from repro.workloads.graph import ModelGraph
+
+_CONFIGS = {
+    "vgg11": [64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    "vgg13": [64, 64, "M", 128, 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    "vgg16": [64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+              512, 512, 512, "M", 512, 512, 512, "M"],
+    "vgg19": [64, 64, "M", 128, 128, "M", 256, 256, 256, 256, "M",
+              512, 512, 512, 512, "M", 512, 512, 512, 512, "M"],
+}
+_CLASSIFIER_WIDTH = 4096
+_NUM_CLASSES = 1000
+
+
+def build_vgg(variant: str, image_hw: Tuple[int, int] = (224, 224)) -> ModelGraph:
+    """Construct one of the four VGG variants as a :class:`ModelGraph`."""
+    variant = variant.lower()
+    if variant not in _CONFIGS:
+        raise KeyError(f"unknown VGG variant {variant!r}")
+    config: List[Union[int, str]] = _CONFIGS[variant]
+
+    graph = ModelGraph(variant, family="cnn")
+    channels = 3
+    hw = image_hw
+    conv_idx = 0
+    pool_idx = 0
+    for entry in config:
+        if entry == "M":
+            pool, hw = ops.pool2d(f"features.pool{pool_idx}", channels, hw, 2, 2, 0)
+            graph.add(pool)
+            pool_idx += 1
+        else:
+            out_ch = int(entry)
+            conv, hw = ops.conv2d(
+                f"features.conv{conv_idx}", channels, out_ch, hw, 3, 1, 1, bias=True
+            )
+            graph.add(conv)
+            graph.add(
+                ops.activation(f"features.relu{conv_idx}", out_ch * hw[0] * hw[1])
+            )
+            channels = out_ch
+            conv_idx += 1
+
+    flat = channels * hw[0] * hw[1]
+    graph.add(ops.linear("classifier.fc1", flat, _CLASSIFIER_WIDTH))
+    graph.add(ops.activation("classifier.relu1", _CLASSIFIER_WIDTH))
+    graph.add(ops.linear("classifier.fc2", _CLASSIFIER_WIDTH, _CLASSIFIER_WIDTH))
+    graph.add(ops.activation("classifier.relu2", _CLASSIFIER_WIDTH))
+    graph.add(ops.linear("classifier.fc3", _CLASSIFIER_WIDTH, _NUM_CLASSES))
+    return graph

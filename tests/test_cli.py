@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.trace.trace import Trace
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "trace.json"
+    code = main(["trace", "resnet18", "--gpu", "A40", "--batch", "32",
+                 "-o", str(path)])
+    assert code == 0
+    return path
+
+
+class TestModels:
+    def test_lists_zoo(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet50" in out and "llama-3.2-1b" in out
+
+
+class TestTrace:
+    def test_writes_valid_trace(self, trace_file):
+        trace = Trace.load(trace_file)
+        assert trace.model_name == "resnet18"
+        assert trace.gpu_name == "A40"
+        assert trace.batch_size == 32
+
+    def test_inference_flag(self, tmp_path):
+        path = tmp_path / "inf.json"
+        assert main(["trace", "resnet18", "--inference", "-o", str(path)]) == 0
+        trace = Trace.load(path)
+        assert trace.backward_ops == []
+
+    def test_unknown_model_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "alexnet", "-o", str(tmp_path / "x.json")])
+
+
+class TestSimulate:
+    def test_basic_run(self, trace_file, capsys):
+        code = main(["simulate", str(trace_file), "--parallelism", "ddp",
+                     "--num-gpus", "2", "--bandwidth", "20e9"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total" in out and "comm" in out
+
+    def test_timeline_export(self, trace_file, tmp_path, capsys):
+        timeline = tmp_path / "tl.json"
+        code = main(["simulate", str(trace_file), "--num-gpus", "2",
+                     "--timeline", str(timeline)])
+        assert code == 0
+        data = json.loads(timeline.read_text())
+        assert data["traceEvents"]
+
+    def test_memory_check_pass(self, trace_file, capsys):
+        code = main(["simulate", str(trace_file), "--memory-check"])
+        assert code == 0
+        assert "fits" in capsys.readouterr().out
+
+    def test_memory_check_oom_exit_code(self, trace_file, capsys):
+        # ResNet-18 at batch 8192 cannot fit a 48 GB A40.
+        code = main(["simulate", str(trace_file), "--batch", "8192",
+                     "--memory-check"])
+        assert code == 2
+        assert "OUT OF MEMORY" in capsys.readouterr().out
+
+    def test_cross_gpu_flag(self, trace_file, capsys):
+        assert main(["simulate", str(trace_file), "--gpu", "H100"]) == 0
+
+    def test_hybrid_flags(self, trace_file):
+        code = main(["simulate", str(trace_file), "--parallelism", "hybrid",
+                     "--num-gpus", "4", "--dp-degree", "2", "--chunks", "2"])
+        assert code == 0
+
+    def test_hierarchical_collective(self, trace_file):
+        code = main(["simulate", str(trace_file), "--num-gpus", "4",
+                     "--collective", "hierarchical", "--gpus-per-node", "2"])
+        assert code == 0
+
+
+class TestExperiment:
+    @pytest.mark.slow
+    def test_quick_figure(self, capsys):
+        code = main(["experiment", "fig13", "--quick"])
+        assert code == 0
+        assert "fig13" in capsys.readouterr().out
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+
+class TestInspect:
+    def test_summary(self, trace_file, capsys):
+        assert main(["inspect", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "resnet18" in out and "by phase" in out
+
+    def test_diff(self, trace_file, tmp_path, capsys):
+        other = tmp_path / "other.json"
+        main(["trace", "resnet18", "--gpu", "H100", "--batch", "32",
+              "-o", str(other)])
+        assert main(["inspect", str(trace_file), "--diff", str(other)]) == 0
+        out = capsys.readouterr().out
+        assert "total" in out and "->" in out
+
+    def test_report_flag(self, trace_file, tmp_path, capsys):
+        report = tmp_path / "r.html"
+        assert main(["simulate", str(trace_file), "--num-gpus", "2",
+                     "--report", str(report)]) == 0
+        assert report.read_text().startswith("<!DOCTYPE html>")

@@ -1,0 +1,51 @@
+"""Tests for SimulationConfig."""
+
+import networkx as nx
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.gpus.specs import platform_p1, platform_p2
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        cfg = SimulationConfig()
+        assert cfg.parallelism == "ddp"
+        assert cfg.num_gpus == 1
+
+    def test_unknown_parallelism(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(parallelism="zigzag")
+
+    def test_bad_gpu_count(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(num_gpus=0)
+
+    def test_bad_chunks(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(chunks=0)
+
+    def test_bad_batch(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(batch_size=0)
+
+    def test_prebuilt_graph_accepted(self):
+        g = nx.Graph()
+        g.add_edge("gpu0", "gpu1", bandwidth=1.0, latency=0.0)
+        cfg = SimulationConfig(topology=g, num_gpus=2)
+        assert cfg.topology is g
+
+
+class TestForPlatform:
+    def test_p1_fields(self):
+        cfg = SimulationConfig.for_platform(platform_p1(), parallelism="dp")
+        assert cfg.num_gpus == 2
+        assert cfg.gpu == "A40"
+        assert cfg.topology == "ring"
+        assert cfg.link_bandwidth == platform_p1().link_bandwidth
+
+    def test_overrides_win(self):
+        cfg = SimulationConfig.for_platform(platform_p2(), num_gpus=2,
+                                            parallelism="pp", chunks=4)
+        assert cfg.num_gpus == 2
+        assert cfg.chunks == 4

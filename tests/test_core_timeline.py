@@ -1,0 +1,75 @@
+"""Tests for the Chrome trace-event timeline export."""
+
+import json
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import TrioSim
+from repro.core.timeline import export_chrome_trace, timeline_summary, timeline_to_events
+from repro.gpus.specs import get_gpu
+from repro.trace.tracer import Tracer
+from repro.workloads import get_model
+
+
+@pytest.fixture(scope="module")
+def result():
+    trace = Tracer(get_gpu("A100")).trace(get_model("resnet18"), 32)
+    config = SimulationConfig(parallelism="ddp", num_gpus=2, link_bandwidth=50e9)
+    return TrioSim(trace, config).run()
+
+
+class TestEventConversion:
+    def test_duration_events_cover_timeline(self, result):
+        events = timeline_to_events(result.timeline)
+        durations = [e for e in events if e["ph"] == "X"]
+        assert len(durations) == len(result.timeline)
+
+    def test_track_metadata_present(self, result):
+        events = timeline_to_events(result.timeline)
+        names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+        assert "gpu0" in names and "gpu1" in names
+        assert any("->" in n for n in names)  # link tracks
+
+    def test_times_in_microseconds(self, result):
+        events = timeline_to_events(result.timeline)
+        last_end = max(e["ts"] + e["dur"] for e in events if e["ph"] == "X")
+        assert last_end == pytest.approx(result.total_time * 1e6, rel=0.01)
+
+    def test_phase_and_layer_args(self, result):
+        events = timeline_to_events(result.timeline)
+        compute = next(e for e in events if e.get("cat") == "compute")
+        assert compute["args"]["phase"] in ("forward", "backward", "optimizer")
+        assert compute["args"]["layer"]
+
+
+class TestExport:
+    def test_round_trips_as_json(self, result, tmp_path):
+        path = tmp_path / "timeline.json"
+        count = export_chrome_trace(result, path)
+        data = json.loads(path.read_text())
+        assert data["displayTimeUnit"] == "ms"
+        durations = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        assert len(durations) == count > 0
+
+    def test_requires_timeline(self, tmp_path):
+        trace = Tracer(get_gpu("A100")).trace(get_model("resnet18"), 16)
+        bare = TrioSim(trace, SimulationConfig(parallelism="single"),
+                       record_timeline=False).run()
+        with pytest.raises(ValueError):
+            export_chrome_trace(bare, tmp_path / "x.json")
+
+
+class TestSummary:
+    def test_utilization_bounds(self, result):
+        summary = timeline_summary(result)
+        assert "gpu0" in summary
+        for stats in summary.values():
+            assert 0.0 < stats["utilization"] <= 1.0 + 1e9 * 0  # busy <= span
+            assert stats["busy"] <= result.total_time * 1.001
+
+    def test_gpu_busy_matches_result(self, result):
+        summary = timeline_summary(result)
+        assert summary["gpu0"]["busy"] == pytest.approx(
+            result.per_gpu_busy["gpu0"], rel=1e-9
+        )

@@ -1,0 +1,104 @@
+"""Tests for components, ports, and connections."""
+
+import pytest
+
+from repro.engine.component import Component, Connection, Message, Port
+from repro.engine.engine import Engine
+
+
+class _Receiver(Component):
+    def __init__(self, engine, name):
+        super().__init__(engine, name)
+        self.received = []
+
+    def notify_recv(self, port, time):
+        msg = port.retrieve()
+        self.received.append((msg, time))
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+@pytest.fixture
+def wired(engine):
+    sender = Component(engine, "sender")
+    receiver = _Receiver(engine, "receiver")
+    out = sender.add_port("out")
+    inp = receiver.add_port("in")
+    conn = Connection(engine)
+    conn.plug_in(out)
+    conn.plug_in(inp)
+    return sender, receiver, out, inp, conn
+
+
+class TestPort:
+    def test_add_port_namespaced(self, engine):
+        comp = Component(engine, "gpu0")
+        port = comp.add_port("data")
+        assert port.name == "gpu0.data"
+        assert comp.port("data") is port
+
+    def test_duplicate_port_rejected(self, engine):
+        comp = Component(engine, "gpu0")
+        comp.add_port("data")
+        with pytest.raises(ValueError):
+            comp.add_port("data")
+
+    def test_unplugged_send_fails(self, engine):
+        comp = Component(engine, "gpu0")
+        port = comp.add_port("out")
+        with pytest.raises(RuntimeError):
+            port.send(Message("gpu0.out", "nowhere"), 0.0)
+
+    def test_retrieve_empty_returns_none(self, engine):
+        port = Component(engine, "c").add_port("p")
+        assert port.retrieve() is None
+
+    def test_bounded_buffer(self, engine):
+        comp = Component(engine, "c")
+        port = comp.add_port("p", buffer_capacity=1)
+        port.deliver(Message("a", "c.p"), 0.0)
+        assert not port.can_accept()
+        with pytest.raises(BufferError):
+            port.deliver(Message("a", "c.p"), 0.0)
+        port.retrieve()
+        assert port.can_accept()
+
+    def test_peek_does_not_consume(self, engine):
+        port = Component(engine, "c").add_port("p")
+        msg = Message("a", "c.p")
+        port.deliver(msg, 0.0)
+        assert port.peek() is msg
+        assert port.buffered == 1
+
+
+class TestConnection:
+    def test_message_delivery(self, wired):
+        sender, receiver, out, inp, _conn = wired
+        msg = Message(out.name, inp.name, size_bytes=10, payload="hi")
+        out.send(msg, 0.0)
+        assert receiver.received[0][0] is msg
+        assert msg.payload == "hi"
+
+    def test_unknown_destination_rejected(self, wired):
+        _s, _r, out, _i, _c = wired
+        with pytest.raises(KeyError):
+            out.send(Message(out.name, "missing.port"), 0.0)
+
+    def test_double_plug_in_rejected(self, wired):
+        _s, _r, out, _i, conn = wired
+        with pytest.raises(ValueError):
+            conn.plug_in(out)
+
+    def test_timestamps_recorded(self, wired):
+        _s, receiver, out, inp, _c = wired
+        msg = Message(out.name, inp.name)
+        out.send(msg, 1.5)
+        assert msg.send_time == 1.5
+        assert msg.recv_time is not None
+
+
+def test_message_size_coerced_to_float():
+    assert isinstance(Message("a", "b", 7).size_bytes, float)

@@ -1,0 +1,174 @@
+"""Tests for the event kernel (repro.engine.engine)."""
+
+import pytest
+
+from repro.engine.engine import Engine, SimulationLimitError
+from repro.engine.events import CallbackEvent, Event
+
+
+def test_starts_at_time_zero():
+    assert Engine().now == 0.0
+
+
+def test_run_empty_queue_returns_zero():
+    assert Engine().run() == 0.0
+
+
+def test_events_dispatch_in_time_order():
+    eng = Engine()
+    order = []
+    eng.call_at(3.0, lambda e: order.append(3))
+    eng.call_at(1.0, lambda e: order.append(1))
+    eng.call_at(2.0, lambda e: order.append(2))
+    eng.run()
+    assert order == [1, 2, 3]
+
+
+def test_ties_break_by_insertion_order():
+    eng = Engine()
+    order = []
+    for i in range(10):
+        eng.call_at(1.0, lambda e, i=i: order.append(i))
+    eng.run()
+    assert order == list(range(10))
+
+
+def test_clock_advances_to_event_time():
+    eng = Engine()
+    times = []
+    eng.call_at(2.5, lambda e: times.append(eng.now))
+    eng.run()
+    assert times == [2.5]
+    assert eng.now == 2.5
+
+
+def test_handler_can_schedule_more_events():
+    eng = Engine()
+    seen = []
+
+    def first(_ev):
+        eng.call_after(1.0, lambda e: seen.append(eng.now))
+
+    eng.call_at(1.0, first)
+    eng.run()
+    assert seen == [2.0]
+
+
+def test_cannot_schedule_in_the_past():
+    eng = Engine()
+    eng.call_at(5.0, lambda e: None)
+    eng.run()
+    with pytest.raises(ValueError):
+        eng.call_at(1.0, lambda e: None)
+
+
+def test_call_after_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        Engine().call_after(-1.0, lambda e: None)
+
+
+def test_cancelled_events_are_skipped():
+    eng = Engine()
+    seen = []
+    ev = eng.call_at(1.0, lambda e: seen.append("cancelled"))
+    eng.call_at(2.0, lambda e: seen.append("kept"))
+    ev.cancel()
+    eng.run()
+    assert seen == ["kept"]
+
+
+def test_cancel_inside_handler_prevents_later_event():
+    eng = Engine()
+    seen = []
+    later = eng.call_at(2.0, lambda e: seen.append("later"))
+    eng.call_at(1.0, lambda e: later.cancel())
+    eng.run()
+    assert seen == []
+
+
+def test_run_until_stops_before_future_events():
+    eng = Engine()
+    seen = []
+    eng.call_at(1.0, lambda e: seen.append(1))
+    eng.call_at(10.0, lambda e: seen.append(10))
+    final = eng.run(until=5.0)
+    assert seen == [1]
+    assert final == 5.0
+    eng.run()
+    assert seen == [1, 10]
+
+
+def test_run_until_advances_clock_when_queue_empty():
+    eng = Engine()
+    assert eng.run(until=7.0) == 7.0
+    assert eng.now == 7.0
+
+
+def test_pause_stops_the_loop():
+    eng = Engine()
+    seen = []
+    eng.call_at(1.0, lambda e: (seen.append(1), eng.pause()))
+    eng.call_at(2.0, lambda e: seen.append(2))
+    eng.run()
+    assert seen == [1]
+    eng.run()
+    assert seen == [1, 2]
+
+
+def test_dispatched_event_count():
+    eng = Engine()
+    for i in range(5):
+        eng.call_at(float(i), lambda e: None)
+    eng.run()
+    assert eng.dispatched_events == 5
+
+
+def test_max_events_guard():
+    eng = Engine(max_events=10)
+
+    def loop(_ev):
+        eng.call_after(1.0, loop)
+
+    eng.call_at(0.0, loop)
+    with pytest.raises(SimulationLimitError):
+        eng.run()
+
+
+def test_reset_clears_state():
+    eng = Engine()
+    eng.call_at(1.0, lambda e: None)
+    eng.run()
+    eng.reset()
+    assert eng.now == 0.0
+    assert eng.pending_events == 0
+    assert eng.dispatched_events == 0
+    eng.call_at(0.5, lambda e: None)  # schedulable again at early times
+    eng.run()
+
+
+def test_deterministic_across_runs():
+    def simulate():
+        eng = Engine()
+        order = []
+        for i in range(50):
+            eng.call_at((i * 7) % 5 + 0.5, lambda e, i=i: order.append(i))
+        eng.run()
+        return order
+
+    assert simulate() == simulate()
+
+
+def test_engine_hooks_fire_around_events():
+    from repro.engine.hooks import HookCtx
+
+    eng = Engine()
+    positions = []
+
+    class Hook:
+        def func(self, ctx: HookCtx):
+            positions.append(ctx.pos)
+
+    eng.accept_hook(Hook())
+    eng.call_at(1.0, lambda e: None)
+    eng.run()
+    assert positions == ["before_event", "after_event"]

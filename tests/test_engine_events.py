@@ -1,0 +1,55 @@
+"""Tests for repro.engine.events."""
+
+import pytest
+
+from repro.engine.events import CallbackEvent, Event, EventHandler
+
+
+class _Recorder:
+    def __init__(self):
+        self.seen = []
+
+    def handle(self, event):
+        self.seen.append(event)
+
+
+class TestEvent:
+    def test_stores_time_and_handler(self):
+        handler = _Recorder()
+        ev = Event(1.5, handler, payload={"x": 1})
+        assert ev.time == 1.5
+        assert ev.handler is handler
+        assert ev.payload == {"x": 1}
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            Event(-0.1, _Recorder())
+
+    def test_zero_time_allowed(self):
+        assert Event(0.0, _Recorder()).time == 0.0
+
+    def test_not_cancelled_initially(self):
+        assert not Event(1.0, _Recorder()).cancelled
+
+    def test_cancel_marks_event(self):
+        ev = Event(1.0, _Recorder())
+        ev.cancel()
+        assert ev.cancelled
+
+    def test_time_coerced_to_float(self):
+        assert isinstance(Event(1, _Recorder()).time, float)
+
+    def test_handler_satisfies_protocol(self):
+        assert isinstance(_Recorder(), EventHandler)
+
+
+class TestCallbackEvent:
+    def test_invokes_callable(self):
+        calls = []
+        ev = CallbackEvent(2.0, lambda e: calls.append(e))
+        ev.handler.handle(ev)
+        assert calls == [ev]
+
+    def test_payload_carried(self):
+        ev = CallbackEvent(0.5, lambda e: None, payload=42)
+        assert ev.payload == 42

@@ -1,0 +1,93 @@
+"""Tests for the hook system and the monitor."""
+
+from repro.engine.engine import Engine
+from repro.engine.hooks import Hook, HookCtx, Hookable
+from repro.engine.monitor import Monitor
+
+
+class _Counter:
+    def __init__(self):
+        self.count = 0
+        self.last = None
+
+    def func(self, ctx):
+        self.count += 1
+        self.last = ctx
+
+
+class TestHookable:
+    def test_invoke_reaches_all_hooks(self):
+        target = Hookable()
+        hooks = [_Counter() for _ in range(3)]
+        for h in hooks:
+            target.accept_hook(h)
+        target.invoke_hooks(HookCtx("pos", 1.0))
+        assert all(h.count == 1 for h in hooks)
+
+    def test_remove_hook(self):
+        target = Hookable()
+        hook = _Counter()
+        target.accept_hook(hook)
+        target.remove_hook(hook)
+        target.invoke_hooks(HookCtx("pos", 1.0))
+        assert hook.count == 0
+        assert target.num_hooks == 0
+
+    def test_ctx_fields(self):
+        target = Hookable()
+        hook = _Counter()
+        target.accept_hook(hook)
+        target.invoke_hooks(HookCtx("p", 2.0, item="x", detail={"k": 1}))
+        assert hook.last.pos == "p"
+        assert hook.last.time == 2.0
+        assert hook.last.item == "x"
+        assert hook.last.detail == {"k": 1}
+
+    def test_counter_satisfies_protocol(self):
+        assert isinstance(_Counter(), Hook)
+
+
+class TestMonitor:
+    def test_records_engine_events(self):
+        eng = Engine()
+        monitor = Monitor()
+        eng.accept_hook(monitor)
+        eng.call_at(1.0, lambda e: None)
+        eng.run()
+        assert monitor.counts["before_event"] == 1
+        assert monitor.counts["after_event"] == 1
+        assert len(monitor.records) == 2
+
+    def test_position_filter(self):
+        eng = Engine()
+        monitor = Monitor(positions=["after_event"])
+        eng.accept_hook(monitor)
+        eng.call_at(1.0, lambda e: None)
+        eng.run()
+        # Counts see everything, records only the filtered position.
+        assert monitor.counts["before_event"] == 1
+        assert [r.pos for r in monitor.records] == ["after_event"]
+
+    def test_max_records_bound(self):
+        eng = Engine()
+        monitor = Monitor(max_records=5)
+        eng.accept_hook(monitor)
+        for i in range(10):
+            eng.call_at(float(i), lambda e: None)
+        eng.run()
+        assert len(monitor.records) == 5
+
+    def test_events_per_second_positive(self):
+        eng = Engine()
+        monitor = Monitor()
+        eng.accept_hook(monitor)
+        eng.call_at(0.0, lambda e: None)
+        eng.run()
+        assert monitor.events_per_second() > 0
+
+    def test_summary_copies(self):
+        monitor = Monitor()
+        monitor.func(HookCtx("p", 0.0))
+        summary = monitor.summary()
+        summary["p"] = 99
+        assert monitor.counts["p"] == 1

@@ -1,0 +1,77 @@
+"""Tests for the operator-time resolver (OpTimeModel)."""
+
+import pytest
+
+from repro.extrapolator.optime import OpTimeModel
+from repro.gpus.specs import get_gpu
+from repro.trace.tracer import Tracer
+from repro.workloads import get_model
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return Tracer(get_gpu("A100"), noise_sigma=0.0).trace(get_model("resnet18"), 64)
+
+
+@pytest.fixture(scope="module")
+def op_time(trace):
+    return OpTimeModel(trace)
+
+
+class TestVerbatimRule:
+    def test_identity_returns_trace_time(self, trace, op_time):
+        for op in trace.operators[:10]:
+            assert op_time.duration(op) == op.duration
+
+    def test_shard_on_unshardable_is_identity(self, trace, op_time):
+        norm_op = next(op for op in trace.operators if op.kind == "norm")
+        assert op_time.duration(norm_op, shard=4) == norm_op.duration
+
+
+class TestBatchScaling:
+    def test_double_batch_roughly_doubles(self, trace, op_time):
+        conv = max(trace.forward_ops, key=lambda o: o.flops)
+        scaled = op_time.duration(conv, batch_scale=2.0)
+        assert 1.7 * conv.duration < scaled < 2.3 * conv.duration
+
+    def test_optimizer_ops_ignore_batch(self, trace, op_time):
+        opt = trace.optimizer_ops[0]
+        assert op_time.duration(opt, batch_scale=4.0) == opt.duration
+
+    def test_invalid_scale_rejected(self, trace, op_time):
+        with pytest.raises(ValueError):
+            op_time.duration(trace.operators[0], batch_scale=0.0)
+
+    def test_invalid_shard_rejected(self, trace, op_time):
+        with pytest.raises(ValueError):
+            op_time.duration(trace.operators[0], shard=0)
+
+
+class TestSharding:
+    def test_shard_reduces_time(self, trace, op_time):
+        conv = max(trace.forward_ops, key=lambda o: o.flops)
+        assert op_time.duration(conv, shard=2) < conv.duration
+
+    def test_shardable_kinds(self, trace, op_time):
+        kinds = {op.kind: op_time.shardable(op) for op in trace.operators}
+        assert kinds["conv"] and kinds["linear"]
+        assert not kinds["norm"] and not kinds["pool"]
+
+
+class TestByteQueries:
+    def test_output_act_bytes_scale(self, trace, op_time):
+        op = trace.forward_ops[0]
+        assert op_time.output_act_bytes(op, 2.0) == \
+            2 * op_time.output_act_bytes(op, 1.0)
+
+    def test_gradient_bytes_only_on_param_bwd_ops(self, trace, op_time):
+        total = sum(op_time.gradient_bytes(op) for op in trace.backward_ops)
+        assert total == trace.gradient_bytes
+        fwd_total = sum(op_time.gradient_bytes(op) for op in trace.forward_ops)
+        assert fwd_total == 0
+
+    def test_lazy_li_model(self, trace):
+        model = OpTimeModel(trace)
+        assert model._model is None
+        model.duration(trace.operators[0], batch_scale=2.0)
+        assert model._model is not None

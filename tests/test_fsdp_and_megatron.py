@@ -1,0 +1,189 @@
+"""Tests for the FSDP and Megatron-TP extensions."""
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import TrioSim
+from repro.extrapolator.fsdp import FSDPExtrapolator
+from repro.extrapolator.optime import OpTimeModel
+from repro.gpus.specs import get_gpu, platform_p2
+from repro.memory.estimator import estimate_memory
+from repro.oracle.oracle import HardwareOracle
+from repro.trace.tracer import Tracer
+from repro.workloads import get_model
+
+
+@pytest.fixture(scope="module")
+def vgg_trace():
+    return Tracer(get_gpu("A100")).trace(get_model("vgg16"), 64)
+
+
+@pytest.fixture(scope="module")
+def gpt2_trace():
+    return Tracer(get_gpu("A100")).trace(get_model("gpt2"), 64)
+
+
+def _run(trace, **fields):
+    config = SimulationConfig(link_bandwidth=234e9, **fields)
+    return TrioSim(trace, config, record_timeline=False).run()
+
+
+class TestFSDPUnits:
+    def test_units_cover_all_parameters(self, vgg_trace):
+        ex = FSDPExtrapolator(vgg_trace, OpTimeModel(vgg_trace), 4)
+        total = sum(nbytes for _ops, nbytes in ex.units())
+        expected = sum(t.nbytes for t in vgg_trace.weight_tensors())
+        assert total == pytest.approx(expected)
+
+    def test_unit_size_respected(self, vgg_trace):
+        small = FSDPExtrapolator(vgg_trace, OpTimeModel(vgg_trace), 4,
+                                 unit_bytes=1024 * 1024)
+        big = FSDPExtrapolator(vgg_trace, OpTimeModel(vgg_trace), 4,
+                               unit_bytes=10**9)
+        assert len(small.units()) > len(big.units())
+
+    def test_units_are_contiguous(self, vgg_trace):
+        ex = FSDPExtrapolator(vgg_trace, OpTimeModel(vgg_trace), 4)
+        flat = [op.name for ops, _b in ex.units() for op in ops]
+        assert flat == [op.name for op in vgg_trace.forward_ops]
+
+
+class TestFSDPSimulation:
+    def test_more_comm_than_ddp(self, vgg_trace):
+        """ZeRO's trade: 3x parameter traffic vs DDP's 2x."""
+        ddp = _run(vgg_trace, parallelism="ddp", num_gpus=4)
+        fsdp = _run(vgg_trace, parallelism="fsdp", num_gpus=4)
+        assert fsdp.communication_time > ddp.communication_time
+
+    def test_slower_or_equal_to_ddp(self, vgg_trace):
+        ddp = _run(vgg_trace, parallelism="ddp", num_gpus=4)
+        fsdp = _run(vgg_trace, parallelism="fsdp", num_gpus=4)
+        assert fsdp.total_time >= ddp.total_time * 0.98
+
+    def test_memory_is_the_payoff(self, vgg_trace):
+        ddp = estimate_memory(vgg_trace, parallelism="ddp", num_gpus=8)
+        fsdp = estimate_memory(vgg_trace, parallelism="fsdp", num_gpus=8)
+        assert fsdp.params < ddp.params / 4
+        assert fsdp.total < ddp.total
+
+    def test_optimizer_work_sharded(self, vgg_trace):
+        """Each rank updates a 1/n shard: optimizer compute shrinks."""
+        single = _run(vgg_trace, parallelism="single")
+        fsdp = _run(vgg_trace, parallelism="fsdp", num_gpus=4)
+        # Aggregate optimizer busy across 4 GPUs equals one full update.
+        assert fsdp.total_time > 0 and single.total_time > 0
+
+    def test_inference_trace_supported(self):
+        trace = Tracer(get_gpu("A100")).trace_inference(get_model("resnet18"), 32)
+        result = _run(trace, parallelism="fsdp", num_gpus=2)
+        assert result.total_time > 0
+
+    def test_tracks_oracle(self, vgg_trace):
+        platform = platform_p2()
+        oracle = HardwareOracle(platform)
+        measured = oracle.measure_fsdp(get_model("vgg16"), 64, runs=5).total
+        config = SimulationConfig.for_platform(platform, parallelism="fsdp",
+                                               batch_size=64)
+        predicted = TrioSim(vgg_trace, config,
+                            record_timeline=False).run().total_time
+        assert abs(predicted - measured) / measured < 0.25
+
+
+class TestMegatronTP:
+    def test_fewer_collectives_for_transformers(self, gpt2_trace):
+        layerwise = _run(gpt2_trace, parallelism="tp", num_gpus=4)
+        megatron = _run(gpt2_trace, parallelism="tp", num_gpus=4,
+                        tp_scheme="megatron")
+        assert megatron.communication_time < 0.8 * layerwise.communication_time
+        assert megatron.total_time < layerwise.total_time
+
+    def test_cnn_falls_back_to_layerwise(self, vgg_trace):
+        layerwise = _run(vgg_trace, parallelism="tp", num_gpus=4)
+        megatron = _run(vgg_trace, parallelism="tp", num_gpus=4,
+                        tp_scheme="megatron")
+        assert megatron.total_time == pytest.approx(layerwise.total_time,
+                                                    rel=1e-9)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(tp_scheme="colossal")
+
+    def test_tracks_oracle(self, gpt2_trace):
+        platform = platform_p2()
+        oracle = HardwareOracle(platform)
+        measured = oracle.measure_tensor_parallel(
+            get_model("gpt2"), 64, runs=5, scheme="megatron").total
+        config = SimulationConfig.for_platform(
+            platform, parallelism="tp", tp_scheme="megatron", batch_size=64)
+        predicted = TrioSim(gpt2_trace, config,
+                            record_timeline=False).run().total_time
+        assert abs(predicted - measured) / measured < 0.25
+
+    def test_oracle_scheme_validation(self):
+        oracle = HardwareOracle(platform_p2())
+        with pytest.raises(ValueError):
+            oracle.measure_tensor_parallel(get_model("gpt2"), 8, runs=1,
+                                           scheme="colossal")
+
+    def test_megatron_beats_layerwise_in_oracle_too(self):
+        """The ordering holds on the ground-truth side as well."""
+        oracle = HardwareOracle(platform_p2())
+        model = get_model("gpt2")
+        layerwise = oracle.measure_tensor_parallel(model, 64, runs=3).total
+        megatron = oracle.measure_tensor_parallel(
+            model, 64, runs=3, scheme="megatron").total
+        assert megatron < layerwise
+
+
+class Test1F1BSchedule:
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(pp_schedule="zigzag")
+
+    def test_timing_close_to_gpipe(self, vgg_trace):
+        """For balanced stages the 1F1B bubble matches GPipe's; the
+        iteration time may only improve (earlier backward start)."""
+        gpipe = _run(vgg_trace, parallelism="pp", num_gpus=4, chunks=8)
+        f1b = _run(vgg_trace, parallelism="pp", num_gpus=4, chunks=8,
+                   pp_schedule="1f1b")
+        assert f1b.total_time <= gpipe.total_time * 1.02
+        assert f1b.total_time >= gpipe.total_time * 0.7
+
+    def test_memory_is_the_payoff(self, vgg_trace):
+        gpipe = estimate_memory(vgg_trace, parallelism="pp", num_gpus=4,
+                                chunks=16)
+        f1b = estimate_memory(vgg_trace, parallelism="pp", num_gpus=4,
+                              chunks=16, pp_schedule="1f1b")
+        assert f1b.activations == pytest.approx(gpipe.activations / 4)
+
+    def test_no_memory_change_when_chunks_small(self, vgg_trace):
+        gpipe = estimate_memory(vgg_trace, parallelism="pp", num_gpus=4,
+                                chunks=2)
+        f1b = estimate_memory(vgg_trace, parallelism="pp", num_gpus=4,
+                              chunks=2, pp_schedule="1f1b")
+        assert f1b.activations == gpipe.activations
+
+    def test_single_chunk_degenerate(self, vgg_trace):
+        gpipe = _run(vgg_trace, parallelism="pp", num_gpus=2, chunks=1)
+        f1b = _run(vgg_trace, parallelism="pp", num_gpus=2, chunks=1,
+                   pp_schedule="1f1b")
+        assert f1b.total_time == pytest.approx(gpipe.total_time, rel=1e-9)
+
+    def test_backward_interleaves_with_forward(self, vgg_trace):
+        """Under 1F1B, some backward work on the last stage starts before
+        the first stage finishes all its forwards."""
+        config = SimulationConfig(parallelism="pp", num_gpus=4, chunks=8,
+                                  link_bandwidth=234e9, pp_schedule="1f1b")
+        result = TrioSim(vgg_trace, config).run()
+        last_gpu = "gpu3"
+        bwd_starts = [r.start for r in result.timeline
+                      if r.resource == last_gpu and r.phase == "backward"]
+        fwd_ends = [r.end for r in result.timeline
+                    if r.resource == "gpu0" and r.phase == "forward"]
+        assert min(bwd_starts) < max(fwd_ends)
+
+    def test_inference_supported(self):
+        trace = Tracer(get_gpu("A100")).trace_inference(get_model("resnet18"), 32)
+        result = _run(trace, parallelism="pp", num_gpus=2, chunks=4,
+                      pp_schedule="1f1b")
+        assert result.total_time > 0

@@ -1,0 +1,76 @@
+"""Golden regression tests: pinned end-to-end predictions.
+
+These values were recorded from a verified state of the repository.  They
+exist to catch *unintended* drift: if a refactor changes any of them, the
+change is either a bug or a deliberate model change that must also update
+EXPERIMENTS.md.  Tolerances are tight (0.1%) but not exact, so harmless
+float reorderings do not trip them.
+"""
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import TrioSim
+from repro.gpus.specs import get_gpu, platform_p1, platform_p2
+from repro.oracle.oracle import HardwareOracle
+from repro.trace.tracer import Tracer
+from repro.workloads import get_model
+
+REL = 1e-3
+
+
+@pytest.fixture(scope="module")
+def rn50_a40():
+    return Tracer(get_gpu("A40")).trace(get_model("resnet50"), 128)
+
+
+@pytest.fixture(scope="module")
+def rn50_a100():
+    return Tracer(get_gpu("A100")).trace(get_model("resnet50"), 128)
+
+
+def _predict(trace, platform, **kw):
+    config = SimulationConfig.for_platform(platform, **kw)
+    return TrioSim(trace, config, record_timeline=False).run().total_time
+
+
+class TestGoldenTraces:
+    def test_trace_total(self, rn50_a40):
+        assert rn50_a40.total_duration == pytest.approx(0.2446050, rel=REL)
+
+    def test_gradient_bytes(self, rn50_a40):
+        assert rn50_a40.gradient_bytes == 102228128
+
+    def test_operator_count(self, rn50_a40):
+        assert len(rn50_a40.operators) == 455
+
+
+class TestGoldenPredictions:
+    def test_ddp_p1(self, rn50_a40):
+        total = _predict(rn50_a40, platform_p1(), parallelism="ddp")
+        assert total == pytest.approx(0.2454471, rel=REL)
+
+    def test_tp_p2(self, rn50_a100):
+        total = _predict(rn50_a100, platform_p2(), parallelism="tp")
+        assert total == pytest.approx(0.1249745, rel=REL)
+
+    def test_pp_p2_2chunks(self, rn50_a100):
+        total = _predict(rn50_a100, platform_p2(), parallelism="pp", chunks=2)
+        assert total == pytest.approx(0.0619135, rel=REL)
+
+
+class TestGoldenOracle:
+    def test_ddp_p1_measurement(self):
+        oracle = HardwareOracle(platform_p1())
+        total = oracle.measure_ddp(get_model("resnet50"), 128, runs=5).total
+        assert total == pytest.approx(0.2435932, rel=REL)
+
+
+def test_golden_values_current():
+    """Meta-check: regenerate two goldens in-process so a stale pin fails
+    loudly with the fresh value in the message."""
+    trace = Tracer(get_gpu("A40")).trace(get_model("resnet50"), 128)
+    fresh = trace.total_duration
+    assert fresh == pytest.approx(0.2446050, rel=REL), (
+        f"golden trace total drifted: now {fresh!r}"
+    )

@@ -1,0 +1,83 @@
+"""Tests for the GPU/interconnect specification database."""
+
+import pytest
+
+from repro.gpus.specs import (
+    GPU_SPECS,
+    INTERCONNECTS,
+    custom_platform,
+    get_gpu,
+    get_interconnect,
+    platform_p1,
+    platform_p2,
+    platform_p3,
+)
+
+
+class TestGPUSpecs:
+    def test_paper_gpus_present(self):
+        assert set(GPU_SPECS) == {"A40", "A100", "H100"}
+
+    def test_lookup_case_insensitive(self):
+        assert get_gpu("a100").name == "A100"
+
+    def test_unknown_gpu_raises(self):
+        with pytest.raises(KeyError):
+            get_gpu("V100")
+
+    def test_generation_ordering(self):
+        a40, a100, h100 = get_gpu("A40"), get_gpu("A100"), get_gpu("H100")
+        assert a40.matmul_tflops < a100.matmul_tflops < h100.matmul_tflops
+        assert a40.mem_bandwidth < a100.mem_bandwidth < h100.mem_bandwidth
+
+    def test_flops_unit_conversion(self):
+        assert get_gpu("A100").matmul_flops == pytest.approx(156e12)
+        assert get_gpu("A100").vector_flops == pytest.approx(19.5e12)
+
+
+class TestInterconnects:
+    def test_achieved_below_theoretical(self):
+        for spec in INTERCONNECTS.values():
+            assert 0 < spec.achieved_bandwidth < spec.theoretical_bandwidth
+
+    def test_nvlink_faster_than_pcie(self):
+        assert (get_interconnect("nvlink3").achieved_bandwidth
+                > get_interconnect("pcie4").achieved_bandwidth)
+
+    def test_unknown_interconnect_raises(self):
+        with pytest.raises(KeyError):
+            get_interconnect("infiniband")
+
+
+class TestPlatforms:
+    def test_p1_matches_paper(self):
+        p1 = platform_p1()
+        assert p1.num_gpus == 2
+        assert p1.gpu.name == "A40"
+        assert p1.interconnect.name == "pcie4"
+
+    def test_p2_matches_paper(self):
+        p2 = platform_p2()
+        assert p2.num_gpus == 4
+        assert p2.gpu.name == "A100"
+        assert p2.interconnect.name == "nvlink3"
+
+    def test_p2_gpu_count_clamped(self):
+        assert platform_p2(2).num_gpus == 2
+        with pytest.raises(ValueError):
+            platform_p2(5)
+
+    def test_p3_matches_paper(self):
+        p3 = platform_p3()
+        assert p3.num_gpus == 8
+        assert p3.gpu.name == "H100"
+        assert p3.topology == "switch"
+
+    def test_gpus_list_length(self):
+        assert len(platform_p3().gpus) == 8
+
+    def test_custom_platform(self):
+        plat = custom_platform("A100", 84, "nvlink3", "ring", name="wafer")
+        assert plat.num_gpus == 84
+        assert plat.name == "wafer"
+        assert plat.link_bandwidth == plat.interconnect.achieved_bandwidth

@@ -1,0 +1,75 @@
+"""Tests for heterogeneous (per-GPU slowdown) configurations."""
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import TrioSim
+from repro.gpus.specs import get_gpu
+from repro.trace.tracer import Tracer
+from repro.workloads import get_model
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return Tracer(get_gpu("A100")).trace(get_model("resnet18"), 64)
+
+
+def _run(trace, slowdowns=None, **fields):
+    config = SimulationConfig(link_bandwidth=234e9,
+                              gpu_slowdowns=slowdowns, **fields)
+    return TrioSim(trace, config, record_timeline=False).run()
+
+
+class TestValidation:
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(gpu_slowdowns={"gpu0": 0.0})
+
+    def test_none_is_uniform(self, trace):
+        a = _run(trace, None, parallelism="ddp", num_gpus=2)
+        b = _run(trace, {}, parallelism="ddp", num_gpus=2)
+        assert a.total_time == pytest.approx(b.total_time)
+
+
+class TestDDPStraggler:
+    def test_iteration_stretches_to_slowest(self, trace):
+        base = _run(trace, parallelism="ddp", num_gpus=4)
+        straggler = _run(trace, {"gpu1": 2.0}, parallelism="ddp", num_gpus=4)
+        assert straggler.total_time == pytest.approx(2 * base.total_time,
+                                                     rel=0.10)
+
+    def test_only_named_gpu_slowed(self, trace):
+        result = _run(trace, {"gpu1": 2.0}, parallelism="ddp", num_gpus=4)
+        busy = result.per_gpu_busy
+        assert busy["gpu1"] == pytest.approx(2 * busy["gpu0"], rel=1e-6)
+        assert busy["gpu0"] == pytest.approx(busy["gpu3"], rel=1e-6)
+
+    def test_speedup_of_faster_gpu(self, trace):
+        """A factor below 1 models a *faster* device."""
+        base = _run(trace, parallelism="ddp", num_gpus=2)
+        boosted = _run(trace, {"gpu0": 0.5, "gpu1": 0.5},
+                       parallelism="ddp", num_gpus=2)
+        assert boosted.total_time < base.total_time
+
+
+class TestPipelineStraggler:
+    def test_slow_stage_dominates(self, trace):
+        base = _run(trace, parallelism="pp", num_gpus=2, chunks=4)
+        slow0 = _run(trace, {"gpu0": 3.0}, parallelism="pp", num_gpus=2,
+                     chunks=4)
+        assert slow0.total_time > 2 * base.total_time
+
+    def test_either_stage_hurts(self, trace):
+        slow0 = _run(trace, {"gpu0": 3.0}, parallelism="pp", num_gpus=2,
+                     chunks=4).total_time
+        slow1 = _run(trace, {"gpu1": 3.0}, parallelism="pp", num_gpus=2,
+                     chunks=4).total_time
+        base = _run(trace, parallelism="pp", num_gpus=2, chunks=4).total_time
+        assert min(slow0, slow1) > base
+
+
+class TestTPStraggler:
+    def test_lockstep_layers_wait(self, trace):
+        base = _run(trace, parallelism="tp", num_gpus=2)
+        slow = _run(trace, {"gpu0": 1.5}, parallelism="tp", num_gpus=2)
+        assert slow.total_time > 1.3 * base.total_time

@@ -1,0 +1,130 @@
+"""Tests for the Hop decentralized-training protocol."""
+
+import pytest
+
+from repro.engine.engine import Engine
+from repro.hop.protocol import HopConfig, HopSimulation, random_slowdowns
+from repro.network.topology import double_ring, ring_with_chords
+
+
+def _config(**kw):
+    fields = dict(
+        graph=ring_with_chords(8, 100e9),
+        compute_time=0.01,
+        update_bytes=1e6,
+        bandwidth=100e9,
+        iterations=5,
+    )
+    fields.update(kw)
+    return HopConfig(**fields)
+
+
+class TestConfigValidation:
+    def test_defaults_fill_slowdowns(self):
+        cfg = _config()
+        assert cfg.slowdowns == [1.0] * 8
+
+    def test_wrong_slowdown_count_rejected(self):
+        with pytest.raises(ValueError):
+            _config(slowdowns=[1.0] * 3)
+
+    def test_backup_must_be_under_degree(self):
+        with pytest.raises(ValueError):
+            _config(backup_workers=3)  # degree is 3
+
+    def test_negative_backup_rejected(self):
+        with pytest.raises(ValueError):
+            _config(backup_workers=-1)
+
+    def test_bad_iterations(self):
+        with pytest.raises(ValueError):
+            _config(iterations=0)
+
+
+class TestHomogeneous:
+    def test_all_finish(self):
+        result = HopSimulation(_config()).run()
+        assert len(result.finish_times) == 8
+        assert result.total_time > 0
+
+    def test_iterations_scale_time(self):
+        t5 = HopSimulation(_config(iterations=5)).run().total_time
+        t10 = HopSimulation(_config(iterations=10)).run().total_time
+        assert 1.8 < t10 / t5 < 2.2
+
+    def test_backup_no_benefit_when_homogeneous(self):
+        base = HopSimulation(_config(backup_workers=0)).run().total_time
+        backup = HopSimulation(_config(backup_workers=1)).run().total_time
+        assert backup <= base
+        assert backup > 0.9 * base  # marginal at best
+
+    def test_updates_sent_count(self):
+        result = HopSimulation(_config(iterations=5)).run()
+        # 8 workers x degree 3 x 5 iterations.
+        assert result.updates_sent == 8 * 3 * 5
+
+    def test_deterministic(self):
+        a = HopSimulation(_config()).run().total_time
+        b = HopSimulation(_config()).run().total_time
+        assert a == b
+
+
+class TestHeterogeneous:
+    #: One badly degraded worker; updates big enough (0.5 ms nominal,
+    #: 25 ms over the slow link) that communication drives the makespan.
+    _HET = dict(update_bytes=5e7, compute_time=0.001)
+
+    def _slow(self):
+        slowdowns = [1.0] * 8
+        slowdowns[3] = 50.0
+        return slowdowns
+
+    def test_slow_worker_hurts(self):
+        uniform = HopSimulation(_config(**self._HET)).run().total_time
+        degraded = HopSimulation(
+            _config(slowdowns=self._slow(), **self._HET)
+        ).run().total_time
+        assert degraded > uniform
+
+    def test_backup_worker_helps(self):
+        cfg0 = _config(slowdowns=self._slow(), backup_workers=0, **self._HET)
+        cfg1 = _config(slowdowns=self._slow(), backup_workers=1, **self._HET)
+        t0 = HopSimulation(cfg0).run().total_time
+        t1 = HopSimulation(cfg1).run().total_time
+        assert t1 < t0
+
+    def test_staleness_bound_limits_runahead(self):
+        """With a tight token queue the fast workers cannot run away from
+        the slow one, so the backup benefit shrinks."""
+        loose = _config(slowdowns=self._slow(), backup_workers=1,
+                        staleness_bound=10, **self._HET)
+        tight = _config(slowdowns=self._slow(), backup_workers=1,
+                        staleness_bound=1, **self._HET)
+        t_loose = HopSimulation(loose).run().total_time
+        t_tight = HopSimulation(tight).run().total_time
+        assert t_tight >= t_loose
+
+    def test_missed_updates_counted(self):
+        cfg = _config(slowdowns=self._slow(), backup_workers=1, **self._HET)
+        result = HopSimulation(cfg).run()
+        assert result.updates_missed > 0
+
+
+class TestGraphs:
+    def test_double_ring_runs(self):
+        cfg = _config(graph=double_ring(8, 100e9))
+        result = HopSimulation(cfg).run()
+        assert result.total_time > 0
+
+    def test_random_slowdowns_range_and_determinism(self):
+        a = random_slowdowns(8, seed=1)
+        b = random_slowdowns(8, seed=1)
+        c = random_slowdowns(8, seed=2)
+        assert a == b != c
+        assert all(1.0 <= x <= 10.0 for x in a)
+
+    def test_custom_engine_accepted(self):
+        engine = Engine()
+        sim = HopSimulation(_config(), engine=engine)
+        sim.run()
+        assert engine.now > 0

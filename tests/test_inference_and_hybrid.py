@@ -1,0 +1,124 @@
+"""Tests for the extensions: inference traces and hybrid parallelism."""
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import TrioSim
+from repro.extrapolator.hybrid import HybridExtrapolator
+from repro.extrapolator.optime import OpTimeModel
+from repro.gpus.specs import get_gpu, platform_p2
+from repro.oracle.oracle import HardwareOracle
+from repro.trace.tracer import Tracer
+from repro.workloads import get_model
+
+
+@pytest.fixture(scope="module")
+def tracer():
+    return Tracer(get_gpu("A100"))
+
+
+@pytest.fixture(scope="module")
+def inference_trace(tracer):
+    return tracer.trace_inference(get_model("resnet18"), 64)
+
+
+@pytest.fixture(scope="module")
+def training_trace(tracer):
+    return tracer.trace(get_model("resnet18"), 64)
+
+
+class TestInferenceTraces:
+    def test_forward_only(self, inference_trace):
+        assert inference_trace.backward_ops == []
+        assert inference_trace.optimizer_ops == []
+        assert inference_trace.gradient_bytes == 0
+        assert len(inference_trace.forward_ops) == \
+            len(get_model("resnet18").layers)
+
+    def test_cheaper_than_training(self, inference_trace, training_trace):
+        assert inference_trace.total_duration < 0.5 * training_trace.total_duration
+
+    def test_optimizer_without_backward_rejected(self, tracer):
+        with pytest.raises(ValueError):
+            tracer.trace(get_model("resnet18"), 8,
+                         include_backward=False, include_optimizer=True)
+
+    @pytest.mark.parametrize("parallelism", ["single", "dp", "ddp", "tp", "pp"])
+    def test_all_strategies_accept_inference(self, inference_trace, parallelism):
+        config = SimulationConfig(
+            parallelism=parallelism,
+            num_gpus=1 if parallelism == "single" else 2,
+            chunks=2, link_bandwidth=100e9,
+        )
+        result = TrioSim(inference_trace, config, record_timeline=False).run()
+        assert result.total_time > 0
+
+    def test_ddp_inference_has_no_gradient_traffic(self, inference_trace):
+        config = SimulationConfig(parallelism="ddp", num_gpus=2,
+                                  link_bandwidth=100e9)
+        result = TrioSim(inference_trace, config, record_timeline=False).run()
+        assert result.communication_time == 0.0
+
+    def test_pipelined_inference_overlaps(self, inference_trace):
+        c1 = TrioSim(inference_trace, SimulationConfig(
+            parallelism="pp", num_gpus=2, chunks=1, link_bandwidth=200e9,
+        ), record_timeline=False).run().total_time
+        c4 = TrioSim(inference_trace, SimulationConfig(
+            parallelism="pp", num_gpus=2, chunks=4, link_bandwidth=200e9,
+        ), record_timeline=False).run().total_time
+        assert c4 < c1
+
+
+class TestHybridParallelism:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(parallelism="hybrid", num_gpus=4)  # no degree
+        with pytest.raises(ValueError):
+            SimulationConfig(parallelism="hybrid", num_gpus=4, dp_degree=3)
+
+    def test_extrapolator_gpu_layout(self, training_trace):
+        ex = HybridExtrapolator(training_trace, OpTimeModel(training_trace),
+                                dp_degree=2, pp_stages=3)
+        assert ex.replica_gpus(0) == ["gpu0", "gpu1", "gpu2"]
+        assert ex.replica_gpus(1) == ["gpu3", "gpu4", "gpu5"]
+        assert ex.stage_group(1) == ["gpu1", "gpu4"]
+
+    def test_requires_training_trace(self, inference_trace):
+        config = SimulationConfig(parallelism="hybrid", num_gpus=4, dp_degree=2)
+        with pytest.raises(ValueError):
+            TrioSim(inference_trace, config, record_timeline=False).run()
+
+    def test_runs_and_uses_all_gpus(self, training_trace):
+        config = SimulationConfig(parallelism="hybrid", num_gpus=4,
+                                  dp_degree=2, chunks=2, link_bandwidth=200e9)
+        result = TrioSim(training_trace, config).run()
+        assert len(result.per_gpu_busy) == 4
+        assert result.communication_time > 0
+
+    def test_degenerate_cases_match_components(self, training_trace):
+        """dp_degree=1 is plain PP; pp_stages=1 is DP without buckets."""
+        hybrid_as_pp = TrioSim(training_trace, SimulationConfig(
+            parallelism="hybrid", num_gpus=2, dp_degree=1, chunks=2,
+            link_bandwidth=100e9,
+        ), record_timeline=False).run().total_time
+        plain_pp = TrioSim(training_trace, SimulationConfig(
+            parallelism="pp", num_gpus=2, chunks=2, link_bandwidth=100e9,
+        ), record_timeline=False).run().total_time
+        assert hybrid_as_pp == pytest.approx(plain_pp, rel=1e-9)
+
+    def test_prediction_tracks_oracle(self, training_trace):
+        platform = platform_p2()
+        oracle = HardwareOracle(platform)
+        measured = oracle.measure_hybrid(
+            get_model("resnet18"), 64, dp_degree=2, chunks=2, runs=5).total
+        config = SimulationConfig.for_platform(
+            platform, parallelism="hybrid", dp_degree=2, chunks=2,
+            batch_size=64)
+        predicted = TrioSim(training_trace, config,
+                            record_timeline=False).run().total_time
+        assert abs(predicted - measured) / measured < 0.25
+
+    def test_oracle_validation(self):
+        oracle = HardwareOracle(platform_p2())
+        with pytest.raises(ValueError):
+            oracle.measure_hybrid(get_model("resnet18"), 64, dp_degree=3)

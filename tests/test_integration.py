@@ -1,0 +1,137 @@
+"""Integration tests: TrioSim predictions vs the hardware oracle.
+
+These tests assert the paper's *headline* validation claims at loose
+tolerances: every parallelism strategy must predict the oracle within the
+error ranges the paper considers acceptable (§8.1: "generally ... less
+than 20%, with many instances ... less than 10%").
+"""
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import TrioSim
+from repro.gpus.specs import platform_p1, platform_p2, platform_p3
+from repro.oracle.oracle import HardwareOracle
+from repro.trace.tracer import Tracer
+from repro.workloads import get_model
+
+
+def _err(measured, predicted):
+    return abs(predicted - measured) / measured
+
+
+def _trace(platform, model_name, batch):
+    return Tracer(platform.gpu).trace(get_model(model_name), batch)
+
+
+def _predict(trace, platform, **kw):
+    config = SimulationConfig.for_platform(platform, **kw)
+    return TrioSim(trace, config, record_timeline=False).run().total_time
+
+
+@pytest.mark.parametrize("model_name", ["resnet50", "vgg16", "gpt2"])
+def test_ddp_within_5_percent(model_name):
+    platform = platform_p1()
+    oracle = HardwareOracle(platform)
+    measured = oracle.measure_ddp(get_model(model_name), 128, runs=5).total
+    predicted = _predict(_trace(platform, model_name, 128), platform,
+                         parallelism="ddp")
+    assert _err(measured, predicted) < 0.05
+
+
+@pytest.mark.parametrize("model_name", ["resnet50", "densenet121"])
+def test_standard_dp_within_12_percent(model_name):
+    platform = platform_p1()
+    oracle = HardwareOracle(platform)
+    measured = oracle.measure_data_parallel(
+        get_model(model_name), 128, runs=5).total
+    predicted = _predict(_trace(platform, model_name, 128), platform,
+                         parallelism="dp")
+    assert _err(measured, predicted) < 0.12
+
+
+@pytest.mark.parametrize("model_name", ["resnet50", "vgg16"])
+def test_tp_within_12_percent(model_name):
+    platform = platform_p2()
+    oracle = HardwareOracle(platform)
+    measured = oracle.measure_tensor_parallel(
+        get_model(model_name), 128, runs=5).total
+    predicted = _predict(_trace(platform, model_name, 128), platform,
+                         parallelism="tp")
+    assert _err(measured, predicted) < 0.12
+
+
+@pytest.mark.parametrize("chunks", [1, 2])
+def test_pp_within_paper_tolerance(chunks):
+    platform = platform_p2(2)
+    oracle = HardwareOracle(platform)
+    measured = oracle.measure_pipeline(
+        get_model("resnet50"), 128, chunks, num_stages=2, runs=5).total
+    predicted = _predict(_trace(platform, "resnet50", 128), platform,
+                         num_gpus=2, parallelism="pp", chunks=chunks)
+    assert _err(measured, predicted) < 0.20
+
+
+def test_batch_extrapolation_within_8_percent():
+    platform = platform_p1()
+    oracle = HardwareOracle(platform)
+    measured = oracle.measure_single_gpu(get_model("resnet50"), 256, runs=5).total
+    trace = _trace(platform, "resnet50", 128)
+    predicted = TrioSim(
+        trace, SimulationConfig(parallelism="single", batch_size=256),
+        record_timeline=False,
+    ).run().total_time
+    assert _err(measured, predicted) < 0.08
+
+
+def test_cross_gpu_prediction_within_20_percent():
+    """A40 trace predicting an 8x H100 DDP system (Figure 11, Case 1)."""
+    p3 = platform_p3()
+    oracle = HardwareOracle(p3)
+    measured = oracle.measure_ddp(get_model("resnet50"), 256, runs=5).total
+    a40_trace = Tracer(platform_p1().gpu).trace(get_model("resnet50"), 128)
+    predicted = _predict(a40_trace, p3, parallelism="ddp", batch_size=256)
+    assert _err(measured, predicted) < 0.20
+
+
+def test_relative_ordering_dp_fastest():
+    """Figure 12's claim: at fixed total batch, DP beats TP and PP, and
+    the simulator agrees with the oracle about it."""
+    platform = platform_p2()
+    oracle = HardwareOracle(platform)
+    model = get_model("resnet50")
+    trace = _trace(platform, "resnet50", 128)
+    m_dp = oracle.measure_ddp(model, 32, runs=3).total
+    m_tp = oracle.measure_tensor_parallel(model, 128, runs=3).total
+    m_pp = oracle.measure_pipeline(model, 128, 2, runs=3).total
+    p_dp = _predict(trace, platform, parallelism="ddp", batch_size=32)
+    p_tp = _predict(trace, platform, parallelism="tp", batch_size=128)
+    p_pp = _predict(trace, platform, parallelism="pp", chunks=2, batch_size=128)
+    assert m_dp < m_pp < m_tp
+    assert p_dp < p_pp < p_tp
+
+
+def test_simulation_completes_within_seconds():
+    """The paper's speed claim: one simulation takes seconds, not hours."""
+    platform = platform_p2()
+    trace = _trace(platform, "densenet201", 128)
+    result = TrioSim(
+        trace,
+        SimulationConfig.for_platform(platform, parallelism="ddp"),
+        record_timeline=False,
+    ).run()
+    assert result.wall_time < 30.0
+
+
+def test_trace_roundtrip_preserves_prediction(tmp_path):
+    platform = platform_p1()
+    trace = _trace(platform, "resnet18", 64)
+    path = tmp_path / "t.json"
+    trace.save(path)
+    from repro.trace.trace import Trace
+
+    reloaded = Trace.load(path)
+    config = SimulationConfig.for_platform(platform, parallelism="ddp")
+    a = TrioSim(trace, config, record_timeline=False).run().total_time
+    b = TrioSim(reloaded, config, record_timeline=False).run().total_time
+    assert a == pytest.approx(b, rel=1e-12)

@@ -1,0 +1,92 @@
+"""Tests for the per-GPU memory estimator."""
+
+import pytest
+
+from repro.gpus.specs import get_gpu
+from repro.memory.estimator import FRAMEWORK_RESERVE, check_fits, estimate_memory
+from repro.trace.tracer import Tracer
+from repro.workloads import get_model
+
+
+@pytest.fixture(scope="module")
+def vgg_trace():
+    return Tracer(get_gpu("A40")).trace(get_model("vgg16"), 128)
+
+
+@pytest.fixture(scope="module")
+def llama_trace():
+    return Tracer(get_gpu("A100")).trace(get_model("llama-3.2-1b"), 16)
+
+
+class TestComponents:
+    def test_params_match_trace(self, vgg_trace):
+        est = estimate_memory(vgg_trace)
+        expected = sum(t.nbytes for t in vgg_trace.weight_tensors())
+        assert est.params == expected
+        assert est.gradients == expected
+
+    def test_total_sums_components(self, vgg_trace):
+        est = estimate_memory(vgg_trace)
+        assert est.total == pytest.approx(
+            est.params + est.gradients + est.optimizer_state
+            + est.activations + FRAMEWORK_RESERVE
+        )
+
+    def test_activations_scale_with_batch(self, vgg_trace):
+        small = estimate_memory(vgg_trace, batch_size=64)
+        large = estimate_memory(vgg_trace, batch_size=256)
+        assert large.activations == pytest.approx(4 * small.activations)
+        assert large.params == small.params
+
+
+class TestParallelismRules:
+    def test_tp_shards_reduce_footprint(self, vgg_trace):
+        single = estimate_memory(vgg_trace)
+        tp = estimate_memory(vgg_trace, parallelism="tp", num_gpus=4)
+        assert tp.params < single.params
+        assert tp.activations < single.activations
+
+    def test_pp_slices_parameters(self, vgg_trace):
+        single = estimate_memory(vgg_trace)
+        pp = estimate_memory(vgg_trace, parallelism="pp", num_gpus=4, chunks=2)
+        assert pp.params == pytest.approx(single.params / 4)
+
+    def test_ddp_replicates(self, vgg_trace):
+        single = estimate_memory(vgg_trace)
+        ddp = estimate_memory(vgg_trace, parallelism="ddp", num_gpus=4)
+        assert ddp.params == single.params
+
+    def test_invalid_inputs(self, vgg_trace):
+        with pytest.raises(ValueError):
+            estimate_memory(vgg_trace, parallelism="zigzag")
+        with pytest.raises(ValueError):
+            estimate_memory(vgg_trace, num_gpus=0)
+
+
+class TestPaperOOMObservations:
+    def test_llama_fits_at_traced_batch(self, llama_trace):
+        """The paper traces Llama at batch 16 to avoid OOM — it must fit."""
+        assert estimate_memory(llama_trace, batch_size=16).fits(get_gpu("A100"))
+
+    def test_llama_ooms_at_batch_128(self, llama_trace):
+        assert not estimate_memory(llama_trace, batch_size=128).fits(get_gpu("A100"))
+
+    def test_tensor_parallel_rescues_llama(self, llama_trace):
+        est = estimate_memory(llama_trace, parallelism="tp", num_gpus=8,
+                              batch_size=128)
+        assert est.total < estimate_memory(llama_trace, batch_size=128).total
+
+    def test_vgg_fits_at_fig6_batch(self, vgg_trace):
+        """VGG appears in Figure 6 at batch 256, so it fits an A40."""
+        assert estimate_memory(vgg_trace, batch_size=256).fits(get_gpu("A40"))
+
+
+class TestCheckFits:
+    def test_report_fields(self, vgg_trace):
+        report = check_fits(vgg_trace, "A40", batch_size=128)
+        assert set(report) >= {"params", "activations", "total", "capacity",
+                               "headroom", "fits"}
+        assert report["headroom"] == pytest.approx(
+            report["capacity"] - report["total"]
+        )
+        assert bool(report["fits"]) == (report["headroom"] >= 0)

@@ -1,0 +1,69 @@
+"""Tests for the tensor placement store."""
+
+import pytest
+
+from repro.memory.tensor_store import TensorStore
+
+
+class TestPlacement:
+    def test_place_and_query(self):
+        store = TensorStore()
+        store.place(1, "gpu0", 100)
+        assert store.holds(1, "gpu0")
+        assert not store.holds(1, "gpu1")
+        assert store.home_of(1) == "gpu0"
+
+    def test_replication(self):
+        store = TensorStore()
+        store.place(1, "gpu0", 100)
+        store.place(1, "gpu1")
+        assert store.locations(1) == {"gpu0", "gpu1"}
+        assert store.home_of(1) == "gpu0"  # home stays the first site
+
+    def test_idempotent_place(self):
+        store = TensorStore(capacities={"gpu0": 150})
+        store.place(1, "gpu0", 100)
+        store.place(1, "gpu0", 100)
+        assert store.used_bytes("gpu0") == 100
+
+    def test_missing_and_fetch_plan(self):
+        store = TensorStore()
+        store.place(1, "gpu0", 100)
+        store.place(2, "gpu1", 50)
+        assert store.missing([1, 2], "gpu0") == [2]
+        assert store.fetch_plan([1, 2], "gpu0") == [(2, "gpu1", 50)]
+
+    def test_eviction(self):
+        store = TensorStore()
+        store.place(1, "gpu0", 100)
+        store.place(1, "gpu1")
+        store.evict(1, "gpu1")
+        assert not store.holds(1, "gpu1")
+
+    def test_home_copy_protected(self):
+        store = TensorStore()
+        store.place(1, "gpu0", 100)
+        with pytest.raises(ValueError):
+            store.evict(1, "gpu0")
+
+
+class TestCapacity:
+    def test_over_capacity_raises(self):
+        store = TensorStore(capacities={"gpu0": 100})
+        store.place(1, "gpu0", 80)
+        with pytest.raises(MemoryError):
+            store.place(2, "gpu0", 30)
+
+    def test_eviction_frees_capacity(self):
+        store = TensorStore(capacities={"gpu0": 100, "gpu1": 100})
+        store.place(1, "gpu1", 80)
+        store.place(1, "gpu0")
+        store.evict(1, "gpu0")
+        store.place(2, "gpu0", 90)  # fits after eviction
+        assert store.used_bytes("gpu0") == 90
+
+    def test_unlimited_without_capacities(self):
+        store = TensorStore()
+        store.place(1, "gpu0", 1e15)
+        store.place(2, "gpu0", 1e15)
+        assert store.holds(2, "gpu0")

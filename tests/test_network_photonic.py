@@ -1,0 +1,126 @@
+"""Tests for the circuit-switching photonic network model."""
+
+import pytest
+
+from repro.engine.engine import Engine
+from repro.network.photonic import PhotonicNetwork
+from repro.network.topology import gpu_names
+
+
+def _net(n=4, bandwidth=100.0, setup=1.0, ports=2, link_latency=0.0):
+    engine = Engine()
+    net = PhotonicNetwork(engine, gpu_names(n), bandwidth=bandwidth,
+                          setup_latency=setup, ports_per_node=ports,
+                          link_latency=link_latency)
+    return engine, net
+
+
+class TestCircuitSetup:
+    def test_first_transfer_pays_setup(self):
+        engine, net = _net()
+        done = {}
+        net.send("gpu0", "gpu1", 100.0, lambda t: done.setdefault("a", engine.now))
+        engine.run()
+        assert done["a"] == pytest.approx(1.0 + 1.0)  # setup + wire
+
+    def test_established_circuit_reused(self):
+        engine, net = _net()
+        done = {}
+        net.send("gpu0", "gpu1", 100.0, lambda t: done.setdefault("a", engine.now))
+        engine.call_after(3.0, lambda e: net.send(
+            "gpu0", "gpu1", 100.0, lambda t: done.setdefault("b", engine.now)))
+        engine.run()
+        assert done["b"] == pytest.approx(4.0)  # no second setup
+        assert net.circuits_established == 1
+
+    def test_waiters_join_establishing_circuit(self):
+        engine, net = _net()
+        done = {}
+        net.send("gpu0", "gpu1", 100.0, lambda t: done.setdefault("a", engine.now))
+        net.send("gpu0", "gpu1", 100.0, lambda t: done.setdefault("b", engine.now))
+        engine.run()
+        assert net.circuits_established == 1
+        # Both shared the circuit after one setup: 200B at 100B/s shared.
+        assert done["a"] == pytest.approx(3.0)
+        assert done["b"] == pytest.approx(3.0)
+
+    def test_circuit_latency_distance_independent(self):
+        engine, net = _net(n=8, link_latency=0.25)
+        done = {}
+        net.send("gpu0", "gpu7", 100.0, lambda t: done.setdefault("far", engine.now))
+        engine.run()
+        assert done["far"] == pytest.approx(1.0 + 1.0 + 0.25)
+
+
+class TestPortManagement:
+    def test_lru_eviction_frees_ports(self):
+        engine, net = _net(ports=1)
+        done = {}
+        net.send("gpu0", "gpu1", 100.0, lambda t: done.setdefault("a", engine.now))
+        # After a completes, gpu0's only port must be re-used for gpu2.
+        engine.call_after(5.0, lambda e: net.send(
+            "gpu0", "gpu2", 100.0, lambda t: done.setdefault("b", engine.now)))
+        engine.run()
+        assert done["b"] == pytest.approx(5.0 + 1.0 + 1.0)
+        assert net.circuits_torn_down == 1
+
+    def test_busy_circuits_not_evicted(self):
+        engine, net = _net(ports=1)
+        done = {}
+        # a occupies gpu0's port for 10s of wire time.
+        net.send("gpu0", "gpu1", 1000.0, lambda t: done.setdefault("a", engine.now))
+        # b requested while a is in flight: must wait for the port.
+        engine.call_after(2.0, lambda e: net.send(
+            "gpu0", "gpu2", 100.0, lambda t: done.setdefault("b", engine.now)))
+        engine.run()
+        assert done["a"] == pytest.approx(11.0)
+        assert done["b"] > done["a"]
+        assert net.circuits_torn_down == 1
+
+    def test_ports_in_use_tracking(self):
+        engine, net = _net(ports=2)
+        net.send("gpu0", "gpu1", 1e6, lambda t: None)
+        engine.run(until=2.0)
+        assert net.ports_in_use("gpu0") == 1
+        assert net.ports_in_use("gpu1") == 1
+
+
+class TestSharing:
+    def test_flows_share_circuit_bandwidth(self):
+        engine, net = _net(setup=0.0)
+        done = {}
+        net.send("gpu0", "gpu1", 100.0, lambda t: done.setdefault("a", engine.now))
+        net.send("gpu0", "gpu1", 100.0, lambda t: done.setdefault("b", engine.now))
+        engine.run()
+        assert done["a"] == pytest.approx(2.0)
+
+    def test_distinct_circuits_independent(self):
+        engine, net = _net(setup=0.0)
+        done = {}
+        net.send("gpu0", "gpu1", 100.0, lambda t: done.setdefault("a", engine.now))
+        net.send("gpu2", "gpu3", 100.0, lambda t: done.setdefault("b", engine.now))
+        engine.run()
+        assert done["a"] == pytest.approx(1.0)
+        assert done["b"] == pytest.approx(1.0)
+
+
+class TestEdgeCases:
+    def test_local_and_zero_byte(self):
+        engine, net = _net()
+        done = {}
+        net.send("gpu0", "gpu0", 100.0, lambda t: done.setdefault("local", engine.now))
+        net.send("gpu0", "gpu1", 0.0, lambda t: done.setdefault("zero", engine.now))
+        engine.run()
+        assert done["local"] == 0.0
+        assert done["zero"] == 0.0
+
+    def test_unknown_node_rejected(self):
+        _engine, net = _net()
+        with pytest.raises(KeyError):
+            net.send("gpu0", "gpu99", 1.0, lambda t: None)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            PhotonicNetwork(Engine(), gpu_names(2), bandwidth=0.0)
+        with pytest.raises(ValueError):
+            PhotonicNetwork(Engine(), gpu_names(2), bandwidth=1.0, ports_per_node=0)

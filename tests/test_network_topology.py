@@ -1,0 +1,127 @@
+"""Tests for topology builders."""
+
+import networkx as nx
+import pytest
+
+from repro.network.topology import (
+    build_topology,
+    dgx_hypercube,
+    double_ring,
+    fat_tree,
+    gpu_names,
+    mesh2d,
+    ring,
+    ring_with_chords,
+    switch,
+    wafer_mesh,
+)
+
+BW = 100e9
+
+
+def _all_links_annotated(graph):
+    return all(
+        "bandwidth" in d and "latency" in d for _u, _v, d in graph.edges(data=True)
+    )
+
+
+class TestRing:
+    def test_structure(self):
+        g = ring(6, BW)
+        assert g.number_of_nodes() == 6
+        assert g.number_of_edges() == 6
+        assert all(g.degree[n] == 2 for n in g)
+
+    def test_two_nodes_single_link(self):
+        assert ring(2, BW).number_of_edges() == 1
+
+    def test_one_node_no_links(self):
+        assert ring(1, BW).number_of_edges() == 0
+
+    def test_annotations(self):
+        assert _all_links_annotated(ring(4, BW, 2e-6))
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            ring(4, 0)
+
+
+class TestSwitch:
+    def test_star_structure(self):
+        g = switch(8, BW)
+        assert g.number_of_nodes() == 9
+        assert g.degree["switch0"] == 8
+        assert all(g.degree[n] == 1 for n in gpu_names(8))
+
+    def test_any_to_any_two_hops(self):
+        g = switch(8, BW)
+        assert nx.shortest_path_length(g, "gpu0", "gpu7") == 2
+
+
+class TestMesh:
+    def test_mesh2d_counts(self):
+        g = mesh2d(3, 4, BW)
+        assert g.number_of_nodes() == 12
+        # edges: 3*(4-1) horizontal + (3-1)*4 vertical
+        assert g.number_of_edges() == 9 + 8
+
+    def test_wafer_mesh_snake_adjacency(self):
+        g = wafer_mesh(12, 7, BW)
+        assert g.number_of_nodes() == 84
+        # Consecutive snake indices are physically adjacent.
+        for i in range(83):
+            assert g.has_edge(f"gpu{i}", f"gpu{i + 1}")
+
+    def test_wafer_ring_closure_is_long(self):
+        g = wafer_mesh(12, 7, BW)
+        assert nx.shortest_path_length(g, "gpu83", "gpu0") > 5
+
+
+class TestFatTree:
+    def test_two_levels(self):
+        g = fat_tree(8, BW, radix=4)
+        assert "root" in g
+        assert g.degree["root"] == 2  # two leaves
+        uplink_bw = g["leaf0"]["root"]["bandwidth"]
+        leaf_bw = g["gpu0"]["leaf0"]["bandwidth"]
+        assert uplink_bw > leaf_bw
+
+
+class TestDGXHypercube:
+    def test_counts(self):
+        g = dgx_hypercube(BW)
+        assert g.number_of_nodes() == 8
+        assert g.number_of_edges() == 12  # 3-cube
+
+    def test_ring_links_doubled(self):
+        g = dgx_hypercube(BW)
+        doubled = sum(
+            1 for _u, _v, d in g.edges(data=True) if d["bandwidth"] == 2 * BW
+        )
+        assert doubled == 8  # the AllReduce ring
+
+
+class TestHopGraphs:
+    def test_ring_with_chords_degree(self):
+        g = ring_with_chords(8, BW)
+        # ring degree 2 + one chord to the opposite node.
+        assert all(g.degree[n] == 3 for n in g)
+
+    def test_double_ring_structure(self):
+        g = double_ring(8, BW)
+        assert g.number_of_nodes() == 8
+        assert all(g.degree[n] == 3 for n in g)  # 2 ring + 1 cross
+
+    def test_double_ring_odd_rejected(self):
+        with pytest.raises(ValueError):
+            double_ring(7, BW)
+
+
+class TestBuilderRegistry:
+    def test_by_name(self):
+        g = build_topology("ring", 4, BW)
+        assert g.number_of_nodes() == 4
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            build_topology("torus", 4, BW)

@@ -1,0 +1,137 @@
+"""Tests for the oracle's GPU execution model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpus.specs import get_gpu
+from repro.oracle.gpu_model import GPUExecutionModel, MATMUL_KINDS
+from repro.workloads import ops
+
+
+@pytest.fixture
+def model():
+    return GPUExecutionModel(get_gpu("A100"), noise_sigma=0.0)
+
+
+@pytest.fixture
+def conv_layer():
+    layer, _ = ops.conv2d("c", 64, 64, (56, 56), 3, 1, 1)
+    return layer
+
+
+class TestBaseTime:
+    def test_positive_even_for_empty_op(self, model):
+        assert model.base_time("conv", 0, 0) == model.spec.kernel_overhead
+
+    def test_negative_inputs_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.base_time("conv", -1, 0)
+
+    def test_monotone_in_flops(self, model):
+        times = [model.base_time("conv", f, 1e6) for f in (1e8, 1e9, 1e10)]
+        assert times == sorted(times)
+
+    def test_monotone_in_bytes(self, model):
+        times = [model.base_time("norm", 1e6, b) for b in (1e5, 1e7, 1e9)]
+        assert times == sorted(times)
+
+    def test_matmul_kinds_use_tensor_cores(self, model):
+        # Same FLOPs: tensor-core op is much faster than a vector op.
+        flops = 1e12
+        conv = model.base_time("conv", flops, 1e6)
+        norm = model.base_time("norm", flops, 1e6)
+        assert conv < norm / 3
+
+    def test_efficiency_improves_with_size(self, model):
+        # Large op achieves better FLOP/s than a small one.
+        small = model.base_time("conv", 1e7, 1e3)
+        large = model.base_time("conv", 1e11, 1e3)
+        assert (1e11 / large) > 2 * (1e7 / small)
+
+    def test_never_exceeds_peak(self, model):
+        flops = 1e12
+        t = model.base_time("conv", flops, 0)
+        assert flops / t <= model.spec.matmul_flops
+
+    @given(flops=st.floats(min_value=0, max_value=1e14),
+           nbytes=st.floats(min_value=0, max_value=1e11))
+    @settings(max_examples=100, deadline=None)
+    def test_property_time_at_least_overhead(self, flops, nbytes):
+        gpu_model = GPUExecutionModel(get_gpu("A100"), noise_sigma=0.0)
+        assert gpu_model.base_time("conv", flops, nbytes) >= \
+            gpu_model.spec.kernel_overhead
+
+
+class TestLayerTime:
+    def test_scales_with_batch(self, model, conv_layer):
+        t1 = model.layer_time(conv_layer, 1)
+        t128 = model.layer_time(conv_layer, 128)
+        assert t128 > 20 * t1  # sublinear at tiny sizes, near-linear later
+
+    def test_backward_slower_than_forward(self, model, conv_layer):
+        assert model.layer_time(conv_layer, 64, "bwd") > \
+            model.layer_time(conv_layer, 64, "fwd")
+
+    def test_invalid_direction(self, model, conv_layer):
+        with pytest.raises(ValueError):
+            model.layer_time(conv_layer, 1, "sideways")
+
+    def test_sharding_reduces_time(self, model, conv_layer):
+        whole = model.layer_time(conv_layer, 128, "fwd", shard=1)
+        half = model.layer_time(conv_layer, 128, "fwd", shard=2)
+        assert half < whole
+        # But not perfectly: efficiency drops at smaller sizes.
+        assert half > whole / 2
+
+    def test_sharding_non_parallelizable_rejected(self, model):
+        norm = ops.batchnorm2d("bn", 64, (56, 56))
+        with pytest.raises(ValueError):
+            model.layer_time(norm, 128, "fwd", shard=2)
+
+    def test_invalid_shard(self, model, conv_layer):
+        with pytest.raises(ValueError):
+            model.layer_time(conv_layer, 1, shard=0)
+
+
+class TestCrossGPU:
+    def test_h100_faster_than_a40(self, conv_layer):
+        a40 = GPUExecutionModel(get_gpu("A40"), 0.0)
+        h100 = GPUExecutionModel(get_gpu("H100"), 0.0)
+        assert h100.layer_time(conv_layer, 128) < a40.layer_time(conv_layer, 128)
+
+    def test_arch_tuning_deterministic_per_gpu_kind(self):
+        a = GPUExecutionModel(get_gpu("A40"), 0.0)
+        b = GPUExecutionModel(get_gpu("A40"), 0.0)
+        assert a.arch_tuning("conv") == b.arch_tuning("conv")
+        assert a.arch_tuning("conv") != a.arch_tuning("norm")
+
+
+class TestNoise:
+    def test_zero_sigma_is_exact(self, conv_layer):
+        m = GPUExecutionModel(get_gpu("A100"), noise_sigma=0.0)
+        assert m.measured_layer_time(conv_layer, 8) == m.layer_time(conv_layer, 8)
+
+    def test_noise_is_deterministic(self, conv_layer):
+        m1 = GPUExecutionModel(get_gpu("A100"), noise_sigma=0.05, seed=3)
+        m2 = GPUExecutionModel(get_gpu("A100"), noise_sigma=0.05, seed=3)
+        assert m1.measured_layer_time(conv_layer, 8, run=2) == \
+            m2.measured_layer_time(conv_layer, 8, run=2)
+
+    def test_noise_varies_across_runs(self, conv_layer):
+        m = GPUExecutionModel(get_gpu("A100"), noise_sigma=0.05)
+        t = {m.measured_layer_time(conv_layer, 8, run=r) for r in range(5)}
+        assert len(t) == 5
+
+    def test_noise_varies_with_seed(self, conv_layer):
+        m1 = GPUExecutionModel(get_gpu("A100"), noise_sigma=0.05, seed=1)
+        m2 = GPUExecutionModel(get_gpu("A100"), noise_sigma=0.05, seed=2)
+        assert m1.measured_layer_time(conv_layer, 8) != \
+            m2.measured_layer_time(conv_layer, 8)
+
+    def test_noise_is_small(self, conv_layer):
+        m = GPUExecutionModel(get_gpu("A100"), noise_sigma=0.012)
+        base = m.layer_time(conv_layer, 8)
+        for run in range(20):
+            measured = m.measured_layer_time(conv_layer, 8, run=run)
+            assert abs(measured / base - 1) < 0.10

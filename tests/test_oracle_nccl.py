@@ -1,0 +1,97 @@
+"""Tests for the oracle-side NCCL protocol model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.oracle.nccl import NCCLModel
+
+BW = 100e9
+LAT = 2e-6
+
+
+@pytest.fixture
+def nccl():
+    return NCCLModel(bandwidth=BW, latency=LAT)
+
+
+class TestMessageEfficiency:
+    def test_small_message_inefficient(self, nccl):
+        assert nccl.message_efficiency(1024) < 0.01
+
+    def test_large_message_near_full(self, nccl):
+        assert nccl.message_efficiency(1e9) > 0.99
+
+    def test_half_point(self, nccl):
+        assert nccl.message_efficiency(nccl.half_message) == pytest.approx(0.5)
+
+    def test_zero_bytes_defined(self, nccl):
+        assert nccl.message_efficiency(0) == 1.0
+
+
+class TestP2P:
+    def test_includes_launch_and_latency(self, nccl):
+        assert nccl.p2p_time(0) == pytest.approx(nccl.launch_overhead + LAT)
+
+    def test_negative_rejected(self, nccl):
+        with pytest.raises(ValueError):
+            nccl.p2p_time(-1)
+
+    def test_large_transfer_near_wire_speed(self, nccl):
+        nbytes = 1e9
+        t = nccl.p2p_time(nbytes)
+        assert t == pytest.approx(nbytes / BW, rel=0.02)
+
+
+class TestAllReduce:
+    def test_single_gpu_free(self, nccl):
+        assert nccl.ring_all_reduce_time(1e9, 1) == 0.0
+
+    def test_zero_bytes_free(self, nccl):
+        assert nccl.ring_all_reduce_time(0, 8) == 0.0
+
+    def test_invalid_gpu_count(self, nccl):
+        with pytest.raises(ValueError):
+            nccl.ring_all_reduce_time(1, 0)
+
+    def test_bandwidth_optimality_at_scale(self, nccl):
+        """Large-message ring AllReduce moves 2(n-1)/n of the buffer per
+        link — the classic lower bound."""
+        nbytes, n = 4e9, 8
+        t = nccl.ring_all_reduce_time(nbytes, n)
+        ideal = 2 * (n - 1) / n * nbytes / BW
+        assert t == pytest.approx(ideal, rel=0.05)
+
+    def test_more_gpus_cost_more_latency(self, nccl):
+        small = 1e5  # latency-dominated regime
+        t2 = nccl.ring_all_reduce_time(small, 2)
+        t8 = nccl.ring_all_reduce_time(small, 8)
+        assert t8 > t2
+
+    @given(nbytes=st.floats(min_value=1, max_value=1e10),
+           n=st.integers(min_value=2, max_value=64))
+    @settings(max_examples=80, deadline=None)
+    def test_property_allreduce_geq_all_gather(self, nbytes, n):
+        """AllReduce = reduce-scatter + all-gather, so it costs more than
+        either phase alone."""
+        model = NCCLModel(bandwidth=BW, latency=LAT)
+        ar = model.ring_all_reduce_time(nbytes, n)
+        ag = model.all_gather_time(nbytes, n)
+        assert ar > ag - 1e-12
+
+
+class TestBroadcastReduce:
+    def test_broadcast_single_gpu_free(self, nccl):
+        assert nccl.broadcast_time(1e6, 1) == 0.0
+
+    def test_reduce_close_to_half_allreduce(self, nccl):
+        nbytes, n = 1e9, 4
+        reduce_t = nccl.ring_reduce_time(nbytes, n)
+        ar = nccl.ring_all_reduce_time(nbytes, n)
+        assert 0.3 * ar < reduce_t < 0.8 * ar
+
+    def test_broadcast_pipelined_wire_bound(self, nccl):
+        nbytes = 1e9
+        t = nccl.broadcast_time(nbytes, 8)
+        assert t >= nbytes / BW
+        assert t < 2.5 * nbytes / BW

@@ -1,0 +1,124 @@
+"""Tests for the hardware oracle's multi-GPU measurements."""
+
+import pytest
+
+from repro.gpus.specs import platform_p1, platform_p2
+from repro.oracle.oracle import HardwareOracle
+from repro.workloads import get_model
+
+
+@pytest.fixture(scope="module")
+def oracle_p1():
+    return HardwareOracle(platform_p1())
+
+
+@pytest.fixture(scope="module")
+def oracle_p2():
+    return HardwareOracle(platform_p2())
+
+
+@pytest.fixture(scope="module")
+def resnet():
+    return get_model("resnet50")
+
+
+@pytest.fixture(scope="module")
+def vgg():
+    return get_model("vgg16")
+
+
+class TestSingleGPU:
+    def test_breakdown_sums(self, oracle_p1, resnet):
+        m = oracle_p1.measure_single_gpu(resnet, 32, runs=3)
+        assert m.total > 0
+        assert m.communication == 0.0
+        assert m.detail["fwd"] < m.detail["bwd"]
+
+    def test_batch_scaling_near_linear(self, oracle_p1, resnet):
+        t64 = oracle_p1.measure_single_gpu(resnet, 64, runs=3).total
+        t128 = oracle_p1.measure_single_gpu(resnet, 128, runs=3).total
+        assert 1.6 < t128 / t64 < 2.1
+
+    def test_deterministic(self, oracle_p1, resnet):
+        a = oracle_p1.measure_single_gpu(resnet, 32, runs=3).total
+        b = HardwareOracle(platform_p1()).measure_single_gpu(resnet, 32, runs=3).total
+        assert a == b
+
+
+class TestDataParallel:
+    def test_dp_slower_than_ddp(self, oracle_p1, resnet):
+        """Threaded DataParallel pays GIL + no-overlap costs."""
+        dp = oracle_p1.measure_data_parallel(resnet, 128, runs=3).total
+        ddp = oracle_p1.measure_ddp(resnet, 128, runs=3).total
+        assert dp > ddp
+
+    def test_dp_has_communication(self, oracle_p1, resnet):
+        m = oracle_p1.measure_data_parallel(resnet, 128, runs=3)
+        assert m.communication > 0
+        assert m.detail["reduce"] > 0
+
+    def test_ddp_overlap_hides_comm(self, oracle_p1, resnet):
+        """DDP's exposed communication is far less than its total."""
+        m = oracle_p1.measure_ddp(resnet, 128, runs=3)
+        assert m.detail["exposed_comm"] < m.communication
+
+    def test_ddp_bucket_count_reasonable(self, oracle_p1, vgg):
+        m = oracle_p1.measure_ddp(vgg, 128, runs=1)
+        # VGG-16 has ~553 MB of gradients, but one fc layer alone holds
+        # 410 MB — whole parameters stay in one bucket, so only a handful
+        # of buckets form.
+        assert 3 <= m.detail["buckets"] <= 10
+
+    def test_ddp_bucket_count_many_small_layers(self, oracle_p1, resnet):
+        m = oracle_p1.measure_ddp(resnet, 128, runs=1)
+        # ResNet-50: ~102 MB over 25 MiB buckets -> about 4-6 buckets.
+        assert 3 <= m.detail["buckets"] <= 8
+
+
+class TestTensorParallel:
+    def test_comm_heavy_for_cnns(self, oracle_p1, resnet):
+        m = oracle_p1.measure_tensor_parallel(resnet, 128, runs=3)
+        assert m.communication > 0.3 * m.total
+
+    def test_slower_than_ddp_for_cnns(self, oracle_p1, resnet):
+        tp = oracle_p1.measure_tensor_parallel(resnet, 128, runs=3).total
+        ddp = oracle_p1.measure_ddp(resnet, 128, runs=3).total
+        assert tp > ddp
+
+
+class TestPipeline:
+    def test_one_chunk_gains_nothing_from_stages(self, oracle_p2, vgg):
+        """With a single micro-batch there is no pipelining: extra stages
+        only add transfers, so 4 stages cannot beat 2."""
+        t2 = oracle_p2.measure_pipeline(vgg, 128, 1, num_stages=2, runs=3).total
+        t4 = oracle_p2.measure_pipeline(vgg, 128, 1, num_stages=4, runs=3).total
+        assert t4 >= t2 * 0.98
+
+    def test_more_gpus_help_with_chunks(self, oracle_p2, vgg):
+        t2 = oracle_p2.measure_pipeline(vgg, 128, 4, num_stages=2, runs=3).total
+        t4 = oracle_p2.measure_pipeline(vgg, 128, 4, num_stages=4, runs=3).total
+        assert t4 < t2
+
+    def test_chunks_help_compute_bound_model(self, oracle_p2, vgg):
+        t1 = oracle_p2.measure_pipeline(vgg, 128, 1, num_stages=4, runs=3).total
+        t2 = oracle_p2.measure_pipeline(vgg, 128, 2, num_stages=4, runs=3).total
+        assert t2 < t1
+
+    def test_cpu_anomaly_on_layer_heavy_model(self, oracle_p2):
+        """DenseNet-169 at 4 chunks is slower than at 2 on 2 GPUs — the
+        paper's orange-triangle anomaly (Figure 10)."""
+        dn = get_model("densenet169")
+        t2 = oracle_p2.measure_pipeline(dn, 128, 2, num_stages=2, runs=3).total
+        t4 = oracle_p2.measure_pipeline(dn, 128, 4, num_stages=2, runs=3).total
+        assert t4 > t2
+
+    def test_indivisible_batch_rejected(self, oracle_p2, vgg):
+        with pytest.raises(ValueError):
+            oracle_p2.measure_pipeline(vgg, 10, 3)
+
+
+class TestRunAveraging:
+    def test_more_runs_changes_little(self, oracle_p1, resnet):
+        t3 = oracle_p1.measure_ddp(resnet, 64, runs=3).total
+        t10 = oracle_p1.measure_ddp(resnet, 64, runs=10).total
+        assert abs(t3 - t10) / t10 < 0.02

@@ -1,0 +1,100 @@
+"""Tests for the piecewise-throughput performance model."""
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import TrioSim
+from repro.gpus.specs import get_gpu, platform_p1
+from repro.oracle.oracle import HardwareOracle
+from repro.perfmodel.base import OperatorPerformanceModel
+from repro.perfmodel.li_model import LiModel
+from repro.perfmodel.piecewise import PiecewiseThroughputModel
+from repro.trace.tracer import Tracer
+from repro.workloads import get_model
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return Tracer(get_gpu("A100"), noise_sigma=0.0).trace(get_model("resnet50"), 128)
+
+
+@pytest.fixture(scope="module")
+def model(trace):
+    return PiecewiseThroughputModel.fit(trace)
+
+
+class TestContract:
+    def test_satisfies_protocol(self, model):
+        assert isinstance(model, OperatorPerformanceModel)
+        assert isinstance(LiModel(), OperatorPerformanceModel)
+
+    def test_identity_scales_verbatim(self, trace, model):
+        op = trace.operators[0]
+        assert model.predict_scaled(trace, op, 1.0, 1.0) == op.duration
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PiecewiseThroughputModel().predict("conv", 1.0, 1.0)
+
+    def test_empty_trace_rejected(self):
+        from repro.trace.trace import Trace
+
+        with pytest.raises(ValueError):
+            PiecewiseThroughputModel.fit(Trace("empty", "A100", 1))
+
+
+class TestBehaviour:
+    def test_monotone_in_work(self, model):
+        times = [model.predict("conv", f, 1e6) for f in (1e8, 1e9, 1e10)]
+        assert times == sorted(times)
+
+    def test_zero_work_zero_time(self, model):
+        assert model.predict("conv", 0.0, 0.0) == 0.0
+
+    def test_unknown_kind_uses_global_curve(self, model):
+        assert model.predict("mystery", 1e9, 1e6) > 0
+
+    def test_throughput_falls_at_small_sizes(self, model):
+        """The whole point of the alternative model: small operators get
+        lower effective throughput than big ones."""
+        small = model.predict("conv", 1e7, 1e4)
+        big = model.predict("conv", 1e11, 1e8)
+        assert (1e11 / big) > (1e7 / small)
+
+    def test_trains_on_all_kinds(self, model, trace):
+        assert set(model.known_kinds) == {op.kind for op in trace.operators}
+
+
+class TestDownscalingAccuracy:
+    def test_both_models_downscale_sanely(self):
+        """Predicting batch 4 from a batch-128 trace (32x extrapolation
+        below the traced size) must stay within ~15% of the oracle for
+        both models — each captures the small-operator slowdown through a
+        different mechanism (Li: the regression intercept; piecewise: the
+        falling throughput curve)."""
+        oracle = HardwareOracle(platform_p1(), noise_sigma=0.0)
+        model_graph = get_model("resnet50")
+        truth = oracle.measure_single_gpu(model_graph, 4, runs=1).total
+        trace = Tracer(get_gpu("A40"), noise_sigma=0.0,
+                       profiler_overhead=False).trace(model_graph, 128)
+
+        for perf_model in ("li", "piecewise"):
+            config = SimulationConfig(parallelism="single", batch_size=4,
+                                      perf_model=perf_model)
+            predicted = TrioSim(trace, config,
+                                record_timeline=False).run().total_time
+            assert abs(predicted - truth) / truth < 0.15, perf_model
+
+
+class TestConfigIntegration:
+    def test_unknown_perf_model_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(perf_model="crystal-ball")
+
+    def test_both_models_run_ddp(self, trace):
+        for perf_model in ("li", "piecewise"):
+            config = SimulationConfig(parallelism="ddp", num_gpus=2,
+                                      batch_size=64, perf_model=perf_model,
+                                      link_bandwidth=100e9)
+            result = TrioSim(trace, config, record_timeline=False).run()
+            assert result.total_time > 0

@@ -1,0 +1,67 @@
+"""Tests for cross-GPU trace conversion."""
+
+import pytest
+
+from repro.gpus.specs import get_gpu
+from repro.perfmodel.scaling import CrossGPUScaler
+from repro.trace.tracer import Tracer
+from repro.workloads import get_model
+
+
+@pytest.fixture(scope="module")
+def a40_trace():
+    return Tracer(get_gpu("A40"), noise_sigma=0.0).trace(get_model("resnet18"), 64)
+
+
+class TestCrossGPUScaler:
+    def test_between_by_name(self):
+        scaler = CrossGPUScaler.between("a40", "h100")
+        assert scaler.source.name == "A40"
+        assert scaler.target.name == "H100"
+
+    def test_faster_target_shrinks_durations(self, a40_trace):
+        converted = CrossGPUScaler.between("A40", "H100").convert_trace(a40_trace)
+        assert converted.total_duration < a40_trace.total_duration
+
+    def test_slower_target_grows_durations(self, a40_trace):
+        h100 = CrossGPUScaler.between("A40", "H100").convert_trace(a40_trace)
+        back = CrossGPUScaler.between("H100", "A40").convert_trace(h100)
+        # Not exactly reversible: an op's compute/memory classification
+        # may differ per GPU.  But it must come back close, and grow.
+        assert back.total_duration > h100.total_duration
+        assert back.total_duration == pytest.approx(a40_trace.total_duration, rel=0.15)
+
+    def test_metadata_updated(self, a40_trace):
+        converted = CrossGPUScaler.between("A40", "A100").convert_trace(a40_trace)
+        assert converted.gpu_name == "A100"
+        assert converted.batch_size == a40_trace.batch_size
+        assert len(converted.operators) == len(a40_trace.operators)
+
+    def test_tensors_shared(self, a40_trace):
+        converted = CrossGPUScaler.between("A40", "A100").convert_trace(a40_trace)
+        assert converted.tensors == a40_trace.tensors
+
+    def test_compute_bound_op_scales_by_peak_ratio(self, a40_trace):
+        scaler = CrossGPUScaler.between("A40", "H100")
+        # Pick the conv with the highest arithmetic intensity — the most
+        # compute-bound operator in the trace.
+        convs = [o for o in a40_trace.forward_ops if o.kind == "conv"]
+        op = max(convs, key=lambda o: o.flops / a40_trace.op_bytes(o))
+        scale = scaler.op_scale(a40_trace, op)
+        a40, h100 = get_gpu("A40"), get_gpu("H100")
+        expected = (a40.matmul_flops * a40.max_efficiency) / \
+            (h100.matmul_flops * h100.max_efficiency)
+        assert scale == pytest.approx(expected)
+
+    def test_memory_bound_op_scales_by_bandwidth_ratio(self, a40_trace):
+        scaler = CrossGPUScaler.between("A40", "H100")
+        norm_ops = [o for o in a40_trace.operators if o.kind == "norm"]
+        op = max(norm_ops, key=lambda o: a40_trace.op_bytes(o))
+        scale = scaler.op_scale(a40_trace, op)
+        expected = get_gpu("A40").mem_bandwidth / get_gpu("H100").mem_bandwidth
+        assert scale == pytest.approx(expected)
+
+    def test_identity_conversion_is_noop_scale(self, a40_trace):
+        scaler = CrossGPUScaler.between("A40", "A40")
+        for op in a40_trace.operators[:20]:
+            assert scaler.op_scale(a40_trace, op) == pytest.approx(1.0)

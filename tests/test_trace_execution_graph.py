@@ -1,0 +1,71 @@
+"""Tests for the execution-graph (dependency) view of a trace."""
+
+import pytest
+
+from repro.trace.execution_graph import ExecutionGraph
+from repro.trace.records import OperatorRecord, TensorRecord
+from repro.trace.trace import Trace
+
+
+@pytest.fixture
+def diamond():
+    """a -> (b, c) -> d diamond over tensors."""
+    t = Trace("toy", "A100", 1)
+    for i in range(6):
+        t.add_tensor(TensorRecord(i, (4,), "float32", "activation"))
+    t.add_operator(OperatorRecord("a", "conv", "a", "forward", 1.0, 1, (0,), (1,)))
+    t.add_operator(OperatorRecord("b", "conv", "b", "forward", 2.0, 1, (1,), (2,)))
+    t.add_operator(OperatorRecord("c", "conv", "c", "forward", 5.0, 1, (1,), (3,)))
+    t.add_operator(OperatorRecord("d", "conv", "d", "forward", 1.0, 1, (2, 3), (4,)))
+    return t
+
+
+class TestDependencies:
+    def test_diamond_edges(self, diamond):
+        g = ExecutionGraph(diamond)
+        assert g.dependencies(0) == set()
+        assert g.dependencies(1) == {0}
+        assert g.dependencies(2) == {0}
+        assert g.dependencies(3) == {1, 2}
+        assert g.dependents(0) == {1, 2}
+
+    def test_producer_of(self, diamond):
+        g = ExecutionGraph(diamond)
+        assert g.producer_of(1) == 0
+        assert g.producer_of(4) == 3
+        with pytest.raises(KeyError):
+            g.producer_of(0)  # graph input, never produced
+
+    def test_consumers_of(self, diamond):
+        g = ExecutionGraph(diamond)
+        assert g.consumers_of(1) == [1, 2]
+
+    def test_topological_order_holds(self, diamond):
+        assert ExecutionGraph(diamond).is_topologically_ordered()
+
+    def test_in_place_op_not_self_dependent(self):
+        t = Trace("toy", "A100", 1)
+        t.add_tensor(TensorRecord(0, (4,), "float32", "weight"))
+        t.add_operator(OperatorRecord(
+            "opt", "elementwise", "l", "optimizer", 1.0, 1, (0,), (0,)))
+        g = ExecutionGraph(t)
+        assert g.dependencies(0) == set()
+
+
+class TestCriticalPath:
+    def test_diamond_critical_path(self, diamond):
+        # a(1) -> c(5) -> d(1) = 7, longer than through b.
+        assert ExecutionGraph(diamond).critical_path_time() == pytest.approx(7.0)
+
+    def test_chain_equals_total(self):
+        t = Trace("toy", "A100", 1)
+        for i in range(4):
+            t.add_tensor(TensorRecord(i, (1,), "float32", "activation"))
+        for i in range(3):
+            t.add_operator(OperatorRecord(
+                f"op{i}", "conv", f"l{i}", "forward", 2.0, 1, (i,), (i + 1,)))
+        g = ExecutionGraph(t)
+        assert g.critical_path_time() == pytest.approx(6.0)
+
+    def test_empty_trace(self):
+        assert ExecutionGraph(Trace("e", "A100", 1)).critical_path_time() == 0.0

@@ -1,0 +1,64 @@
+"""Tests for trace record types."""
+
+import pytest
+
+from repro.trace.records import OperatorRecord, TensorRecord
+
+
+class TestTensorRecord:
+    def test_elems_and_bytes(self):
+        t = TensorRecord(0, (128, 1000), "float32", "activation")
+        assert t.elems == 128000
+        assert t.nbytes == 512000
+
+    def test_fp16_half_size(self):
+        t32 = TensorRecord(0, (100,), "float32", "weight")
+        t16 = TensorRecord(1, (100,), "float16", "weight")
+        assert t16.nbytes == t32.nbytes // 2
+
+    def test_scalar_tensor(self):
+        assert TensorRecord(0, (), "float32", "weight").nbytes == 0
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            TensorRecord(0, (1,), "float32", "mystery")
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            TensorRecord(0, (1,), "float128", "weight")
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(ValueError):
+            TensorRecord(0, (-1, 2), "float32", "weight")
+
+    def test_frozen(self):
+        t = TensorRecord(0, (1,), "float32", "weight")
+        with pytest.raises(AttributeError):
+            t.dims = (2,)
+
+
+class TestOperatorRecord:
+    def _op(self, **kw):
+        fields = dict(
+            name="conv#fwd", kind="conv", layer="conv", phase="forward",
+            duration=1e-3, flops=1e9, inputs=(0,), outputs=(1,),
+        )
+        fields.update(kw)
+        return OperatorRecord(**fields)
+
+    def test_valid(self):
+        op = self._op()
+        assert op.duration == 1e-3
+        assert op.inputs == (0,)
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ValueError):
+            self._op(phase="sideways")
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            self._op(duration=-1.0)
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError):
+            self._op(flops=-1.0)

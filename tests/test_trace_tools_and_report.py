@@ -1,0 +1,108 @@
+"""Tests for trace tools (summarize/diff/filter) and the HTML report."""
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.report import export_html_report
+from repro.core.simulator import TrioSim
+from repro.gpus.specs import get_gpu
+from repro.trace.tools import diff, filter_phase, summarize
+from repro.trace.tracer import Tracer
+from repro.workloads import get_model
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return Tracer(get_gpu("A40")).trace(get_model("resnet18"), 32)
+
+
+@pytest.fixture(scope="module")
+def faster_trace():
+    return Tracer(get_gpu("H100")).trace(get_model("resnet18"), 32)
+
+
+class TestSummarize:
+    def test_mentions_key_facts(self, trace):
+        text = summarize(trace)
+        assert "resnet18" in text and "A40" in text
+        assert "forward" in text and "backward" in text
+        assert "conv" in text
+
+    def test_top_limits_heavy_list(self, trace):
+        text3 = summarize(trace, top=3)
+        text10 = summarize(trace, top=10)
+        assert len(text10.splitlines()) > len(text3.splitlines())
+
+
+class TestFilterPhase:
+    def test_keeps_only_phase(self, trace):
+        fwd = filter_phase(trace, "forward")
+        assert all(op.phase == "forward" for op in fwd.operators)
+        assert len(fwd.operators) == len(trace.forward_ops)
+        assert fwd.tensors == trace.tensors
+
+    def test_original_untouched(self, trace):
+        n = len(trace.operators)
+        filter_phase(trace, "optimizer")
+        assert len(trace.operators) == n
+
+
+class TestDiff:
+    def test_speedup_direction(self, trace, faster_trace):
+        result = diff(trace, faster_trace)
+        assert result.speedup > 1.5  # H100 is much faster than A40
+        assert not result.only_in_a and not result.only_in_b
+
+    def test_self_diff_is_neutral(self, trace):
+        result = diff(trace, trace)
+        assert result.speedup == pytest.approx(1.0)
+        assert all(ta == tb for _n, ta, tb in result.changed)
+
+    def test_structural_differences_reported(self, trace):
+        inference = Tracer(get_gpu("A40")).trace_inference(
+            get_model("resnet18"), 32)
+        result = diff(trace, inference)
+        assert result.only_in_a  # backward + optimizer ops missing in B
+        assert not result.only_in_b
+
+    def test_min_change_filters(self, trace, faster_trace):
+        all_changed = diff(trace, faster_trace).changed
+        big_only = diff(trace, faster_trace, min_change=1e-3).changed
+        assert len(big_only) < len(all_changed)
+
+    def test_table_renders(self, trace, faster_trace):
+        text = diff(trace, faster_trace).table(top=3)
+        assert "total" in text and "->" in text
+
+
+class TestHTMLReport:
+    @pytest.fixture(scope="class")
+    def result(self, trace):
+        config = SimulationConfig(parallelism="ddp", num_gpus=2,
+                                  link_bandwidth=50e9)
+        return TrioSim(trace, config).run()
+
+    def test_writes_self_contained_html(self, result, tmp_path):
+        path = tmp_path / "report.html"
+        bars = export_html_report(result, path)
+        doc = path.read_text()
+        assert bars == len(result.timeline)
+        assert doc.startswith("<!DOCTYPE html>")
+        assert "<svg" in doc
+        assert "gpu0" in doc and "gpu1" in doc
+        assert "utilization" in doc.lower()
+        # No external resources: shareable as one file.
+        assert "http://" not in doc.replace("http://www.w3.org", "")
+        assert "src=" not in doc
+
+    def test_requires_timeline(self, trace, tmp_path):
+        bare = TrioSim(trace, SimulationConfig(parallelism="single"),
+                       record_timeline=False).run()
+        with pytest.raises(ValueError):
+            export_html_report(bare, tmp_path / "x.html")
+
+    def test_escapes_content(self, result, tmp_path):
+        path = tmp_path / "esc.html"
+        export_html_report(result, path, title="<script>alert(1)</script>")
+        doc = path.read_text()
+        assert "<script>alert" not in doc

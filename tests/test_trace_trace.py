@@ -1,0 +1,88 @@
+"""Tests for the Trace container and its serialization."""
+
+import pytest
+
+from repro.trace.records import OperatorRecord, TensorRecord
+from repro.trace.trace import Trace
+
+
+@pytest.fixture
+def trace():
+    t = Trace("toy", "A100", 8)
+    t.add_tensor(TensorRecord(0, (8, 10), "float32", "input"))
+    t.add_tensor(TensorRecord(1, (50,), "float32", "weight"))
+    t.add_tensor(TensorRecord(2, (8, 5), "float32", "activation"))
+    t.add_tensor(TensorRecord(3, (50,), "float32", "gradient"))
+    t.add_operator(OperatorRecord(
+        "fc#fwd", "linear", "fc", "forward", 2e-3, 8e3, (0, 1), (2,)))
+    t.add_operator(OperatorRecord(
+        "fc#bwd", "linear", "fc", "backward", 4e-3, 16e3, (2, 1), (3,)))
+    t.add_operator(OperatorRecord(
+        "fc#opt", "elementwise", "fc", "optimizer", 1e-4, 100, (1, 3), (1,)))
+    return t
+
+
+class TestConstruction:
+    def test_duplicate_tensor_rejected(self, trace):
+        with pytest.raises(ValueError):
+            trace.add_tensor(TensorRecord(0, (1,), "float32", "weight"))
+
+    def test_dangling_tensor_reference_rejected(self, trace):
+        with pytest.raises(ValueError):
+            trace.add_operator(OperatorRecord(
+                "bad", "conv", "l", "forward", 1e-3, 1.0, (99,), ()))
+
+
+class TestQueries:
+    def test_phase_partition(self, trace):
+        assert len(trace.forward_ops) == 1
+        assert len(trace.backward_ops) == 1
+        assert len(trace.optimizer_ops) == 1
+
+    def test_total_duration(self, trace):
+        assert trace.total_duration == pytest.approx(6.1e-3)
+
+    def test_phase_duration(self, trace):
+        assert trace.phase_duration("backward") == pytest.approx(4e-3)
+
+    def test_op_bytes(self, trace):
+        fwd = trace.forward_ops[0]
+        # input 8*10*4 + weight 50*4 + output 8*5*4
+        assert trace.op_bytes(fwd) == 320 + 200 + 160
+
+    def test_op_bytes_detail_split(self, trace):
+        fwd = trace.forward_ops[0]
+        in_act, out_act, param = trace.op_bytes_detail(fwd)
+        assert in_act == 320
+        assert out_act == 160
+        assert param == 200
+
+    def test_gradient_bytes_only_param_grads(self, trace):
+        assert trace.gradient_bytes == 200
+
+    def test_weight_tensors(self, trace):
+        assert [t.tensor_id for t in trace.weight_tensors()] == [1]
+
+
+class TestSerialization:
+    def test_round_trip(self, trace, tmp_path):
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.model_name == trace.model_name
+        assert loaded.gpu_name == trace.gpu_name
+        assert loaded.batch_size == trace.batch_size
+        assert len(loaded.operators) == len(trace.operators)
+        assert len(loaded.tensors) == len(trace.tensors)
+        assert loaded.total_duration == pytest.approx(trace.total_duration)
+        assert loaded.operators[0].inputs == trace.operators[0].inputs
+
+    def test_to_dict_from_dict(self, trace):
+        again = Trace.from_dict(trace.to_dict())
+        assert again.gradient_bytes == trace.gradient_bytes
+
+    def test_version_check(self, trace):
+        data = trace.to_dict()
+        data["format_version"] = 99
+        with pytest.raises(ValueError):
+            Trace.from_dict(data)

@@ -1,0 +1,119 @@
+"""Tests for Layer/ModelGraph, including stage-splitting properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.graph import Layer, ModelGraph
+
+
+def _layer(name, flops=100.0, params=10, elems=5, kind="conv"):
+    return Layer(
+        name=name, kind=kind, fwd_flops=flops, bwd_flops=2 * flops,
+        params=params, input_elems=elems, output_elems=elems,
+    )
+
+
+class TestLayer:
+    def test_param_bytes_fp32(self):
+        assert _layer("l", params=10).param_bytes == 40
+
+    def test_batch_scaling_of_activations(self):
+        layer = _layer("l", elems=7)
+        assert layer.input_bytes(4) == 7 * 4 * 4
+        assert layer.output_bytes(2) == 7 * 2 * 4
+
+    def test_moved_bytes_includes_params(self):
+        layer = _layer("l", params=3, elems=2)
+        assert layer.moved_bytes(1) == 2 * 4 + 2 * 4 + 12
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError):
+            _layer("l", flops=-1.0)
+
+    def test_parallelizable_kinds(self):
+        assert _layer("l", kind="conv").tensor_parallelizable
+        assert _layer("l", kind="linear").tensor_parallelizable
+        assert _layer("l", kind="embedding").tensor_parallelizable
+        assert _layer("l", kind="matmul").tensor_parallelizable
+        assert not _layer("l", kind="norm").tensor_parallelizable
+        assert not _layer("l", kind="pool").tensor_parallelizable
+
+
+class TestModelGraph:
+    def test_duplicate_layer_names_rejected(self):
+        g = ModelGraph("m")
+        g.add(_layer("a"))
+        with pytest.raises(ValueError):
+            g.add(_layer("a"))
+
+    def test_totals(self):
+        g = ModelGraph("m")
+        g.add(_layer("a", flops=10, params=1))
+        g.add(_layer("b", flops=20, params=2))
+        assert g.total_params == 3
+        assert g.total_fwd_flops(2) == 60
+        assert g.total_bwd_flops(1) == 60
+        assert g.total_training_flops(1) == 90
+
+    def test_iteration_and_len(self):
+        g = ModelGraph("m")
+        g.add(_layer("a"))
+        g.add(_layer("b"))
+        assert len(g) == 2
+        assert [l.name for l in g] == ["a", "b"]
+
+    def test_summary_mentions_name(self):
+        g = ModelGraph("net")
+        g.add(_layer("a"))
+        assert "net" in g.summary()
+
+
+class TestSplitStages:
+    def _graph(self, flops_list):
+        g = ModelGraph("m")
+        for i, f in enumerate(flops_list):
+            g.add(_layer(f"l{i}", flops=f))
+        return g
+
+    def test_single_stage_is_whole_model(self):
+        g = self._graph([1, 2, 3])
+        stages = g.split_stages(1)
+        assert len(stages) == 1
+        assert [l.name for l in stages[0]] == ["l0", "l1", "l2"]
+
+    def test_too_many_stages_rejected(self):
+        with pytest.raises(ValueError):
+            self._graph([1, 2]).split_stages(3)
+
+    def test_zero_stages_rejected(self):
+        with pytest.raises(ValueError):
+            self._graph([1]).split_stages(0)
+
+    def test_balanced_split_even_flops(self):
+        g = self._graph([1.0] * 8)
+        stages = g.split_stages(4)
+        assert [len(s) for s in stages] == [2, 2, 2, 2]
+
+    def test_skewed_front_loaded(self):
+        # Nearly all the work is in the first layer; later stages must
+        # still each get at least one layer.
+        g = self._graph([1000.0] + [1.0] * 7)
+        stages = g.split_stages(4)
+        assert all(stages)
+
+    @given(
+        flops=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=40),
+        num_stages=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_property_partition_contiguous_and_complete(self, flops, num_stages):
+        """Every split is a contiguous, complete, non-empty partition."""
+        if num_stages > len(flops):
+            num_stages = len(flops)
+        g = self._graph(flops)
+        stages = g.split_stages(num_stages)
+        assert len(stages) == num_stages
+        assert all(stages)
+        flat = [l.name for s in stages for l in s]
+        assert flat == [l.name for l in g.layers]

@@ -1,0 +1,151 @@
+"""Tests for the model zoo: parameter counts against published values."""
+
+import pytest
+
+from repro.workloads import MODEL_NAMES, get_model
+from repro.workloads.registry import short_name
+
+#: Published parameter counts (millions), tolerance 3%.
+PUBLISHED_PARAMS_M = {
+    "resnet18": 11.7,
+    "resnet34": 21.8,
+    "resnet50": 25.6,
+    "resnet101": 44.5,
+    "resnet152": 60.2,
+    "densenet121": 8.0,
+    "densenet161": 28.7,
+    "densenet169": 14.1,
+    "densenet201": 20.0,
+    "vgg11": 132.9,
+    "vgg13": 133.0,
+    "vgg16": 138.4,
+    "vgg19": 143.7,
+    "gpt2": 124.0,
+    "bert": 110.0,
+    "t5-small": 60.5,
+    "llama-3.2-1b": 1235.8,
+    "vit-b-16": 86.6,
+}
+
+#: Published forward GFLOPs per 224x224 image (2 FLOPs per MAC), ±10%.
+PUBLISHED_FWD_GFLOPS = {
+    "resnet18": 3.6,
+    "resnet50": 8.2,
+    "vgg16": 31.0,
+    "densenet121": 5.7,
+}
+
+
+class TestParamCounts:
+    @pytest.mark.parametrize("name,expected", sorted(PUBLISHED_PARAMS_M.items()))
+    def test_matches_published(self, name, expected):
+        params_m = get_model(name).total_params / 1e6
+        assert params_m == pytest.approx(expected, rel=0.03)
+
+
+class TestFlops:
+    @pytest.mark.parametrize("name,expected", sorted(PUBLISHED_FWD_GFLOPS.items()))
+    def test_forward_gflops(self, name, expected):
+        gflops = get_model(name).total_fwd_flops(1) / 1e9
+        assert gflops == pytest.approx(expected, rel=0.10)
+
+    def test_backward_roughly_double_forward(self):
+        for name in ("resnet50", "vgg16", "gpt2"):
+            g = get_model(name)
+            ratio = g.total_bwd_flops(1) / g.total_fwd_flops(1)
+            assert 1.5 < ratio < 2.2
+
+
+class TestZooStructure:
+    def test_all_models_build(self):
+        for name in MODEL_NAMES:
+            graph = get_model(name)
+            assert len(graph.layers) > 10
+            assert graph.total_params > 0
+
+    def test_families(self):
+        assert get_model("resnet50").family == "cnn"
+        assert get_model("gpt2").family == "transformer"
+
+    def test_layer_names_unique(self):
+        for name in ("densenet201", "llama-3.2-1b"):
+            graph = get_model(name)
+            names = [l.name for l in graph.layers]
+            assert len(names) == len(set(names))
+
+    def test_deeper_resnets_have_more_flops(self):
+        depths = ["resnet18", "resnet34", "resnet50", "resnet101", "resnet152"]
+        flops = [get_model(n).total_fwd_flops(1) for n in depths]
+        # ResNet-50 has fewer FLOPs-per-layer growth than 34->50 suggests,
+        # but the overall ordering is monotone in this family listing.
+        assert flops == sorted(flops)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            get_model("alexnet")
+
+    def test_caching_returns_same_object(self):
+        assert get_model("resnet50") is get_model("resnet50")
+
+    def test_seq_len_changes_transformer_flops(self):
+        short = get_model("gpt2", seq_len=64)
+        long = get_model("gpt2", seq_len=256)
+        assert long.total_fwd_flops(1) > 2 * short.total_fwd_flops(1)
+
+    def test_cnn_ignores_seq_len_cache_key(self):
+        # CNNs are cached per seq_len key but structurally identical.
+        assert get_model("resnet50", 64).total_params == \
+            get_model("resnet50", 128).total_params
+
+
+class TestShortNames:
+    def test_paper_labels(self):
+        assert short_name("resnet50") == "RN-50"
+        assert short_name("densenet121") == "DN-121"
+        assert short_name("vgg16") == "VGG-16"
+        assert short_name("llama-3.2-1b") == "Llama"
+
+    def test_unknown_passthrough(self):
+        assert short_name("mystery") == "mystery"
+
+
+class TestViT:
+    def test_structure(self):
+        from repro.workloads import get_model
+
+        vit = get_model("vit-b-16")
+        assert vit.layers[0].name == "patch_embed"
+        assert vit.layers[0].kind == "conv"
+        blocks = [l for l in vit.layers if l.name.endswith("attn.norm")]
+        assert len(blocks) == 12
+        # 14x14 patches + CLS token.
+        assert vit.default_seq_len == 197
+
+    def test_not_in_paper_sets(self):
+        from repro.experiments.harness import FULL_SET
+
+        assert "vit-b-16" not in FULL_SET
+
+
+class TestTransformerShapes:
+    def test_gpt2_has_12_blocks(self):
+        g = get_model("gpt2")
+        attn_norms = [l for l in g.layers if l.name.endswith("attn.norm")]
+        assert len(attn_norms) == 12
+
+    def test_t5_has_encoder_and_decoder(self):
+        g = get_model("t5-small")
+        assert any(l.name.startswith("decoder.") for l in g.layers)
+        assert any("cross_attn" in l.name for l in g.layers)
+
+    def test_llama_uses_rmsnorm_and_gated_mlp(self):
+        g = get_model("llama-3.2-1b")
+        assert any("gate_proj" in l.name for l in g.layers)
+        norm = next(l for l in g.layers if l.name == "final.norm")
+        assert norm.params == 2048  # RMSNorm: one weight vector
+
+    def test_tied_lm_head_has_no_params(self):
+        g = get_model("gpt2")
+        head = next(l for l in g.layers if l.name == "lm_head")
+        assert head.params == 0
+        assert head.fwd_flops > 0

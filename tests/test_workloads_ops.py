@@ -1,0 +1,109 @@
+"""Tests for the layer constructors' shape and FLOP math."""
+
+import pytest
+
+from repro.workloads import ops
+
+
+class TestConvMath:
+    def test_output_size_same_padding(self):
+        assert ops.conv_out_hw((224, 224), 3, 1, 1) == (224, 224)
+
+    def test_output_size_stride2(self):
+        assert ops.conv_out_hw((224, 224), 7, 2, 3) == (112, 112)
+
+    def test_invalid_shrink_raises(self):
+        with pytest.raises(ValueError):
+            ops.conv_out_hw((2, 2), 5, 1, 0)
+
+    def test_conv_flops_formula(self):
+        # 2 * k*k*Cin * Cout*H*W MACs-as-FLOPs.
+        layer, out_hw = ops.conv2d("c", 3, 64, (224, 224), 7, 2, 3)
+        assert out_hw == (112, 112)
+        expected = 2 * 7 * 7 * 3 * 64 * 112 * 112
+        assert layer.fwd_flops == expected
+        assert layer.bwd_flops == 2 * expected
+
+    def test_conv_params(self):
+        layer, _ = ops.conv2d("c", 16, 32, (8, 8), 3, 1, 1, bias=True)
+        assert layer.params == 3 * 3 * 16 * 32 + 32
+
+    def test_conv_kind_parallelizable(self):
+        layer, _ = ops.conv2d("c", 3, 8, (8, 8), 3, 1, 1)
+        assert layer.kind == "conv"
+        assert layer.tensor_parallelizable
+
+
+class TestLinear:
+    def test_flops_and_params(self):
+        layer = ops.linear("fc", 512, 1000)
+        assert layer.fwd_flops == 2 * 512 * 1000
+        assert layer.params == 512 * 1000 + 1000
+
+    def test_tokens_scale_flops_not_params(self):
+        base = ops.linear("a", 64, 64, tokens=1)
+        wide = ops.linear("b", 64, 64, tokens=128)
+        assert wide.fwd_flops == 128 * base.fwd_flops
+        assert wide.params == base.params
+
+
+class TestMatmul:
+    def test_parameter_free(self):
+        layer = ops.matmul("mm", 128, 64, 128)
+        assert layer.params == 0
+        assert layer.fwd_flops == 2 * 128 * 64 * 128
+        assert layer.tensor_parallelizable
+
+
+class TestNorms:
+    def test_batchnorm_params(self):
+        layer = ops.batchnorm2d("bn", 64, (56, 56))
+        assert layer.params == 128
+        assert layer.kind == "norm"
+        assert not layer.tensor_parallelizable
+
+    def test_layernorm_vs_rmsnorm_params(self):
+        ln = ops.layernorm("ln", 768, tokens=128)
+        rms = ops.rmsnorm("rms", 768, tokens=128)
+        assert ln.params == 2 * 768
+        assert rms.params == 768
+        assert rms.fwd_flops < ln.fwd_flops
+
+
+class TestPooling:
+    def test_pool_output_size(self):
+        layer, out_hw = ops.pool2d("p", 64, (112, 112), 3, 2, 1)
+        assert out_hw == (56, 56)
+        assert layer.params == 0
+
+    def test_global_avgpool_collapses_spatial(self):
+        layer = ops.global_avgpool("gap", 2048, (7, 7))
+        assert layer.output_elems == 2048
+        assert layer.input_elems == 2048 * 49
+
+
+class TestElementwise:
+    def test_residual_add_reads_two_tensors(self):
+        layer = ops.add("add", 1000)
+        assert layer.input_elems == 2000
+        assert layer.output_elems == 1000
+
+    def test_activation_flops_per_elem(self):
+        relu = ops.activation("r", 100, 1.0)
+        gelu = ops.activation("g", 100, 8.0)
+        assert gelu.fwd_flops == 8 * relu.fwd_flops
+
+
+class TestEmbedding:
+    def test_embedding_is_memory_bound_shaped(self):
+        layer = ops.embedding("emb", 50257, 768, 128)
+        assert layer.params == 50257 * 768
+        assert layer.fwd_flops == 768 * 128  # a gather, not a matmul
+        assert layer.tensor_parallelizable
+
+
+class TestSoftmax:
+    def test_softmax_size(self):
+        layer = ops.softmax("sm", 12 * 128 * 128)
+        assert layer.input_elems == layer.output_elems == 12 * 128 * 128
+        assert layer.params == 0
