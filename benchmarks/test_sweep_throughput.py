@@ -1,0 +1,81 @@
+"""Sweep-service throughput: parallel speedup and cache hit-rate.
+
+A 16-point design-space sweep (the ISSUE's acceptance scenario) run three
+ways over one ResNet-18 trace:
+
+* **sequential** — the plain per-point ``TrioSim`` loop every figure used
+  before the sweep service existed;
+* **parallel** — ``SweepRunner`` fanning the points over worker processes;
+* **replay** — the same sweep again with a warm on-disk cache.
+
+All three must produce bit-identical ``total_time`` values.  The speedup
+assertion only binds on multi-core machines (process fan-out cannot beat a
+sequential loop on one core); the cache assertions always bind: the replay
+must serve >= 90% of points from disk and dispatch zero engine events.
+"""
+
+import os
+import time
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import TrioSim
+from repro.gpus.specs import get_gpu
+from repro.service.runner import SweepRunner
+from repro.trace.tracer import Tracer
+from repro.workloads.registry import get_model
+
+#: 16 points: GPU count x link bandwidth x collective scheme.
+GRID = [
+    SimulationConfig(parallelism="ddp", num_gpus=n, link_bandwidth=bw,
+                     collective_scheme=scheme)
+    for n in (2, 4, 8, 16)
+    for bw in (25e9, 100e9)
+    for scheme in ("ring", "tree")
+]
+
+
+def test_sweep_throughput(tmp_path, show):
+    trace = Tracer(get_gpu("A100")).trace(get_model("resnet18"), 32)
+
+    start = time.perf_counter()
+    sequential = [
+        TrioSim(trace, cfg, record_timeline=False).run().total_time
+        for cfg in GRID
+    ]
+    sequential_s = time.perf_counter() - start
+
+    workers = min(4, os.cpu_count() or 1)
+    runner = SweepRunner(max_workers=workers, cache=tmp_path / "cache")
+    start = time.perf_counter()
+    outcomes = runner.run(trace, GRID)
+    parallel_s = time.perf_counter() - start
+    assert [o.unwrap().total_time for o in outcomes] == sequential
+
+    replay_runner = SweepRunner(max_workers=workers,
+                                cache=tmp_path / "cache")
+    start = time.perf_counter()
+    replayed = replay_runner.run(trace, GRID)
+    replay_s = time.perf_counter() - start
+    assert [o.unwrap().total_time for o in replayed] == sequential
+    metrics = replay_runner.last_metrics
+    assert metrics.hit_rate >= 0.90
+    assert metrics.fresh_events == 0
+
+    speedup = sequential_s / parallel_s if parallel_s > 0 else float("inf")
+    replay_x = sequential_s / replay_s if replay_s > 0 else float("inf")
+    show(
+        f"16-point sweep, {workers} workers "
+        f"({os.cpu_count()} cores available)\n"
+        f"  sequential loop   {sequential_s * 1e3:8.0f} ms\n"
+        f"  parallel sweep    {parallel_s * 1e3:8.0f} ms "
+        f"({speedup:.2f}x)\n"
+        f"  cached replay     {replay_s * 1e3:8.0f} ms "
+        f"({replay_x:.0f}x, hit-rate "
+        f"{metrics.hit_rate * 100:.0f}%)\n"
+        f"  bit-identical results across all three runs: yes"
+    )
+    if (os.cpu_count() or 1) > 1 and workers > 1:
+        # Fan-out only wins when there are cores to fan onto.
+        assert parallel_s < sequential_s
+    # A warm cache must beat simulating, regardless of core count.
+    assert replay_s < sequential_s

@@ -10,7 +10,7 @@ use study, for free.
 Run:  python examples/batch_size_sweep.py
 """
 
-from repro import SimulationConfig, Tracer, TrioSim, get_gpu, get_model
+from repro import SimulationConfig, SweepRunner, Tracer, get_gpu, get_model
 
 TRACED_BATCH = 32
 SWEEP = [8, 16, 32, 64, 128, 256]
@@ -22,10 +22,15 @@ def main() -> None:
     print(f"{model.summary()}")
     print(f"one trace at batch {TRACED_BATCH}; sweeping batch sizes:\n")
     print(f"  {'batch':>6} {'ms/iter':>10} {'samples/s':>12} {'scaling':>9}")
+    # One SweepRunner call replaces the per-point TrioSim loop: the fitted
+    # performance model is shared across all six points, and passing
+    # cache=... would make re-runs instant.
+    configs = [SimulationConfig(parallelism="single", batch_size=b)
+               for b in SWEEP]
+    outcomes = SweepRunner().run(trace, configs)
     base_throughput = None
-    for batch in SWEEP:
-        config = SimulationConfig(parallelism="single", batch_size=batch)
-        result = TrioSim(trace, config, record_timeline=False).run()
+    for batch, outcome in zip(SWEEP, outcomes):
+        result = outcome.unwrap()
         throughput = batch / result.total_time
         if base_throughput is None:
             base_throughput = throughput

@@ -15,7 +15,7 @@ Run:  python examples/parallelism_explorer.py [model ...]
 
 import sys
 
-from repro import SimulationConfig, Tracer, TrioSim, get_gpu, get_model, platform_p2
+from repro import SimulationConfig, SweepRunner, Tracer, get_model, platform_p2
 
 TOTAL_BATCH = 128
 DEFAULT_MODELS = ["resnet50", "vgg16", "gpt2", "bert"]
@@ -40,9 +40,11 @@ def explore(model_name: str) -> None:
     print(f"\n=== {model.summary()} ===")
     print(f"    total batch {TOTAL_BATCH} on {platform.num_gpus}x "
           f"{platform.gpu.name} ({platform.interconnect.name} ring)")
+    # One sweep per model: all four strategies share the fitted perf model.
+    outcomes = SweepRunner().run(trace, list(candidates.values()))
     results = []
-    for label, config in candidates.items():
-        result = TrioSim(trace, config, record_timeline=False).run()
+    for label, outcome in zip(candidates, outcomes):
+        result = outcome.unwrap()
         results.append((result.total_time, label, result))
     results.sort()
     best = results[0][0]

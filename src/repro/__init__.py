@@ -43,6 +43,9 @@ from repro.memory.estimator import check_fits, estimate_memory
 from repro.perfmodel.li_model import LiModel
 from repro.perfmodel.piecewise import PiecewiseThroughputModel
 from repro.perfmodel.scaling import CrossGPUScaler
+from repro.service.cache import ResultCache
+from repro.service.runner import SweepError, SweepOutcome, SweepRunner
+from repro.service.spec import SweepSpec
 from repro.trace.trace import Trace
 from repro.trace.tracer import Tracer
 from repro.workloads.registry import CNN_NAMES, MODEL_NAMES, TRANSFORMER_NAMES, get_model
@@ -62,8 +65,13 @@ __all__ = [
     "PiecewiseThroughputModel",
     "PhotonicNetwork",
     "Platform",
+    "ResultCache",
     "SimulationConfig",
     "SimulationResult",
+    "SweepError",
+    "SweepOutcome",
+    "SweepRunner",
+    "SweepSpec",
     "TRANSFORMER_NAMES",
     "TimelineRecord",
     "Trace",

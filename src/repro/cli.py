@@ -1,15 +1,19 @@
 """Command-line interface.
 
-Four subcommands mirror the library workflow::
+The subcommands mirror the library workflow::
 
     python -m repro models                          # list the zoo
     python -m repro trace resnet50 --gpu A100 --batch 128 -o rn50.json
     python -m repro simulate rn50.json --parallelism ddp --num-gpus 4 \\
         --topology ring --bandwidth 234e9 --timeline out.json
+    python -m repro sweep sweep.json --workers 4 -o results.json
     python -m repro experiment fig08 --quick        # regenerate a figure
 
 The ``simulate`` command prints the prediction summary and, with
 ``--memory-check``, the per-GPU memory estimate for the configuration.
+``sweep`` reads a declarative spec (base config + axes to cross-product;
+see :mod:`repro.service.spec`) and fans the points over worker processes
+with result caching.
 """
 
 from __future__ import annotations
@@ -81,7 +85,24 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="write a Chrome trace-event file")
     simulate_p.add_argument("--report", default=None,
                             help="write a self-contained HTML report")
+    simulate_p.add_argument("--save-result", default=None, metavar="PATH",
+                            help="write the full result as versioned JSON")
     simulate_p.add_argument("--memory-check", action="store_true")
+
+    sweep_p = sub.add_parser(
+        "sweep", help="run a declarative config sweep (parallel + cached)"
+    )
+    sweep_p.add_argument("spec", help="sweep spec JSON file")
+    sweep_p.add_argument("--workers", type=int, default=None,
+                         help="worker processes (default: spec, then CPU count)")
+    sweep_p.add_argument("--cache", default=None, metavar="DIR",
+                         help="result cache directory (default: spec's)")
+    sweep_p.add_argument("--timeout", type=float, default=None,
+                         help="per-point wall-clock budget, seconds")
+    sweep_p.add_argument("-o", "--output", default=None,
+                         help="write all outcomes as a JSON array")
+    sweep_p.add_argument("--csv", default=None,
+                         help="write label,total_s,cached rows as CSV")
 
     inspect_p = sub.add_parser("inspect", help="summarize or diff traces")
     inspect_p.add_argument("trace", help="trace JSON file")
@@ -121,29 +142,15 @@ def _cmd_trace(args) -> int:
 
 def _cmd_simulate(args) -> int:
     trace = Trace.load(args.trace)
-    config = SimulationConfig(
-        parallelism=args.parallelism,
-        num_gpus=args.num_gpus,
-        batch_size=args.batch,
-        chunks=args.chunks,
-        dp_degree=args.dp_degree,
-        topology=args.topology,
-        link_bandwidth=args.bandwidth,
-        link_latency=args.latency,
-        gpu=args.gpu,
-        collective_scheme=args.collective,
-        gpus_per_node=args.gpus_per_node,
-        tp_scheme=args.tp_scheme,
-        pp_schedule=args.pp_schedule,
-        iterations=args.iterations,
-        gpu_slowdowns={
-            spec.split("=")[0]: float(spec.split("=")[1])
-            for spec in args.slow
-        } or None,
-    )
+    config = SimulationConfig.from_cli_args(args)
     wants_timeline = args.timeline is not None or args.report is not None
     result = TrioSim(trace, config, record_timeline=wants_timeline).run()
     print(result.summary())
+    if args.save_result:
+        from pathlib import Path
+
+        Path(args.save_result).write_text(result.to_json())
+        print(f"result: versioned JSON -> {args.save_result}")
     if args.timeline:
         count = export_chrome_trace(result, args.timeline)
         print(f"timeline: {count} events -> {args.timeline} "
@@ -170,6 +177,66 @@ def _cmd_simulate(args) -> int:
         if not report["fits"]:
             return 2
     return 0
+
+
+class _SweepProgress:
+    """Hook printing one line per completed sweep point."""
+
+    def func(self, ctx) -> None:
+        if ctx.pos != "sweep_point":
+            return
+        outcome = ctx.item
+        d = ctx.detail
+        if outcome.ok:
+            status = f"total {outcome.result.total_time * 1e3:9.2f} ms"
+            if outcome.cached:
+                status += "  (cached)"
+        else:
+            status = f"ERROR {outcome.error.kind}: {outcome.error.message}"
+        label = outcome.label or f"point {outcome.index}"
+        eta = d["eta_seconds"]
+        eta_text = f"  eta {eta:5.1f}s" if d["completed"] < d["total"] else ""
+        print(f"[{d['completed']}/{d['total']}] {label:<40} {status}{eta_text}")
+
+
+def _cmd_sweep(args) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.service import SweepRunner, SweepSpec
+
+    spec_path = Path(args.spec)
+    spec = SweepSpec.load(spec_path)
+    trace = spec.load_trace(base_dir=spec_path.parent)
+    labels, configs = zip(*spec.expand())
+    runner = SweepRunner(
+        max_workers=args.workers if args.workers is not None else spec.workers,
+        cache=args.cache if args.cache is not None else spec.cache_dir,
+        timeout=args.timeout if args.timeout is not None else spec.timeout,
+        hooks=(_SweepProgress(),),
+    )
+    outcomes = runner.run(trace, configs, labels=labels)
+    metrics = runner.last_metrics
+    print(
+        f"{metrics.total} points in {metrics.elapsed:.2f}s | "
+        f"{metrics.cache_hits} cache hits "
+        f"({metrics.hit_rate * 100:.0f}%) | "
+        f"{metrics.errors} errors | "
+        f"{metrics.events_per_sec:,.0f} simulated events/s"
+    )
+    if args.output:
+        payload = [o.to_dict() for o in outcomes]
+        Path(args.output).write_text(_json.dumps(payload))
+        print(f"outcomes: {len(payload)} -> {args.output}")
+    if args.csv:
+        lines = ["label,total_s,cached,error"]
+        for o in outcomes:
+            total = f"{o.result.total_time:.9f}" if o.ok else ""
+            error = o.error.kind if o.error else ""
+            lines.append(f'"{o.label}",{total},{int(o.cached)},{error}')
+        Path(args.csv).write_text("\n".join(lines) + "\n")
+        print(f"csv: {len(outcomes)} rows -> {args.csv}")
+    return 0 if metrics.errors == 0 else 1
 
 
 def _cmd_inspect(args) -> int:
@@ -211,6 +278,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_trace(args)
         if args.command == "simulate":
             return _cmd_simulate(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
         if args.command == "inspect":
             return _cmd_inspect(args)
         if args.command == "experiment":

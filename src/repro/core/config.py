@@ -8,7 +8,9 @@ and the network-model implementation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
 from typing import Callable, Optional, Union
 
 import networkx as nx
@@ -16,6 +18,11 @@ import networkx as nx
 from repro.gpus.specs import Platform
 
 PARALLELISMS = ("single", "dp", "ddp", "tp", "pp", "hybrid", "fsdp")
+
+#: Bumped whenever the meaning of a serialized config changes; part of
+#: every :meth:`SimulationConfig.cache_key` so stale cache entries from
+#: older schemas can never be returned.
+CONFIG_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -124,6 +131,16 @@ class SimulationConfig:
             raise ValueError("chunks must be >= 1")
         if self.batch_size is not None and self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if self.link_bandwidth <= 0:
+            raise ValueError("link_bandwidth must be positive")
+        if self.link_latency < 0:
+            raise ValueError("link_latency must be non-negative")
+        if self.host_bandwidth <= 0:
+            raise ValueError("host_bandwidth must be positive")
+        if self.host_latency < 0:
+            raise ValueError("host_latency must be non-negative")
+        if self.bucket_bytes < 1:
+            raise ValueError("bucket_bytes must be >= 1")
         if self.gpu_slowdowns is not None:
             bad = [g for g, f in self.gpu_slowdowns.items() if f <= 0]
             if bad:
@@ -154,12 +171,129 @@ class SimulationConfig:
     @classmethod
     def for_platform(cls, platform: Platform, **overrides) -> "SimulationConfig":
         """Build a config pre-filled from a validation platform (P1-P3)."""
-        fields = dict(
+        values = dict(
             num_gpus=platform.num_gpus,
             topology=platform.topology,
             link_bandwidth=platform.link_bandwidth,
             link_latency=platform.link_latency,
             gpu=platform.gpu.name,
         )
-        fields.update(overrides)
-        return cls(**fields)
+        values.update(overrides)
+        return cls(**values)
+
+    # ------------------------------------------------------------------
+    # Serialization (the sweep service's process-boundary format)
+    # ------------------------------------------------------------------
+    @property
+    def is_serializable(self) -> bool:
+        """Whether this config can cross a process boundary / be cached.
+
+        Only ``network_factory`` (an arbitrary callable) falls outside the
+        serializable subset; prebuilt ``networkx`` topologies round-trip.
+        """
+        return self.network_factory is None
+
+    def to_dict(self) -> dict:
+        """A JSON-safe dict that :meth:`from_dict` restores exactly.
+
+        Raises ``ValueError`` when the config holds a ``network_factory``
+        callable, which cannot be serialized.
+        """
+        if self.network_factory is not None:
+            raise ValueError(
+                "configs with a network_factory are not serializable; "
+                "run them in-process instead"
+            )
+        data = {"schema_version": CONFIG_SCHEMA_VERSION}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "network_factory":
+                continue
+            if f.name == "topology" and isinstance(value, nx.Graph):
+                value = {
+                    "__graph__": {
+                        "nodes": [str(n) for n in value.nodes],
+                        "edges": [
+                            [str(u), str(v), dict(attrs)]
+                            for u, v, attrs in value.edges(data=True)
+                        ],
+                    }
+                }
+            data[f.name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationConfig":
+        """Rebuild a validated config from :meth:`to_dict` output.
+
+        Missing fields take their defaults (so partial dicts — e.g. the
+        ``base`` section of a sweep spec — are accepted); unknown keys are
+        rejected so schema drift fails loudly.
+        """
+        data = dict(data)
+        version = data.pop("schema_version", CONFIG_SCHEMA_VERSION)
+        if version != CONFIG_SCHEMA_VERSION:
+            raise ValueError(f"unsupported config schema version {version}")
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown config fields: {sorted(unknown)}")
+        if "network_factory" in data and data["network_factory"] is not None:
+            raise ValueError("network_factory cannot be deserialized")
+        topology = data.get("topology")
+        if isinstance(topology, dict) and "__graph__" in topology:
+            payload = topology["__graph__"]
+            graph = nx.Graph()
+            graph.add_nodes_from(payload["nodes"])
+            for u, v, attrs in payload["edges"]:
+                graph.add_edge(u, v, **attrs)
+            data["topology"] = graph
+        return cls(**data)
+
+    def cache_key(self) -> str:
+        """Stable content digest of this config.
+
+        Two configs with equal serialized content share a key; any field
+        change (or a schema-version bump) changes it.  Used to address the
+        sweep service's on-disk result cache.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    @classmethod
+    def from_cli_args(cls, ns) -> "SimulationConfig":
+        """Build a config from an argparse namespace.
+
+        The single construction path shared by ``repro simulate`` and
+        ``repro sweep`` overrides — missing attributes fall back to field
+        defaults, so partial namespaces work.
+        """
+        slow = getattr(ns, "slow", None) or []
+        slowdowns = {
+            spec.split("=")[0]: float(spec.split("=")[1]) for spec in slow
+        } or None
+        mapping = dict(
+            parallelism=getattr(ns, "parallelism", None),
+            num_gpus=getattr(ns, "num_gpus", None),
+            batch_size=getattr(ns, "batch", None),
+            chunks=getattr(ns, "chunks", None),
+            dp_degree=getattr(ns, "dp_degree", None),
+            topology=getattr(ns, "topology", None),
+            link_bandwidth=getattr(ns, "bandwidth", None),
+            link_latency=getattr(ns, "latency", None),
+            gpu=getattr(ns, "gpu", None),
+            collective_scheme=getattr(ns, "collective", None),
+            gpus_per_node=getattr(ns, "gpus_per_node", None),
+            tp_scheme=getattr(ns, "tp_scheme", None),
+            pp_schedule=getattr(ns, "pp_schedule", None),
+            iterations=getattr(ns, "iterations", None),
+            gpu_slowdowns=slowdowns,
+        )
+        # Optional-by-design fields keep None; the rest default when absent.
+        optional = {"batch_size", "dp_degree", "gpu", "gpus_per_node",
+                    "gpu_slowdowns"}
+        kwargs = {
+            name: value for name, value in mapping.items()
+            if value is not None or name in optional
+        }
+        return cls(**kwargs)

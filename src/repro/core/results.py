@@ -9,10 +9,16 @@ of that plus simulator performance counters (Figure 14).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 from repro.engine.hooks import HookCtx
+
+#: Version of the serialized result format.  Part of every cache key, so
+#: a schema change silently invalidates old cache entries instead of
+#: returning mis-shaped results.
+RESULT_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -30,6 +36,13 @@ class TimelineRecord:
     @property
     def duration(self) -> float:
         return self.end - self.start
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TimelineRecord":
+        return cls(**data)
 
 
 class TimelineRecorder:
@@ -98,3 +111,48 @@ class SimulationResult:
             f"simulated in {self.wall_time * 1e3:.0f} ms wall, "
             f"{self.events} events"
         )
+
+    # ------------------------------------------------------------------
+    # Serialization — the single codepath shared by the CLI, the
+    # experiments harness, and the sweep service's result cache.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "total_time": self.total_time,
+            "compute_time": self.compute_time,
+            "communication_time": self.communication_time,
+            "per_gpu_busy": dict(self.per_gpu_busy),
+            "per_layer": dict(self.per_layer),
+            "per_phase": dict(self.per_phase),
+            "timeline": [r.to_dict() for r in self.timeline],
+            "wall_time": self.wall_time,
+            "events": self.events,
+            "iteration_times": list(self.iteration_times),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        version = data.get("schema_version")
+        if version != RESULT_SCHEMA_VERSION:
+            raise ValueError(f"unsupported result schema version {version}")
+        return cls(
+            total_time=data["total_time"],
+            compute_time=data["compute_time"],
+            communication_time=data["communication_time"],
+            per_gpu_busy=dict(data["per_gpu_busy"]),
+            per_layer=dict(data["per_layer"]),
+            per_phase=dict(data["per_phase"]),
+            timeline=[TimelineRecord.from_dict(r) for r in data["timeline"]],
+            wall_time=data["wall_time"],
+            events=data["events"],
+            iteration_times=list(data["iteration_times"]),
+        )
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string (floats round-trip bit-exactly)."""
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimulationResult":
+        return cls.from_dict(json.loads(text))

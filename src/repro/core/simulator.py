@@ -56,15 +56,26 @@ class TrioSim:
     hooks:
         Extra observers attached to the task-graph simulator — e.g. a
         :class:`repro.engine.Monitor` for AkitaRTM-style live progress.
+    op_time:
+        Optional pre-built :class:`~repro.extrapolator.optime.OpTimeModel`.
+        The sweep service fits the (potentially expensive) performance
+        model once per ``(trace, target GPU)`` and shares it across every
+        sweep point; it must have been built on the *prepared* (already
+        cross-GPU-rescaled) trace.
     """
 
     def __init__(self, trace: Trace, config: SimulationConfig,
-                 record_timeline: bool = True, hooks=()):
+                 record_timeline: bool = True, hooks=(), op_time=None):
         self.config = config
         self.record_timeline = record_timeline
         self.hooks = tuple(hooks)
         self.trace = self._prepare_trace(trace)
-        self.op_time = OpTimeModel(self.trace, self._build_perf_model())
+        if op_time is not None and op_time.trace is not self.trace:
+            raise ValueError(
+                "op_time was fitted on a different trace; build it on the "
+                "prepared (cross-GPU-rescaled) trace"
+            )
+        self.op_time = op_time or OpTimeModel(self.trace, self._build_perf_model())
 
     def _build_perf_model(self):
         if self.config.perf_model == "piecewise":

@@ -43,6 +43,7 @@ class Engine(Hookable):
         self._now = 0.0
         self._seq = 0
         self._dispatched = 0
+        self._cancelled = 0
         self._max_events = max_events
         self._paused = False
 
@@ -58,8 +59,8 @@ class Engine(Hookable):
 
     @property
     def pending_events(self) -> int:
-        """Number of events currently queued (including cancelled ones)."""
-        return len(self._queue)
+        """Number of live (non-cancelled) events currently queued."""
+        return len(self._queue) - self._cancelled
 
     def schedule(self, event: Event) -> Event:
         """Queue *event*; its time must not precede the current time."""
@@ -67,10 +68,36 @@ class Engine(Hookable):
             raise ValueError(
                 f"cannot schedule event at {event.time} before now={self._now}"
             )
+        if event.cancelled:
+            raise ValueError("cannot schedule a cancelled event")
         event._seq = self._seq
+        event._engine = self
         self._seq += 1
         heapq.heappush(self._queue, (event.time, event._seq, event))
         return event
+
+    def _note_cancelled(self) -> None:
+        """A queued event was cancelled; compact once they dominate.
+
+        Cancelled entries stay in the heap (cancellation is O(1)), but once
+        they exceed half the queue the heap is rebuilt without them —
+        amortized O(1) per cancellation, and long-running sweeps no longer
+        accumulate dead entries.
+        """
+        self._cancelled += 1
+        if self._cancelled * 2 > len(self._queue):
+            self._compact()
+
+    def _compact(self) -> None:
+        live = []
+        for entry in self._queue:
+            if entry[2].cancelled:
+                entry[2]._engine = None
+            else:
+                live.append(entry)
+        self._queue = live
+        heapq.heapify(self._queue)
+        self._cancelled = 0
 
     def call_at(self, time: float, callback: Callable[[Event], None], payload=None) -> Event:
         """Schedule *callback* to run at absolute virtual *time*."""
@@ -96,7 +123,9 @@ class Engine(Hookable):
                 self._now = until
                 return self._now
             heapq.heappop(self._queue)
+            event._engine = None  # no longer queued; cancel() needs no note
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = time
             self._dispatched += 1
@@ -118,8 +147,11 @@ class Engine(Hookable):
 
     def reset(self) -> None:
         """Clear the queue and rewind the clock (for test reuse)."""
+        for _, _, event in self._queue:
+            event._engine = None
         self._queue.clear()
         self._now = 0.0
         self._seq = 0
         self._dispatched = 0
+        self._cancelled = 0
         self._paused = False

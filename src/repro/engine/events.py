@@ -23,7 +23,7 @@ class Event:
         Optional arbitrary data carried by the event.
     """
 
-    __slots__ = ("time", "handler", "payload", "cancelled", "_seq")
+    __slots__ = ("time", "handler", "payload", "cancelled", "_seq", "_engine")
 
     def __init__(self, time: float, handler: "EventHandler", payload=None):
         if time < 0:
@@ -33,15 +33,22 @@ class Event:
         self.payload = payload
         self.cancelled = False
         self._seq = -1  # assigned by the engine at schedule time
+        self._engine = None  # back-reference while queued, for accounting
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped.
 
         Cancellation is O(1); the event stays in the queue but is discarded
         at dispatch time.  This is how in-flight network deliveries are
-        rescheduled when bandwidth shares change.
+        rescheduled when bandwidth shares change.  The owning engine is
+        notified so it can compact its queue once cancelled entries
+        dominate (long sweeps would otherwise bloat memory).
         """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._engine is not None:
+            self._engine._note_cancelled()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = " cancelled" if self.cancelled else ""

@@ -7,6 +7,14 @@ paper's physical testbeds (see DESIGN.md).  ``quick=True`` runs a
 representative subset for fast CI; the defaults reproduce the full figure.
 """
 
-from repro.experiments.harness import ExperimentResult, Row, predict, trace_for
+from repro.experiments.harness import (
+    ExperimentResult,
+    Row,
+    predict,
+    predict_many,
+    sweep_runner,
+    trace_for,
+)
 
-__all__ = ["ExperimentResult", "Row", "predict", "trace_for"]
+__all__ = ["ExperimentResult", "Row", "predict", "predict_many",
+           "sweep_runner", "trace_for"]

@@ -18,7 +18,7 @@ from repro.experiments.harness import (
     ExperimentResult,
     Row,
     figure_label,
-    predict,
+    predict_many,
     trace_batch,
     trace_for,
 )
@@ -44,20 +44,26 @@ def run(models: Optional[List[str]] = None, quick: bool = False,
         for model_name in models:
             batch = trace_batch(model_name)
             trace = trace_for(model_name, platform.gpu.name, batch)
-            measured_by_chunks = {}
-            for chunks in CHUNK_COUNTS:
-                measured = oracle.measure_pipeline(
+            measured_by_chunks = {
+                chunks: oracle.measure_pipeline(
                     get_model(model_name), batch, chunks,
                     num_stages=num_gpus, runs=runs,
+                ).total
+                for chunks in CHUNK_COUNTS
+            }
+            # The chunk axis is one sweep sharing the fitted perf model.
+            configs = [
+                SimulationConfig.for_platform(
+                    platform, num_gpus=num_gpus, parallelism="pp",
+                    chunks=chunks,
                 )
-                measured_by_chunks[chunks] = measured.total
-                config = SimulationConfig.for_platform(
-                    platform, num_gpus=num_gpus, parallelism="pp", chunks=chunks
-                )
-                predicted = predict(trace, config)
+                for chunks in CHUNK_COUNTS
+            ]
+            for chunks, predicted in zip(CHUNK_COUNTS,
+                                         predict_many(trace, configs)):
                 result.add(Row(
                     label=f"{figure_label(model_name)}/{num_gpus}gpu/c{chunks}",
-                    measured=measured.total,
+                    measured=measured_by_chunks[chunks],
                     predicted=predicted.total_time,
                 ))
             # The paper's orange-triangle rule: more chunks should be

@@ -22,7 +22,7 @@ from repro.experiments.harness import (
     ExperimentResult,
     Row,
     figure_label,
-    predict,
+    predict_many,
     trace_for,
 )
 from repro.gpus.specs import platform_p3
@@ -65,27 +65,29 @@ def run(models: Optional[List[str]] = None, quick: bool = False,
     result = ExperimentResult(
         "fig11", "New-GPU prediction: 8x H100 at batch 256 (cases 1 and 2)"
     )
+    strategies = _strategies(platform)
+    configs = [config for _, config in strategies]
     for model_name in models:
         model = get_model(model_name)
-        for strategy, config in _strategies(platform):
-            measured = _measure(oracle, model, strategy, runs)
-            # Case 1: cross-GPU traces at batch 128.
-            for src_gpu, src_batch in CASE1_SOURCES:
-                trace = trace_for(model_name, src_gpu, src_batch)
-                predicted = predict(trace, config)
+        measured = {
+            strategy: _measure(oracle, model, strategy, runs)
+            for strategy, _ in strategies
+        }
+        # Each source trace sweeps all four strategies at once, so the
+        # cross-GPU rescale to H100 happens once per trace, not per point.
+        sources = [
+            (f"case1-{src_gpu}", trace_for(model_name, src_gpu, src_batch))
+            for src_gpu, src_batch in CASE1_SOURCES  # cross-GPU, batch 128
+        ]
+        sources.append(("case2", trace_for(model_name, "H100", TARGET_BATCH)))
+        for case, trace in sources:
+            for (strategy, _), predicted in zip(
+                    strategies, predict_many(trace, configs)):
                 result.add(Row(
-                    label=f"{figure_label(model_name)}/{strategy}/case1-{src_gpu}",
-                    measured=measured,
+                    label=f"{figure_label(model_name)}/{strategy}/{case}",
+                    measured=measured[strategy],
                     predicted=predicted.total_time,
                 ))
-            # Case 2: same-GPU trace at the target batch.
-            trace = trace_for(model_name, "H100", TARGET_BATCH)
-            predicted = predict(trace, config)
-            result.add(Row(
-                label=f"{figure_label(model_name)}/{strategy}/case2",
-                measured=measured,
-                predicted=predicted.total_time,
-            ))
     summary = []
     for strategy in ("ddp", "tp", "pp-c1", "pp-c2"):
         case1 = result.mean_abs_error(f"/{strategy}/case1")

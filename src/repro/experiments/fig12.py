@@ -18,7 +18,7 @@ from repro.experiments.harness import (
     ExperimentResult,
     Row,
     figure_label,
-    predict,
+    predict_many,
     trace_batch,
     trace_for,
 )
@@ -48,22 +48,28 @@ def run(models: Optional[List[str]] = None, quick: bool = False,
         per_gpu = total_batch // platform.num_gpus
         trace = trace_for(model_name, platform.gpu.name, traced)
         measured: Dict[str, float] = {}
-        predicted: Dict[str, float] = {}
 
         measured["dp"] = oracle.measure_ddp(model, per_gpu, runs=runs).total
-        predicted["dp"] = predict(trace, SimulationConfig.for_platform(
-            platform, parallelism="ddp", batch_size=per_gpu)).total_time
-
         measured["tp"] = oracle.measure_tensor_parallel(
             model, total_batch, runs=runs).total
-        predicted["tp"] = predict(trace, SimulationConfig.for_platform(
-            platform, parallelism="tp", batch_size=total_batch)).total_time
-
         measured["pp"] = oracle.measure_pipeline(
             model, total_batch, CHUNKS, runs=runs).total
-        predicted["pp"] = predict(trace, SimulationConfig.for_platform(
-            platform, parallelism="pp", chunks=CHUNKS,
-            batch_size=total_batch)).total_time
+
+        # One sweep over the three strategies, sharing the fitted models.
+        configs = {
+            "dp": SimulationConfig.for_platform(
+                platform, parallelism="ddp", batch_size=per_gpu),
+            "tp": SimulationConfig.for_platform(
+                platform, parallelism="tp", batch_size=total_batch),
+            "pp": SimulationConfig.for_platform(
+                platform, parallelism="pp", chunks=CHUNKS,
+                batch_size=total_batch),
+        }
+        results = predict_many(trace, list(configs.values()))
+        predicted = {
+            strategy: res.total_time
+            for strategy, res in zip(configs, results)
+        }
 
         for strategy in ("dp", "tp", "pp"):
             result.add(Row(

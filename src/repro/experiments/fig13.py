@@ -18,11 +18,13 @@ from repro.experiments.harness import (
     ExperimentResult,
     Row,
     figure_label,
-    predict,
+    predict_many,
     trace_batch,
     trace_for,
 )
 from repro.gpus.specs import platform_p1
+
+STRATEGIES = ("tp", "ddp")
 
 
 def run(models: Optional[List[str]] = None, quick: bool = False,
@@ -36,10 +38,12 @@ def run(models: Optional[List[str]] = None, quick: bool = False,
     tp_higher = 0
     for model_name in models:
         trace = trace_for(model_name, platform.gpu.name, trace_batch(model_name))
+        configs = [
+            SimulationConfig.for_platform(platform, parallelism=strategy)
+            for strategy in STRATEGIES
+        ]
         ratios = {}
-        for strategy in ("tp", "ddp"):
-            config = SimulationConfig.for_platform(platform, parallelism=strategy)
-            res = predict(trace, config)
+        for strategy, res in zip(STRATEGIES, predict_many(trace, configs)):
             ratios[strategy] = res.communication_ratio
             result.add(Row(
                 label=f"{figure_label(model_name)}/{strategy}",

@@ -27,7 +27,7 @@ from repro.experiments.harness import (
     ExperimentResult,
     Row,
     figure_label,
-    predict,
+    predict_many,
     trace_batch,
     trace_for,
 )
@@ -93,8 +93,11 @@ def run(models: Optional[List[str]] = None, quick: bool = False,
     for model_name in models:
         trace = trace_for(model_name, "A100", trace_batch(model_name))
         comm = {}
-        for network in ("electrical", "photonic"):
-            res = predict(trace, _config(network))
+        networks = ("electrical", "photonic")
+        # One sweep per model; the photonic config carries a network
+        # factory, which the sweep service runs in-process.
+        responses = predict_many(trace, [_config(n) for n in networks])
+        for network, res in zip(networks, responses):
             # Wall-clock view, like the paper's stacked bars: compute is
             # one GPU's busy time; communication is everything else.
             compute_wall = max(res.per_gpu_busy.values())

@@ -1,14 +1,27 @@
-"""Shared infrastructure for the per-figure experiment modules."""
+"""Shared infrastructure for the per-figure experiment modules.
+
+Every figure prediction is dispatched through one shared
+:class:`~repro.service.runner.SweepRunner`, so cross-GPU trace rescaling
+and performance-model fits are computed once per ``(trace, target GPU)``
+and reused across all points, and an optional on-disk cache makes
+re-running any figure return its points instantly.  Environment knobs:
+
+``REPRO_SWEEP_WORKERS``
+    Worker processes for figure sweeps (default ``1`` = in-process).
+``REPRO_CACHE_DIR``
+    Result cache directory (default: caching off).
+"""
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import SimulationConfig
 from repro.core.results import SimulationResult
-from repro.core.simulator import TrioSim
+from repro.service.runner import SweepRunner
 from repro.trace.trace import Trace
 from repro.trace.tracer import Tracer
 from repro.workloads.registry import get_model, short_name
@@ -51,10 +64,37 @@ def trace_for(model_name: str, gpu_name: str,
     return tracer.trace(get_model(model_name), batch)
 
 
+_runner: Optional[SweepRunner] = None
+
+
+def sweep_runner() -> SweepRunner:
+    """The shared sweep service all figure predictions go through."""
+    global _runner
+    if _runner is None:
+        _runner = SweepRunner(
+            max_workers=int(os.environ.get("REPRO_SWEEP_WORKERS", "1")),
+            cache=os.environ.get("REPRO_CACHE_DIR") or None,
+        )
+    return _runner
+
+
 def predict(trace: Trace, config: SimulationConfig,
             timeline: bool = False) -> SimulationResult:
-    """One TrioSim prediction run."""
-    return TrioSim(trace, config, record_timeline=timeline).run()
+    """One TrioSim prediction run (via the shared sweep service)."""
+    return predict_many(trace, [config], timeline=timeline)[0]
+
+
+def predict_many(trace: Trace, configs: Sequence[SimulationConfig],
+                 timeline: bool = False) -> List[SimulationResult]:
+    """Predict many configs against one trace in a single sweep.
+
+    Points fan out over worker processes when ``REPRO_SWEEP_WORKERS`` asks
+    for them and hit the result cache when ``REPRO_CACHE_DIR`` is set; a
+    failed point re-raises its recorded error, preserving the exception
+    behaviour of a direct :class:`TrioSim` run.
+    """
+    outcomes = sweep_runner().run(trace, configs, record_timeline=timeline)
+    return [o.unwrap() for o in outcomes]
 
 
 @dataclass

@@ -1,0 +1,37 @@
+"""The sweep service: parallel, cached design-space exploration.
+
+Built on the serializable config/result API (:meth:`SimulationConfig.to_dict`
+/ :meth:`SimulationResult.to_json`), the service turns TrioSim from a
+one-point simulator into a sweep engine: fan configs over worker processes,
+cache every result by content, dedup shared preparation work, and keep
+going when individual points fail.
+"""
+
+from repro.service.cache import ResultCache, trace_digest
+from repro.service.runner import (
+    HOOK_SWEEP_END,
+    HOOK_SWEEP_POINT,
+    HOOK_SWEEP_START,
+    SweepError,
+    SweepMetrics,
+    SweepOutcome,
+    SweepPointError,
+    SweepRunner,
+)
+from repro.service.spec import SweepSpec
+from repro.service.worker import PointTimeoutError
+
+__all__ = [
+    "HOOK_SWEEP_END",
+    "HOOK_SWEEP_POINT",
+    "HOOK_SWEEP_START",
+    "PointTimeoutError",
+    "ResultCache",
+    "SweepError",
+    "SweepMetrics",
+    "SweepOutcome",
+    "SweepPointError",
+    "SweepRunner",
+    "SweepSpec",
+    "trace_digest",
+]

@@ -1,0 +1,132 @@
+"""Content-addressed on-disk result cache for the sweep service.
+
+Every cache entry is one simulation result, stored as the JSON emitted by
+:meth:`SimulationResult.to_json` under a name derived from *what produced
+it*: the trace content digest, the config's :meth:`cache_key`, the result
+schema version, and whether a timeline was recorded.  Re-running any sweep
+or figure therefore returns previously computed points instantly, and a
+change to either schema silently invalidates old entries (the key changes;
+no migration code needed).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.config import SimulationConfig
+from repro.core.results import RESULT_SCHEMA_VERSION, SimulationResult
+from repro.trace.trace import Trace
+
+
+def trace_digest(trace: Trace) -> str:
+    """Stable content digest of a trace (sha256 of its canonical JSON).
+
+    The digest is memoized on the trace object and re-derived whenever the
+    operator/tensor counts change, so repeated sweeps over the same trace
+    pay the canonicalization cost once.
+    """
+    shape = (len(trace.operators), len(trace.tensors))
+    memo = getattr(trace, "_digest_memo", None)
+    if memo is not None and memo[0] == shape:
+        return memo[1]
+    canonical = json.dumps(trace.to_dict(), sort_keys=True)
+    digest = hashlib.sha256(canonical.encode()).hexdigest()
+    trace._digest_memo = (shape, digest)
+    return digest
+
+
+class ResultCache:
+    """Directory of content-addressed :class:`SimulationResult` entries.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; created on first use.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def point_key(trace_key: str, config: SimulationConfig,
+                  record_timeline: bool = False) -> str:
+        """Cache key of one ``(trace, config)`` sweep point."""
+        canonical = json.dumps(
+            {
+                "trace": trace_key,
+                "config": config.cache_key(),
+                "result_schema": RESULT_SCHEMA_VERSION,
+                "timeline": bool(record_timeline),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def load(self, key: str) -> Optional[SimulationResult]:
+        """The cached result for *key*, or ``None`` (counted as a miss)."""
+        path = self._path(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            result = SimulationResult.from_json(text)
+        except (ValueError, KeyError):
+            # Corrupt or stale-schema entry: drop it and treat as a miss.
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key: str, result: SimulationResult) -> None:
+        """Persist *result* under *key* (atomic rename; crash-safe)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(result.to_json())
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk since construction."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for p in self.root.iterdir() if p.suffix == ".json")
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.iterdir():
+                if path.suffix == ".json":
+                    path.unlink()
+                    removed += 1
+        self.hits = 0
+        self.misses = 0
+        return removed

@@ -1,0 +1,380 @@
+"""The parallel sweep service.
+
+:class:`SweepRunner` fans a list of :class:`SimulationConfig` points over a
+``concurrent.futures.ProcessPoolExecutor`` (or runs them in-process when
+``max_workers <= 1``), with:
+
+* a content-addressed on-disk result cache (:mod:`repro.service.cache`) —
+  re-running any figure or sweep returns previously computed points
+  instantly;
+* shared-work dedup — cross-GPU trace rescaling happens once per
+  ``(trace, target GPU)`` in the parent, and performance-model fits happen
+  once per worker process instead of once per point;
+* graceful degradation — a failing config yields a structured
+  :class:`SweepError` (with the worker traceback) instead of killing the
+  sweep, and each point runs under an optional wall-clock timeout;
+* live progress through the existing :mod:`repro.engine.hooks` mechanism —
+  the runner is a :class:`Hookable` and fires ``sweep_start`` /
+  ``sweep_point`` / ``sweep_end`` positions with completed/total counts,
+  cache hit-rate, aggregate simulated-events/sec, and an ETA.
+
+Determinism: TrioSim is deterministic and every point is independent, so
+parallel execution, in-process execution, and cache replay all produce
+bit-identical ``total_time`` values.
+"""
+
+from __future__ import annotations
+
+import os
+import time as _wall
+from collections import OrderedDict
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.config import SimulationConfig
+from repro.core.results import SimulationResult
+from repro.engine.hooks import HookCtx, Hookable
+from repro.perfmodel.scaling import CrossGPUScaler
+from repro.service import worker as _worker
+from repro.service.cache import ResultCache, trace_digest
+from repro.trace.trace import Trace
+
+#: Hook positions emitted by the runner.
+HOOK_SWEEP_START = "sweep_start"
+HOOK_SWEEP_POINT = "sweep_point"
+HOOK_SWEEP_END = "sweep_end"
+
+
+@dataclass(frozen=True)
+class SweepError:
+    """Structured record of one failed sweep point."""
+
+    kind: str        # exception class name, e.g. "PointTimeoutError"
+    message: str
+    traceback: str = ""
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "message": self.message,
+                "traceback": self.traceback}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepError":
+        return cls(**data)
+
+
+class SweepPointError(RuntimeError):
+    """Raised by :meth:`SweepOutcome.unwrap` for a failed point."""
+
+    def __init__(self, error: SweepError):
+        super().__init__(f"{error.kind}: {error.message}\n{error.traceback}")
+        self.error = error
+
+
+@dataclass
+class SweepOutcome:
+    """Result (or failure) of one sweep point, in input order."""
+
+    index: int
+    config: SimulationConfig
+    label: str = ""
+    result: Optional[SimulationResult] = None
+    error: Optional[SweepError] = None
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+    def unwrap(self) -> SimulationResult:
+        """The result, or raise :class:`SweepPointError`."""
+        if self.result is None:
+            raise SweepPointError(
+                self.error or SweepError("Unknown", "point produced no result")
+            )
+        return self.result
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary (the CLI's sweep output codepath)."""
+        return {
+            "index": self.index,
+            "label": self.label,
+            "config": (self.config.to_dict()
+                       if self.config.is_serializable else None),
+            "cached": self.cached,
+            "result": self.result.to_dict() if self.result else None,
+            "error": self.error.to_dict() if self.error else None,
+        }
+
+
+@dataclass
+class SweepMetrics:
+    """Live counters surfaced through the progress hooks."""
+
+    total: int = 0
+    completed: int = 0
+    cache_hits: int = 0
+    errors: int = 0
+    fresh_events: int = 0     # engine events dispatched for non-cached points
+    elapsed: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.completed if self.completed else 0.0
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.fresh_events / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def eta_seconds(self) -> float:
+        if not self.completed:
+            return float("nan")
+        remaining = self.total - self.completed
+        return remaining * (self.elapsed / self.completed)
+
+    def detail(self) -> dict:
+        return {
+            "completed": self.completed,
+            "total": self.total,
+            "cache_hits": self.cache_hits,
+            "hit_rate": self.hit_rate,
+            "errors": self.errors,
+            "fresh_events": self.fresh_events,
+            "events_per_sec": self.events_per_sec,
+            "eta_seconds": self.eta_seconds,
+            "elapsed": self.elapsed,
+        }
+
+
+class SweepRunner(Hookable):
+    """Run many ``(trace, config)`` points fast, cached, and fault-tolerant.
+
+    Parameters
+    ----------
+    max_workers:
+        Process count for the fan-out; ``None`` uses the machine's CPU
+        count, and values ``<= 1`` run every point in-process (the
+        deterministic baseline — results are bit-identical either way).
+    cache:
+        A :class:`ResultCache`, a directory path for one, or ``None`` to
+        disable caching.
+    timeout:
+        Optional per-point wall-clock budget in seconds; an expired point
+        becomes a ``PointTimeoutError`` error record.
+    hooks:
+        Observers registered for the runner's progress positions.
+    """
+
+    #: Bound on memoized (rescaled trace, fitted models) entries.
+    SHARED_WORK_LIMIT = 64
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 cache: Union[ResultCache, str, Path, None] = None,
+                 timeout: Optional[float] = None, hooks: Sequence = ()):
+        super().__init__()
+        self.max_workers = max_workers if max_workers is not None \
+            else (os.cpu_count() or 1)
+        self.cache = (ResultCache(cache)
+                      if isinstance(cache, (str, Path)) else cache)
+        self.timeout = timeout
+        self.last_metrics: Optional[SweepMetrics] = None
+        # (trace digest, target gpu) -> [prepared Trace, {perf_model: OpTimeModel}]
+        # An LRU shared across run() calls, so per-point predict() loops
+        # (the experiments harness) still rescale and fit exactly once.
+        self._shared: "OrderedDict[str, list]" = OrderedDict()
+        for hook in hooks:
+            self.accept_hook(hook)
+
+    # ------------------------------------------------------------------
+    # Shared-work preparation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _gpu_key(trace: Trace, config: SimulationConfig) -> str:
+        """The rescaling target this config needs ("native" = none)."""
+        target = config.gpu
+        if target is not None and target.upper() != trace.gpu_name.upper():
+            return target.upper()
+        return "native"
+
+    def _shared_work(self, trace: Trace, gpu_key: str) -> list:
+        """The memoized ``[prepared trace, op-time models]`` slot for
+        ``(trace, target GPU)`` — rescaling runs at most once per pair."""
+        slot_key = f"{trace_digest(trace)}:{gpu_key}"
+        slot = self._shared.get(slot_key)
+        if slot is None:
+            if gpu_key == "native":
+                prepared = trace
+            else:
+                scaler = CrossGPUScaler.between(trace.gpu_name, gpu_key)
+                prepared = scaler.convert_trace(trace)
+            slot = [prepared, {}]
+            self._shared[slot_key] = slot
+            if len(self._shared) > self.SHARED_WORK_LIMIT:
+                self._shared.popitem(last=False)
+        else:
+            self._shared.move_to_end(slot_key)
+        return slot
+
+    def _prepare_traces(self, trace: Trace, points) -> Dict[str, Trace]:
+        """Rescale *trace* once per distinct target GPU among *points*."""
+        prepared: Dict[str, Trace] = {}
+        for point in points:
+            gpu_key = self._gpu_key(trace, point.config)
+            if gpu_key not in prepared:
+                prepared[gpu_key] = self._shared_work(trace, gpu_key)[0]
+        return prepared
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, trace: Trace, configs: Sequence[SimulationConfig],
+            record_timeline: bool = False,
+            labels: Optional[Sequence[str]] = None) -> List[SweepOutcome]:
+        """Simulate every config against *trace*; outcomes in input order."""
+        configs = list(configs)
+        labels = list(labels) if labels is not None else [""] * len(configs)
+        if len(labels) != len(configs):
+            raise ValueError("labels must match configs in length")
+        started = _wall.perf_counter()
+        metrics = SweepMetrics(total=len(configs))
+        self.last_metrics = metrics
+        self.invoke_hooks(
+            HookCtx(HOOK_SWEEP_START, 0.0, item=None, detail=metrics.detail())
+        )
+
+        outcomes = [
+            SweepOutcome(index=i, config=cfg, label=labels[i])
+            for i, cfg in enumerate(configs)
+        ]
+        base_key = trace_digest(trace) if self.cache is not None else ""
+
+        # Cache pass: satisfy points without any simulation.
+        pending: List[SweepOutcome] = []
+        for outcome in outcomes:
+            hit = None
+            if self.cache is not None and outcome.config.is_serializable:
+                key = self.cache.point_key(base_key, outcome.config,
+                                           record_timeline)
+                hit = self.cache.load(key)
+            if hit is not None:
+                outcome.result = hit
+                outcome.cached = True
+                metrics.cache_hits += 1
+                self._note_done(outcome, metrics, started)
+            else:
+                pending.append(outcome)
+
+        parallel = [o for o in pending if o.config.is_serializable]
+        inproc = [o for o in pending if not o.config.is_serializable]
+        workers = min(self.max_workers, len(parallel))
+        if workers <= 1:
+            inproc = pending
+            parallel = []
+
+        if parallel:
+            self._run_parallel(trace, parallel, workers, record_timeline,
+                               metrics, started, base_key)
+        if inproc:
+            self._run_inproc(trace, inproc, record_timeline, metrics,
+                             started, base_key)
+
+        metrics.elapsed = _wall.perf_counter() - started
+        self.invoke_hooks(
+            HookCtx(HOOK_SWEEP_END, 0.0, item=outcomes,
+                    detail=metrics.detail())
+        )
+        return outcomes
+
+    def _note_done(self, outcome: SweepOutcome, metrics: SweepMetrics,
+                   started: float) -> None:
+        metrics.completed += 1
+        if outcome.error is not None:
+            metrics.errors += 1
+        elif not outcome.cached and outcome.result is not None:
+            metrics.fresh_events += outcome.result.events
+        metrics.elapsed = _wall.perf_counter() - started
+        self.invoke_hooks(
+            HookCtx(HOOK_SWEEP_POINT, 0.0, item=outcome,
+                    detail=metrics.detail())
+        )
+
+    def _finish(self, outcome: SweepOutcome, payload: dict,
+                record_timeline: bool, base_key: str) -> None:
+        """Apply a worker reply to its outcome and cache fresh results."""
+        if payload["ok"]:
+            outcome.result = SimulationResult.from_dict(payload["result"])
+            if self.cache is not None and outcome.config.is_serializable:
+                key = self.cache.point_key(base_key, outcome.config,
+                                           record_timeline)
+                self.cache.store(key, outcome.result)
+        else:
+            outcome.error = SweepError.from_dict(payload["error"])
+
+    def _run_parallel(self, trace: Trace, points: List[SweepOutcome],
+                      workers: int, record_timeline: bool,
+                      metrics: SweepMetrics, started: float,
+                      base_key: str) -> None:
+        prepared = self._prepare_traces(trace, points)
+        trace_dicts = {
+            gpu_key: scaled.to_dict() for gpu_key, scaled in prepared.items()
+        }
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker.init_worker,
+            initargs=(trace_dicts,),
+        ) as pool:
+            futures = {}
+            for outcome in points:
+                payload = {
+                    "trace_key": self._gpu_key(trace, outcome.config),
+                    "config": outcome.config.to_dict(),
+                    "record_timeline": record_timeline,
+                    "timeout": self.timeout,
+                }
+                futures[pool.submit(_worker.run_point, payload)] = outcome
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    outcome = futures[future]
+                    exc = future.exception()
+                    if exc is not None:
+                        # e.g. BrokenProcessPool: degrade, don't die.
+                        outcome.error = SweepError(
+                            kind=type(exc).__name__, message=str(exc)
+                        )
+                    else:
+                        self._finish(outcome, future.result(),
+                                     record_timeline, base_key)
+                    self._note_done(outcome, metrics, started)
+
+    def _run_inproc(self, trace: Trace, points: List[SweepOutcome],
+                    record_timeline: bool, metrics: SweepMetrics,
+                    started: float, base_key: str) -> None:
+        for outcome in points:
+            gpu_key = self._gpu_key(trace, outcome.config)
+            point_trace, op_times = self._shared_work(trace, gpu_key)
+            try:
+                op_time = _worker.shared_op_time(
+                    point_trace, outcome.config.perf_model, op_times,
+                    gpu_key,
+                )
+                outcome.result = _worker.simulate_point(
+                    point_trace, outcome.config, record_timeline,
+                    self.timeout, op_time=op_time,
+                )
+                if (self.cache is not None
+                        and outcome.config.is_serializable):
+                    key = self.cache.point_key(base_key, outcome.config,
+                                               record_timeline)
+                    self.cache.store(key, outcome.result)
+            except Exception as exc:
+                import traceback as _tb
+
+                outcome.error = SweepError(
+                    kind=type(exc).__name__, message=str(exc),
+                    traceback=_tb.format_exc(),
+                )
+            self._note_done(outcome, metrics, started)

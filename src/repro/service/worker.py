@@ -1,0 +1,143 @@
+"""Sweep-point execution, shared by worker processes and in-process runs.
+
+A worker process is seeded once (via the pool initializer) with every
+prepared trace of the sweep, keyed by trace digest.  Within the process,
+the parsed :class:`Trace` and the fitted performance model are memoized per
+``(trace, perf_model)`` — the expensive shared work (piecewise fits, Li's
+Model regression) happens once per process, not once per sweep point.
+
+Per-point timeouts use ``SIGALRM`` so a runaway simulation inside a worker
+is interrupted and reported as a structured error instead of hanging the
+pool slot forever.  On platforms (or threads) without ``SIGALRM`` the
+timeout degrades to "no timeout" rather than failing.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import traceback
+from contextlib import contextmanager
+from typing import Dict, Optional, Tuple
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import TrioSim
+from repro.extrapolator.optime import OpTimeModel
+from repro.trace.trace import Trace
+
+
+class PointTimeoutError(Exception):
+    """A sweep point exceeded its per-point wall-clock budget."""
+
+
+@contextmanager
+def deadline(seconds: Optional[float]):
+    """Raise :class:`PointTimeoutError` if the body runs past *seconds*.
+
+    No-op when *seconds* is falsy, when the platform lacks ``SIGALRM``, or
+    when called off the main thread (signals only deliver there).
+    """
+    usable = (
+        seconds
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise PointTimeoutError(f"sweep point exceeded {seconds}s timeout")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+# ----------------------------------------------------------------------
+# Per-process shared state
+# ----------------------------------------------------------------------
+
+#: Serialized traces this worker may simulate, keyed by trace digest.
+_TRACE_DICTS: Dict[str, dict] = {}
+
+#: Parsed traces and fitted operator-time models, memoized per process.
+_PARSED: Dict[str, Trace] = {}
+_OP_TIMES: Dict[Tuple[str, str], OpTimeModel] = {}
+
+
+def init_worker(trace_dicts: Dict[str, dict]) -> None:
+    """Pool initializer: receive every prepared trace exactly once."""
+    _TRACE_DICTS.clear()
+    _TRACE_DICTS.update(trace_dicts)
+    _PARSED.clear()
+    _OP_TIMES.clear()
+
+
+def shared_op_time(trace: Trace, perf_model: str,
+                   memo: Dict[Tuple[str, str], OpTimeModel],
+                   trace_key: str) -> OpTimeModel:
+    """The memoized :class:`OpTimeModel` for ``(trace, perf_model)``.
+
+    Fitting happens at most once per *memo* (one per worker process, one
+    per in-process runner); the piecewise model's throughput curves are the
+    expensive part this dedups.
+    """
+    key = (trace_key, perf_model)
+    op_time = memo.get(key)
+    if op_time is None:
+        fitted = None
+        if perf_model == "piecewise":
+            from repro.perfmodel.piecewise import PiecewiseThroughputModel
+
+            fitted = PiecewiseThroughputModel.fit(trace)
+        op_time = OpTimeModel(trace, fitted)
+        memo[key] = op_time
+    return op_time
+
+
+def simulate_point(trace: Trace, config: SimulationConfig,
+                   record_timeline: bool, timeout: Optional[float],
+                   op_time: Optional[OpTimeModel] = None):
+    """Run one sweep point (optionally under a deadline)."""
+    with deadline(timeout):
+        sim = TrioSim(trace, config, record_timeline=record_timeline,
+                      op_time=op_time)
+        return sim.run()
+
+
+def run_point(payload: dict) -> dict:
+    """Process-pool entry point: simulate one serialized sweep point.
+
+    Returns ``{"ok": True, "result": <result dict>}`` on success or
+    ``{"ok": False, "error": {kind, message, traceback}}`` on any failure,
+    so a failing config degrades to an error record instead of poisoning
+    the pool.
+    """
+    try:
+        trace_key = payload["trace_key"]
+        trace = _PARSED.get(trace_key)
+        if trace is None:
+            trace = Trace.from_dict(_TRACE_DICTS[trace_key])
+            _PARSED[trace_key] = trace
+        config = SimulationConfig.from_dict(payload["config"])
+        op_time = shared_op_time(trace, config.perf_model, _OP_TIMES,
+                                 trace_key)
+        result = simulate_point(
+            trace, config, payload["record_timeline"], payload["timeout"],
+            op_time=op_time,
+        )
+        return {"ok": True, "result": result.to_dict()}
+    except Exception as exc:
+        return {
+            "ok": False,
+            "error": {
+                "kind": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+            },
+        }

@@ -115,3 +115,76 @@ class TestInspect:
         assert main(["simulate", str(trace_file), "--num-gpus", "2",
                      "--report", str(report)]) == 0
         assert report.read_text().startswith("<!DOCTYPE html>")
+
+
+class TestSweep:
+    @pytest.fixture
+    def spec_file(self, trace_file, tmp_path):
+        spec = {
+            "trace": str(trace_file),
+            "base": {"parallelism": "ddp"},
+            "axes": {"num_gpus": [1, 2], "link_bandwidth": [25e9, 100e9]},
+        }
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(spec))
+        return path
+
+    def test_sweep_runs_all_points(self, spec_file, tmp_path, capsys):
+        out = tmp_path / "out.json"
+        code = main(["sweep", str(spec_file), "-o", str(out)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "[4/4]" in printed and "4 points" in printed
+        payload = json.loads(out.read_text())
+        assert len(payload) == 4
+        assert all(p["result"]["total_time"] > 0 for p in payload)
+        assert payload[0]["label"].startswith("num_gpus=1")
+
+    def test_sweep_second_run_fully_cached(self, spec_file, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(["sweep", str(spec_file), "--cache", str(cache)]) == 0
+        first = capsys.readouterr().out
+        assert "0 cache hits" in first
+        assert main(["sweep", str(spec_file), "--cache", str(cache)]) == 0
+        second = capsys.readouterr().out
+        assert "4 cache hits (100%)" in second
+        assert "0 simulated events/s" in second
+
+    def test_sweep_csv_output(self, spec_file, tmp_path):
+        csv_path = tmp_path / "out.csv"
+        assert main(["sweep", str(spec_file), "--csv", str(csv_path)]) == 0
+        lines = csv_path.read_text().strip().splitlines()
+        assert lines[0] == "label,total_s,cached,error"
+        assert len(lines) == 5
+        assert all(line.count(",") >= 3 for line in lines[1:])
+
+    def test_sweep_model_spec_without_trace_file(self, tmp_path):
+        spec = {
+            "model": "resnet18", "gpu": "A40", "batch": 16,
+            "axes": {"num_gpus": [1, 2]},
+        }
+        path = tmp_path / "zoo.json"
+        path.write_text(json.dumps(spec))
+        out = tmp_path / "out.json"
+        assert main(["sweep", str(path), "-o", str(out)]) == 0
+        assert len(json.loads(out.read_text())) == 2
+
+    def test_sweep_invalid_spec_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"model": "resnet18",
+                                    "axes": {"num_gpu": [2]}}))
+        with pytest.raises(ValueError):
+            main(["sweep", str(path)])
+
+
+class TestSaveResult:
+    def test_simulate_save_result_round_trips(self, trace_file, tmp_path):
+        from repro.core.results import SimulationResult
+
+        out = tmp_path / "result.json"
+        code = main(["simulate", str(trace_file), "--num-gpus", "2",
+                     "--save-result", str(out)])
+        assert code == 0
+        restored = SimulationResult.from_json(out.read_text())
+        assert restored.total_time > 0
+        assert restored.events > 0

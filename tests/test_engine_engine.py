@@ -172,3 +172,79 @@ def test_engine_hooks_fire_around_events():
     eng.call_at(1.0, lambda e: None)
     eng.run()
     assert positions == ["before_event", "after_event"]
+
+
+# ----------------------------------------------------------------------
+# Cancelled-event accounting and heap compaction
+# ----------------------------------------------------------------------
+
+
+def test_pending_events_excludes_cancelled():
+    eng = Engine()
+    events = [eng.call_at(float(i + 1), lambda e: None) for i in range(10)]
+    assert eng.pending_events == 10
+    for ev in events[:4]:
+        ev.cancel()
+    assert eng.pending_events == 6
+
+
+def test_compaction_purges_dead_heap_entries():
+    eng = Engine()
+    events = [eng.call_at(float(i + 1), lambda e: None) for i in range(10)]
+    # Cancel a majority: the heap must shrink, not just hide them.
+    for ev in events[:6]:
+        ev.cancel()
+    assert eng.pending_events == 4
+    assert len(eng._queue) == 4
+
+
+def test_cancelled_events_do_not_fire():
+    eng = Engine()
+    fired = []
+    keep = eng.call_at(1.0, lambda e: fired.append("keep"))
+    drop = eng.call_at(2.0, lambda e: fired.append("drop"))
+    drop.cancel()
+    eng.run()
+    assert fired == ["keep"]
+    assert keep.cancelled is False
+    assert eng.pending_events == 0
+
+
+def test_double_cancel_is_idempotent():
+    eng = Engine()
+    events = [eng.call_at(float(i + 1), lambda e: None) for i in range(4)]
+    events[0].cancel()
+    events[0].cancel()   # must not corrupt the cancelled counter
+    assert eng.pending_events == 3
+    eng.run()
+    assert eng.pending_events == 0
+
+
+def test_cancel_after_dispatch_is_harmless():
+    eng = Engine()
+    seen = []
+    ev = eng.call_at(1.0, lambda e: seen.append(1))
+    eng.run()
+    ev.cancel()   # already dispatched; nothing queued to account for
+    assert seen == [1]
+    assert eng.pending_events == 0
+
+
+def test_scheduling_cancelled_event_rejected():
+    eng = Engine()
+    ev = eng.call_at(1.0, lambda e: None)
+    ev.cancel()
+    with pytest.raises(ValueError):
+        eng.schedule(ev)
+
+
+def test_mass_cancellation_keeps_queue_bounded():
+    # The sweep-service regression: many schedule/cancel cycles must not
+    # accumulate dead entries in the heap.
+    eng = Engine()
+    keeper = eng.call_at(1e9, lambda e: None)
+    for i in range(1000):
+        eng.call_at(float(i + 1), lambda e: None).cancel()
+    assert eng.pending_events == 1
+    assert len(eng._queue) < 10
+    assert not keeper.cancelled
