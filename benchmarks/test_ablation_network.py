@@ -12,7 +12,6 @@ or finish.  This ablation shows when that matters and when it does not:
   machinery adds no phantom contention.
 """
 
-from conftest import RUNS
 
 from repro.collectives.ring import ring_all_reduce, ring_scatter
 from repro.core.taskgraph import TaskGraphSimulator

@@ -10,7 +10,6 @@ see docs/architecture.md on the coalesced-reallocation optimization that
 makes this tractable.)
 """
 
-import time
 
 from conftest import QUICK
 

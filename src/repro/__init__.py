@@ -20,6 +20,16 @@ Quickstart::
     print(result.summary())
 """
 
+from repro.analysis import (
+    AnalysisError,
+    Finding,
+    Report,
+    SanitizerSuite,
+    lint_config,
+    lint_spec,
+    lint_taskgraph,
+    lint_trace,
+)
 from repro.core.config import SimulationConfig
 from repro.core.results import SimulationResult, TimelineRecord
 from repro.core.simulator import TrioSim
@@ -46,16 +56,18 @@ from repro.perfmodel.scaling import CrossGPUScaler
 from repro.service.cache import ResultCache
 from repro.service.runner import SweepError, SweepOutcome, SweepRunner
 from repro.service.spec import SweepSpec
-from repro.trace.trace import Trace
+from repro.trace.trace import Trace, TraceFormatError
 from repro.trace.tracer import Tracer
 from repro.workloads.registry import CNN_NAMES, MODEL_NAMES, TRANSFORMER_NAMES, get_model
 
 __version__ = "0.1.0"
 
 __all__ = [
+    "AnalysisError",
     "CNN_NAMES",
     "CrossGPUScaler",
     "Engine",
+    "Finding",
     "FlowNetwork",
     "HardwareOracle",
     "HopConfig",
@@ -65,7 +77,9 @@ __all__ = [
     "PiecewiseThroughputModel",
     "PhotonicNetwork",
     "Platform",
+    "Report",
     "ResultCache",
+    "SanitizerSuite",
     "SimulationConfig",
     "SimulationResult",
     "SweepError",
@@ -75,6 +89,7 @@ __all__ = [
     "TRANSFORMER_NAMES",
     "TimelineRecord",
     "Trace",
+    "TraceFormatError",
     "Tracer",
     "TrioSim",
     "check_fits",
@@ -85,6 +100,10 @@ __all__ = [
     "get_gpu",
     "get_interconnect",
     "get_model",
+    "lint_config",
+    "lint_spec",
+    "lint_taskgraph",
+    "lint_trace",
     "platform_p1",
     "platform_p2",
     "platform_p3",

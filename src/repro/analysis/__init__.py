@@ -1,0 +1,73 @@
+"""Static analysis and runtime sanitizers for simulation inputs.
+
+TrioSim's accuracy rests on invariants the simulation engine itself never
+checks: traces must form acyclic operator/tensor graphs with consistent
+byte counts, configs must describe connected topologies with plausible
+link parameters, extrapolated task graphs must be deadlock-free, and the
+flow network must conserve link capacity.  This package checks all of
+them:
+
+* a **rule framework** — :class:`Finding` / :class:`Report` /
+  :class:`RuleRegistry` with stable rule ids, enable/disable, and text +
+  JSON reporters;
+* **static lint passes** — :func:`lint_trace`, :func:`lint_config`,
+  :func:`lint_taskgraph`, :func:`lint_spec`, :func:`lint_path` (the
+  ``repro lint`` CLI);
+* **runtime sanitizers** — :class:`SanitizerSuite` hooks time
+  monotonicity, link-capacity conservation, and event-heap hygiene into a
+  running simulation (the ``--sanitize`` flag).
+
+See ``docs/linting.md`` for the full rule catalogue.
+"""
+
+from repro.analysis.findings import (
+    ERROR,
+    INFO,
+    SEVERITIES,
+    WARNING,
+    AnalysisError,
+    Finding,
+    Report,
+)
+from repro.analysis.registry import DEFAULT_REGISTRY, Rule, RuleRegistry
+from repro.analysis.linter import (
+    detect_kind,
+    lint_config,
+    lint_path,
+    lint_spec,
+    lint_taskgraph,
+    lint_trace,
+)
+from repro.analysis.reporters import render_catalogue, render_json, render_text
+from repro.analysis.sanitizers import (
+    HeapLeakSanitizer,
+    LinkCapacitySanitizer,
+    SanitizerSuite,
+    TimeMonotonicSanitizer,
+)
+
+__all__ = [
+    "ERROR",
+    "INFO",
+    "SEVERITIES",
+    "WARNING",
+    "AnalysisError",
+    "DEFAULT_REGISTRY",
+    "Finding",
+    "HeapLeakSanitizer",
+    "LinkCapacitySanitizer",
+    "Report",
+    "Rule",
+    "RuleRegistry",
+    "SanitizerSuite",
+    "TimeMonotonicSanitizer",
+    "detect_kind",
+    "lint_config",
+    "lint_path",
+    "lint_spec",
+    "lint_taskgraph",
+    "lint_trace",
+    "render_catalogue",
+    "render_json",
+    "render_text",
+]

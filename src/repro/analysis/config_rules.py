@@ -1,0 +1,263 @@
+"""Static lint rules over simulation configs (``CF``-series).
+
+A :class:`SimulationConfig` already rejects type-level nonsense in its
+constructor; these rules catch the *semantic* problems that otherwise fail
+deep inside the engine (or worse, complete with garbage numbers):
+disconnected topologies, unreachable GPU pairs, absurd link parameters,
+and parallelism/trace mismatches.  Rules that need the trace (stage
+counts, batch divisibility, shardability) skip silently when the linter is
+given a config alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import networkx as nx
+
+from repro.analysis.registry import rule
+from repro.core.config import SimulationConfig
+from repro.gpus.specs import GPU_SPECS
+from repro.network.topology import _BUILDERS, build_topology, gpu_names
+from repro.trace.trace import Trace
+from repro.workloads.graph import TENSOR_PARALLEL_KINDS
+
+#: Achieved link bandwidths outside this range are almost certainly typos
+#: (the low end is 1 MB/s; the high end is 100 TB/s).
+BANDWIDTH_SANE_RANGE = (1e6, 1e14)
+
+#: Link latencies above this are almost certainly typos (0.1 s per hop).
+LATENCY_SANE_MAX = 0.1
+
+
+@dataclass
+class ConfigContext:
+    """Pre-digested view of a config shared by every config rule."""
+
+    config: SimulationConfig
+    trace: Optional[Trace] = None
+    graph: Optional[nx.Graph] = None
+    prebuilt: bool = False
+    unknown_topology: Optional[str] = None
+
+    @classmethod
+    def build(cls, config: SimulationConfig,
+              trace: Optional[Trace] = None) -> "ConfigContext":
+        ctx = cls(config, trace)
+        topology = config.topology
+        if isinstance(topology, nx.Graph):
+            ctx.graph = topology
+            ctx.prebuilt = True
+        elif topology in _BUILDERS:
+            ctx.graph = build_topology(
+                topology, config.num_gpus,
+                config.link_bandwidth, config.link_latency,
+            )
+        else:
+            ctx.unknown_topology = str(topology)
+        return ctx
+
+    @property
+    def required_gpus(self) -> List[str]:
+        return gpu_names(self.config.num_gpus)
+
+    @property
+    def pp_stages(self) -> Optional[int]:
+        """Pipeline depth for pp/hybrid configs, else ``None``."""
+        cfg = self.config
+        if cfg.parallelism == "pp":
+            return cfg.num_gpus
+        if cfg.parallelism == "hybrid" and cfg.dp_degree:
+            return cfg.num_gpus // cfg.dp_degree
+        return None
+
+    @property
+    def effective_batch(self) -> Optional[int]:
+        if self.config.batch_size is not None:
+            return self.config.batch_size
+        if self.trace is not None:
+            return self.trace.batch_size
+        return None
+
+
+@rule("CF001", "topology-missing-gpu", "config", "error", gate=True,
+      description="Every simulated GPU (gpu0..gpuN-1) must be a node of "
+                  "the topology; named topologies must exist.")
+def check_topology_nodes(ctx: ConfigContext, emit) -> None:
+    if ctx.unknown_topology is not None:
+        emit(f"unknown topology {ctx.unknown_topology!r}; known: "
+             f"{sorted(_BUILDERS)}", location="topology")
+        return
+    missing = [g for g in ctx.required_gpus if g not in ctx.graph]
+    if missing:
+        shown = ", ".join(missing[:5]) + (" ..." if len(missing) > 5 else "")
+        emit(f"{len(missing)} of {ctx.config.num_gpus} GPUs missing from "
+             f"the topology: {shown}", location="topology",
+             missing=missing[:10])
+
+
+@rule("CF002", "topology-disconnected", "config", "error",
+      description="All simulated GPUs must be mutually reachable; a "
+                  "disconnected pair deadlocks its first transfer.")
+def check_topology_connected(ctx: ConfigContext, emit) -> None:
+    present = [g for g in ctx.required_gpus if g in ctx.graph]
+    if len(present) < 2:
+        return
+    component_of = {}
+    for idx, component in enumerate(nx.connected_components(ctx.graph)):
+        for node in component:
+            component_of[node] = idx
+    groups = {}
+    for gpu in present:
+        groups.setdefault(component_of[gpu], []).append(gpu)
+    if len(groups) > 1:
+        parts = sorted(groups.values(), key=len, reverse=True)
+        emit(f"GPUs split across {len(parts)} disconnected islands; "
+             f"e.g. no path {parts[0][0]} -> {parts[1][0]}",
+             location="topology",
+             islands=[p[:5] for p in parts[:4]])
+
+
+@rule("CF003", "topology-bad-link", "config", "error",
+      description="Prebuilt topology edges must carry positive bandwidth "
+                  "and non-negative latency attributes.")
+def check_link_attrs(ctx: ConfigContext, emit) -> None:
+    if not ctx.prebuilt or ctx.graph is None:
+        return
+    count = 0
+    for u, v, attrs in ctx.graph.edges(data=True):
+        problems = []
+        if "bandwidth" not in attrs:
+            problems.append("missing bandwidth")
+        elif attrs["bandwidth"] <= 0:
+            problems.append(f"non-positive bandwidth {attrs['bandwidth']}")
+        if "latency" not in attrs:
+            problems.append("missing latency")
+        elif attrs["latency"] < 0:
+            problems.append(f"negative latency {attrs['latency']}")
+        for problem in problems:
+            if count < 5:
+                emit(f"link {u}-{v}: {problem}", location=f"edge {u}-{v}")
+            count += 1
+
+
+@rule("CF004", "link-speed-range", "config", "warning",
+      description="Link bandwidth/latency far outside hardware-plausible "
+                  "ranges usually means the wrong unit was used.")
+def check_link_ranges(ctx: ConfigContext, emit) -> None:
+    cfg = ctx.config
+    low, high = BANDWIDTH_SANE_RANGE
+    if not ctx.prebuilt:
+        if cfg.link_bandwidth < low:
+            emit(f"link_bandwidth {cfg.link_bandwidth:g} B/s is below "
+                 f"{low:g} B/s — bytes/second expected, not Gb/s",
+                 location="link_bandwidth")
+        elif cfg.link_bandwidth > high:
+            emit(f"link_bandwidth {cfg.link_bandwidth:g} B/s exceeds "
+                 f"{high:g} B/s — no interconnect is that fast",
+                 location="link_bandwidth")
+        if cfg.link_latency > LATENCY_SANE_MAX:
+            emit(f"link_latency {cfg.link_latency:g} s exceeds "
+                 f"{LATENCY_SANE_MAX:g} s — seconds expected, not µs",
+                 location="link_latency")
+    if cfg.include_host_transfers and cfg.host_bandwidth < low:
+        emit(f"host_bandwidth {cfg.host_bandwidth:g} B/s is below {low:g} "
+             "B/s", location="host_bandwidth")
+
+
+@rule("CF005", "pp-too-many-stages", "config", "error",
+      description="A pipeline cannot have more stages than the trace has "
+                  "forward operators.")
+def check_pipeline_stages(ctx: ConfigContext, emit) -> None:
+    stages = ctx.pp_stages
+    if stages is None or ctx.trace is None:
+        return
+    layers = len(ctx.trace.forward_ops)
+    if stages > layers:
+        emit(f"{stages} pipeline stages but the trace has only {layers} "
+             f"forward operators", location="num_gpus",
+             stages=stages, layers=layers)
+
+
+@rule("CF006", "pp-chunks-exceed-batch", "config", "error",
+      description="More micro-batches than samples leaves empty "
+                  "micro-batches.")
+def check_chunks_vs_batch(ctx: ConfigContext, emit) -> None:
+    if ctx.pp_stages is None or ctx.config.chunks <= 1:
+        return
+    batch = ctx.effective_batch
+    if batch is not None and ctx.config.chunks > batch:
+        emit(f"chunks={ctx.config.chunks} exceeds the batch of {batch} "
+             "samples", location="chunks",
+             chunks=ctx.config.chunks, batch=batch)
+
+
+@rule("CF007", "pp-chunks-divisibility", "config", "warning",
+      description="The batch should divide evenly into micro-batches; "
+                  "real GPipe launches would pad the remainder.")
+def check_chunks_divisibility(ctx: ConfigContext, emit) -> None:
+    if ctx.pp_stages is None or ctx.config.chunks <= 1:
+        return
+    batch = ctx.effective_batch
+    if batch is not None and batch >= ctx.config.chunks and \
+            batch % ctx.config.chunks:
+        emit(f"batch {batch} is not divisible by chunks="
+             f"{ctx.config.chunks}; micro-batches would be uneven",
+             location="chunks", batch=batch, chunks=ctx.config.chunks)
+
+
+@rule("CF008", "tp-shard-divisibility", "config", "warning",
+      description="Tensor-parallel degree should divide every shardable "
+                  "operator's weight (heads/channels) evenly.")
+def check_tp_shardability(ctx: ConfigContext, emit) -> None:
+    cfg = ctx.config
+    if cfg.parallelism != "tp" or cfg.num_gpus <= 1 or ctx.trace is None:
+        return
+    uneven = []
+    for op in ctx.trace.forward_ops:
+        if op.kind not in TENSOR_PARALLEL_KINDS:
+            continue
+        for tid in op.inputs:
+            tensor = ctx.trace.tensors[tid]
+            if tensor.category == "weight" and \
+                    tensor.elems % cfg.num_gpus:
+                uneven.append(op.layer)
+                break
+    if uneven:
+        shown = ", ".join(uneven[:3]) + (" ..." if len(uneven) > 3 else "")
+        emit(f"{len(uneven)} shardable layer(s) have weights not divisible "
+             f"by the TP degree {cfg.num_gpus}: {shown}",
+             location="num_gpus", layers=uneven[:10])
+
+
+@rule("CF009", "slowdown-unknown-gpu", "config", "warning",
+      description="gpu_slowdowns entries must name simulated devices or "
+                  "they silently do nothing.")
+def check_slowdown_targets(ctx: ConfigContext, emit) -> None:
+    if not ctx.config.gpu_slowdowns:
+        return
+    known = set(ctx.required_gpus) | {"host"}
+    for name in ctx.config.gpu_slowdowns:
+        if name not in known:
+            emit(f"gpu_slowdowns names unknown device {name!r} "
+                 f"(simulated devices: gpu0..gpu{ctx.config.num_gpus - 1})",
+                 location="gpu_slowdowns", device=name)
+
+
+@rule("CF010", "unknown-target-gpu", "config", "error",
+      description="Cross-GPU prediction requires both the trace GPU and "
+                  "the target GPU to have known specs.")
+def check_target_gpu(ctx: ConfigContext, emit) -> None:
+    target = ctx.config.gpu
+    if target is None:
+        return
+    if target.upper() not in {g.upper() for g in GPU_SPECS}:
+        emit(f"target GPU {target!r} has no spec; known: "
+             f"{sorted(GPU_SPECS)}", location="gpu")
+        return
+    if ctx.trace is not None and \
+            target.upper() != ctx.trace.gpu_name.upper() and \
+            ctx.trace.gpu_name.upper() not in {g.upper() for g in GPU_SPECS}:
+        emit(f"trace GPU {ctx.trace.gpu_name!r} has no spec; cannot "
+             f"rescale to {target!r}", location="gpu")

@@ -1,0 +1,220 @@
+"""Lint orchestration: one entry point per input kind.
+
+* :func:`lint_trace` — a :class:`Trace`, trace dict, or trace JSON path;
+* :func:`lint_config` — a :class:`SimulationConfig` (plus the trace for
+  cross-checks like stage counts and shardability);
+* :func:`lint_taskgraph` — an extrapolated (not yet run)
+  :class:`TaskGraphSimulator`;
+* :func:`lint_spec` — a sweep spec: lints the spec's trace and every
+  expanded point;
+* :func:`lint_path` — auto-detects what a JSON file is and dispatches.
+
+Every function returns a :class:`~repro.analysis.findings.Report`; the
+caller decides what severity blocks (the CLI and the sweep service block
+on ``error``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Tuple, Union
+
+import networkx as nx
+
+# Importing the rule modules registers their rules as a side effect.
+from repro.analysis import config_rules, taskgraph_rules, trace_rules  # noqa: F401
+from repro.analysis import sanitizers  # noqa: F401
+from repro.analysis.config_rules import ConfigContext
+from repro.analysis.findings import Finding, Report
+from repro.analysis.registry import DEFAULT_REGISTRY, Rule, RuleRegistry
+from repro.analysis.taskgraph_rules import TaskGraphContext
+from repro.analysis.trace_rules import TraceContext
+from repro.core.config import SimulationConfig
+from repro.core.taskgraph import TaskGraphSimulator
+from repro.trace.trace import Trace
+
+if TYPE_CHECKING:  # deferred: service.runner itself lints configs
+    from repro.service.spec import SweepSpec
+
+DEFAULT_REGISTRY.register(Rule(
+    id="SP001", name="spec-schema", category="spec", severity="error",
+    description="A sweep spec must parse and every axis combination must "
+                "build a valid config.",
+))
+DEFAULT_REGISTRY.register(Rule(
+    id="SP002", name="spec-trace-unavailable", category="spec",
+    severity="error",
+    description="The spec's input trace must load (or collect) cleanly.",
+))
+DEFAULT_REGISTRY.register(Rule(
+    id="CF011", name="config-schema", category="config", severity="error",
+    description="A serialized config must deserialize through "
+                "SimulationConfig.from_dict.",
+))
+
+
+def _finding(registry: RuleRegistry, rule_id: str, message: str,
+             location: str = "") -> Finding:
+    rule = registry.get(rule_id)
+    return Finding(rule=rule.id, name=rule.name, severity=rule.severity,
+                   message=message, location=location)
+
+
+def _load_json(source: Union[str, Path]) -> Tuple[Optional[dict], str]:
+    """Parse a JSON file; returns ``(data, error_message)``."""
+    path = Path(source)
+    try:
+        return json.loads(path.read_text()), ""
+    except OSError as exc:
+        return None, f"cannot read {path}: {exc}"
+    except json.JSONDecodeError as exc:
+        return None, f"{path} is not valid JSON: {exc}"
+
+
+# ----------------------------------------------------------------------
+# Traces
+# ----------------------------------------------------------------------
+def lint_trace(source: Union[Trace, dict, str, Path],
+               registry: Optional[RuleRegistry] = None) -> Report:
+    """Run every trace rule against *source*."""
+    registry = registry or DEFAULT_REGISTRY
+    report = Report()
+    if isinstance(source, Trace):
+        data = source.to_dict()
+    elif isinstance(source, (str, Path)):
+        data, error = _load_json(source)
+        if data is None:
+            report.add(_finding(registry, "TR001", error))
+            return report
+    else:
+        data = source  # dicts, plus anything TR001 should reject
+    ctx = TraceContext.build(data)
+    return registry.run_category("trace", ctx, report)
+
+
+# ----------------------------------------------------------------------
+# Configs
+# ----------------------------------------------------------------------
+def lint_config(config: Union[SimulationConfig, dict],
+                trace: Optional[Trace] = None,
+                registry: Optional[RuleRegistry] = None) -> Report:
+    """Run every config rule against *config* (dicts are deserialized
+    first; a failure there is itself a finding)."""
+    registry = registry or DEFAULT_REGISTRY
+    report = Report()
+    if isinstance(config, dict):
+        try:
+            config = SimulationConfig.from_dict(config)
+        except (ValueError, TypeError) as exc:
+            report.add(_finding(registry, "CF011", str(exc)))
+            return report
+    ctx = ConfigContext.build(config, trace)
+    return registry.run_category("config", ctx, report)
+
+
+# ----------------------------------------------------------------------
+# Task graphs
+# ----------------------------------------------------------------------
+def lint_taskgraph(sim: TaskGraphSimulator,
+                   topology: Optional[nx.Graph] = None,
+                   registry: Optional[RuleRegistry] = None) -> Report:
+    """Run every task-graph rule against an extrapolated *sim*."""
+    registry = registry or DEFAULT_REGISTRY
+    ctx = TaskGraphContext(sim, topology)
+    return registry.run_category("taskgraph", ctx, Report())
+
+
+# ----------------------------------------------------------------------
+# Sweep specs
+# ----------------------------------------------------------------------
+def _prefixed(report: Report, prefix: str) -> Report:
+    out = Report()
+    for f in report:
+        location = f"{prefix}:{f.location}" if f.location else prefix
+        out.add(Finding(rule=f.rule, name=f.name, severity=f.severity,
+                        message=f.message, location=location,
+                        detail=f.detail))
+    return out
+
+
+def lint_spec(source: Union[SweepSpec, dict, str, Path],
+              base_dir: Union[str, Path, None] = None,
+              registry: Optional[RuleRegistry] = None) -> Report:
+    """Lint a sweep spec: the spec itself, its trace, and every point.
+
+    Per-point config findings keep their ``CF`` rule ids with the point
+    label prefixed to the location; identical findings repeated across
+    points are deduplicated.
+    """
+    from repro.service.spec import SweepSpec
+
+    registry = registry or DEFAULT_REGISTRY
+    report = Report()
+    if isinstance(source, SweepSpec):
+        spec = source
+    else:
+        if isinstance(source, (str, Path)):
+            data, error = _load_json(source)
+            if data is None:
+                report.add(_finding(registry, "SP001", error))
+                return report
+            if base_dir is None:
+                base_dir = Path(source).parent
+        else:
+            data = source
+        try:
+            spec = SweepSpec.from_dict(data)
+        except (ValueError, TypeError) as exc:
+            report.add(_finding(registry, "SP001", str(exc)))
+            return report
+
+    trace = None
+    try:
+        trace = spec.load_trace(base_dir=base_dir)
+    except Exception as exc:
+        report.add(_finding(registry, "SP002",
+                            f"cannot load the spec's trace: {exc}"))
+    if trace is not None:
+        report.merge(_prefixed(lint_trace(trace, registry), "trace"))
+
+    seen = set()
+    for label, config in spec.expand():
+        for f in _prefixed(lint_config(config, trace, registry), label):
+            key = (f.rule, f.message)
+            if key not in seen:
+                seen.add(key)
+                report.add(f)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Auto-detection
+# ----------------------------------------------------------------------
+def detect_kind(data: dict) -> str:
+    """Classify a parsed JSON document as trace, spec, or config."""
+    if "operators" in data and "tensors" in data:
+        return "trace"
+    if "axes" in data or "trace" in data or "model" in data or "base" in data:
+        return "spec"
+    return "config"
+
+
+def lint_path(path: Union[str, Path], kind: str = "auto",
+              registry: Optional[RuleRegistry] = None) -> Tuple[Report, str]:
+    """Lint a JSON file, auto-detecting its kind; returns (report, kind)."""
+    registry = registry or DEFAULT_REGISTRY
+    data, error = _load_json(path)
+    if data is None:
+        report = Report()
+        rule_id = {"trace": "TR001", "spec": "SP001"}.get(kind, "CF011")
+        report.add(_finding(registry, rule_id, error))
+        return report, kind if kind != "auto" else "unknown"
+    if kind == "auto":
+        kind = detect_kind(data)
+    if kind == "trace":
+        return lint_trace(data, registry), kind
+    if kind == "spec":
+        return lint_spec(data, base_dir=Path(path).parent,
+                         registry=registry), kind
+    return lint_config(data, registry=registry), kind

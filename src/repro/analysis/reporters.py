@@ -1,0 +1,59 @@
+"""Reporters: render a :class:`~repro.analysis.findings.Report` for
+humans (text) or machines (JSON)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.findings import Report
+from repro.analysis.registry import DEFAULT_REGISTRY, RuleRegistry
+
+
+def render_text(report: Report, source: str = "") -> str:
+    """One line per finding plus a severity summary line.
+
+    ``source`` (e.g. the linted file name) prefixes every location so
+    multi-file output stays greppable.
+    """
+    lines = []
+    for finding in report:
+        where = finding.location
+        if source:
+            where = f"{source}:{where}" if where else source
+        loc = f"  [{where}]" if where else ""
+        lines.append(f"{finding.severity:<7} {finding.rule} "
+                     f"{finding.name}{loc}: {finding.message}")
+    errors, warnings = len(report.errors), len(report.warnings)
+    infos = len(report) - errors - warnings
+    if report.ok:
+        lines.append(f"clean: no findings{f' in {source}' if source else ''}")
+    else:
+        summary = f"{errors} error(s), {warnings} warning(s)"
+        if infos:
+            summary += f", {infos} info"
+        lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: Report, source: str = "") -> str:
+    """The findings as a JSON document with a summary header."""
+    import json
+
+    return json.dumps({
+        "source": source,
+        "errors": len(report.errors),
+        "warnings": len(report.warnings),
+        "findings": report.to_dicts(),
+    }, indent=2)
+
+
+def render_catalogue(registry: Optional[RuleRegistry] = None) -> str:
+    """The rule catalogue (``repro lint --list-rules``)."""
+    registry = registry or DEFAULT_REGISTRY
+    lines = []
+    for rule in registry.rules(enabled_only=False):
+        flag = " " if registry.is_enabled(rule.id) else "x"
+        lines.append(f"[{flag}] {rule.id}  {rule.name:<24} "
+                     f"{rule.category:<9} {rule.severity:<8} "
+                     f"{rule.description}")
+    return "\n".join(lines)

@@ -1,0 +1,179 @@
+"""Runtime sanitizers (``SZ``-series): invariant checkers wired through
+the existing :class:`~repro.engine.hooks.Hookable` mechanism.
+
+Where the static lint passes reject bad *inputs*, sanitizers watch the
+simulation *while it runs* for invariants whose violation silently
+corrupts results:
+
+* :class:`TimeMonotonicSanitizer` — virtual time must never run backwards
+  across dispatched events (hooked on the engine);
+* :class:`LinkCapacitySanitizer` — after every bandwidth reallocation the
+  flow rates crossing each directed link must not exceed its capacity
+  (hooked on :class:`~repro.network.flow.FlowNetwork`);
+* :class:`HeapLeakSanitizer` — after the run loop drains, no live events
+  may remain queued and the cancelled-entry accounting must be consistent
+  (a post-run check on the engine).
+
+:class:`SanitizerSuite` bundles all three behind ``--sanitize``: attach
+before :meth:`Engine.run`, call :meth:`finalize` after, read ``.report``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.findings import Finding, Report
+from repro.analysis.registry import DEFAULT_REGISTRY, Rule, RuleRegistry
+from repro.engine.engine import Engine
+from repro.engine.hooks import HookCtx
+from repro.network.flow import HOOK_FLOW_REALLOC, FlowNetwork
+
+#: Per-sanitizer cap so a broken invariant doesn't flood the report.
+MAX_FINDINGS_PER_SANITIZER = 20
+
+# Runtime rules carry no lint function: they fire from hooks.  Registering
+# them keeps the catalogue complete and lets ``--disable`` suppress them.
+DEFAULT_REGISTRY.register(Rule(
+    id="SZ001", name="time-monotonic", category="runtime", severity="error",
+    description="Virtual time must be non-decreasing across dispatched "
+                "events.",
+))
+DEFAULT_REGISTRY.register(Rule(
+    id="SZ002", name="link-capacity", category="runtime", severity="error",
+    description="Allocated flow rates over any directed link must not "
+                "exceed its bandwidth.",
+))
+DEFAULT_REGISTRY.register(Rule(
+    id="SZ003", name="heap-leak", category="runtime", severity="error",
+    description="No live events may remain queued after the run loop "
+                "drains, and cancelled-event accounting must balance.",
+))
+
+
+def _emit(report: Report, rule_id: str, message: str, location: str = "",
+          **detail) -> None:
+    rule = DEFAULT_REGISTRY.get(rule_id)
+    report.add(Finding(rule=rule.id, name=rule.name, severity=rule.severity,
+                       message=message, location=location, detail=detail))
+
+
+class TimeMonotonicSanitizer:
+    """Hook asserting the engine clock never moves backwards."""
+
+    def __init__(self, report: Report):
+        self.report = report
+        self._last = float("-inf")
+        self._fired = 0
+
+    def func(self, ctx: HookCtx) -> None:
+        time = ctx.time
+        if time >= self._last:
+            self._last = time
+        elif self._fired < MAX_FINDINGS_PER_SANITIZER:
+            self._fired += 1
+            _emit(self.report, "SZ001",
+                  f"virtual time moved backwards: {time!r} after "
+                  f"{self._last!r} (at {ctx.pos})",
+                  location=ctx.pos, time=time, previous=self._last)
+
+
+class LinkCapacitySanitizer:
+    """Hook asserting max-min allocation conserves link capacity.
+
+    Fires on :data:`~repro.network.flow.HOOK_FLOW_REALLOC`: sums the
+    allocated rate of every flow crossing each directed edge and compares
+    against the edge bandwidth (with a relative tolerance for the
+    allocator's progressive-filling arithmetic).
+    """
+
+    def __init__(self, report: Report, rel_tolerance: float = 1e-6):
+        self.report = report
+        self.rel_tolerance = rel_tolerance
+        self._fired = 0
+
+    def func(self, ctx: HookCtx) -> None:
+        if ctx.pos != HOOK_FLOW_REALLOC:
+            return
+        topology = ctx.detail["topology"]
+        loads = {}
+        for flow in ctx.item:
+            if flow.rate <= 0.0:
+                continue
+            for edge in flow.route:
+                loads[edge] = loads.get(edge, 0.0) + flow.rate
+        for (u, v), load in loads.items():
+            capacity = topology[u][v]["bandwidth"]
+            if load > capacity * (1.0 + self.rel_tolerance) + 1e-3:
+                if self._fired < MAX_FINDINGS_PER_SANITIZER:
+                    self._fired += 1
+                    _emit(self.report, "SZ002",
+                          f"link {u}->{v} allocated {load:.6g} B/s over a "
+                          f"{capacity:.6g} B/s capacity at t={ctx.time:g}",
+                          location=f"edge {u}-{v}",
+                          load=load, capacity=capacity, time=ctx.time)
+
+
+class HeapLeakSanitizer:
+    """Post-run check for events stranded in (or leaked from) the heap."""
+
+    def __init__(self, report: Report):
+        self.report = report
+
+    def check(self, engine: Engine) -> None:
+        pending = engine.pending_events
+        if pending > 0:
+            _emit(self.report, "SZ003",
+                  f"{pending} live event(s) still queued after the run "
+                  "loop drained — a handler leaked scheduled work",
+                  location="engine", pending=pending)
+        if engine._cancelled < 0 or engine._cancelled > len(engine._queue):
+            _emit(self.report, "SZ003",
+                  f"cancelled-event accounting out of range: "
+                  f"{engine._cancelled} cancelled vs {len(engine._queue)} "
+                  "queued entries", location="engine",
+                  cancelled=engine._cancelled, queued=len(engine._queue))
+
+
+class SanitizerSuite:
+    """All runtime sanitizers behind one attach/finalize pair.
+
+    Usage::
+
+        suite = SanitizerSuite()
+        suite.attach(engine=engine, network=network)
+        engine.run()
+        suite.finalize(engine)
+        if suite.report.has_errors: ...
+    """
+
+    def __init__(self, registry: Optional[RuleRegistry] = None):
+        self.registry = registry or DEFAULT_REGISTRY
+        self.report = Report()
+        self._time: Optional[TimeMonotonicSanitizer] = None
+        self._capacity: Optional[LinkCapacitySanitizer] = None
+        self._attached = []
+
+    def attach(self, engine: Optional[Engine] = None,
+               network=None) -> "SanitizerSuite":
+        if engine is not None and self.registry.is_enabled("SZ001"):
+            self._time = TimeMonotonicSanitizer(self.report)
+            engine.accept_hook(self._time)
+            self._attached.append((engine, self._time))
+        if isinstance(network, FlowNetwork) and \
+                self.registry.is_enabled("SZ002"):
+            self._capacity = LinkCapacitySanitizer(self.report)
+            network.accept_hook(self._capacity)
+            self._attached.append((network, self._capacity))
+        return self
+
+    def finalize(self, engine: Optional[Engine] = None) -> Report:
+        """Run post-run checks and detach every hook; returns the report."""
+        if engine is not None and self.registry.is_enabled("SZ003"):
+            HeapLeakSanitizer(self.report).check(engine)
+        for hookable, hook in self._attached:
+            try:
+                hookable.remove_hook(hook)
+            except ValueError:  # pragma: no cover - already detached
+                pass
+        self._attached.clear()
+        return self.report

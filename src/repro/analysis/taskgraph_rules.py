@@ -1,0 +1,123 @@
+"""Static lint rules over extrapolated task graphs (``TG``-series).
+
+The trace extrapolators emit a DAG of compute/transfer/barrier tasks; a
+cross-GPU dependency cycle (e.g. from mis-ordered collective phases in a
+custom extrapolator) deadlocks the simulation with a cryptic "tasks never
+became ready" error after the engine has already drained.  These rules
+run *before any event is scheduled* — strongly-connected-component
+analysis over the dependency edges, endpoint checks against the network
+topology, and dependency-count consistency — so ``--sanitize`` rejects a
+broken graph up front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import networkx as nx
+
+from repro.analysis.registry import rule
+from repro.core.taskgraph import TaskGraphSimulator
+
+
+@dataclass
+class TaskGraphContext:
+    """The simulator under analysis plus the topology it will run on."""
+
+    sim: TaskGraphSimulator
+    topology: Optional[nx.Graph] = None
+
+
+@rule("TG001", "taskgraph-cycle", "taskgraph", "error",
+      description="The task dependency graph must be acyclic; a cycle "
+                  "(e.g. mis-ordered collectives) deadlocks the run.")
+def check_cycles(ctx: TaskGraphContext, emit) -> None:
+    # Fast path: Kahn's toposort with plain dicts.  The check runs before
+    # every sanitized simulation, so the clean (acyclic) case must be
+    # near-free; the SCC machinery is only built once a cycle exists.
+    tasks = ctx.sim.tasks
+    indegree = {t.task_id: 0 for t in tasks}
+    for task in tasks:
+        for dependent in task.dependents:
+            indegree[dependent.task_id] += 1
+    ready = [t for t in tasks if indegree[t.task_id] == 0]
+    processed = 0
+    while ready:
+        task = ready.pop()
+        processed += 1
+        for dependent in task.dependents:
+            indegree[dependent.task_id] -= 1
+            if indegree[dependent.task_id] == 0:
+                ready.append(dependent)
+    if processed == len(tasks):
+        return
+
+    # Slow path: name the cycles via SCC analysis.
+    graph = nx.DiGraph()
+    graph.add_nodes_from(t.task_id for t in tasks)
+    by_id = {t.task_id: t for t in tasks}
+    for task in tasks:
+        for dependent in task.dependents:
+            graph.add_edge(task.task_id, dependent.task_id)
+    count = 0
+    for component in nx.strongly_connected_components(graph):
+        cyclic = len(component) > 1 or any(
+            graph.has_edge(n, n) for n in component
+        )
+        if not cyclic:
+            continue
+        if count < 3:
+            members = sorted(component)
+            names = [by_id[m].name for m in members[:5]]
+            emit(f"dependency cycle through {len(component)} task(s): "
+                 f"{', '.join(names)}"
+                 + (" ..." if len(component) > 5 else ""),
+                 location=f"task[{members[0]}]", size=len(component))
+        count += 1
+
+
+@rule("TG002", "taskgraph-endpoint", "taskgraph", "error",
+      description="Transfer tasks must name endpoints that exist in the "
+                  "network topology.")
+def check_endpoints(ctx: TaskGraphContext, emit) -> None:
+    if ctx.topology is None:
+        return
+    count = 0
+    for task in ctx.sim.tasks:
+        if task.kind != "transfer":
+            continue
+        for endpoint in (task.src, task.dst):
+            if endpoint not in ctx.topology:
+                if count < 5:
+                    emit(f"transfer {task.name!r} endpoint {endpoint!r} is "
+                         "not a topology node",
+                         location=f"task[{task.task_id}]",
+                         endpoint=str(endpoint))
+                count += 1
+
+
+@rule("TG003", "taskgraph-dep-mismatch", "taskgraph", "error",
+      description="Each task's remaining-dependency counter must equal "
+                  "its in-degree; a mismatch strands the task forever.")
+def check_dep_counts(ctx: TaskGraphContext, emit) -> None:
+    indegree = {t.task_id: 0 for t in ctx.sim.tasks}
+    for task in ctx.sim.tasks:
+        if task.done:
+            continue
+        for dependent in task.dependents:
+            if not dependent.done:
+                indegree[dependent.task_id] += 1
+    count = 0
+    for task in ctx.sim.tasks:
+        if task.done:
+            continue
+        if task.remaining_deps != indegree[task.task_id]:
+            if count < 5:
+                emit(f"task {task.name!r} counts {task.remaining_deps} "
+                     f"pending deps but {indegree[task.task_id]} tasks "
+                     "point at it",
+                     location=f"task[{task.task_id}]",
+                     counted=task.remaining_deps,
+                     actual=indegree[task.task_id])
+            count += 1

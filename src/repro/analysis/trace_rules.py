@@ -1,0 +1,268 @@
+"""Static lint rules over operator traces (``TR``-series).
+
+These rules run on the *serialized* (dict) form of a trace so they can
+examine malformed and hand-edited inputs that :meth:`Trace.from_dict`
+would refuse to construct — the linter's job is to explain every problem,
+not to crash on the first one.  :func:`repro.analysis.linter.lint_trace`
+accepts a :class:`~repro.trace.trace.Trace`, a dict, or a path and
+normalizes before the rules fire.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import networkx as nx
+
+from repro.analysis.registry import rule
+from repro.trace.records import DTYPE_BYTES, PHASES, TENSOR_CATEGORIES
+from repro.trace.trace import validate_trace_dict
+
+#: Emission cap per rule so a systematically-corrupt input stays readable.
+MAX_FINDINGS_PER_RULE = 10
+
+_PHASE_INDEX = {phase: i for i, phase in enumerate(PHASES)}
+
+
+@dataclass
+class TraceContext:
+    """Pre-digested view of a trace dict shared by every trace rule."""
+
+    data: dict
+    tensors: Dict[int, dict] = field(default_factory=dict)
+    operators: List[dict] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, data: dict) -> "TraceContext":
+        ctx = cls(data)
+        if not isinstance(data, dict):
+            return ctx  # TR001 reports the shape problem
+        for entry in data.get("tensors", []):
+            if isinstance(entry, dict) and "id" in entry:
+                ctx.tensors.setdefault(entry["id"], entry)
+        ctx.operators = [
+            op for op in data.get("operators", []) if isinstance(op, dict)
+        ]
+        return ctx
+
+
+def _op_name(op: dict, index: int) -> str:
+    return op.get("name") or f"#{index}"
+
+
+@rule("TR001", "trace-schema", "trace", "error", gate=True,
+      description="Trace JSON must carry the documented schema: version, "
+                  "metadata, and well-typed tensor/operator tables.")
+def check_schema(ctx: TraceContext, emit) -> None:
+    for problem in validate_trace_dict(ctx.data)[:MAX_FINDINGS_PER_RULE]:
+        emit(problem)
+
+
+@rule("TR002", "tensor-dangling-ref", "trace", "error",
+      description="Operators may only reference tensor IDs present in the "
+                  "tensor table.")
+def check_dangling_refs(ctx: TraceContext, emit) -> None:
+    count = 0
+    for i, op in enumerate(ctx.operators):
+        for direction in ("inputs", "outputs"):
+            for tid in op.get(direction, ()):
+                if tid not in ctx.tensors:
+                    if count < MAX_FINDINGS_PER_RULE:
+                        emit(f"operator {_op_name(op, i)!r} {direction[:-1]} "
+                             f"references unknown tensor {tid}",
+                             location=f"operators[{i}]", tensor_id=tid)
+                    count += 1
+
+
+@rule("TR003", "tensor-duplicate-id", "trace", "error",
+      description="Tensor IDs must be unique within the tensor table.")
+def check_duplicate_tensors(ctx: TraceContext, emit) -> None:
+    seen: Dict[int, int] = {}
+    count = 0
+    for i, entry in enumerate(ctx.data.get("tensors", [])):
+        if not isinstance(entry, dict) or "id" not in entry:
+            continue
+        tid = entry["id"]
+        if tid in seen:
+            if count < MAX_FINDINGS_PER_RULE:
+                emit(f"tensor id {tid} already defined at tensors[{seen[tid]}]",
+                     location=f"tensors[{i}]", tensor_id=tid)
+            count += 1
+        else:
+            seen[tid] = i
+
+
+@rule("TR004", "op-bad-duration", "trace", "error",
+      description="Operator durations and FLOP counts must be finite and "
+                  "non-negative.")
+def check_durations(ctx: TraceContext, emit) -> None:
+    count = 0
+    for i, op in enumerate(ctx.operators):
+        for key in ("duration", "flops"):
+            value = op.get(key)
+            if not isinstance(value, (int, float)):
+                continue  # TR001 covers missing/mistyped fields
+            if not math.isfinite(value) or value < 0:
+                if count < MAX_FINDINGS_PER_RULE:
+                    emit(f"operator {_op_name(op, i)!r} has invalid "
+                         f"{key} {value!r}",
+                         location=f"operators[{i}]", field=key, value=str(value))
+                count += 1
+
+
+@rule("TR005", "op-bad-phase", "trace", "error",
+      description=f"Operator phase must be one of {PHASES}.")
+def check_phases(ctx: TraceContext, emit) -> None:
+    count = 0
+    for i, op in enumerate(ctx.operators):
+        phase = op.get("phase")
+        if phase not in _PHASE_INDEX:
+            if count < MAX_FINDINGS_PER_RULE:
+                emit(f"operator {_op_name(op, i)!r} has unknown phase "
+                     f"{phase!r}", location=f"operators[{i}]", phase=str(phase))
+            count += 1
+
+
+@rule("TR006", "phase-order", "trace", "error",
+      description="Operators must appear in phase order: every forward op "
+                  "before every backward op before every optimizer op.")
+def check_phase_order(ctx: TraceContext, emit) -> None:
+    count = 0
+    prev_index = 0
+    prev_phase = PHASES[0]
+    for i, op in enumerate(ctx.operators):
+        index = _PHASE_INDEX.get(op.get("phase"))
+        if index is None:
+            continue  # TR005 covers unknown phases
+        if index < prev_index:
+            if count < MAX_FINDINGS_PER_RULE:
+                emit(f"operator {_op_name(op, i)!r} ({op.get('phase')}) "
+                     f"appears after a {prev_phase} operator",
+                     location=f"operators[{i}]")
+            count += 1
+        else:
+            prev_index = index
+            prev_phase = op.get("phase")
+
+
+@rule("TR007", "tensor-nbytes-mismatch", "trace", "error",
+      description="A tensor's declared nbytes must equal dims x dtype "
+                  "element size (the serializer's redundancy field).")
+def check_nbytes(ctx: TraceContext, emit) -> None:
+    count = 0
+    for i, entry in enumerate(ctx.data.get("tensors", [])):
+        if not isinstance(entry, dict) or "nbytes" not in entry:
+            continue
+        dims = entry.get("dims")
+        elem_bytes = DTYPE_BYTES.get(entry.get("dtype"))
+        if elem_bytes is None or not isinstance(dims, (list, tuple)):
+            continue  # TR001/TR011 cover malformed dims/dtype
+        if not all(isinstance(d, int) and d >= 0 for d in dims):
+            continue
+        expected = math.prod(dims) * elem_bytes if dims else 0
+        if entry["nbytes"] != expected:
+            if count < MAX_FINDINGS_PER_RULE:
+                emit(f"tensor {entry.get('id')} declares nbytes="
+                     f"{entry['nbytes']} but dims {list(dims)} x "
+                     f"{entry.get('dtype')} gives {expected}",
+                     location=f"tensors[{i}]",
+                     declared=entry["nbytes"], computed=expected)
+            count += 1
+
+
+@rule("TR008", "dataflow-cycle", "trace", "error",
+      description="The operator dataflow graph (producer -> consumer over "
+                  "non-weight tensors) must be acyclic; weights legitimately "
+                  "cycle through the optimizer update and are excluded.")
+def check_dataflow_cycles(ctx: TraceContext, emit) -> None:
+    producers: Dict[int, List[int]] = {}
+    for i, op in enumerate(ctx.operators):
+        for tid in op.get("outputs", ()):
+            producers.setdefault(tid, []).append(i)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(len(ctx.operators)))
+    for i, op in enumerate(ctx.operators):
+        for tid in op.get("inputs", ()):
+            tensor = ctx.tensors.get(tid)
+            if tensor is not None and tensor.get("category") == "weight":
+                continue
+            for producer in producers.get(tid, ()):
+                graph.add_edge(producer, i)
+    count = 0
+    for component in nx.strongly_connected_components(graph):
+        cyclic = len(component) > 1 or any(
+            graph.has_edge(n, n) for n in component
+        )
+        if not cyclic:
+            continue
+        if count < 3:
+            members = sorted(component)
+            names = [_op_name(ctx.operators[n], n) for n in members[:5]]
+            emit(f"dataflow cycle through {len(component)} operator(s): "
+                 f"{', '.join(names)}"
+                 + (" ..." if len(component) > 5 else ""),
+                 location=f"operators[{members[0]}]",
+                 size=len(component))
+        count += 1
+
+
+@rule("TR009", "op-orphan", "trace", "warning",
+      description="An operator with no input and no output tensors is "
+                  "disconnected from the dataflow and likely a trace bug.")
+def check_orphan_operators(ctx: TraceContext, emit) -> None:
+    count = 0
+    for i, op in enumerate(ctx.operators):
+        if not op.get("inputs") and not op.get("outputs"):
+            if count < MAX_FINDINGS_PER_RULE:
+                emit(f"operator {_op_name(op, i)!r} references no tensors",
+                     location=f"operators[{i}]")
+            count += 1
+
+
+@rule("TR010", "tensor-orphan", "trace", "warning",
+      description="A tensor never referenced by any operator bloats the "
+                  "table and usually indicates a truncated operator list.")
+def check_orphan_tensors(ctx: TraceContext, emit) -> None:
+    referenced = set()
+    for op in ctx.operators:
+        referenced.update(op.get("inputs", ()))
+        referenced.update(op.get("outputs", ()))
+    count = 0
+    for i, entry in enumerate(ctx.data.get("tensors", [])):
+        if not isinstance(entry, dict):
+            continue
+        tid = entry.get("id")
+        if tid not in referenced:
+            if count < MAX_FINDINGS_PER_RULE:
+                emit(f"tensor {tid} is never referenced by any operator",
+                     location=f"tensors[{i}]", tensor_id=tid)
+            count += 1
+
+
+@rule("TR011", "tensor-bad-shape", "trace", "error",
+      description="Tensor dims must be non-negative and dtype/category "
+                  "must be known to the simulator.")
+def check_tensor_values(ctx: TraceContext, emit) -> None:
+    count = 0
+    for i, entry in enumerate(ctx.data.get("tensors", [])):
+        if not isinstance(entry, dict):
+            continue
+        problems = []
+        dims = entry.get("dims")
+        if isinstance(dims, (list, tuple)) and any(
+            isinstance(d, int) and d < 0 for d in dims
+        ):
+            problems.append(f"negative dimension in {list(dims)}")
+        dtype = entry.get("dtype")
+        if isinstance(dtype, str) and dtype not in DTYPE_BYTES:
+            problems.append(f"unknown dtype {dtype!r}")
+        category = entry.get("category")
+        if isinstance(category, str) and category not in TENSOR_CATEGORIES:
+            problems.append(f"unknown category {category!r}")
+        for problem in problems:
+            if count < MAX_FINDINGS_PER_RULE:
+                emit(f"tensor {entry.get('id')}: {problem}",
+                     location=f"tensors[{i}]")
+            count += 1

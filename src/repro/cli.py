@@ -7,6 +7,7 @@ The subcommands mirror the library workflow::
     python -m repro simulate rn50.json --parallelism ddp --num-gpus 4 \\
         --topology ring --bandwidth 234e9 --timeline out.json
     python -m repro sweep sweep.json --workers 4 -o results.json
+    python -m repro lint rn50.json                  # static checks
     python -m repro experiment fig08 --quick        # regenerate a figure
 
 The ``simulate`` command prints the prediction summary and, with
@@ -88,6 +89,10 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate_p.add_argument("--save-result", default=None, metavar="PATH",
                             help="write the full result as versioned JSON")
     simulate_p.add_argument("--memory-check", action="store_true")
+    simulate_p.add_argument("--sanitize", action="store_true",
+                            help="pre-run task-graph analysis + runtime "
+                                 "sanitizers (time monotonicity, link "
+                                 "capacity, event-heap leaks)")
 
     sweep_p = sub.add_parser(
         "sweep", help="run a declarative config sweep (parallel + cached)"
@@ -103,6 +108,26 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="write all outcomes as a JSON array")
     sweep_p.add_argument("--csv", default=None,
                          help="write label,total_s,cached rows as CSV")
+    sweep_p.add_argument("--sanitize", action="store_true",
+                         help="run every point with the runtime sanitizers")
+    sweep_p.add_argument("--no-lint", action="store_true",
+                         help="skip the static config lint before dispatch")
+
+    lint_p = sub.add_parser(
+        "lint", help="statically check a trace, config, or sweep spec"
+    )
+    lint_p.add_argument("path", nargs="?", default=None,
+                        help="JSON file to check (trace, config, or spec)")
+    lint_p.add_argument("--kind", default="auto",
+                        choices=("auto", "trace", "config", "spec"),
+                        help="input kind (default: detect from content)")
+    lint_p.add_argument("--format", default="text",
+                        choices=("text", "json"), dest="fmt")
+    lint_p.add_argument("--disable", action="append", default=[],
+                        metavar="RULE",
+                        help="disable a rule by id or name (repeatable)")
+    lint_p.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
 
     inspect_p = sub.add_parser("inspect", help="summarize or diff traces")
     inspect_p.add_argument("trace", help="trace JSON file")
@@ -144,7 +169,21 @@ def _cmd_simulate(args) -> int:
     trace = Trace.load(args.trace)
     config = SimulationConfig.from_cli_args(args)
     wants_timeline = args.timeline is not None or args.report is not None
-    result = TrioSim(trace, config, record_timeline=wants_timeline).run()
+    sim = TrioSim(trace, config, record_timeline=wants_timeline,
+                  sanitize=args.sanitize)
+    if args.sanitize:
+        from repro.analysis import AnalysisError, render_text
+
+        try:
+            result = sim.run()
+        except AnalysisError as exc:
+            print(render_text(exc.report, source=args.trace))
+            return 1
+        print(render_text(sim.sanitizer_report, source="sanitizers"))
+        if sim.sanitizer_report.has_errors:
+            return 1
+    else:
+        result = sim.run()
     print(result.summary())
     if args.save_result:
         from pathlib import Path
@@ -214,6 +253,8 @@ def _cmd_sweep(args) -> int:
         cache=args.cache if args.cache is not None else spec.cache_dir,
         timeout=args.timeout if args.timeout is not None else spec.timeout,
         hooks=(_SweepProgress(),),
+        lint=not args.no_lint,
+        sanitize=args.sanitize,
     )
     outcomes = runner.run(trace, configs, labels=labels)
     metrics = runner.last_metrics
@@ -224,6 +265,10 @@ def _cmd_sweep(args) -> int:
         f"{metrics.errors} errors | "
         f"{metrics.events_per_sec:,.0f} simulated events/s"
     )
+    if args.sanitize:
+        flagged = sum(len(o.sanitizer_findings) for o in outcomes)
+        print(f"sanitizers: {flagged} findings across "
+              f"{sum(1 for o in outcomes if o.sanitizer_findings)} points")
     if args.output:
         payload = [o.to_dict() for o in outcomes]
         Path(args.output).write_text(_json.dumps(payload))
@@ -237,6 +282,33 @@ def _cmd_sweep(args) -> int:
         Path(args.csv).write_text("\n".join(lines) + "\n")
         print(f"csv: {len(outcomes)} rows -> {args.csv}")
     return 0 if metrics.errors == 0 else 1
+
+
+def _cmd_lint(args) -> int:
+    from repro.analysis import (
+        DEFAULT_REGISTRY,
+        lint_path,
+        render_catalogue,
+        render_json,
+        render_text,
+    )
+
+    if args.list_rules:
+        print(render_catalogue())
+        return 0
+    if args.path is None:
+        print("error: a path to lint is required (or --list-rules)",
+              file=sys.stderr)
+        return 2
+    registry = (DEFAULT_REGISTRY.scoped(disable=args.disable)
+                if args.disable else DEFAULT_REGISTRY)
+    report, kind = lint_path(args.path, kind=args.kind, registry=registry)
+    source = f"{args.path} ({kind})"
+    if args.fmt == "json":
+        print(render_json(report, source=source))
+    else:
+        print(render_text(report, source=source))
+    return 1 if report.has_errors else 0
 
 
 def _cmd_inspect(args) -> int:
@@ -280,6 +352,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_simulate(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         if args.command == "inspect":
             return _cmd_inspect(args)
         if args.command == "experiment":

@@ -62,13 +62,24 @@ class TrioSim:
         model once per ``(trace, target GPU)`` and shares it across every
         sweep point; it must have been built on the *prepared* (already
         cross-GPU-rescaled) trace.
+    sanitize:
+        Statically check the extrapolated task graph before any event is
+        scheduled (raising :class:`repro.analysis.AnalysisError` on
+        dependency cycles or bad transfer endpoints) and run the runtime
+        sanitizers during the simulation; findings land in
+        :attr:`sanitizer_report`.
     """
 
     def __init__(self, trace: Trace, config: SimulationConfig,
-                 record_timeline: bool = True, hooks=(), op_time=None):
+                 record_timeline: bool = True, hooks=(), op_time=None,
+                 sanitize: bool = False):
         self.config = config
         self.record_timeline = record_timeline
         self.hooks = tuple(hooks)
+        self.sanitize = sanitize
+        #: Runtime sanitizer findings of the last :meth:`run` (a
+        #: :class:`repro.analysis.Report`), or ``None`` when off.
+        self.sanitizer_report = None
         self.trace = self._prepare_trace(trace)
         if op_time is not None and op_time.trace is not self.trace:
             raise ValueError(
@@ -192,7 +203,17 @@ class TrioSim:
             if iteration > 0:
                 sim.fence(f"iteration{iteration}")
             extrapolator.build(sim)
+        suite = None
+        if self.sanitize:
+            from repro.analysis import AnalysisError, SanitizerSuite, lint_taskgraph
+
+            pre = lint_taskgraph(sim, topology=getattr(network, "topology", None))
+            if pre.has_errors:
+                raise AnalysisError(pre, "task graph failed pre-run analysis")
+            suite = SanitizerSuite().attach(engine=engine, network=network)
         total = sim.run()
+        if suite is not None:
+            self.sanitizer_report = suite.finalize(engine)
         iteration_times = []
         if self.config.iterations > 1:
             boundaries = [0.0] + [f.end_time for f in sim.fences] + [total]

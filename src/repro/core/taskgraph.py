@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.engine.engine import Engine
 from repro.engine.hooks import HookCtx, Hookable
-from repro.network.base import NetworkModel, Transfer
+from repro.network.base import NetworkModel
 
 HOOK_TASK_START = "task_start"
 HOOK_TASK_END = "task_end"

@@ -33,8 +33,19 @@ _RATE_EPS = 1e-9
 #: Hook positions for observers.
 HOOK_FLOW_START = "flow_start"
 HOOK_FLOW_DELIVER = "flow_deliver"
+#: Fired after every bandwidth reallocation with the active flow list and
+#: the topology in the detail — the link-capacity sanitizer's feed.
+HOOK_FLOW_REALLOC = "flow_realloc"
 
 DirectedEdge = Tuple[str, str]
+
+
+class RoutingError(ValueError):
+    """No route exists between two endpoints of a transfer.
+
+    Raised with the offending ``src -> dst`` pair named instead of
+    propagating networkx's bare ``NetworkXNoPath`` / ``NodeNotFound``.
+    """
 
 
 class _Flow(Transfer):
@@ -81,14 +92,32 @@ class FlowNetwork(Hookable):
     # Step 1: routing
     # ------------------------------------------------------------------
     def route(self, src: str, dst: str) -> List[DirectedEdge]:
-        """Directed edge list of the cached shortest path src -> dst."""
+        """Directed edge list of the cached shortest path src -> dst.
+
+        Raises :class:`RoutingError` naming the pair when either endpoint
+        is missing from the topology or no path connects them.
+        """
         key = (src, dst)
         if key not in self._route_cache:
-            path = nx.shortest_path(self.topology, src, dst)
+            for endpoint in (src, dst):
+                if endpoint not in self.topology:
+                    raise RoutingError(
+                        f"cannot route {src} -> {dst}: {endpoint!r} is not "
+                        "a node of the topology"
+                    )
+            try:
+                path = nx.shortest_path(self.topology, src, dst)
+            except nx.NetworkXNoPath as exc:
+                raise RoutingError(
+                    f"no path from {src!r} to {dst!r}: the topology is "
+                    "disconnected between them"
+                ) from exc
             self._route_cache[key] = list(zip(path, path[1:]))
         return self._route_cache[key]
 
     def path_latency(self, src: str, dst: str) -> float:
+        """Sum of link latencies along the route (see :meth:`route` for
+        the error raised on disconnected pairs)."""
         return sum(self.topology[u][v]["latency"] for u, v in self.route(src, dst))
 
     # ------------------------------------------------------------------
@@ -170,6 +199,11 @@ class FlowNetwork(Hookable):
                 flow.deliver_event = self.engine.call_after(
                     eta, lambda _ev, f=flow: self._deliver(f)
                 )
+        if self._hooks:
+            self.invoke_hooks(HookCtx(
+                HOOK_FLOW_REALLOC, now, self._active_list(),
+                detail={"topology": self.topology},
+            ))
 
     def _maxmin_rates(self) -> Dict[int, float]:
         """Progressive filling over directed link capacities."""

@@ -29,10 +29,12 @@ import os
 import time as _wall
 from collections import OrderedDict
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.analysis.linter import lint_config
+from repro.analysis.reporters import render_text
 from repro.core.config import SimulationConfig
 from repro.core.results import SimulationResult
 from repro.engine.hooks import HookCtx, Hookable
@@ -82,6 +84,8 @@ class SweepOutcome:
     result: Optional[SimulationResult] = None
     error: Optional[SweepError] = None
     cached: bool = False
+    #: Runtime sanitizer findings (dict form) when the runner sanitizes.
+    sanitizer_findings: List[dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -105,6 +109,7 @@ class SweepOutcome:
             "cached": self.cached,
             "result": self.result.to_dict() if self.result else None,
             "error": self.error.to_dict() if self.error else None,
+            "sanitizer_findings": list(self.sanitizer_findings),
         }
 
 
@@ -165,6 +170,14 @@ class SweepRunner(Hookable):
         becomes a ``PointTimeoutError`` error record.
     hooks:
         Observers registered for the runner's progress positions.
+    lint:
+        Statically lint every config against the trace *before* any
+        simulation is dispatched (on by default).  A point with error
+        findings becomes a structured ``LintError`` outcome instead of
+        wasting a worker slot on a doomed or nonsensical simulation.
+    sanitize:
+        Run every simulated point with the runtime sanitizers attached;
+        findings land on each outcome's ``sanitizer_findings``.
     """
 
     #: Bound on memoized (rescaled trace, fitted models) entries.
@@ -172,13 +185,16 @@ class SweepRunner(Hookable):
 
     def __init__(self, max_workers: Optional[int] = None,
                  cache: Union[ResultCache, str, Path, None] = None,
-                 timeout: Optional[float] = None, hooks: Sequence = ()):
+                 timeout: Optional[float] = None, hooks: Sequence = (),
+                 lint: bool = True, sanitize: bool = False):
         super().__init__()
         self.max_workers = max_workers if max_workers is not None \
             else (os.cpu_count() or 1)
         self.cache = (ResultCache(cache)
                       if isinstance(cache, (str, Path)) else cache)
         self.timeout = timeout
+        self.lint = lint
+        self.sanitize = sanitize
         self.last_metrics: Optional[SweepMetrics] = None
         # (trace digest, target gpu) -> [prepared Trace, {perf_model: OpTimeModel}]
         # An LRU shared across run() calls, so per-point predict() loops
@@ -250,9 +266,28 @@ class SweepRunner(Hookable):
         ]
         base_key = trace_digest(trace) if self.cache is not None else ""
 
+        # Lint pass: reject statically-broken points before dispatching
+        # any simulation work for them.
+        survivors = outcomes
+        if self.lint:
+            survivors = []
+            for outcome in outcomes:
+                report = lint_config(outcome.config, trace=trace)
+                if report.has_errors:
+                    outcome.error = SweepError(
+                        kind="LintError",
+                        message="; ".join(str(f) for f in report.errors),
+                        # Findings stand in for a traceback: the point never
+                        # ran, but the error record must still explain why.
+                        traceback=render_text(report, source="lint"),
+                    )
+                    self._note_done(outcome, metrics, started)
+                else:
+                    survivors.append(outcome)
+
         # Cache pass: satisfy points without any simulation.
         pending: List[SweepOutcome] = []
-        for outcome in outcomes:
+        for outcome in survivors:
             hit = None
             if self.cache is not None and outcome.config.is_serializable:
                 key = self.cache.point_key(base_key, outcome.config,
@@ -305,6 +340,7 @@ class SweepRunner(Hookable):
         """Apply a worker reply to its outcome and cache fresh results."""
         if payload["ok"]:
             outcome.result = SimulationResult.from_dict(payload["result"])
+            outcome.sanitizer_findings = payload.get("sanitizer", [])
             if self.cache is not None and outcome.config.is_serializable:
                 key = self.cache.point_key(base_key, outcome.config,
                                            record_timeline)
@@ -332,6 +368,7 @@ class SweepRunner(Hookable):
                     "config": outcome.config.to_dict(),
                     "record_timeline": record_timeline,
                     "timeout": self.timeout,
+                    "sanitize": self.sanitize,
                 }
                 futures[pool.submit(_worker.run_point, payload)] = outcome
             remaining = set(futures)
@@ -363,7 +400,8 @@ class SweepRunner(Hookable):
                 )
                 outcome.result = _worker.simulate_point(
                     point_trace, outcome.config, record_timeline,
-                    self.timeout, op_time=op_time,
+                    self.timeout, op_time=op_time, sanitize=self.sanitize,
+                    sanitizer_sink=outcome.sanitizer_findings,
                 )
                 if (self.cache is not None
                         and outcome.config.is_serializable):

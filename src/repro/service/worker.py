@@ -102,12 +102,21 @@ def shared_op_time(trace: Trace, perf_model: str,
 
 def simulate_point(trace: Trace, config: SimulationConfig,
                    record_timeline: bool, timeout: Optional[float],
-                   op_time: Optional[OpTimeModel] = None):
-    """Run one sweep point (optionally under a deadline)."""
+                   op_time: Optional[OpTimeModel] = None,
+                   sanitize: bool = False,
+                   sanitizer_sink: Optional[list] = None):
+    """Run one sweep point (optionally under a deadline).
+
+    With ``sanitize``, runtime sanitizer findings are appended to
+    *sanitizer_sink* as dicts (the process-boundary form).
+    """
     with deadline(timeout):
         sim = TrioSim(trace, config, record_timeline=record_timeline,
-                      op_time=op_time)
-        return sim.run()
+                      op_time=op_time, sanitize=sanitize)
+        result = sim.run()
+        if sanitizer_sink is not None and sim.sanitizer_report is not None:
+            sanitizer_sink.extend(sim.sanitizer_report.to_dicts())
+        return result
 
 
 def run_point(payload: dict) -> dict:
@@ -127,11 +136,14 @@ def run_point(payload: dict) -> dict:
         config = SimulationConfig.from_dict(payload["config"])
         op_time = shared_op_time(trace, config.perf_model, _OP_TIMES,
                                  trace_key)
+        sanitizer_findings: list = []
         result = simulate_point(
             trace, config, payload["record_timeline"], payload["timeout"],
-            op_time=op_time,
+            op_time=op_time, sanitize=payload.get("sanitize", False),
+            sanitizer_sink=sanitizer_findings,
         )
-        return {"ok": True, "result": result.to_dict()}
+        return {"ok": True, "result": result.to_dict(),
+                "sanitizer": sanitizer_findings}
     except Exception as exc:
         return {
             "ok": False,

@@ -9,7 +9,7 @@ single-GPU model (our substitute for profiling on a physical GPU).
 """
 
 from repro.trace.records import OperatorRecord, TensorRecord
-from repro.trace.trace import Trace
+from repro.trace.trace import Trace, TraceFormatError, validate_trace_dict
 from repro.trace.tracer import Tracer
 from repro.trace.execution_graph import ExecutionGraph
 from repro.trace.tools import TraceDiff, diff, filter_phase, summarize
@@ -20,8 +20,10 @@ __all__ = [
     "TensorRecord",
     "Trace",
     "TraceDiff",
+    "TraceFormatError",
     "Tracer",
     "diff",
     "filter_phase",
     "summarize",
+    "validate_trace_dict",
 ]

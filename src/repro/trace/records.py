@@ -12,7 +12,9 @@ import math
 from dataclasses import dataclass, field
 from typing import Tuple
 
-_DTYPE_BYTES = {"float32": 4, "float16": 2, "bfloat16": 2, "int64": 8, "int32": 4}
+#: Bytes per element of each supported dtype.
+DTYPE_BYTES = {"float32": 4, "float16": 2, "bfloat16": 2, "int64": 8, "int32": 4}
+_DTYPE_BYTES = DTYPE_BYTES  # backwards-compatible alias
 
 #: Tensor categories reported by the Execution Graph Observer.
 TENSOR_CATEGORIES = ("input", "weight", "gradient", "output", "activation")

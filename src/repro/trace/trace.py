@@ -18,6 +18,97 @@ from repro.trace.records import OperatorRecord, TensorRecord
 _FORMAT_VERSION = 1
 
 
+class TraceFormatError(ValueError):
+    """A trace document does not follow the serialized trace schema.
+
+    Raised by :meth:`Trace.from_dict` / :meth:`Trace.load` with a message
+    naming the offending field, instead of the bare ``KeyError`` a
+    malformed or hand-edited JSON file used to produce.
+    """
+
+
+def _type_name(value) -> str:
+    return type(value).__name__
+
+
+def validate_trace_dict(data) -> List[str]:
+    """Structural problems of a serialized trace, as messages.
+
+    Checks presence and types of every required field — the shared
+    schema validator behind :meth:`Trace.from_dict` (which raises on the
+    problems) and the ``TR001`` lint rule (which reports them all).
+    """
+    if not isinstance(data, dict):
+        return [f"trace must be a JSON object, got {_type_name(data)}"]
+    problems: List[str] = []
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        problems.append(
+            f"unsupported trace format version {version!r} "
+            f"(supported: {_FORMAT_VERSION})"
+        )
+    for key, kind in (("model_name", str), ("gpu_name", str),
+                      ("batch_size", int)):
+        if key not in data:
+            problems.append(f"missing required field {key!r}")
+        elif not isinstance(data[key], kind) or isinstance(data[key], bool):
+            problems.append(
+                f"field {key!r} must be {kind.__name__}, "
+                f"got {_type_name(data[key])}"
+            )
+    if data.get("seq_len") is not None and \
+            not isinstance(data.get("seq_len"), int):
+        problems.append("field 'seq_len' must be an integer or null")
+
+    tensors = data.get("tensors")
+    if not isinstance(tensors, list):
+        problems.append(
+            f"field 'tensors' must be a list, got {_type_name(tensors)}"
+        )
+        tensors = []
+    for i, entry in enumerate(tensors):
+        if not isinstance(entry, dict):
+            problems.append(f"tensors[{i}] must be an object")
+            continue
+        if not isinstance(entry.get("id"), int):
+            problems.append(f"tensors[{i}]: 'id' must be an integer")
+        dims = entry.get("dims")
+        if not isinstance(dims, list) or \
+                not all(isinstance(d, int) for d in dims):
+            problems.append(f"tensors[{i}]: 'dims' must be a list of ints")
+        for key in ("dtype", "category"):
+            if not isinstance(entry.get(key), str):
+                problems.append(f"tensors[{i}]: {key!r} must be a string")
+        if "nbytes" in entry and not isinstance(entry["nbytes"], int):
+            problems.append(f"tensors[{i}]: 'nbytes' must be an integer")
+
+    operators = data.get("operators")
+    if not isinstance(operators, list):
+        problems.append(
+            f"field 'operators' must be a list, got {_type_name(operators)}"
+        )
+        operators = []
+    for i, op in enumerate(operators):
+        if not isinstance(op, dict):
+            problems.append(f"operators[{i}] must be an object")
+            continue
+        for key in ("name", "kind", "layer", "phase"):
+            if not isinstance(op.get(key), str):
+                problems.append(f"operators[{i}]: {key!r} must be a string")
+        for key in ("duration", "flops"):
+            if not isinstance(op.get(key), (int, float)) or \
+                    isinstance(op.get(key), bool):
+                problems.append(f"operators[{i}]: {key!r} must be a number")
+        for key in ("inputs", "outputs"):
+            refs = op.get(key)
+            if not isinstance(refs, list) or \
+                    not all(isinstance(t, int) for t in refs):
+                problems.append(
+                    f"operators[{i}]: {key!r} must be a list of tensor ids"
+                )
+    return problems
+
+
 @dataclass
 class Trace:
     """An operator-level single-GPU execution trace.
@@ -144,6 +235,9 @@ class Trace:
                     "dims": list(t.dims),
                     "dtype": t.dtype,
                     "category": t.category,
+                    # Redundant with dims x dtype; written so consumers
+                    # (and `repro lint`) can cross-check byte counts.
+                    "nbytes": t.nbytes,
                 }
                 for t in self.tensors.values()
             ],
@@ -164,32 +258,49 @@ class Trace:
 
     @classmethod
     def from_dict(cls, data: dict) -> "Trace":
-        version = data.get("format_version")
-        if version != _FORMAT_VERSION:
-            raise ValueError(f"unsupported trace format version {version}")
+        """Rebuild a trace, validating the schema first.
+
+        Malformed documents (missing fields, wrong types, unsupported
+        versions) raise :class:`TraceFormatError` naming the offending
+        field; value-level problems caught by the record constructors
+        (unknown dtypes, negative durations, dangling tensor refs) are
+        re-raised as :class:`TraceFormatError` with their position.
+        """
+        problems = validate_trace_dict(data)
+        if problems:
+            shown = "; ".join(problems[:3])
+            more = f" (+{len(problems) - 3} more)" if len(problems) > 3 else ""
+            raise TraceFormatError(f"invalid trace: {shown}{more}")
         trace = cls(
             model_name=data["model_name"],
             gpu_name=data["gpu_name"],
             batch_size=data["batch_size"],
             seq_len=data.get("seq_len"),
         )
-        for t in data["tensors"]:
-            trace.add_tensor(
-                TensorRecord(t["id"], tuple(t["dims"]), t["dtype"], t["category"])
-            )
-        for op in data["operators"]:
-            trace.add_operator(
-                OperatorRecord(
-                    name=op["name"],
-                    kind=op["kind"],
-                    layer=op["layer"],
-                    phase=op["phase"],
-                    duration=op["duration"],
-                    flops=op["flops"],
-                    inputs=tuple(op["inputs"]),
-                    outputs=tuple(op["outputs"]),
+        for i, t in enumerate(data["tensors"]):
+            try:
+                trace.add_tensor(
+                    TensorRecord(t["id"], tuple(t["dims"]), t["dtype"],
+                                 t["category"])
                 )
-            )
+            except ValueError as exc:
+                raise TraceFormatError(f"tensors[{i}]: {exc}") from exc
+        for i, op in enumerate(data["operators"]):
+            try:
+                trace.add_operator(
+                    OperatorRecord(
+                        name=op["name"],
+                        kind=op["kind"],
+                        layer=op["layer"],
+                        phase=op["phase"],
+                        duration=op["duration"],
+                        flops=op["flops"],
+                        inputs=tuple(op["inputs"]),
+                        outputs=tuple(op["outputs"]),
+                    )
+                )
+            except ValueError as exc:
+                raise TraceFormatError(f"operators[{i}]: {exc}") from exc
         return trace
 
     def save(self, path: Union[str, Path]) -> None:
@@ -197,4 +308,10 @@ class Trace:
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "Trace":
-        return cls.from_dict(json.loads(Path(path).read_text()))
+        """Load a trace file, raising :class:`TraceFormatError` on
+        malformed JSON or schema violations."""
+        try:
+            data = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"{path} is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)

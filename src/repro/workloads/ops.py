@@ -9,7 +9,6 @@ gradient w.r.t. weights) and equal to forward for element-wise layers.
 
 from __future__ import annotations
 
-import math
 from typing import Tuple
 
 from repro.workloads.graph import Layer

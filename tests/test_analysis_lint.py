@@ -1,0 +1,515 @@
+"""Static-analysis lint rules: every rule fires exactly where expected on
+corrupted inputs and stays silent on clean ones."""
+
+import copy
+import json
+
+import networkx as nx
+import pytest
+
+from repro import SimulationConfig, Tracer, get_gpu, get_model
+from repro.analysis import (
+    DEFAULT_REGISTRY,
+    Finding,
+    Report,
+    detect_kind,
+    lint_config,
+    lint_path,
+    lint_spec,
+    lint_trace,
+    render_json,
+    render_text,
+)
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return Tracer(get_gpu("A100")).trace(get_model("resnet18"), batch_size=32)
+
+
+@pytest.fixture(scope="module")
+def golden_dict(trace):
+    return trace.to_dict()
+
+
+@pytest.fixture()
+def corrupt(golden_dict):
+    """A fresh deep copy of the golden trace dict to mutate per test."""
+    return copy.deepcopy(golden_dict)
+
+
+def rule_ids(report):
+    return set(report.rule_ids())
+
+
+# ----------------------------------------------------------------------
+# Zero false positives on clean inputs
+# ----------------------------------------------------------------------
+class TestCleanInputs:
+    def test_clean_trace_object(self, trace):
+        assert lint_trace(trace).ok
+
+    def test_clean_trace_dict(self, golden_dict):
+        assert lint_trace(golden_dict).ok
+
+    def test_clean_transformer_trace(self):
+        t = Tracer(get_gpu("A100")).trace(get_model("gpt2"), batch_size=8)
+        assert lint_trace(t).ok
+
+    def test_clean_inference_trace(self):
+        t = Tracer(get_gpu("A100")).trace_inference(get_model("resnet18"), 16)
+        assert lint_trace(t).ok
+
+    @pytest.mark.parametrize("parallelism,kwargs", [
+        ("single", {"num_gpus": 1}),
+        ("ddp", {"num_gpus": 4}),
+        ("tp", {"num_gpus": 4}),
+        ("pp", {"num_gpus": 4, "chunks": 4}),
+        ("hybrid", {"num_gpus": 4, "dp_degree": 2, "chunks": 2}),
+    ])
+    def test_clean_configs(self, trace, parallelism, kwargs):
+        config = SimulationConfig(parallelism=parallelism, topology="ring",
+                                  link_bandwidth=234e9, **kwargs)
+        assert lint_config(config, trace=trace).ok
+
+    def test_clean_config_all_named_topologies(self, trace):
+        for topology in ("ring", "switch", "fat_tree", "dgx_hypercube"):
+            config = SimulationConfig(parallelism="ddp", num_gpus=4,
+                                      topology=topology)
+            report = lint_config(config, trace=trace)
+            assert report.ok, f"{topology}: {[str(f) for f in report]}"
+
+
+# ----------------------------------------------------------------------
+# Trace rules
+# ----------------------------------------------------------------------
+class TestTraceRules:
+    def test_tr001_schema_missing_field(self, corrupt):
+        del corrupt["model_name"]
+        report = lint_trace(corrupt)
+        assert rule_ids(report) == {"TR001"}
+        assert "model_name" in report.findings[0].message
+
+    def test_tr001_bad_version(self, corrupt):
+        corrupt["format_version"] = 99
+        assert rule_ids(lint_trace(corrupt)) == {"TR001"}
+
+    def test_tr001_gates_other_rules(self, corrupt):
+        # A schema violation plus a semantic one: only TR001 reports.
+        del corrupt["gpu_name"]
+        corrupt["operators"][0]["duration"] = -1.0
+        assert rule_ids(lint_trace(corrupt)) == {"TR001"}
+
+    def test_tr002_dangling_ref(self, corrupt):
+        corrupt["operators"][3]["inputs"] = [999_999]
+        report = lint_trace(corrupt)
+        assert rule_ids(report) == {"TR002"}
+        assert report.findings[0].location == "operators[3]"
+
+    def test_tr003_duplicate_tensor(self, corrupt):
+        corrupt["tensors"].append(dict(corrupt["tensors"][0]))
+        report = lint_trace(corrupt)
+        assert "TR003" in rule_ids(report)
+        dup = [f for f in report if f.rule == "TR003"]
+        assert dup[0].location == f"tensors[{len(corrupt['tensors']) - 1}]"
+
+    def test_tr004_negative_duration(self, corrupt):
+        corrupt["operators"][5]["duration"] = -2.5
+        report = lint_trace(corrupt)
+        assert rule_ids(report) == {"TR004"}
+        assert report.findings[0].location == "operators[5]"
+
+    def test_tr004_nan_flops(self, corrupt):
+        corrupt["operators"][0]["flops"] = float("nan")
+        assert rule_ids(lint_trace(corrupt)) == {"TR004"}
+
+    def test_tr005_unknown_phase(self, corrupt):
+        corrupt["operators"][2]["phase"] = "warmup"
+        report = lint_trace(corrupt)
+        assert rule_ids(report) == {"TR005"}
+        assert report.findings[0].location == "operators[2]"
+
+    def test_tr006_phase_regression(self, corrupt):
+        # Move the last (optimizer) operator to the front: every later
+        # forward/backward op is then a phase regression.
+        corrupt["operators"].insert(0, corrupt["operators"].pop())
+        report = lint_trace(corrupt)
+        assert rule_ids(report) == {"TR006"}
+
+    def test_tr007_nbytes_mismatch(self, corrupt):
+        corrupt["tensors"][4]["nbytes"] += 4
+        report = lint_trace(corrupt)
+        assert rule_ids(report) == {"TR007"}
+        assert report.findings[0].location == "tensors[4]"
+
+    def test_tr008_dataflow_cycle(self, corrupt):
+        # Feed a downstream activation back into the first operator:
+        # op0 -> op1 -> op0 becomes a strongly connected component.
+        out1 = corrupt["operators"][1]["outputs"][0]
+        corrupt["operators"][0]["inputs"] = (
+            list(corrupt["operators"][0]["inputs"]) + [out1]
+        )
+        report = lint_trace(corrupt)
+        assert "TR008" in rule_ids(report)
+
+    def test_tr009_orphan_operator(self, corrupt):
+        corrupt["operators"].append({
+            "name": "ghost", "kind": "conv", "layer": "ghost",
+            "phase": "optimizer", "duration": 1e-6, "flops": 0,
+            "inputs": [], "outputs": [],
+        })
+        report = lint_trace(corrupt)
+        assert rule_ids(report) == {"TR009"}
+        assert not report.has_errors  # warning only
+
+    def test_tr010_orphan_tensor(self, corrupt):
+        corrupt["tensors"].append({
+            "id": 10_000_000, "dims": [4, 4], "dtype": "float32",
+            "category": "activation", "nbytes": 64,
+        })
+        report = lint_trace(corrupt)
+        assert rule_ids(report) == {"TR010"}
+        assert not report.has_errors
+
+    def test_tr011_negative_dim(self, corrupt):
+        corrupt["tensors"][0]["dims"] = [-1, 8]
+        report = lint_trace(corrupt)
+        # The stale nbytes no longer matches either, but TR011 must fire.
+        assert "TR011" in rule_ids(report)
+
+    def test_tr011_unknown_dtype(self, corrupt):
+        corrupt["tensors"][0]["dtype"] = "complex128"
+        assert "TR011" in rule_ids(lint_trace(corrupt))
+
+    def test_findings_are_capped(self, corrupt):
+        for op in corrupt["operators"]:
+            op["duration"] = -1.0
+        report = lint_trace(corrupt)
+        from repro.analysis.trace_rules import MAX_FINDINGS_PER_RULE
+
+        assert len(report.findings) == MAX_FINDINGS_PER_RULE
+
+    def test_not_json_object(self):
+        report = lint_trace([1, 2, 3])
+        assert rule_ids(report) == {"TR001"}
+
+
+# ----------------------------------------------------------------------
+# Config rules
+# ----------------------------------------------------------------------
+class TestConfigRules:
+    def test_cf001_unknown_topology(self):
+        config = SimulationConfig(parallelism="ddp", num_gpus=4,
+                                  topology="moebius")
+        report = lint_config(config)
+        assert rule_ids(report) == {"CF001"}
+
+    def test_cf001_missing_gpu_nodes(self):
+        g = nx.Graph()
+        g.add_edge("gpu0", "gpu1", bandwidth=1e9, latency=1e-6)
+        config = SimulationConfig(parallelism="ddp", num_gpus=4, topology=g)
+        report = lint_config(config)
+        assert rule_ids(report) == {"CF001"}
+
+    def test_cf002_disconnected_islands(self):
+        g = nx.Graph()
+        g.add_edge("gpu0", "gpu1", bandwidth=1e9, latency=1e-6)
+        g.add_edge("gpu2", "gpu3", bandwidth=1e9, latency=1e-6)
+        config = SimulationConfig(parallelism="ddp", num_gpus=4, topology=g)
+        report = lint_config(config)
+        assert rule_ids(report) == {"CF002"}
+
+    def test_cf003_missing_link_attrs(self):
+        g = nx.Graph()
+        g.add_edge("gpu0", "gpu1", bandwidth=1e9, latency=1e-6)
+        g.add_edge("gpu1", "gpu2", latency=1e-6)             # no bandwidth
+        g.add_edge("gpu2", "gpu0", bandwidth=-5.0, latency=1e-6)
+        config = SimulationConfig(parallelism="ddp", num_gpus=3, topology=g)
+        report = lint_config(config)
+        assert rule_ids(report) == {"CF003"}
+        assert len(report.findings) == 2
+
+    def test_cf004_bandwidth_unit_mistake(self):
+        # 234 "GB/s" typed as 234 B/s.
+        config = SimulationConfig(parallelism="ddp", num_gpus=2,
+                                  topology="ring", link_bandwidth=234.0)
+        report = lint_config(config)
+        assert rule_ids(report) == {"CF004"}
+        assert not report.has_errors
+
+    def test_cf004_latency_unit_mistake(self):
+        config = SimulationConfig(parallelism="ddp", num_gpus=2,
+                                  topology="ring", link_latency=2.0)
+        assert rule_ids(lint_config(config)) == {"CF004"}
+
+    def test_cf005_too_many_stages(self, trace):
+        layers = len(trace.forward_ops)
+        config = SimulationConfig(parallelism="pp", num_gpus=layers + 3,
+                                  topology="ring")
+        report = lint_config(config, trace=trace)
+        assert "CF005" in rule_ids(report)
+        assert report.has_errors
+
+    def test_cf006_chunks_exceed_batch(self, trace):
+        config = SimulationConfig(parallelism="pp", num_gpus=4,
+                                  topology="ring", chunks=64)
+        report = lint_config(config, trace=trace)  # trace batch is 32
+        assert "CF006" in rule_ids(report)
+
+    def test_cf007_uneven_chunks(self, trace):
+        config = SimulationConfig(parallelism="pp", num_gpus=4,
+                                  topology="ring", chunks=5)
+        report = lint_config(config, trace=trace)
+        assert rule_ids(report) == {"CF007"}
+        assert not report.has_errors
+
+    def test_cf008_tp_uneven_shards(self, trace):
+        # resnet18 weight element counts are not divisible by 5.
+        config = SimulationConfig(parallelism="tp", num_gpus=5,
+                                  topology="ring")
+        report = lint_config(config, trace=trace)
+        assert rule_ids(report) == {"CF008"}
+        assert not report.has_errors
+
+    def test_cf009_unknown_slowdown_device(self):
+        config = SimulationConfig(parallelism="ddp", num_gpus=2,
+                                  topology="ring",
+                                  gpu_slowdowns={"gpu9": 1.5})
+        report = lint_config(config)
+        assert rule_ids(report) == {"CF009"}
+
+    def test_cf010_unknown_target_gpu(self):
+        config = SimulationConfig(parallelism="ddp", num_gpus=2,
+                                  topology="ring", gpu="Z9000")
+        report = lint_config(config)
+        assert rule_ids(report) == {"CF010"}
+        assert report.has_errors
+
+    def test_cf011_bad_config_dict(self):
+        report = lint_config({"parallelism": "warp-drive"})
+        assert rule_ids(report) == {"CF011"}
+
+    def test_trace_free_lint_skips_trace_rules(self):
+        # Without a trace, stage/chunk/shard rules stay silent rather
+        # than guessing.
+        config = SimulationConfig(parallelism="pp", num_gpus=4,
+                                  topology="ring", chunks=5)
+        assert lint_config(config).ok
+
+
+# ----------------------------------------------------------------------
+# Registry behaviour
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_disable_by_id(self, corrupt):
+        corrupt["operators"][0]["duration"] = -1.0
+        scoped = DEFAULT_REGISTRY.scoped(disable=["TR004"])
+        assert lint_trace(corrupt, registry=scoped).ok
+        # The shared default registry is untouched.
+        assert not lint_trace(corrupt).ok
+
+    def test_disable_by_name(self, corrupt):
+        corrupt["tensors"].append({
+            "id": 10_000_001, "dims": [2], "dtype": "float32",
+            "category": "activation", "nbytes": 8,
+        })
+        scoped = DEFAULT_REGISTRY.scoped(disable=["tensor-orphan"])
+        assert lint_trace(corrupt, registry=scoped).ok
+
+    def test_unknown_rule_reference(self):
+        with pytest.raises(KeyError):
+            DEFAULT_REGISTRY.scoped(disable=["TR999"])
+
+    def test_catalogue_covers_ten_plus_rules(self):
+        ids = {r.id for r in DEFAULT_REGISTRY.rules()}
+        assert len(ids) >= 20
+        for prefix in ("TR", "CF", "TG", "SZ", "SP"):
+            assert any(i.startswith(prefix) for i in ids)
+
+
+# ----------------------------------------------------------------------
+# Sweep-spec linting
+# ----------------------------------------------------------------------
+class TestSpecLint:
+    def test_clean_spec(self):
+        spec = {
+            "model": "resnet18", "batch": 32,
+            "base": {"parallelism": "ddp", "topology": "ring"},
+            "axes": {"num_gpus": [2, 4]},
+        }
+        assert lint_spec(spec).ok
+
+    def test_sp001_bad_spec(self):
+        report = lint_spec({"model": "resnet18", "frobnicate": True})
+        assert rule_ids(report) == {"SP001"}
+
+    def test_sp002_missing_trace_file(self, tmp_path):
+        report = lint_spec({"trace": "no_such_trace.json"},
+                           base_dir=tmp_path)
+        assert rule_ids(report) == {"SP002"}
+
+    def test_point_findings_carry_labels_and_dedup(self):
+        spec = {
+            "model": "resnet18", "batch": 32,
+            "base": {"parallelism": "pp", "topology": "ring", "chunks": 5},
+            "axes": {"num_gpus": [2, 4]},
+        }
+        report = lint_spec(spec)
+        assert rule_ids(report) == {"CF007"}
+        assert len(report.findings) == 1  # same message deduplicated
+        assert "num_gpus=" in report.findings[0].location
+
+    def test_example_spec_is_clean(self):
+        from pathlib import Path
+
+        example = Path(__file__).parent.parent / "examples/ddp_sweep.json"
+        report = lint_spec(example)
+        assert report.ok, [str(f) for f in report]
+
+
+# ----------------------------------------------------------------------
+# Reporters + path dispatch
+# ----------------------------------------------------------------------
+class TestReporting:
+    def test_render_text_clean(self):
+        assert "clean" in render_text(Report(), source="x.json")
+
+    def test_render_text_lists_findings(self):
+        report = Report([Finding("TR002", "tensor-dangling-ref", "error",
+                                 "boom", location="operators[0]")])
+        text = render_text(report)
+        assert "TR002" in text and "operators[0]" in text
+        assert "1 error(s)" in text
+
+    def test_render_json_round_trips(self):
+        report = Report([Finding("CF004", "link-speed-range", "warning",
+                                 "units")])
+        data = json.loads(render_json(report, source="cfg"))
+        assert data["source"] == "cfg"
+        assert data["errors"] == 0 and data["warnings"] == 1
+        assert data["findings"][0]["rule"] == "CF004"
+
+    def test_detect_kind(self, golden_dict):
+        assert detect_kind(golden_dict) == "trace"
+        assert detect_kind({"model": "resnet18", "axes": {}}) == "spec"
+        assert detect_kind({"parallelism": "ddp"}) == "config"
+
+    def test_lint_path_auto(self, tmp_path, golden_dict):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps(golden_dict))
+        report, kind = lint_path(path)
+        assert kind == "trace" and report.ok
+
+    def test_lint_path_unreadable(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        report, _ = lint_path(path, kind="trace")
+        assert rule_ids(report) == {"TR001"}
+
+
+# ----------------------------------------------------------------------
+# Trace schema validation (satellite: TraceFormatError)
+# ----------------------------------------------------------------------
+class TestTraceFormatError:
+    def test_missing_field_names_the_field(self, corrupt):
+        from repro import Trace, TraceFormatError
+
+        del corrupt["batch_size"]
+        with pytest.raises(TraceFormatError, match="batch_size"):
+            Trace.from_dict(corrupt)
+
+    def test_wrong_type_is_reported(self, corrupt):
+        from repro import Trace, TraceFormatError
+
+        corrupt["operators"][0]["inputs"] = "oops"
+        with pytest.raises(TraceFormatError, match="operators"):
+            Trace.from_dict(corrupt)
+
+    def test_is_value_error(self):
+        from repro import TraceFormatError
+
+        assert issubclass(TraceFormatError, ValueError)
+
+    def test_load_rejects_malformed_json(self, tmp_path):
+        from repro import Trace, TraceFormatError
+
+        path = tmp_path / "broken.json"
+        path.write_text("{]")
+        with pytest.raises(TraceFormatError, match="JSON"):
+            Trace.load(path)
+
+    def test_value_level_problems_carry_position(self, corrupt):
+        from repro import Trace, TraceFormatError
+
+        corrupt["tensors"][2]["dtype"] = "complex128"
+        with pytest.raises(TraceFormatError, match=r"tensors\[2\]"):
+            Trace.from_dict(corrupt)
+
+    def test_round_trip_still_works(self, trace):
+        from repro import Trace
+
+        clone = Trace.from_dict(trace.to_dict())
+        assert clone.to_dict() == trace.to_dict()
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestLintCli:
+    @pytest.fixture(scope="class")
+    def trace_file(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("lint") / "rn18.json"
+        trace = Tracer(get_gpu("A100")).trace(get_model("resnet18"),
+                                              batch_size=32)
+        trace.save(path)
+        return path
+
+    def test_clean_trace_exits_zero(self, trace_file, capsys):
+        assert main(["lint", str(trace_file)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_corrupt_trace_exits_one(self, trace_file, tmp_path, capsys):
+        data = json.loads(trace_file.read_text())
+        data["operators"][0]["inputs"] = [424242]
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(data))
+        assert main(["lint", str(bad)]) == 1
+        assert "TR002" in capsys.readouterr().out
+
+    def test_warning_only_exits_zero(self, trace_file, tmp_path, capsys):
+        data = json.loads(trace_file.read_text())
+        data["tensors"].append({"id": 777777, "dims": [1],
+                                "dtype": "float32",
+                                "category": "activation", "nbytes": 4})
+        warn = tmp_path / "warn.json"
+        warn.write_text(json.dumps(data))
+        assert main(["lint", str(warn)]) == 0
+        assert "TR010" in capsys.readouterr().out
+
+    def test_disable_flag(self, trace_file, tmp_path, capsys):
+        data = json.loads(trace_file.read_text())
+        data["operators"][0]["duration"] = -1.0
+        bad = tmp_path / "bad2.json"
+        bad.write_text(json.dumps(data))
+        assert main(["lint", str(bad), "--disable", "TR004"]) == 0
+
+    def test_json_format(self, trace_file, capsys):
+        assert main(["lint", str(trace_file), "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["errors"] == 0 and data["findings"] == []
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("TR001", "CF002", "TG001", "SZ001", "SP001"):
+            assert rule_id in out
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert main(["lint"]) == 2
+
+    def test_lint_spec_kind(self, capsys):
+        from pathlib import Path
+
+        example = Path(__file__).parent.parent / "examples/ddp_sweep.json"
+        assert main(["lint", str(example), "--kind", "spec"]) == 0

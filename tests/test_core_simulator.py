@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.config import SimulationConfig
 from repro.core.simulator import TrioSim
-from repro.gpus.specs import get_gpu, platform_p1, platform_p2
+from repro.gpus.specs import get_gpu
 from repro.trace.tracer import Tracer
 from repro.workloads import get_model
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.engine.component import Component, Connection, Message, Port
+from repro.engine.component import Component, Connection, Message
 from repro.engine.engine import Engine
 
 

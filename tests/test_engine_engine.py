@@ -3,7 +3,6 @@
 import pytest
 
 from repro.engine.engine import Engine, SimulationLimitError
-from repro.engine.events import CallbackEvent, Event
 
 
 def test_starts_at_time_zero():

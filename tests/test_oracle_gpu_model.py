@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.gpus.specs import get_gpu
-from repro.oracle.gpu_model import GPUExecutionModel, MATMUL_KINDS
+from repro.oracle.gpu_model import GPUExecutionModel
 from repro.workloads import ops
 
 
