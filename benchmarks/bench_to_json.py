@@ -1,0 +1,87 @@
+"""Write the network hot-path benchmark results to ``BENCH_network.json``.
+
+Runs the collective-heavy scenarios from :mod:`network_load` under both
+the legacy dense allocator and the incremental allocator and records
+events/sec, reallocations, cancellations, and wall time — the perf
+baseline future PRs compare against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_to_json.py [-o BENCH_network.json]
+    PYTHONPATH=src python benchmarks/bench_to_json.py --quick   # CI smoke
+
+Quick mode shrinks every scenario so the whole run stays under a few
+seconds; the full run uses the acceptance-scale cases (>= 64 GPUs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from network_load import compare_modes  # noqa: E402  (path set up above)
+
+#: (scenario, kwargs) pairs per profile.  The headline case is the
+#: 128-GPU hierarchical-bucket run; the flat storm bounds the win when
+#: traffic is globally coupled and scoping cannot help.
+FULL_CASES = [
+    ("hierarchical_buckets", {"num_gpus": 128, "buckets": 4, "nbytes": 32e6}),
+    ("hierarchical_buckets", {"num_gpus": 64, "buckets": 4, "nbytes": 32e6}),
+    ("flat_ring_storm", {"num_gpus": 64, "buckets": 6, "nbytes": 64e6}),
+]
+QUICK_CASES = [
+    ("hierarchical_buckets", {"num_gpus": 64, "buckets": 2, "nbytes": 8e6}),
+    ("flat_ring_storm", {"num_gpus": 64, "buckets": 2, "nbytes": 8e6}),
+]
+
+
+def run(quick: bool = False) -> dict:
+    cases = [compare_modes(name, **kwargs)
+             for name, kwargs in (QUICK_CASES if quick else FULL_CASES)]
+    headline = cases[0]
+    return {
+        "benchmark": "network_hot_path",
+        "schema_version": 1,
+        "quick": quick,
+        "python": platform.python_version(),
+        "cases": cases,
+        "headline": {
+            "scenario": headline["scenario"],
+            "num_gpus": headline["incremental"]["num_gpus"],
+            "events_per_sec": headline["incremental"]["events_per_sec"],
+            "wall_speedup": headline["wall_speedup"],
+            "cancellation_reduction": headline["cancellation_reduction"],
+            "identical_simulated_time": headline["identical_simulated_time"],
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", default="BENCH_network.json",
+                        help="output path (default: ./BENCH_network.json)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small scenarios for CI smoke runs")
+    args = parser.parse_args(argv)
+
+    payload = run(quick=args.quick)
+    out = Path(args.output)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    head = payload["headline"]
+    print(f"wrote {out}")
+    print(f"  {head['scenario']} @ {head['num_gpus']} GPUs: "
+          f"{head['events_per_sec']:,.0f} events/s, "
+          f"{head['wall_speedup']:.2f}x wall speedup, "
+          f"{head['cancellation_reduction']:,.1f}x fewer cancellations, "
+          f"identical simulated time: {head['identical_simulated_time']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

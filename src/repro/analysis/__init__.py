@@ -40,6 +40,7 @@ from repro.analysis.linter import (
 )
 from repro.analysis.reporters import render_catalogue, render_json, render_text
 from repro.analysis.sanitizers import (
+    AllocatorWarningSanitizer,
     HeapLeakSanitizer,
     LinkCapacitySanitizer,
     SanitizerSuite,
@@ -51,6 +52,7 @@ __all__ = [
     "INFO",
     "SEVERITIES",
     "WARNING",
+    "AllocatorWarningSanitizer",
     "AnalysisError",
     "DEFAULT_REGISTRY",
     "Finding",

@@ -12,7 +12,11 @@ corrupts results:
   (hooked on :class:`~repro.network.flow.FlowNetwork`);
 * :class:`HeapLeakSanitizer` — after the run loop drains, no live events
   may remain queued and the cancelled-entry accounting must be consistent
-  (a post-run check on the engine).
+  (a post-run check on the engine);
+* :class:`AllocatorWarningSanitizer` — the max-min allocator's
+  numerical-safety edges (progressive filling stalling without freezing a
+  flow) must not pass silently (hooked on
+  :data:`~repro.network.flow.HOOK_FLOW_WARNING`).
 
 :class:`SanitizerSuite` bundles all three behind ``--sanitize``: attach
 before :meth:`Engine.run`, call :meth:`finalize` after, read ``.report``.
@@ -26,7 +30,7 @@ from repro.analysis.findings import Finding, Report
 from repro.analysis.registry import DEFAULT_REGISTRY, Rule, RuleRegistry
 from repro.engine.engine import Engine
 from repro.engine.hooks import HookCtx
-from repro.network.flow import HOOK_FLOW_REALLOC, FlowNetwork
+from repro.network.flow import HOOK_FLOW_REALLOC, HOOK_FLOW_WARNING, FlowNetwork
 
 #: Per-sanitizer cap so a broken invariant doesn't flood the report.
 MAX_FINDINGS_PER_SANITIZER = 20
@@ -47,6 +51,13 @@ DEFAULT_REGISTRY.register(Rule(
     id="SZ003", name="heap-leak", category="runtime", severity="error",
     description="No live events may remain queued after the run loop "
                 "drains, and cancelled-event accounting must balance.",
+))
+DEFAULT_REGISTRY.register(Rule(
+    id="SZ004", name="allocator-convergence", category="runtime",
+    severity="warning",
+    description="The max-min allocator hit a numerical-safety edge "
+                "(progressive filling stalled without freezing a flow); "
+                "allocated rates may be conservative.",
 ))
 
 
@@ -113,6 +124,30 @@ class LinkCapacitySanitizer:
                           load=load, capacity=capacity, time=ctx.time)
 
 
+class AllocatorWarningSanitizer:
+    """Hook surfacing the allocator's numerical-safety warnings.
+
+    :class:`~repro.network.flow.FlowNetwork` fires
+    :data:`~repro.network.flow.HOOK_FLOW_WARNING` when progressive filling
+    breaks out of its loop without converging (the branch that used to be
+    a silent ``break``).  Each warning becomes an SZ004 finding carrying
+    the allocator's own message and detail.
+    """
+
+    def __init__(self, report: Report):
+        self.report = report
+        self._fired = 0
+
+    def func(self, ctx: HookCtx) -> None:
+        if ctx.pos != HOOK_FLOW_WARNING:
+            return
+        if self._fired < MAX_FINDINGS_PER_SANITIZER:
+            self._fired += 1
+            _emit(self.report, "SZ004",
+                  f"{ctx.item} at t={ctx.time:g}",
+                  location="allocator", time=ctx.time, **ctx.detail)
+
+
 class HeapLeakSanitizer:
     """Post-run check for events stranded in (or leaked from) the heap."""
 
@@ -151,6 +186,7 @@ class SanitizerSuite:
         self.report = Report()
         self._time: Optional[TimeMonotonicSanitizer] = None
         self._capacity: Optional[LinkCapacitySanitizer] = None
+        self._allocator: Optional[AllocatorWarningSanitizer] = None
         self._attached = []
 
     def attach(self, engine: Optional[Engine] = None,
@@ -159,11 +195,15 @@ class SanitizerSuite:
             self._time = TimeMonotonicSanitizer(self.report)
             engine.accept_hook(self._time)
             self._attached.append((engine, self._time))
-        if isinstance(network, FlowNetwork) and \
-                self.registry.is_enabled("SZ002"):
-            self._capacity = LinkCapacitySanitizer(self.report)
-            network.accept_hook(self._capacity)
-            self._attached.append((network, self._capacity))
+        if isinstance(network, FlowNetwork):
+            if self.registry.is_enabled("SZ002"):
+                self._capacity = LinkCapacitySanitizer(self.report)
+                network.accept_hook(self._capacity)
+                self._attached.append((network, self._capacity))
+            if self.registry.is_enabled("SZ004"):
+                self._allocator = AllocatorWarningSanitizer(self.report)
+                network.accept_hook(self._allocator)
+                self._attached.append((network, self._allocator))
         return self
 
     def finalize(self, engine: Optional[Engine] = None) -> Report:

@@ -44,6 +44,8 @@ class Engine(Hookable):
         self._seq = 0
         self._dispatched = 0
         self._cancelled = 0
+        self._cancelled_total = 0
+        self._compactions = 0
         self._max_events = max_events
         self._paused = False
 
@@ -61,6 +63,21 @@ class Engine(Hookable):
     def pending_events(self) -> int:
         """Number of live (non-cancelled) events currently queued."""
         return len(self._queue) - self._cancelled
+
+    @property
+    def total_cancelled(self) -> int:
+        """Cumulative count of queued events that were cancelled.
+
+        Unlike the internal compaction counter this never resets during a
+        run — it is the churn metric the network fast path is measured
+        against (see ``benchmarks/bench_to_json.py``).
+        """
+        return self._cancelled_total
+
+    @property
+    def compactions(self) -> int:
+        """Number of heap rebuilds triggered by cancellation pressure."""
+        return self._compactions
 
     def schedule(self, event: Event) -> Event:
         """Queue *event*; its time must not precede the current time."""
@@ -85,6 +102,7 @@ class Engine(Hookable):
         accumulate dead entries.
         """
         self._cancelled += 1
+        self._cancelled_total += 1
         if self._cancelled * 2 > len(self._queue):
             self._compact()
 
@@ -98,6 +116,7 @@ class Engine(Hookable):
         self._queue = live
         heapq.heapify(self._queue)
         self._cancelled = 0
+        self._compactions += 1
 
     def call_at(self, time: float, callback: Callable[[Event], None], payload=None) -> Event:
         """Schedule *callback* to run at absolute virtual *time*."""
@@ -154,4 +173,6 @@ class Engine(Hookable):
         self._seq = 0
         self._dispatched = 0
         self._cancelled = 0
+        self._cancelled_total = 0
+        self._compactions = 0
         self._paused = False

@@ -14,7 +14,7 @@ Topology builders live in :mod:`repro.network.topology` (ring, switch,
 """
 
 from repro.network.base import NetworkModel, Transfer
-from repro.network.flow import FlowNetwork
+from repro.network.flow import FlowNetwork, RoutingError
 from repro.network.photonic import PhotonicNetwork
 from repro.network.topology import (
     build_topology,
@@ -35,6 +35,7 @@ __all__ = [
     "FlowNetwork",
     "NetworkModel",
     "PhotonicNetwork",
+    "RoutingError",
     "Transfer",
     "build_topology",
     "dgx_hypercube",

@@ -3,17 +3,33 @@
 A transfer is a *flow* holding its remaining bytes and current rate.  The
 model implements the paper's 4-step packet process (Figure 5):
 
-1. **Routing** — shortest path over the topology, cached per (src, dst).
+1. **Routing** — shortest path over the topology, cached per (src, dst)
+   pair; the reverse pair is filled in the same lookup (paths are
+   symmetric on our undirected topologies).
 2. **Bandwidth allocation** — max-min fair shares over directed link
-   capacities (progressive filling).
-3. **Progress update** — whenever any flow starts or completes, every
-   in-flight flow's remaining bytes are brought up to date and its delivery
-   event is cancelled and rescheduled under the new allocation.
+   capacities (progressive filling), solved *incrementally*: a link→flow
+   incidence index scopes each re-allocation to the contention component
+   touched by the flows that joined or left, so disjoint traffic keeps
+   its rates untouched.
+3. **Progress update** — flows whose rate actually changed have their
+   remaining bytes settled and their delivery event rescheduled; flows
+   whose rate is unchanged keep their existing heap entry (the
+   rate-stability fast path — no cancel storm).
 4. **Delivery** — at the delivery event, the callback fires and bandwidth
-   is re-allocated for the survivors.
+   is re-allocated for the component the flow leaves behind.
 
 Path latency is paid once, up front: a flow joins the bandwidth allocation
 after its route latency elapses.
+
+Incremental allocation is behavior-preserving by construction: max-min
+fairness decomposes over connected components of the flow/link sharing
+graph, every component is always solved as an isolated problem (even when
+the whole active set is re-solved), and the component solver's output
+depends only on the component's flow set, routes, and capacities — never
+on iteration order or on what the rest of the network is doing.  The
+original dense allocator is kept as :meth:`FlowNetwork._maxmin_rates_reference`
+and a differential property test pins the two against each other (see
+``tests/test_network_incremental.py`` and ``docs/network.md``).
 """
 
 from __future__ import annotations
@@ -30,12 +46,26 @@ from repro.network.base import Transfer
 
 _RATE_EPS = 1e-9
 
+#: Default allocation strategy for newly built networks: scoped component
+#: re-solves plus the rate-stability fast path.  Flip to ``False`` (or pass
+#: ``incremental=False``) to restore the legacy dense behavior — recompute
+#: every rate and reschedule every delivery on each flow start/finish —
+#: which the churn benchmarks use as their baseline.
+DEFAULT_INCREMENTAL = True
+
 #: Hook positions for observers.
 HOOK_FLOW_START = "flow_start"
 HOOK_FLOW_DELIVER = "flow_deliver"
-#: Fired after every bandwidth reallocation with the active flow list and
-#: the topology in the detail — the link-capacity sanitizer's feed.
+#: Fired after every bandwidth reallocation with the solved flow list and
+#: the topology in the detail — the link-capacity sanitizer's feed.  Under
+#: incremental allocation the list holds the re-solved contention
+#: component(s); component closure guarantees every user of every link
+#: those flows touch is present, so per-link rate sums stay complete.
 HOOK_FLOW_REALLOC = "flow_realloc"
+#: Fired when the allocator hits a numerical-safety edge (e.g. progressive
+#: filling failing to freeze any flow).  ``item`` is the warning message;
+#: the SZ004 sanitizer turns these into report findings.
+HOOK_FLOW_WARNING = "flow_warning"
 
 DirectedEdge = Tuple[str, str]
 
@@ -72,27 +102,59 @@ class FlowNetwork(Hookable):
         attributes (see :mod:`repro.network.topology`).  Links are full
         duplex: each undirected edge provides its bandwidth independently
         in both directions.
+    incremental:
+        ``True`` enables scoped reallocation and the rate-stability fast
+        path; ``False`` restores the legacy dense behavior (re-solve and
+        reschedule everything).  Defaults to :data:`DEFAULT_INCREMENTAL`.
+        The two knobs are also exposed separately as
+        :attr:`scoped_realloc` and :attr:`stable_rate_fastpath`.
     """
 
-    def __init__(self, engine: Engine, topology: nx.Graph):
+    def __init__(self, engine: Engine, topology: nx.Graph,
+                 incremental: Optional[bool] = None):
         super().__init__()
         self.engine = engine
         self.topology = topology
+        if incremental is None:
+            incremental = DEFAULT_INCREMENTAL
+        #: Solve only the contention component(s) the joined/left flows
+        #: touch instead of the whole active set.
+        self.scoped_realloc = bool(incremental)
+        #: Keep the existing delivery event when a flow's solved rate is
+        #: exactly unchanged instead of cancelling and rescheduling it.
+        self.stable_rate_fastpath = bool(incremental)
         self._route_cache: Dict[Tuple[str, str], List[DirectedEdge]] = {}
         # Keyed by transfer_id; dict preserves insertion order, keeping
-        # the max-min computation deterministic with O(1) removal.
+        # iteration deterministic with O(1) removal.
         self._active: Dict[int, _Flow] = {}
+        # Link -> ids of active flows crossing it (the incidence index
+        # scoped reallocation walks).
+        self._edge_users: Dict[DirectedEdge, Set[int]] = {}
+        # Links whose user set changed since the last reallocation; the
+        # seeds of the next contention-component walk.
+        self._dirty: Set[DirectedEdge] = set()
         self._ids = itertools.count()
         self._realloc_pending = False
         self.delivered_count = 0
         self.total_bytes_delivered = 0.0
         self.reallocations = 0
+        #: Delivery events actually cancelled + rescheduled (rate changed).
+        self.reschedules = 0
+        #: Flows whose solved rate was unchanged and kept their heap entry.
+        self.fastpath_hits = 0
+        #: Numerical-safety warnings emitted by the allocator.
+        self.allocator_warnings = 0
 
     # ------------------------------------------------------------------
     # Step 1: routing
     # ------------------------------------------------------------------
     def route(self, src: str, dst: str) -> List[DirectedEdge]:
         """Directed edge list of the cached shortest path src -> dst.
+
+        Computing a path also populates the reverse pair with the mirrored
+        edge list — paths are symmetric on our undirected topologies, so
+        collectives (which nearly always talk both ways across a pair) pay
+        for each route search once.
 
         Raises :class:`RoutingError` naming the pair when either endpoint
         is missing from the topology or no path connects them.
@@ -112,7 +174,11 @@ class FlowNetwork(Hookable):
                     f"no path from {src!r} to {dst!r}: the topology is "
                     "disconnected between them"
                 ) from exc
-            self._route_cache[key] = list(zip(path, path[1:]))
+            edges = list(zip(path, path[1:]))
+            self._route_cache[key] = edges
+            reverse = (dst, src)
+            if reverse not in self._route_cache:
+                self._route_cache[reverse] = [(v, u) for u, v in reversed(edges)]
         return self._route_cache[key]
 
     def path_latency(self, src: str, dst: str) -> float:
@@ -125,20 +191,23 @@ class FlowNetwork(Hookable):
     # ------------------------------------------------------------------
     def send(self, src: str, dst: str, nbytes: float,
              callback: Callable[[Transfer], None], tag: object = None) -> Transfer:
-        """Start a transfer; the callback fires at delivery."""
+        """Start a transfer; the callback fires at delivery.
+
+        Raises :class:`RoutingError` when either endpoint is unknown or
+        unreachable, :class:`ValueError` on negative sizes.
+        """
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
-        if src not in self.topology or dst not in self.topology:
-            raise KeyError(f"unknown endpoint in {src}->{dst}")
+        route = self.route(src, dst)  # validates both endpoints
         flow = _Flow(next(self._ids), src, dst, float(nbytes), callback, tag)
         flow.start_time = self.engine.now
         self.invoke_hooks(HookCtx(HOOK_FLOW_START, self.engine.now, flow))
-        if src == dst or nbytes == 0:
+        if not route or nbytes == 0:
             # Local move: no wire time; deliver via a zero-delay event so
             # callback ordering stays consistent with real transfers.
             self.engine.call_after(0.0, lambda _ev, f=flow: self._deliver(f))
             return flow
-        flow.route = self.route(src, dst)
+        flow.route = route
         latency = self.path_latency(src, dst)
         self.engine.call_after(latency, lambda _ev, f=flow: self._activate(f))
         return flow
@@ -156,6 +225,12 @@ class FlowNetwork(Hookable):
     def _activate(self, flow: _Flow) -> None:
         flow.last_update = self.engine.now
         self._active[flow.transfer_id] = flow
+        for edge in flow.route:
+            users = self._edge_users.get(edge)
+            if users is None:
+                users = self._edge_users[edge] = set()
+            users.add(flow.transfer_id)
+            self._dirty.add(edge)
         self._request_reallocate()
 
     def _request_reallocate(self) -> None:
@@ -176,51 +251,213 @@ class FlowNetwork(Hookable):
         self._realloc_pending = False
         self._reallocate()
 
-    def _settle_progress(self) -> None:
-        now = self.engine.now
-        for flow in self._active.values():
-            flow.remaining -= flow.rate * (now - flow.last_update)
-            flow.remaining = max(flow.remaining, 0.0)
-            flow.last_update = now
-
     def _reallocate(self) -> None:
-        """Recompute max-min fair rates and reschedule all deliveries."""
+        """Re-solve max-min rates for every contention component that
+        changed and reschedule only the deliveries whose rate moved."""
         self.reallocations += 1
-        self._settle_progress()
-        rates = self._maxmin_rates()
         now = self.engine.now
-        for flow in self._active.values():
-            flow.rate = rates[flow.transfer_id]
-            if flow.deliver_event is not None:
-                flow.deliver_event.cancel()
-                flow.deliver_event = None
-            if flow.rate > _RATE_EPS:
-                eta = flow.remaining / flow.rate
-                flow.deliver_event = self.engine.call_after(
-                    eta, lambda _ev, f=flow: self._deliver(f)
-                )
+        if self.scoped_realloc:
+            scope = self._dirty_scope()
+        else:
+            scope = list(self._active.values())
+        self._dirty.clear()
+        if not scope:
+            return
+        solved: List[_Flow] = []
+        for component in self._components(scope):
+            rates = self._maxmin_component(component)
+            for flow in component:
+                self._apply_rate(flow, rates[flow.transfer_id], now)
+            solved.extend(component)
         if self._hooks:
             self.invoke_hooks(HookCtx(
-                HOOK_FLOW_REALLOC, now, self._active_list(),
+                HOOK_FLOW_REALLOC, now, solved,
                 detail={"topology": self.topology},
             ))
 
-    def _maxmin_rates(self) -> Dict[int, float]:
-        """Progressive filling over directed link capacities."""
+    def _apply_rate(self, flow: _Flow, rate: float, now: float) -> None:
+        """Install a solved rate: settle progress and reschedule delivery,
+        unless the rate is exactly unchanged (the fast path — the existing
+        heap entry is already correct and stays put)."""
+        if (self.stable_rate_fastpath and rate == flow.rate
+                and flow.deliver_event is not None
+                and not flow.deliver_event.cancelled):
+            self.fastpath_hits += 1
+            return
+        flow.remaining -= flow.rate * (now - flow.last_update)
+        if flow.remaining < 0.0:
+            flow.remaining = 0.0
+        flow.last_update = now
+        flow.rate = rate
+        if flow.deliver_event is not None:
+            flow.deliver_event.cancel()
+            flow.deliver_event = None
+        if rate > _RATE_EPS:
+            self.reschedules += 1
+            flow.deliver_event = self.engine.call_after(
+                flow.remaining / rate, lambda _ev, f=flow: self._deliver(f)
+            )
+
+    # ------------------------------------------------------------------
+    # Contention components (the incidence-index walks)
+    # ------------------------------------------------------------------
+    def _dirty_scope(self) -> List[_Flow]:
+        """Active flows transitively sharing a link with any flow that
+        joined or left since the last solve (closure over the incidence
+        index).  Flows outside the closure provably keep their rates:
+        max-min fairness decomposes over link-sharing components."""
+        flows: Dict[int, _Flow] = {}
+        pending: List[_Flow] = []
+        for edge in self._dirty:
+            for fid in self._edge_users.get(edge, ()):
+                if fid not in flows:
+                    flow = self._active[fid]
+                    flows[fid] = flow
+                    pending.append(flow)
+        seen: Set[DirectedEdge] = set(self._dirty)
+        while pending:
+            flow = pending.pop()
+            for edge in flow.route:
+                if edge in seen:
+                    continue
+                seen.add(edge)
+                for fid in self._edge_users[edge]:
+                    if fid not in flows:
+                        other = self._active[fid]
+                        flows[fid] = other
+                        pending.append(other)
+        return list(flows.values())
+
+    def _components(self, scope: List[_Flow]) -> List[List[_Flow]]:
+        """Partition *scope* into connected components of the link-sharing
+        graph, each in ascending transfer-id order (deterministic, and
+        identical whether the scope came from a dirty walk or the full
+        active set — the bit-identity anchor for scoped reallocation)."""
+        order = sorted(scope, key=lambda f: f.transfer_id)
+        components: List[List[_Flow]] = []
+        visited: Set[int] = set()
+        for flow in order:
+            if flow.transfer_id in visited:
+                continue
+            ids: Set[int] = {flow.transfer_id}
+            stack: List[_Flow] = [flow]
+            seen: Set[DirectedEdge] = set()
+            while stack:
+                current = stack.pop()
+                for edge in current.route:
+                    if edge in seen:
+                        continue
+                    seen.add(edge)
+                    for fid in self._edge_users.get(edge, ()):
+                        if fid not in ids:
+                            ids.add(fid)
+                            stack.append(self._active[fid])
+            visited |= ids
+            components.append(sorted((self._active[fid] for fid in ids),
+                                     key=lambda f: f.transfer_id))
+        return components
+
+    # ------------------------------------------------------------------
+    # Max-min solvers
+    # ------------------------------------------------------------------
+    def _maxmin_component(self, flows: List[_Flow]) -> Dict[int, float]:
+        """Counter-based progressive filling over one contention component.
+
+        Per iteration: O(links) to find the bottleneck increment and update
+        residuals, plus O(route length) per newly frozen flow — the
+        per-edge live counters replace the reference solver's
+        O(links x flows) set intersections.  Output depends only on the
+        component's flow set, routes, and capacities, never on iteration
+        order, so re-solving an unchanged component reproduces its rates
+        bit-for-bit.
+        """
+        topology = self.topology
+        residual: Dict[DirectedEdge, float] = {}
+        users: Dict[DirectedEdge, List[int]] = {}
+        live: Dict[DirectedEdge, int] = {}
+        routes: Dict[int, List[DirectedEdge]] = {}
+        for flow in flows:
+            fid = flow.transfer_id
+            routes[fid] = flow.route
+            for edge in flow.route:
+                if edge not in residual:
+                    u, v = edge
+                    residual[edge] = topology[u][v]["bandwidth"]
+                    users[edge] = []
+                    live[edge] = 0
+                users[edge].append(fid)
+                live[edge] += 1
+        rates: Dict[int, float] = {fid: 0.0 for fid in routes}
+        frozen: Set[int] = set()
+        total = len(rates)
+        while len(frozen) < total:
+            # Smallest equal increment any loaded edge can still give.
+            delta = None
+            for edge, count in live.items():
+                if count:
+                    candidate = residual[edge] / count
+                    if delta is None or candidate < delta:
+                        delta = candidate
+            if delta is None:  # pragma: no cover - every flow loads an edge
+                self._warn_allocator(
+                    f"progressive filling found no loaded link with "
+                    f"{total - len(frozen)} flow(s) unfrozen",
+                    unfrozen=total - len(frozen),
+                )
+                break
+            saturated: List[DirectedEdge] = []
+            for edge, count in live.items():
+                if count:
+                    residual[edge] -= delta * count
+                    if residual[edge] <= _RATE_EPS * max(delta, 1.0):
+                        saturated.append(edge)
+            for fid in rates:
+                if fid not in frozen:
+                    rates[fid] += delta
+            newly: List[int] = []
+            for edge in saturated:
+                for fid in users[edge]:
+                    if fid not in frozen:
+                        frozen.add(fid)
+                        newly.append(fid)
+            if not newly:
+                # Numerical safety: an increment that saturates no edge
+                # would loop forever.  Surface it instead of silently
+                # breaking — SZ004 turns this into a report finding.
+                self._warn_allocator(
+                    f"progressive filling stalled: increment {delta!r} "
+                    f"saturated no link with {total - len(frozen)} flow(s) "
+                    "unfrozen",
+                    delta=delta, unfrozen=total - len(frozen),
+                )
+                break
+            for fid in newly:
+                for edge in routes[fid]:
+                    live[edge] -= 1
+        return rates
+
+    def _maxmin_rates_reference(self, flows: List[_Flow]) -> Dict[int, float]:
+        """The original dense allocator: one global progressive filling
+        over *flows* with per-iteration set intersections.
+
+        Kept verbatim as the differential-testing oracle — the property
+        test in ``tests/test_network_incremental.py`` checks the
+        per-component solver against it on randomized topologies and flow
+        sets.  Not used on the hot path.
+        """
         residual: Dict[DirectedEdge, float] = {}
         users: Dict[DirectedEdge, Set[int]] = {}
-        for flow in self._active.values():
+        for flow in flows:
             for edge in flow.route:
                 if edge not in residual:
                     u, v = edge
                     residual[edge] = self.topology[u][v]["bandwidth"]
                     users[edge] = set()
                 users[edge].add(flow.transfer_id)
-        rates = {flow.transfer_id: 0.0 for flow in self._active.values()}
+        rates = {flow.transfer_id: 0.0 for flow in flows}
         unfrozen = set(rates)
-        flow_routes = {f.transfer_id: f.route for f in self._active.values()}
+        flow_routes = {f.transfer_id: f.route for f in flows}
         while unfrozen:
-            # Smallest equal increment any loaded edge can still give.
             delta = None
             for edge, flow_ids in users.items():
                 live = len(flow_ids & unfrozen)
@@ -244,9 +481,18 @@ class FlowNetwork(Hookable):
                 if any(edge in saturated for edge in flow_routes[fid])
             }
             if not frozen:
-                break  # numerical safety; should not happen
+                break  # numerical safety; the live solver warns here
             unfrozen -= frozen
         return rates
+
+    def _warn_allocator(self, message: str, **detail) -> None:
+        """Surface an allocator numerical-safety edge through the hook
+        machinery (SZ004 picks these up) and count it."""
+        self.allocator_warnings += 1
+        if self._hooks:
+            self.invoke_hooks(HookCtx(
+                HOOK_FLOW_WARNING, self.engine.now, message, detail=detail,
+            ))
 
     # ------------------------------------------------------------------
     # Step 4: delivery
@@ -256,8 +502,17 @@ class FlowNetwork(Hookable):
         flow.deliver_event = None
         if flow.transfer_id in self._active:
             del self._active[flow.transfer_id]
+            for edge in flow.route:
+                users = self._edge_users.get(edge)
+                if users is not None:
+                    users.discard(flow.transfer_id)
+                    if not users:
+                        del self._edge_users[edge]
+                self._dirty.add(edge)
             if self._active:
                 self._request_reallocate()
+            else:
+                self._dirty.clear()
         self.delivered_count += 1
         self.total_bytes_delivered += flow.nbytes
         self.invoke_hooks(HookCtx(HOOK_FLOW_DELIVER, self.engine.now, flow))

@@ -8,6 +8,7 @@ import pytest
 
 from repro import SimulationConfig, Tracer, TrioSim, get_gpu, get_model
 from repro.analysis import (
+    AllocatorWarningSanitizer,
     AnalysisError,
     HeapLeakSanitizer,
     LinkCapacitySanitizer,
@@ -19,7 +20,12 @@ from repro.analysis import (
 from repro.core.taskgraph import TaskGraphSimulator
 from repro.engine.engine import Engine
 from repro.engine.hooks import HookCtx
-from repro.network.flow import HOOK_FLOW_REALLOC, FlowNetwork, RoutingError
+from repro.network.flow import (
+    HOOK_FLOW_REALLOC,
+    HOOK_FLOW_WARNING,
+    FlowNetwork,
+    RoutingError,
+)
 from repro.network.topology import build_topology
 from repro.service.runner import SweepRunner
 
@@ -119,6 +125,57 @@ class TestLinkCapacity:
         assert report.ok
 
 
+class TestAllocatorWarning:
+    def test_warning_hook_becomes_sz004_finding(self):
+        report = Report()
+        sanitizer = AllocatorWarningSanitizer(report)
+        sanitizer.func(HookCtx(HOOK_FLOW_WARNING, 2.5,
+                               "progressive filling stalled",
+                               detail={"flows": 3}))
+        assert report.rule_ids() == ["SZ004"]
+        finding = report.findings[0]
+        assert "progressive filling stalled" in finding.message
+        assert "t=2.5" in finding.message
+        assert finding.severity == "warning"
+        assert not report.has_errors  # warnings never fail a run
+
+    def test_ignores_other_positions(self):
+        report = Report()
+        sanitizer = AllocatorWarningSanitizer(report)
+        sanitizer.func(HookCtx(HOOK_FLOW_REALLOC, 0.0, []))
+        assert report.ok
+
+    def test_findings_capped(self):
+        from repro.analysis.sanitizers import MAX_FINDINGS_PER_SANITIZER
+
+        report = Report()
+        sanitizer = AllocatorWarningSanitizer(report)
+        for i in range(MAX_FINDINGS_PER_SANITIZER + 20):
+            sanitizer.func(HookCtx(HOOK_FLOW_WARNING, float(i), "stall"))
+        assert len(report.findings) == MAX_FINDINGS_PER_SANITIZER
+
+    def test_network_warning_reaches_attached_suite(self):
+        engine = Engine()
+        network = FlowNetwork(engine, build_topology("ring", 2, 1e9, 1e-6))
+        suite = SanitizerSuite().attach(engine=engine, network=network)
+        network._warn_allocator("synthetic stall", flows=1)
+        report = suite.finalize(engine)
+        assert "SZ004" in report.rule_ids()
+        assert network.allocator_warnings == 1
+
+    def test_sz004_can_be_disabled(self):
+        from repro.analysis import DEFAULT_REGISTRY
+
+        engine = Engine()
+        network = FlowNetwork(engine, build_topology("ring", 2, 1e9, 1e-6))
+        scoped = DEFAULT_REGISTRY.scoped(disable=["SZ004"])
+        suite = SanitizerSuite(registry=scoped).attach(engine=engine,
+                                                       network=network)
+        network._warn_allocator("synthetic stall")
+        report = suite.finalize(engine)
+        assert "SZ004" not in report.rule_ids()
+
+
 class TestHeapLeak:
     def test_clean_engine(self):
         engine = Engine()
@@ -142,7 +199,8 @@ class TestSanitizerSuite:
         network = FlowNetwork(engine, build_topology("ring", 2, 1e9, 1e-6))
         suite = SanitizerSuite().attach(engine=engine, network=network)
         assert len(engine._hooks) == 1
-        assert len(network._hooks) == 1
+        # Link-capacity (SZ002) and allocator-convergence (SZ004).
+        assert len(network._hooks) == 2
         engine.run()
         report = suite.finalize(engine)
         assert report.ok

@@ -247,3 +247,31 @@ def test_mass_cancellation_keeps_queue_bounded():
     assert eng.pending_events == 1
     assert len(eng._queue) < 10
     assert not keeper.cancelled
+
+
+def test_total_cancelled_accumulates_across_compactions():
+    eng = Engine()
+    for i in range(100):
+        eng.call_at(float(i + 1), lambda e: None).cancel()
+    # Compactions reset the *internal* dead-entry counter, but the churn
+    # metric keeps accumulating.
+    assert eng.compactions >= 1
+    assert eng.total_cancelled == 100
+
+
+def test_cancel_after_dispatch_not_counted_as_churn():
+    eng = Engine()
+    ev = eng.call_at(1.0, lambda e: None)
+    eng.run()
+    ev.cancel()
+    assert eng.total_cancelled == 0
+
+
+def test_reset_zeroes_churn_counters():
+    eng = Engine()
+    for i in range(50):
+        eng.call_at(float(i + 1), lambda e: None).cancel()
+    assert eng.total_cancelled == 50
+    eng.reset()
+    assert eng.total_cancelled == 0
+    assert eng.compactions == 0

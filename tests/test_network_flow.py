@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.engine.engine import Engine
-from repro.network.flow import FlowNetwork
+from repro.network.flow import FlowNetwork, RoutingError
 from repro.network.topology import mesh2d, ring, switch
 
 
@@ -57,8 +57,13 @@ class TestBasicTransfers:
 
     def test_unknown_endpoint_rejected(self):
         engine, net = _net(ring(2, bandwidth=1.0))
-        with pytest.raises(KeyError):
+        with pytest.raises(RoutingError):
             net.send("gpu0", "gpu9", 1.0, lambda t: None)
+
+    def test_unknown_endpoint_rejected_for_local_move(self):
+        engine, net = _net(ring(2, bandwidth=1.0))
+        with pytest.raises(RoutingError):
+            net.send("gpu9", "gpu9", 1.0, lambda t: None)
 
     def test_negative_bytes_rejected(self):
         engine, net = _net(ring(2, bandwidth=1.0))
@@ -146,6 +151,22 @@ class TestAccounting:
         route = net.route("gpu0", "gpu2")
         assert route == [("gpu0", "switch0"), ("switch0", "gpu2")]
         assert net.route("gpu0", "gpu2") is route  # cached
+
+    def test_route_populates_reverse_pair(self):
+        """One lookup fills both directions: the reverse route is the
+        mirrored edge list, served from cache without a second search."""
+        _engine, net = _net(switch(4, bandwidth=1.0))
+        net.route("gpu0", "gpu2")
+        assert ("gpu2", "gpu0") in net._route_cache
+        assert net.route("gpu2", "gpu0") == [
+            ("gpu2", "switch0"), ("switch0", "gpu0")
+        ]
+
+    def test_reverse_route_matches_fresh_search_on_ring(self):
+        _engine, net = _net(ring(6, bandwidth=1.0))
+        forward = net.route("gpu1", "gpu3")
+        reverse = net.route("gpu3", "gpu1")
+        assert reverse == [(v, u) for u, v in reversed(forward)]
 
     def test_transfer_records_times(self):
         engine, net = _net(ring(2, bandwidth=100.0, latency=0.0))
