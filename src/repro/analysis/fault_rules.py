@@ -1,0 +1,120 @@
+"""Static lint rules over fault specs (``FT``-series).
+
+All run in the ``config`` category on :class:`ConfigContext` — a fault
+spec only means something relative to the config that carries it (device
+names against ``num_gpus``, link names against the topology, failures
+against the checkpoint policy).  Every rule skips silently when the
+config carries no spec, so fault-free configs pay nothing.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.config_rules import ConfigContext
+from repro.analysis.registry import rule
+from repro.faults.spec import parse_link
+
+
+@rule("FT001", "fault-unknown-device", "config", "error",
+      description="Every GPU a fault targets (stragglers, failures) must "
+                  "be a simulated device.")
+def check_fault_devices(ctx: ConfigContext, emit) -> None:
+    spec = ctx.config.faults
+    if spec is None:
+        return
+    known = set(ctx.required_gpus)
+    if ctx.graph is not None:
+        known |= set(ctx.graph.nodes)
+    for straggler in spec.stragglers:
+        if straggler.gpu not in known:
+            emit(f"straggler targets unknown GPU {straggler.gpu!r} "
+                 f"(simulating {ctx.config.num_gpus} GPUs)",
+                 location=f"stragglers[{straggler.gpu}]", gpu=straggler.gpu)
+    for failure in spec.failures:
+        if "-" in failure.device:
+            continue  # a link failure; FT002's jurisdiction
+        if failure.device not in known:
+            emit(f"failure targets unknown device {failure.device!r}",
+                 location=f"failures[{failure.device}]",
+                 device=failure.device)
+
+
+@rule("FT002", "fault-unknown-link", "config", "error",
+      description="Every link a fault degrades or fails must be an edge "
+                  "of the topology.")
+def check_fault_links(ctx: ConfigContext, emit) -> None:
+    spec = ctx.config.faults
+    if spec is None or ctx.graph is None:
+        return
+    names = [f.link for f in spec.link_faults]
+    names += [f.device for f in spec.failures if "-" in f.device]
+    for name in names:
+        try:
+            u, v = parse_link(name)
+        except ValueError:
+            emit(f"malformed link name {name!r} (expected 'u-v')",
+                 location=f"links[{name}]", link=name)
+            continue
+        if not ctx.graph.has_edge(u, v):
+            emit(f"link {name!r} is not an edge of the topology",
+                 location=f"links[{name}]", link=name)
+
+
+@rule("FT003", "fault-noop-window", "config", "warning",
+      description="A straggler factor <= 1 or a link-degradation factor "
+                  ">= 1 does not degrade anything — probably an inverted "
+                  "multiplier.")
+def check_fault_noop(ctx: ConfigContext, emit) -> None:
+    spec = ctx.config.faults
+    if spec is None:
+        return
+    for straggler in spec.stragglers:
+        if straggler.factor <= 1.0:
+            emit(f"straggler on {straggler.gpu} has factor "
+                 f"{straggler.factor:g} (<= 1 speeds it up or is a no-op)",
+                 location=f"stragglers[{straggler.gpu}]",
+                 factor=straggler.factor)
+    for fault in spec.link_faults:
+        if fault.factor >= 1.0:
+            emit(f"link fault on {fault.link} has factor {fault.factor:g} "
+                 "(>= 1 improves the link or is a no-op)",
+                 location=f"link_faults[{fault.link}]", factor=fault.factor)
+
+
+@rule("FT004", "fault-unprotected-failure", "config", "warning",
+      description="Failures without a checkpoint_interval replay the "
+                  "whole run so far on every failure (restart from t=0).")
+def check_unprotected_failures(ctx: ConfigContext, emit) -> None:
+    spec = ctx.config.faults
+    if spec is None:
+        return
+    if spec.failures and spec.checkpoint_interval is None:
+        emit(f"{len(spec.failures)} failure(s) scheduled with no "
+             "checkpoint_interval: every failure restarts from t=0",
+             location="checkpoint_interval", failures=len(spec.failures))
+
+
+@rule("FT005", "fault-checkpoint-overhead", "config", "warning",
+      description="A checkpoint_cost at or above checkpoint_interval "
+                  "means the job spends >= 50% of its time checkpointing.")
+def check_checkpoint_overhead(ctx: ConfigContext, emit) -> None:
+    spec = ctx.config.faults
+    if spec is None or spec.checkpoint_interval is None:
+        return
+    if spec.checkpoint_cost >= spec.checkpoint_interval:
+        emit(f"checkpoint_cost {spec.checkpoint_cost:g}s >= "
+             f"checkpoint_interval {spec.checkpoint_interval:g}s",
+             location="checkpoint_cost", cost=spec.checkpoint_cost,
+             interval=spec.checkpoint_interval)
+
+
+@rule("FT006", "fault-chaos-kill", "config", "warning",
+      description="The spec contains chaos_kill_at: the simulating "
+                  "process will SIGKILL itself (only sweep workers may "
+                  "run it).")
+def check_chaos_kill(ctx: ConfigContext, emit) -> None:
+    spec = ctx.config.faults
+    if spec is None or spec.chaos_kill_at is None:
+        return
+    emit(f"chaos_kill_at={spec.chaos_kill_at:g}: the process simulating "
+         "this point will SIGKILL itself at that virtual time",
+         location="chaos_kill_at", time=spec.chaos_kill_at)

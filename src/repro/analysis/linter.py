@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING, Optional, Tuple, Union
 import networkx as nx
 
 # Importing the rule modules registers their rules as a side effect.
-from repro.analysis import config_rules, taskgraph_rules, trace_rules  # noqa: F401
+from repro.analysis import config_rules, fault_rules, taskgraph_rules, trace_rules  # noqa: F401
 from repro.analysis import sanitizers  # noqa: F401
 from repro.analysis.config_rules import ConfigContext
 from repro.analysis.findings import Finding, Report

@@ -59,6 +59,13 @@ DEFAULT_REGISTRY.register(Rule(
                 "(progressive filling stalled without freezing a flow); "
                 "allocated rates may be conservative.",
 ))
+DEFAULT_REGISTRY.register(Rule(
+    id="SZ005", name="fault-restart-consistency", category="runtime",
+    severity="error",
+    description="After a faulted run, transient link degradations must be "
+                "restored, no flow may be stranded, every task must have "
+                "finished, and stall accounting must be non-negative.",
+))
 
 
 def _emit(report: Report, rule_id: str, message: str, location: str = "",
@@ -169,6 +176,35 @@ class HeapLeakSanitizer:
                   cancelled=engine._cancelled, queued=len(engine._queue))
 
 
+class RestartConsistencySanitizer:
+    """Post-run check that fault injection left a consistent simulation.
+
+    A checkpoint-restart cycle that strands a flow, leaves a link
+    degraded past its last fault window, or double-counts stall time
+    silently skews time-to-train; this turns each of those into an SZ005
+    finding.  Runs only when a fault injector was attached.
+    """
+
+    def __init__(self, report: Report):
+        self.report = report
+
+    def check(self, injector, sim=None, network=None) -> None:
+        for message in injector.consistency_errors():
+            _emit(self.report, "SZ005", message, location="injector")
+        if sim is not None and sim.unfinished_tasks:
+            _emit(self.report, "SZ005",
+                  f"{sim.unfinished_tasks} task(s) never finished after "
+                  "fault recovery", location="taskgraph",
+                  unfinished=sim.unfinished_tasks)
+        if network is not None:
+            active = getattr(network, "active_flows", 0)
+            if active:
+                _emit(self.report, "SZ005",
+                      f"{active} flow(s) still active after the run — a "
+                      "stall or restart stranded them", location="network",
+                      active=active)
+
+
 class SanitizerSuite:
     """All runtime sanitizers behind one attach/finalize pair.
 
@@ -187,10 +223,16 @@ class SanitizerSuite:
         self._time: Optional[TimeMonotonicSanitizer] = None
         self._capacity: Optional[LinkCapacitySanitizer] = None
         self._allocator: Optional[AllocatorWarningSanitizer] = None
+        self._injector = None
+        self._sim = None
+        self._network = None
         self._attached = []
 
     def attach(self, engine: Optional[Engine] = None,
-               network=None) -> "SanitizerSuite":
+               network=None, injector=None, sim=None) -> "SanitizerSuite":
+        self._injector = injector
+        self._sim = sim
+        self._network = network
         if engine is not None and self.registry.is_enabled("SZ001"):
             self._time = TimeMonotonicSanitizer(self.report)
             engine.accept_hook(self._time)
@@ -210,6 +252,9 @@ class SanitizerSuite:
         """Run post-run checks and detach every hook; returns the report."""
         if engine is not None and self.registry.is_enabled("SZ003"):
             HeapLeakSanitizer(self.report).check(engine)
+        if self._injector is not None and self.registry.is_enabled("SZ005"):
+            RestartConsistencySanitizer(self.report).check(
+                self._injector, sim=self._sim, network=self._network)
         for hookable, hook in self._attached:
             try:
                 hookable.remove_hook(hook)

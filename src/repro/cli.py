@@ -34,7 +34,8 @@ from repro.workloads.registry import MODEL_NAMES, get_model
 
 _EXPERIMENTS = (
     "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12",
-    "fig13", "fig14", "fig15", "fig16", "table1", "sensitivity", "all",
+    "fig13", "fig14", "fig15", "fig16", "table1", "sensitivity",
+    "resilience", "all",
 )
 
 
@@ -93,6 +94,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="pre-run task-graph analysis + runtime "
                                  "sanitizers (time monotonicity, link "
                                  "capacity, event-heap leaks)")
+    simulate_p.add_argument("--faults", default=None, metavar="SPEC",
+                            help="fault spec JSON (stragglers, link "
+                                 "degradation, failures + checkpoint-"
+                                 "restart); see docs/faults.md")
 
     sweep_p = sub.add_parser(
         "sweep", help="run a declarative config sweep (parallel + cached)"
@@ -168,6 +173,10 @@ def _cmd_trace(args) -> int:
 def _cmd_simulate(args) -> int:
     trace = Trace.load(args.trace)
     config = SimulationConfig.from_cli_args(args)
+    if args.faults:
+        from repro.faults import FaultSpec
+
+        config.faults = FaultSpec.load(args.faults)
     wants_timeline = args.timeline is not None or args.report is not None
     sim = TrioSim(trace, config, record_timeline=wants_timeline,
                   sanitize=args.sanitize)
@@ -185,6 +194,15 @@ def _cmd_simulate(args) -> int:
     else:
         result = sim.run()
     print(result.summary())
+    if sim.fault_stats is not None:
+        s = sim.fault_stats
+        print(
+            f"faults: {s['straggled_tasks']} straggled tasks, "
+            f"{s['link_transitions']} link transitions, "
+            f"{s['failures_recovered']} failures recovered, "
+            f"{s['checkpoints_taken']} checkpoints, "
+            f"{s['total_stall_time'] * 1e3:.2f} ms stalled"
+        )
     if args.save_result:
         from pathlib import Path
 

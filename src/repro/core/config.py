@@ -15,6 +15,7 @@ from typing import Callable, Optional, Union
 
 import networkx as nx
 
+from repro.faults.spec import FaultSpec
 from repro.gpus.specs import Platform
 
 PARALLELISMS = ("single", "dp", "ddp", "tp", "pp", "hybrid", "fsdp")
@@ -95,6 +96,12 @@ class SimulationConfig:
         Model the CPU -> GPU input-batch copy each iteration over a host
         link of the given achieved bandwidth (off by default; data
         loaders usually prefetch).
+    faults:
+        Optional :class:`~repro.faults.spec.FaultSpec` — a deterministic
+        schedule of stragglers, link degradations, and fail-stop failures
+        injected into the run (see ``docs/faults.md``).  ``None`` (or an
+        empty spec) leaves the simulation bit-identical to a fault-free
+        build.
     """
 
     parallelism: str = "ddp"
@@ -119,8 +126,11 @@ class SimulationConfig:
     include_host_transfers: bool = False
     host_bandwidth: float = 12e9
     host_latency: float = 5e-6
+    faults: Optional[FaultSpec] = None
 
     def __post_init__(self):
+        if isinstance(self.faults, dict):
+            self.faults = FaultSpec.from_dict(self.faults)
         if self.parallelism not in PARALLELISMS:
             raise ValueError(
                 f"unknown parallelism {self.parallelism!r}; known: {PARALLELISMS}"
@@ -209,6 +219,8 @@ class SimulationConfig:
             value = getattr(self, f.name)
             if f.name == "network_factory":
                 continue
+            if f.name == "faults" and value is not None:
+                value = value.to_dict()
             if f.name == "topology" and isinstance(value, nx.Graph):
                 value = {
                     "__graph__": {

@@ -68,18 +68,28 @@ class TrioSim:
         dependency cycles or bad transfer endpoints) and run the runtime
         sanitizers during the simulation; findings land in
         :attr:`sanitizer_report`.
+    allow_chaos:
+        Permit a ``chaos_kill_at`` in ``config.faults`` to arm (the
+        process then SIGKILLs itself mid-run).  Only the sweep service's
+        sacrificial worker processes pass ``True``; everywhere else such
+        a spec raises :class:`repro.faults.ChaosError`.
     """
 
     def __init__(self, trace: Trace, config: SimulationConfig,
                  record_timeline: bool = True, hooks=(), op_time=None,
-                 sanitize: bool = False):
+                 sanitize: bool = False, allow_chaos: bool = False):
         self.config = config
         self.record_timeline = record_timeline
         self.hooks = tuple(hooks)
         self.sanitize = sanitize
+        self.allow_chaos = allow_chaos
         #: Runtime sanitizer findings of the last :meth:`run` (a
         #: :class:`repro.analysis.Report`), or ``None`` when off.
         self.sanitizer_report = None
+        #: Injection counters of the last :meth:`run` (see
+        #: :meth:`repro.faults.FaultInjector.stats`), or ``None`` when the
+        #: config carries no (non-empty) fault spec.
+        self.fault_stats = None
         self.trace = self._prepare_trace(trace)
         if op_time is not None and op_time.trace is not self.trace:
             raise ValueError(
@@ -203,6 +213,13 @@ class TrioSim:
             if iteration > 0:
                 sim.fence(f"iteration{iteration}")
             extrapolator.build(sim)
+        injector = None
+        faults = self.config.faults
+        if faults is not None and not faults.is_empty:
+            from repro.faults import FaultInjector
+
+            injector = FaultInjector(engine, sim, network, faults,
+                                     allow_chaos=self.allow_chaos).install()
         suite = None
         if self.sanitize:
             from repro.analysis import AnalysisError, SanitizerSuite, lint_taskgraph
@@ -210,8 +227,11 @@ class TrioSim:
             pre = lint_taskgraph(sim, topology=getattr(network, "topology", None))
             if pre.has_errors:
                 raise AnalysisError(pre, "task graph failed pre-run analysis")
-            suite = SanitizerSuite().attach(engine=engine, network=network)
+            suite = SanitizerSuite().attach(engine=engine, network=network,
+                                            injector=injector, sim=sim)
         total = sim.run()
+        if injector is not None:
+            self.fault_stats = injector.stats()
         if suite is not None:
             self.sanitizer_report = suite.finalize(engine)
         iteration_times = []

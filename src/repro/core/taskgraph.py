@@ -21,7 +21,7 @@ from __future__ import annotations
 import itertools
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.engine.engine import Engine
 from repro.engine.hooks import HookCtx, Hookable
@@ -88,6 +88,10 @@ class TaskGraphSimulator(Hookable):
         #: Per-GPU compute-duration multipliers (>= 1 slows a device) —
         #: heterogeneous/straggler systems without touching extrapolators.
         self.compute_scale: Dict[str, float] = {}
+        #: Optional ``(gpu, now) -> multiplier`` consulted at dispatch time
+        #: — transient stragglers whose factor depends on *when* a task
+        #: runs, not just where.  ``None`` (the default) costs one check.
+        self.runtime_compute_scale: Optional[Callable[[str, float], float]] = None
         self.comm_task_time = 0.0
         self.comm_bytes = 0.0
 
@@ -200,7 +204,10 @@ class TaskGraphSimulator(Hookable):
         queue.running = task
         task.start_time = self.engine.now
         self.invoke_hooks(HookCtx(HOOK_TASK_START, self.engine.now, task))
-        self.engine.call_after(task.duration, lambda _ev, tk=task: self._finish(tk))
+        duration = task.duration
+        if self.runtime_compute_scale is not None:
+            duration *= self.runtime_compute_scale(gpu, self.engine.now)
+        self.engine.call_after(duration, lambda _ev, tk=task: self._finish(tk))
 
     def _finish(self, task: SimTask) -> None:
         task.end_time = self.engine.now
@@ -224,6 +231,11 @@ class TaskGraphSimulator(Hookable):
     # ------------------------------------------------------------------
     def gpu_busy_time(self, gpu: str) -> float:
         return self._gpus[gpu].busy_time
+
+    @property
+    def unfinished_tasks(self) -> int:
+        """Tasks not yet finished (drains to 0 as the run completes)."""
+        return self._unfinished
 
     @property
     def gpus_seen(self) -> List[str]:

@@ -128,6 +128,38 @@ class Engine(Hookable):
             raise ValueError(f"delay must be non-negative, got {delay}")
         return self.call_at(self._now + delay, callback, payload)
 
+    def defer_pending(self, delay: float, exclude: Tuple[Event, ...] = ()) -> int:
+        """Push every queued live event *delay* seconds into the future.
+
+        This is the primitive behind global stalls (checkpoint pauses,
+        failure rollback-and-replay): the relative order of all pending
+        work is preserved exactly — each live entry moves from ``time`` to
+        ``time + delay`` with its sequence number intact — so the deferred
+        schedule replays identically, just later.  Events in *exclude*
+        (e.g. the fault injector's own absolute-time injections) keep
+        their original times.
+
+        Returns the number of events deferred.
+        """
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        if delay == 0 or not self._queue:
+            return 0
+        skip = set(map(id, exclude))
+        deferred = 0
+        shifted = []
+        for time, seq, event in self._queue:
+            if not event.cancelled and id(event) not in skip:
+                time += delay
+                event.time = time
+                deferred += 1
+            shifted.append((time, seq, event))
+        self._queue = shifted
+        # A uniform shift preserves heap order, but exclusions may not.
+        if skip:
+            heapq.heapify(self._queue)
+        return deferred
+
     def run(self, until: Optional[float] = None) -> float:
         """Dispatch events in time order.
 

@@ -1,0 +1,133 @@
+"""Resilience figure: time-to-train under faults, DDP on ring vs switch.
+
+Not a paper artifact — TrioSim models healthy clusters — but the natural
+next axis at the scales the ROADMAP targets, where stragglers, flapping
+links, and GPU failures dominate real time-to-train.  Two sweeps, each
+run on a ring and on a switch topology:
+
+* **MTBF axis** — fail-stop GPU failures at decreasing mean time between
+  failures, protected by periodic checkpoint-restart.  Reported value is
+  the faulted time-to-train; ``detail`` carries the slowdown over the
+  fault-free baseline.
+* **Straggler axis** — transient per-GPU slowdown windows of increasing
+  severity.  A straggler under synchronous DDP drags every AllReduce it
+  participates in, whatever the wiring.
+* **Link-flap axis** — one topology link repeatedly degrades to a
+  fraction of its capacity.  This is the axis where wiring could matter:
+  a ring link versus a leaf uplink of a switch.
+
+Fault schedules come from :meth:`FaultSpec.sample` with a fixed seed, so
+the figure is deterministic run to run.  The horizon is taken from the
+fault-free baseline of each topology (faults injected after the run
+drains would be no-ops).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.config import SimulationConfig
+from repro.experiments.harness import ExperimentResult, Row, predict, trace_for
+from repro.faults.spec import FaultSpec
+from repro.network.topology import build_topology, link_names
+
+MODEL = "resnet50"
+GPU = "A100"
+NUM_GPUS = 8
+TOPOLOGIES = ("ring", "switch")
+#: Low enough that AllReduce is a visible share of the step, so link
+#: faults move the figure instead of hiding behind compute.
+LINK_BANDWIDTH = 12.5e9
+SEED = 7
+
+#: MTBF as a fraction of the fault-free time-to-train (lower = harsher).
+MTBF_FRACTIONS = (2.0, 0.5, 0.2)
+#: Straggler slowdown factors (1 straggler window open ~half the run).
+SEVERITIES = (1.5, 3.0, 6.0)
+#: Residual capacity fractions for the flapping link.
+FLAP_FACTORS = (0.5, 0.1)
+#: Checkpoint policy, as fractions of the fault-free time-to-train.
+CHECKPOINT_INTERVAL_FRACTION = 0.1
+CHECKPOINT_COST_FRACTION = 0.01
+RESTORE_COST_FRACTION = 0.02
+#: Fault arrivals can land past the healthy finish time once stalls pile
+#: up; sample over a stretched horizon so late reruns still see faults.
+HORIZON_MARGIN = 4.0
+
+
+def _config(topology: str, faults: Optional[FaultSpec] = None,
+            iterations: int = 1) -> SimulationConfig:
+    return SimulationConfig(
+        parallelism="ddp", num_gpus=NUM_GPUS, topology=topology,
+        link_bandwidth=LINK_BANDWIDTH, iterations=iterations, faults=faults,
+    )
+
+
+def run(models: Optional[List[str]] = None, quick: bool = False,
+        runs: int = 1) -> ExperimentResult:
+    """Time-to-train vs MTBF and straggler severity, ring vs switch."""
+    del models, runs  # single-workload figure; kept for CLI uniformity
+    iterations = 2 if quick else 4
+    result = ExperimentResult(
+        "resilience",
+        "Time-to-train under failures and stragglers (DDP, "
+        f"{NUM_GPUS}x{GPU}, {MODEL})",
+        notes="value = faulted time-to-train; slowdown vs the fault-free "
+              "baseline in detail",
+    )
+    trace = trace_for(MODEL, GPU)
+    for topology in TOPOLOGIES:
+        baseline = predict(trace, _config(topology, iterations=iterations))
+        base_time = baseline.total_time
+        result.add(Row(
+            label=f"{topology}/baseline", measured=None, predicted=base_time,
+            detail={"slowdown": 1.0},
+        ))
+        horizon = base_time * HORIZON_MARGIN
+        for fraction in MTBF_FRACTIONS:
+            spec = FaultSpec.sample(
+                seed=SEED, horizon=horizon, num_gpus=NUM_GPUS,
+                mtbf=base_time * fraction,
+                checkpoint_interval=base_time * CHECKPOINT_INTERVAL_FRACTION,
+                checkpoint_cost=base_time * CHECKPOINT_COST_FRACTION,
+                restore_cost=base_time * RESTORE_COST_FRACTION,
+            )
+            faulted = predict(
+                trace, _config(topology, faults=spec, iterations=iterations))
+            result.add(Row(
+                label=f"{topology}/mtbf={fraction:g}x", measured=None,
+                predicted=faulted.total_time,
+                detail={"slowdown": faulted.total_time / base_time,
+                        "failures": float(len(spec.failures))},
+            ))
+        for severity in SEVERITIES:
+            spec = FaultSpec.sample(
+                seed=SEED, horizon=horizon, num_gpus=NUM_GPUS,
+                straggler_rate=2.0 / base_time,
+                straggler_severity=severity,
+                straggler_duration=base_time / 4.0,
+            )
+            faulted = predict(
+                trace, _config(topology, faults=spec, iterations=iterations))
+            result.add(Row(
+                label=f"{topology}/straggler={severity:g}x", measured=None,
+                predicted=faulted.total_time,
+                detail={"slowdown": faulted.total_time / base_time,
+                        "windows": float(len(spec.stragglers))},
+            ))
+        links = link_names(build_topology(topology, NUM_GPUS, LINK_BANDWIDTH))
+        for factor in FLAP_FACTORS:
+            spec = FaultSpec.sample(
+                seed=SEED, horizon=horizon, num_gpus=NUM_GPUS,
+                link_flap_rate=4.0 / base_time, link_flap_factor=factor,
+                link_flap_duration=base_time / 8.0, links=links[:1],
+            )
+            faulted = predict(
+                trace, _config(topology, faults=spec, iterations=iterations))
+            result.add(Row(
+                label=f"{topology}/flap={factor:g}x", measured=None,
+                predicted=faulted.total_time,
+                detail={"slowdown": faulted.total_time / base_time,
+                        "link": 1.0, "flaps": float(len(spec.link_faults))},
+            ))
+    return result

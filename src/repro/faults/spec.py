@@ -1,0 +1,334 @@
+"""Serializable fault schedules (the ``FaultSpec`` data model).
+
+A :class:`FaultSpec` is plain data: an explicit list of injections, each
+pinned to an absolute virtual (cluster wall-clock) time.  It travels
+inside :class:`~repro.core.config.SimulationConfig` — it is part of
+``to_dict``/``from_dict`` and therefore of every sweep cache key — so a
+faulted point can cross process boundaries and be cache-replayed exactly
+like a healthy one.
+
+Three fault classes are modelled (plus one chaos knob):
+
+* :class:`Straggler` — a per-GPU transient compute slowdown: compute
+  tasks *dispatched* on the GPU while the window is open take
+  ``factor``× their healthy duration.
+* :class:`LinkFault` — a transient capacity degradation of one topology
+  link: for the window's duration the link's bandwidth is multiplied by
+  ``factor`` (overlapping faults on the same link compose
+  multiplicatively).  Routes never change — a degraded link slows its
+  flows, it does not divert them.
+* :class:`DeviceFailure` — a fail-stop GPU (or link) failure under
+  synchronous training: the whole cluster loses the work done since the
+  last checkpoint and stalls for ``lost + restore_cost`` seconds before
+  resuming.  Because the simulated schedule is deterministic, replaying
+  the lost interval reproduces it bit-for-bit, so rollback-and-replay is
+  simulated as a global stall of exactly that length.
+* ``chaos_kill_at`` — not a *simulated* fault at all: at the given
+  virtual time the simulating **process** SIGKILLs itself.  This is the
+  crash-injection knob the sweep service's resilience tests use; it only
+  arms inside sacrificial worker processes.
+
+Randomized schedules come from :meth:`FaultSpec.sample`, which expands an
+``(seed, MTBF, straggler rate, ...)`` description into explicit event
+times with :class:`random.Random` — sampling happens once, at spec build
+time, so the same seed always yields the same (serialized) schedule and
+every execution mode replays it identically.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence, Tuple, Union
+
+#: Bumped whenever the meaning of a serialized fault spec changes; part
+#: of the spec's dict form (and so of every config cache key).
+FAULT_SCHEMA_VERSION = 1
+
+
+def parse_link(spec: str) -> Tuple[str, str]:
+    """Split a ``"u-v"`` link name into its endpoints.
+
+    Device names never contain ``-`` (``gpu3``, ``switch0``, ``nsw1``,
+    ``leaf2``, ``root``, ``host``), so a single partition is unambiguous.
+    """
+    u, sep, v = spec.partition("-")
+    if not sep or not u or not v:
+        raise ValueError(
+            f"link {spec!r} must name two devices as 'u-v' (e.g. 'gpu0-gpu1')"
+        )
+    return u, v
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """One transient per-GPU compute slowdown window."""
+
+    gpu: str
+    start: float
+    duration: float
+    factor: float
+
+    def __post_init__(self):
+        if self.start < 0:
+            raise ValueError(f"straggler on {self.gpu}: start must be >= 0")
+        if self.duration <= 0:
+            raise ValueError(f"straggler on {self.gpu}: duration must be > 0")
+        if self.factor <= 0:
+            raise ValueError(f"straggler on {self.gpu}: factor must be > 0")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def to_dict(self) -> dict:
+        return {"gpu": self.gpu, "start": self.start,
+                "duration": self.duration, "factor": self.factor}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Straggler":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """One transient link-capacity degradation window."""
+
+    link: str          # "u-v", e.g. "gpu0-gpu1"
+    start: float
+    duration: float
+    factor: float      # capacity multiplier while the window is open
+
+    def __post_init__(self):
+        parse_link(self.link)  # validates the shape
+        if self.start < 0:
+            raise ValueError(f"link fault on {self.link}: start must be >= 0")
+        if self.duration <= 0:
+            raise ValueError(f"link fault on {self.link}: duration must be > 0")
+        if self.factor <= 0:
+            raise ValueError(
+                f"link fault on {self.link}: factor must be > 0 (links fail "
+                "by degrading, not by disappearing — routes are static)"
+            )
+
+    @property
+    def endpoints(self) -> Tuple[str, str]:
+        return parse_link(self.link)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def to_dict(self) -> dict:
+        return {"link": self.link, "start": self.start,
+                "duration": self.duration, "factor": self.factor}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LinkFault":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class DeviceFailure:
+    """One fail-stop failure of a GPU (or a link, named ``"u-v"``)."""
+
+    device: str
+    time: float
+
+    def __post_init__(self):
+        if self.time < 0:
+            raise ValueError(f"failure of {self.device}: time must be >= 0")
+
+    def to_dict(self) -> dict:
+        return {"device": self.device, "time": self.time}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DeviceFailure":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A deterministic, serializable schedule of fault injections.
+
+    Attributes
+    ----------
+    seed:
+        The seed the schedule was sampled from (informational once the
+        schedule is explicit; kept so cache keys distinguish re-samples).
+    stragglers / link_faults / failures:
+        Explicit injection lists (see the class docstrings above).
+    checkpoint_interval:
+        Take a cluster-wide checkpoint every this many seconds of
+        *productive* virtual time; each checkpoint stalls the cluster for
+        ``checkpoint_cost`` seconds.  ``None`` disables checkpointing —
+        a failure then restarts from t=0.
+    checkpoint_cost / restore_cost:
+        Stall added per checkpoint taken / per failure recovered.
+    chaos_kill_at:
+        Virtual time at which the simulating *process* SIGKILLs itself
+        (sweep-service crash testing; refused outside worker processes).
+    """
+
+    seed: int = 0
+    stragglers: Tuple[Straggler, ...] = ()
+    link_faults: Tuple[LinkFault, ...] = ()
+    failures: Tuple[DeviceFailure, ...] = ()
+    checkpoint_interval: Optional[float] = None
+    checkpoint_cost: float = 0.0
+    restore_cost: float = 0.0
+    chaos_kill_at: Optional[float] = field(default=None)
+
+    def __post_init__(self):
+        # Accept plain dicts/lists (the JSON form) and normalize to the
+        # frozen tuple-of-dataclasses form so equality and hashing work.
+        object.__setattr__(self, "stragglers", tuple(
+            s if isinstance(s, Straggler) else Straggler.from_dict(s)
+            for s in self.stragglers
+        ))
+        object.__setattr__(self, "link_faults", tuple(
+            f if isinstance(f, LinkFault) else LinkFault.from_dict(f)
+            for f in self.link_faults
+        ))
+        object.__setattr__(self, "failures", tuple(
+            f if isinstance(f, DeviceFailure) else DeviceFailure.from_dict(f)
+            for f in self.failures
+        ))
+        if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
+            raise ValueError("checkpoint_interval must be positive (or None)")
+        if self.checkpoint_cost < 0:
+            raise ValueError("checkpoint_cost must be non-negative")
+        if self.restore_cost < 0:
+            raise ValueError("restore_cost must be non-negative")
+        if self.chaos_kill_at is not None and self.chaos_kill_at < 0:
+            raise ValueError("chaos_kill_at must be non-negative (or None)")
+
+    # ------------------------------------------------------------------
+    # Emptiness (the zero-cost-by-default gate)
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        """True when this spec perturbs nothing: the simulator then skips
+        the injector entirely and the run is bit-identical to no spec."""
+        return (
+            not self.stragglers
+            and not self.link_faults
+            and not self.failures
+            and self.chaos_kill_at is None
+            and (self.checkpoint_interval is None or self.checkpoint_cost == 0.0)
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization (the process-boundary / cache-key format)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": FAULT_SCHEMA_VERSION,
+            "seed": self.seed,
+            "stragglers": [s.to_dict() for s in self.stragglers],
+            "link_faults": [f.to_dict() for f in self.link_faults],
+            "failures": [f.to_dict() for f in self.failures],
+            "checkpoint_interval": self.checkpoint_interval,
+            "checkpoint_cost": self.checkpoint_cost,
+            "restore_cost": self.restore_cost,
+            "chaos_kill_at": self.chaos_kill_at,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        data = dict(data)
+        version = data.pop("schema_version", FAULT_SCHEMA_VERSION)
+        if version != FAULT_SCHEMA_VERSION:
+            raise ValueError(f"unsupported fault spec schema version {version}")
+        known = {"seed", "stragglers", "link_faults", "failures",
+                 "checkpoint_interval", "checkpoint_cost", "restore_cost",
+                 "chaos_kill_at"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown fault spec keys: {sorted(unknown)}")
+        return cls(**data)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FaultSpec":
+        """Parse a fault spec JSON file (the ``--faults`` CLI input)."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    # ------------------------------------------------------------------
+    # Seeded sampling (the MTBF / severity axes of the resilience figure)
+    # ------------------------------------------------------------------
+    @classmethod
+    def sample(cls, seed: int, horizon: float, num_gpus: int,
+               mtbf: Optional[float] = None,
+               straggler_rate: float = 0.0,
+               straggler_severity: float = 2.0,
+               straggler_duration: Optional[float] = None,
+               link_flap_rate: float = 0.0,
+               link_flap_factor: float = 0.25,
+               link_flap_duration: Optional[float] = None,
+               links: Sequence[str] = (),
+               checkpoint_interval: Optional[float] = None,
+               checkpoint_cost: float = 0.0,
+               restore_cost: float = 0.0) -> "FaultSpec":
+        """Expand an ``(MTBF, rates, severity)`` description into an
+        explicit schedule over ``[0, horizon)``.
+
+        Sampling happens here, once, with :class:`random.Random` — the
+        returned spec is fully explicit, so the same seed produces the
+        same serialized schedule and every execution mode (in-process,
+        parallel, cache replay) perturbs the simulation identically.
+
+        ``mtbf`` is the *cluster-wide* mean time between failures;
+        ``straggler_rate`` and ``link_flap_rate`` are cluster-wide events
+        per second (exponential inter-arrival times).
+        """
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if num_gpus < 1:
+            raise ValueError("num_gpus must be >= 1")
+        rng = random.Random(seed)
+
+        def arrivals(rate: float):
+            times = []
+            t = rng.expovariate(rate)
+            while t < horizon:
+                times.append(t)
+                t += rng.expovariate(rate)
+            return times
+
+        failures = []
+        if mtbf is not None:
+            if mtbf <= 0:
+                raise ValueError("mtbf must be positive")
+            failures = [
+                DeviceFailure(device=f"gpu{rng.randrange(num_gpus)}", time=t)
+                for t in arrivals(1.0 / mtbf)
+            ]
+        stragglers = []
+        if straggler_rate > 0:
+            duration = straggler_duration or horizon / 20.0
+            stragglers = [
+                Straggler(gpu=f"gpu{rng.randrange(num_gpus)}", start=t,
+                          duration=duration, factor=straggler_severity)
+                for t in arrivals(straggler_rate)
+            ]
+        link_faults = []
+        if link_flap_rate > 0:
+            if not links:
+                raise ValueError("link_flap_rate needs the links to flap")
+            duration = link_flap_duration or horizon / 20.0
+            link_faults = [
+                LinkFault(link=links[rng.randrange(len(links))], start=t,
+                          duration=duration, factor=link_flap_factor)
+                for t in arrivals(link_flap_rate)
+            ]
+        return cls(
+            seed=seed,
+            stragglers=tuple(stragglers),
+            link_faults=tuple(link_faults),
+            failures=tuple(failures),
+            checkpoint_interval=checkpoint_interval,
+            checkpoint_cost=checkpoint_cost,
+            restore_cost=restore_cost,
+        )

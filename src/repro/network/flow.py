@@ -216,6 +216,50 @@ class FlowNetwork(Hookable):
     def active_flows(self) -> int:
         return len(self._active)
 
+    def set_link_capacity(self, u: str, v: str, bandwidth: float) -> None:
+        """Re-rate the undirected link *u*—*v* to *bandwidth* bytes/s.
+
+        The fault injector's link-degradation primitive: mutates the
+        topology's edge attribute, then reuses the incremental machinery —
+        both directed edges are marked dirty, so the next (coalesced)
+        reallocation re-solves exactly the contention component(s) using
+        the link and leaves disjoint traffic untouched.  Routes never
+        change: capacity is allowed to degrade, not to reach zero, so the
+        cached shortest paths stay valid.
+        """
+        if bandwidth <= 0:
+            raise ValueError(
+                f"link {u}-{v}: bandwidth must be positive (links degrade, "
+                "they do not disappear — routes are static)"
+            )
+        if not self.topology.has_edge(u, v):
+            raise ValueError(f"link {u}-{v}: no such edge in the topology")
+        self.topology[u][v]["bandwidth"] = float(bandwidth)
+        for edge in ((u, v), (v, u)):
+            if self._edge_users.get(edge):
+                self._dirty.add(edge)
+        if self._active:
+            self._request_reallocate()
+
+    def stall(self, delay: float) -> None:
+        """Freeze every active flow's progress for *delay* seconds.
+
+        Companion to :meth:`Engine.defer_pending`: deferring a delivery
+        event postpones *when* a flow completes, but a later ``_apply_rate``
+        would still settle ``remaining -= rate * (now - last_update)`` as
+        if the flow had kept transferring through the outage.  Settling
+        progress up to now and advancing ``last_update`` past the stall
+        window makes the outage transfer zero bytes.
+        """
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        now = self.engine.now
+        for flow in self._active.values():
+            flow.remaining -= flow.rate * (now - flow.last_update)
+            if flow.remaining < 0.0:
+                flow.remaining = 0.0
+            flow.last_update = now + delay
+
     def _active_list(self) -> List["_Flow"]:
         return list(self._active.values())
 

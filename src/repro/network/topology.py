@@ -227,3 +227,22 @@ def build_topology(name: str, n: int, bandwidth: float,
     if name not in _BUILDERS:
         raise KeyError(f"unknown topology {name!r}; known: {sorted(_BUILDERS)}")
     return _BUILDERS[name](n, bandwidth, latency)
+
+
+def link_names(graph: nx.Graph) -> List[str]:
+    """Sorted ``"u-v"`` names of every link, endpoints in sorted order.
+
+    The vocabulary fault specs address links with (device names never
+    contain ``-``, so the encoding is unambiguous); feeds
+    :meth:`repro.faults.FaultSpec.sample`'s ``links`` argument and the
+    FT002 lint rule.
+    """
+    return sorted(
+        "{}-{}".format(*sorted((u, v))) for u, v in graph.edges
+    )
+
+
+def has_link(graph: nx.Graph, spec: str) -> bool:
+    """Whether ``"u-v"`` names an edge of *graph* (either orientation)."""
+    u, sep, v = spec.partition("-")
+    return bool(sep) and graph.has_edge(u, v)

@@ -15,6 +15,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time as _time
 from pathlib import Path
 from typing import Optional, Union
 
@@ -73,11 +74,26 @@ class ResultCache:
         return self.root / f"{key}.json"
 
     def load(self, key: str) -> Optional[SimulationResult]:
-        """The cached result for *key*, or ``None`` (counted as a miss)."""
+        """The cached result for *key*, or ``None`` (counted as a miss).
+
+        Safe against concurrent writers and pruners: a file that
+        disappears between the existence implied by the key and the read
+        (e.g. :meth:`prune` in another process unlinking it) is a miss,
+        and a transient ``OSError`` gets one retry before giving up.
+        """
         path = self._path(key)
-        try:
-            text = path.read_text()
-        except OSError:
+        text = None
+        for _attempt in range(2):
+            try:
+                text = path.read_text()
+                break
+            except FileNotFoundError:
+                # Concurrently pruned/unlinked: a plain miss, no retry.
+                self.misses += 1
+                return None
+            except OSError:
+                continue
+        if text is None:
             self.misses += 1
             return None
         try:
@@ -92,6 +108,48 @@ class ResultCache:
             return None
         self.hits += 1
         return result
+
+    def prune(self, max_entries: Optional[int] = None,
+              max_age: Optional[float] = None) -> int:
+        """Evict entries beyond *max_entries* (oldest first) or older than
+        *max_age* seconds; returns the number removed.
+
+        Ordering is by ``(mtime, name)`` so ties break deterministically.
+        Concurrent readers are safe: an entry that vanishes mid-prune (or
+        is being read while unlinked) is simply skipped — :meth:`load`
+        treats the missing file as a miss.
+        """
+        if max_entries is not None and max_entries < 0:
+            raise ValueError("max_entries must be non-negative")
+        if max_age is not None and max_age < 0:
+            raise ValueError("max_age must be non-negative")
+        if not self.root.is_dir():
+            return 0
+        entries = []
+        for path in self.root.iterdir():
+            if path.suffix != ".json":
+                continue
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                continue  # vanished between iterdir and stat
+            entries.append((mtime, path.name, path))
+        entries.sort()
+        doomed = []
+        if max_age is not None:
+            cutoff = _time.time() - max_age
+            doomed.extend(e for e in entries if e[0] < cutoff)
+            entries = [e for e in entries if e[0] >= cutoff]
+        if max_entries is not None and len(entries) > max_entries:
+            doomed.extend(entries[:len(entries) - max_entries])
+        removed = 0
+        for _mtime, _name, path in doomed:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass  # another pruner got there first
+        return removed
 
     def store(self, key: str, result: SimulationResult) -> None:
         """Persist *result* under *key* (atomic rename; crash-safe)."""

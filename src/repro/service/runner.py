@@ -13,6 +13,12 @@
 * graceful degradation — a failing config yields a structured
   :class:`SweepError` (with the worker traceback) instead of killing the
   sweep, and each point runs under an optional wall-clock timeout;
+* worker-crash survival — a point whose worker process dies (segfault,
+  OOM kill, chaos injection) breaks only its pool, not the sweep: the
+  executor is rebuilt and the in-flight points are retried in isolation
+  with seeded, bounded exponential backoff; a point that keeps killing
+  its worker becomes ``SweepError(kind="WorkerCrashed")`` while every
+  other point completes normally;
 * live progress through the existing :mod:`repro.engine.hooks` mechanism —
   the runner is a :class:`Hookable` and fires ``sweep_start`` /
   ``sweep_point`` / ``sweep_end`` positions with completed/total counts,
@@ -26,9 +32,11 @@ bit-identical ``total_time`` values.
 from __future__ import annotations
 
 import os
+import random
 import time as _wall
 from collections import OrderedDict
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
@@ -86,6 +94,8 @@ class SweepOutcome:
     cached: bool = False
     #: Runtime sanitizer findings (dict form) when the runner sanitizes.
     sanitizer_findings: List[dict] = field(default_factory=list)
+    #: Isolated re-executions this point needed after its worker died.
+    retries: int = 0
 
     @property
     def ok(self) -> bool:
@@ -110,6 +120,7 @@ class SweepOutcome:
             "result": self.result.to_dict() if self.result else None,
             "error": self.error.to_dict() if self.error else None,
             "sanitizer_findings": list(self.sanitizer_findings),
+            "retries": self.retries,
         }
 
 
@@ -123,6 +134,8 @@ class SweepMetrics:
     errors: int = 0
     fresh_events: int = 0     # engine events dispatched for non-cached points
     elapsed: float = 0.0
+    retries: int = 0          # isolated re-executions after worker crashes
+    worker_crashes: int = 0   # points abandoned as WorkerCrashed
 
     @property
     def hit_rate(self) -> float:
@@ -146,6 +159,8 @@ class SweepMetrics:
             "cache_hits": self.cache_hits,
             "hit_rate": self.hit_rate,
             "errors": self.errors,
+            "retries": self.retries,
+            "worker_crashes": self.worker_crashes,
             "fresh_events": self.fresh_events,
             "events_per_sec": self.events_per_sec,
             "eta_seconds": self.eta_seconds,
@@ -178,15 +193,29 @@ class SweepRunner(Hookable):
     sanitize:
         Run every simulated point with the runtime sanitizers attached;
         findings land on each outcome's ``sanitizer_findings``.
+    retry_seed:
+        Seed of the crash-retry backoff jitter, so retry timing (the only
+        nondeterminism a crash introduces) is reproducible.
+    retry_backoff:
+        Base of the bounded exponential backoff between isolated retries
+        of a crashed point, in seconds.
     """
 
     #: Bound on memoized (rescaled trace, fitted models) entries.
     SHARED_WORK_LIMIT = 64
 
+    #: Isolated re-executions granted to a point whose worker died; a
+    #: point still crashing after these becomes ``WorkerCrashed``.
+    MAX_CRASH_RETRIES = 2
+
+    #: Ceiling on any single backoff sleep, seconds.
+    MAX_BACKOFF = 2.0
+
     def __init__(self, max_workers: Optional[int] = None,
                  cache: Union[ResultCache, str, Path, None] = None,
                  timeout: Optional[float] = None, hooks: Sequence = (),
-                 lint: bool = True, sanitize: bool = False):
+                 lint: bool = True, sanitize: bool = False,
+                 retry_seed: int = 0, retry_backoff: float = 0.05):
         super().__init__()
         self.max_workers = max_workers if max_workers is not None \
             else (os.cpu_count() or 1)
@@ -195,6 +224,8 @@ class SweepRunner(Hookable):
         self.timeout = timeout
         self.lint = lint
         self.sanitize = sanitize
+        self.retry_seed = retry_seed
+        self.retry_backoff = retry_backoff
         self.last_metrics: Optional[SweepMetrics] = None
         # (trace digest, target gpu) -> [prepared Trace, {perf_model: OpTimeModel}]
         # An LRU shared across run() calls, so per-point predict() loops
@@ -348,6 +379,16 @@ class SweepRunner(Hookable):
         else:
             outcome.error = SweepError.from_dict(payload["error"])
 
+    def _point_payload(self, trace: Trace, outcome: SweepOutcome,
+                       record_timeline: bool) -> dict:
+        return {
+            "trace_key": self._gpu_key(trace, outcome.config),
+            "config": outcome.config.to_dict(),
+            "record_timeline": record_timeline,
+            "timeout": self.timeout,
+            "sanitize": self.sanitize,
+        }
+
     def _run_parallel(self, trace: Trace, points: List[SweepOutcome],
                       workers: int, record_timeline: bool,
                       metrics: SweepMetrics, started: float,
@@ -356,36 +397,102 @@ class SweepRunner(Hookable):
         trace_dicts = {
             gpu_key: scaled.to_dict() for gpu_key, scaled in prepared.items()
         }
+        crashed = self._parallel_wave(trace, points, workers, trace_dicts,
+                                      record_timeline, metrics, started,
+                                      base_key)
+        if crashed:
+            self._retry_crashed(trace, crashed, trace_dicts,
+                                record_timeline, metrics, started, base_key)
+
+    def _parallel_wave(self, trace: Trace, points: List[SweepOutcome],
+                       workers: int, trace_dicts: dict,
+                       record_timeline: bool, metrics: SweepMetrics,
+                       started: float, base_key: str) -> List[SweepOutcome]:
+        """Fan *points* over one pool; returns the points whose futures
+        died with the pool (crash victims and collateral, unattributed)."""
+        crashed: List[SweepOutcome] = []
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_worker.init_worker,
             initargs=(trace_dicts,),
         ) as pool:
-            futures = {}
-            for outcome in points:
-                payload = {
-                    "trace_key": self._gpu_key(trace, outcome.config),
-                    "config": outcome.config.to_dict(),
-                    "record_timeline": record_timeline,
-                    "timeout": self.timeout,
-                    "sanitize": self.sanitize,
-                }
-                futures[pool.submit(_worker.run_point, payload)] = outcome
+            futures = {
+                pool.submit(_worker.run_point,
+                            self._point_payload(trace, o, record_timeline)): o
+                for o in points
+            }
             remaining = set(futures)
             while remaining:
                 done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                 for future in done:
                     outcome = futures[future]
                     exc = future.exception()
-                    if exc is not None:
-                        # e.g. BrokenProcessPool: degrade, don't die.
+                    if exc is None:
+                        self._finish(outcome, future.result(),
+                                     record_timeline, base_key)
+                        self._note_done(outcome, metrics, started)
+                    elif isinstance(exc, BrokenProcessPool):
+                        # A worker died.  Every in-flight future on the
+                        # pool fails with it, so which point killed the
+                        # worker is unknown here — the isolated retry
+                        # pass attributes the crash.
+                        crashed.append(outcome)
+                    else:
                         outcome.error = SweepError(
                             kind=type(exc).__name__, message=str(exc)
                         )
-                    else:
-                        self._finish(outcome, future.result(),
-                                     record_timeline, base_key)
-                    self._note_done(outcome, metrics, started)
+                        self._note_done(outcome, metrics, started)
+        return crashed
+
+    def _retry_crashed(self, trace: Trace, crashed: List[SweepOutcome],
+                       trace_dicts: dict, record_timeline: bool,
+                       metrics: SweepMetrics, started: float,
+                       base_key: str) -> None:
+        """Re-execute crash victims one at a time, each on a fresh
+        single-worker pool, with seeded bounded exponential backoff —
+        so a repeat crash is attributable to exactly one point."""
+        rng = random.Random(self.retry_seed)
+        for outcome in sorted(crashed, key=lambda o: o.index):
+            for attempt in range(self.MAX_CRASH_RETRIES):
+                _wall.sleep(self._backoff_delay(rng, attempt))
+                outcome.retries += 1
+                metrics.retries += 1
+                if self._isolated_attempt(trace, outcome, trace_dicts,
+                                          record_timeline, base_key):
+                    break
+            else:
+                metrics.worker_crashes += 1
+                outcome.error = SweepError(
+                    kind="WorkerCrashed",
+                    message=f"worker process died simulating this point "
+                            f"{outcome.retries} time(s) in isolation "
+                            f"(after crashing a shared pool)",
+                )
+            self._note_done(outcome, metrics, started)
+
+    def _backoff_delay(self, rng: random.Random, attempt: int) -> float:
+        """Jittered exponential backoff, capped at :attr:`MAX_BACKOFF`."""
+        return min(self.MAX_BACKOFF,
+                   self.retry_backoff * (2 ** attempt) * (0.5 + rng.random()))
+
+    def _isolated_attempt(self, trace: Trace, outcome: SweepOutcome,
+                          trace_dicts: dict, record_timeline: bool,
+                          base_key: str) -> bool:
+        """One retry on a dedicated pool; False when the worker died."""
+        with ProcessPoolExecutor(
+            max_workers=1,
+            initializer=_worker.init_worker,
+            initargs=(trace_dicts,),
+        ) as pool:
+            future = pool.submit(
+                _worker.run_point,
+                self._point_payload(trace, outcome, record_timeline))
+            try:
+                payload = future.result()
+            except BrokenProcessPool:
+                return False
+        self._finish(outcome, payload, record_timeline, base_key)
+        return True
 
     def _run_inproc(self, trace: Trace, points: List[SweepOutcome],
                     record_timeline: bool, metrics: SweepMetrics,

@@ -8,12 +8,16 @@ Model regression) happens once per process, not once per sweep point.
 
 Per-point timeouts use ``SIGALRM`` so a runaway simulation inside a worker
 is interrupted and reported as a structured error instead of hanging the
-pool slot forever.  On platforms (or threads) without ``SIGALRM`` the
-timeout degrades to "no timeout" rather than failing.
+pool slot forever.  On platforms (or threads) without ``SIGALRM`` a
+thread-based watchdog takes over: a daemon timer injects
+:class:`PointTimeoutError` into the simulating thread with
+``PyThreadState_SetAsyncExc``, so the deadline still fires instead of
+silently degrading to "no timeout".
 """
 
 from __future__ import annotations
 
+import ctypes
 import signal
 import threading
 import traceback
@@ -30,20 +34,67 @@ class PointTimeoutError(Exception):
     """A sweep point exceeded its per-point wall-clock budget."""
 
 
+class _Watchdog:
+    """Thread-based deadline for contexts where ``SIGALRM`` can't deliver.
+
+    A daemon :class:`threading.Timer` injects :class:`PointTimeoutError`
+    into the watched thread via ``PyThreadState_SetAsyncExc`` — the
+    asynchronous-exception hook the interpreter checks between bytecodes.
+    The injection is best-effort (a thread blocked in a long C call won't
+    see it until it returns), which matches what ``SIGALRM`` guarantees
+    anyway.  :meth:`cancel` takes a lock shared with the expiry path so a
+    body that finishes just as the timer fires can't be interrupted after
+    it already returned.
+    """
+
+    def __init__(self, seconds: float):
+        self._target = threading.get_ident()
+        self._lock = threading.Lock()
+        self._done = False
+        self._timer = threading.Timer(seconds, self._expire)
+        self._timer.daemon = True
+
+    def start(self) -> "_Watchdog":
+        self._timer.start()
+        return self
+
+    def _expire(self) -> None:
+        with self._lock:
+            if self._done:
+                return
+            ctypes.pythonapi.PyThreadState_SetAsyncExc(
+                ctypes.c_ulong(self._target),
+                ctypes.py_object(PointTimeoutError),
+            )
+
+    def cancel(self) -> None:
+        with self._lock:
+            self._done = True
+        self._timer.cancel()
+
+
 @contextmanager
 def deadline(seconds: Optional[float]):
     """Raise :class:`PointTimeoutError` if the body runs past *seconds*.
 
-    No-op when *seconds* is falsy, when the platform lacks ``SIGALRM``, or
-    when called off the main thread (signals only deliver there).
+    Uses ``SIGALRM`` on the main thread of platforms that have it; falls
+    back to a :class:`_Watchdog` thread everywhere else (worker threads,
+    platforms without ``SIGALRM``), so the budget always arms.  No-op only
+    when *seconds* is falsy.
     """
-    usable = (
-        seconds
-        and hasattr(signal, "SIGALRM")
+    if not seconds:
+        yield
+        return
+    alarm_usable = (
+        hasattr(signal, "SIGALRM")
         and threading.current_thread() is threading.main_thread()
     )
-    if not usable:
-        yield
+    if not alarm_usable:
+        watchdog = _Watchdog(float(seconds)).start()
+        try:
+            yield
+        finally:
+            watchdog.cancel()
         return
 
     def _expired(signum, frame):
@@ -104,15 +155,20 @@ def simulate_point(trace: Trace, config: SimulationConfig,
                    record_timeline: bool, timeout: Optional[float],
                    op_time: Optional[OpTimeModel] = None,
                    sanitize: bool = False,
-                   sanitizer_sink: Optional[list] = None):
+                   sanitizer_sink: Optional[list] = None,
+                   allow_chaos: bool = False):
     """Run one sweep point (optionally under a deadline).
 
     With ``sanitize``, runtime sanitizer findings are appended to
     *sanitizer_sink* as dicts (the process-boundary form).
+    ``allow_chaos`` arms ``chaos_kill_at`` fault specs; worker processes
+    are sacrificial, so :func:`run_point` passes ``True``, while
+    in-process runs keep the default and such specs raise instead.
     """
     with deadline(timeout):
         sim = TrioSim(trace, config, record_timeline=record_timeline,
-                      op_time=op_time, sanitize=sanitize)
+                      op_time=op_time, sanitize=sanitize,
+                      allow_chaos=allow_chaos)
         result = sim.run()
         if sanitizer_sink is not None and sim.sanitizer_report is not None:
             sanitizer_sink.extend(sim.sanitizer_report.to_dicts())
@@ -140,7 +196,7 @@ def run_point(payload: dict) -> dict:
         result = simulate_point(
             trace, config, payload["record_timeline"], payload["timeout"],
             op_time=op_time, sanitize=payload.get("sanitize", False),
-            sanitizer_sink=sanitizer_findings,
+            sanitizer_sink=sanitizer_findings, allow_chaos=True,
         )
         return {"ok": True, "result": result.to_dict(),
                 "sanitizer": sanitizer_findings}

@@ -1,0 +1,249 @@
+"""Resilience of the sweep service itself: worker crashes, cache
+corruption and concurrent eviction, and the thread-based deadline.
+
+The contract under test: a sweep survives the death of a worker process
+— the killed point (and only it) degrades to ``SweepError
+(kind="WorkerCrashed")`` after bounded isolated retries while every other
+point still returns a bit-identical result; the on-disk cache shrugs off
+truncated entries and concurrent unlinks; and per-point deadlines arm
+even where ``SIGALRM`` cannot.
+"""
+
+import os
+import threading
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import TrioSim
+from repro.faults import FaultSpec, Straggler
+from repro.gpus.specs import get_gpu
+from repro.service import worker as worker_mod
+from repro.service.cache import ResultCache, trace_digest
+from repro.service.runner import HOOK_SWEEP_POINT, SweepRunner
+from repro.trace.tracer import Tracer
+from repro.workloads.registry import get_model
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return Tracer(get_gpu("A40")).trace(get_model("resnet18"), 16)
+
+
+def _config(**overrides):
+    base = dict(parallelism="ddp", num_gpus=4, link_bandwidth=25e9)
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+class _PointHook:
+    def __init__(self):
+        self.outcomes = []
+
+    def func(self, ctx):
+        if ctx.pos == HOOK_SWEEP_POINT:
+            self.outcomes.append(ctx.item)
+
+
+# ----------------------------------------------------------------------
+# Worker crashes
+# ----------------------------------------------------------------------
+class TestWorkerCrash:
+    def test_killed_worker_fails_one_point_not_the_sweep(self, trace):
+        configs = [
+            _config(num_gpus=2),
+            _config(num_gpus=2, faults=FaultSpec(chaos_kill_at=1e-4)),
+            _config(num_gpus=4),
+        ]
+        sequential = {
+            i: TrioSim(trace, cfg).run().total_time
+            for i, cfg in enumerate(configs) if cfg.faults is None
+        }
+        hook = _PointHook()
+        runner = SweepRunner(max_workers=2, retry_backoff=0.001,
+                             hooks=[hook])
+        outcomes = runner.run(trace, configs)
+
+        crashed = outcomes[1]
+        assert not crashed.ok
+        assert crashed.error.kind == "WorkerCrashed"
+        assert crashed.retries == SweepRunner.MAX_CRASH_RETRIES
+        for i, expected in sequential.items():
+            assert outcomes[i].ok
+            assert outcomes[i].unwrap().total_time == expected
+
+        metrics = runner.last_metrics
+        assert metrics.worker_crashes == 1
+        assert metrics.errors == 1
+        assert metrics.retries >= SweepRunner.MAX_CRASH_RETRIES
+        assert metrics.detail()["worker_crashes"] == 1
+        # The point hook saw every outcome, retry counts included.
+        assert len(hook.outcomes) == 3
+        assert {o.index: o.retries for o in hook.outcomes}[1] \
+            == SweepRunner.MAX_CRASH_RETRIES
+
+    def test_retry_backoff_is_seeded_and_bounded(self):
+        import random
+
+        runner = SweepRunner(max_workers=1, retry_seed=5, retry_backoff=10.0)
+        delays_a = [runner._backoff_delay(random.Random(5), a)
+                    for a in range(4)]
+        delays_b = [runner._backoff_delay(random.Random(5), a)
+                    for a in range(4)]
+        assert delays_a == delays_b
+        assert all(0.0 < d <= SweepRunner.MAX_BACKOFF for d in delays_a)
+        assert delays_a[-1] == SweepRunner.MAX_BACKOFF  # cap engages
+
+
+# ----------------------------------------------------------------------
+# Faulted points across execution modes
+# ----------------------------------------------------------------------
+class TestFaultedSweepDeterminism:
+    def test_parallel_and_cache_replay_match_in_process(self, trace, tmp_path):
+        spec = FaultSpec(
+            stragglers=(Straggler("gpu1", 0.0, 0.005, 3.0),),
+            checkpoint_interval=0.002, checkpoint_cost=1e-4,
+            restore_cost=2e-4,
+        )
+        config = _config(faults=spec)
+        in_process = TrioSim(trace, config).run().total_time
+
+        runner = SweepRunner(max_workers=2, cache=str(tmp_path))
+        first = runner.run(trace, [config])[0]
+        assert first.unwrap().total_time == in_process
+        assert not first.cached
+
+        replayed = SweepRunner(max_workers=2, cache=str(tmp_path)) \
+            .run(trace, [config])[0]
+        assert replayed.cached
+        assert replayed.unwrap().total_time == in_process
+
+
+# ----------------------------------------------------------------------
+# Cache corruption, eviction, races
+# ----------------------------------------------------------------------
+class TestCacheResilience:
+    def _store_one(self, trace, tmp_path, config=None):
+        cache = ResultCache(tmp_path)
+        config = config or _config()
+        key = cache.point_key(trace_digest(trace), config)
+        cache.store(key, TrioSim(trace, config).run())
+        return cache, key
+
+    def test_truncated_entry_is_a_miss_and_evicted(self, trace, tmp_path):
+        cache, key = self._store_one(trace, tmp_path)
+        path = cache._path(key)
+        path.write_text(path.read_text()[: 40])  # truncate mid-JSON
+        assert cache.load(key) is None
+        assert cache.misses == 1
+        assert not path.exists()
+
+    def test_corrupt_entry_recomputed_through_runner(self, trace, tmp_path):
+        config = _config()
+        expected = TrioSim(trace, config).run().total_time
+        SweepRunner(max_workers=1, cache=str(tmp_path)).run(trace, [config])
+        (entry,) = [p for p in tmp_path.iterdir() if p.suffix == ".json"]
+        entry.write_text("{not json")
+        outcome = SweepRunner(max_workers=1, cache=str(tmp_path)) \
+            .run(trace, [config])[0]
+        assert not outcome.cached
+        assert outcome.unwrap().total_time == expected
+
+    def test_concurrently_unlinked_entry_is_a_miss(self, trace, tmp_path):
+        cache, key = self._store_one(trace, tmp_path)
+        cache._path(key).unlink()
+        assert cache.load(key) is None
+        assert cache.misses == 1
+
+    def test_transient_oserror_gets_one_retry(self, trace, tmp_path):
+        cache, key = self._store_one(trace, tmp_path)
+        real_path = cache._path(key)
+        text = real_path.read_text()
+
+        class Flaky:
+            calls = 0
+
+            def read_text(self):
+                Flaky.calls += 1
+                if Flaky.calls == 1:
+                    raise OSError("transient")
+                return text
+
+        cache._path = lambda k: Flaky()  # type: ignore[assignment]
+        assert cache.load(key) is not None
+        assert Flaky.calls == 2
+        assert cache.hits == 1
+
+    def test_prune_by_max_entries_oldest_first(self, trace, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = []
+        for n in (2, 4, 8):
+            config = _config(num_gpus=n)
+            key = cache.point_key(trace_digest(trace), config)
+            cache.store(key, TrioSim(trace, config).run())
+            keys.append(key)
+        # Backdate the first two entries so mtime ordering is unambiguous.
+        for age, key in ((200, keys[0]), (100, keys[1])):
+            path = cache._path(key)
+            os.utime(path, (path.stat().st_mtime - age,) * 2)
+
+        assert cache.prune(max_entries=2) == 1
+        assert cache.load(keys[0]) is None     # oldest evicted
+        assert cache.load(keys[2]) is not None
+
+    def test_prune_by_max_age(self, trace, tmp_path):
+        cache, key = self._store_one(trace, tmp_path)
+        path = cache._path(key)
+        os.utime(path, (path.stat().st_mtime - 3600,) * 2)
+        assert cache.prune(max_age=60) == 1
+        assert len(cache) == 0
+        assert cache.prune(max_age=60) == 0
+
+    def test_prune_validates_and_handles_missing_dir(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.prune(max_entries=0) == 0
+        with pytest.raises(ValueError):
+            cache.prune(max_entries=-1)
+        with pytest.raises(ValueError):
+            cache.prune(max_age=-1.0)
+
+
+# ----------------------------------------------------------------------
+# Thread-based deadline fallback
+# ----------------------------------------------------------------------
+class TestWatchdogDeadline:
+    def test_fires_off_the_main_thread(self):
+        caught = []
+
+        def body():
+            try:
+                with worker_mod.deadline(0.05):
+                    deadline_hit = threading.Event()
+                    while not deadline_hit.wait(0.001):
+                        pass  # spin in bytecode so the async exc lands
+            except worker_mod.PointTimeoutError:
+                caught.append(True)
+
+        thread = threading.Thread(target=body)
+        thread.start()
+        thread.join(timeout=10.0)
+        assert caught == [True]
+
+    def test_cancel_beats_the_timer(self):
+        done = []
+
+        def body():
+            with worker_mod.deadline(30.0):
+                done.append(True)
+
+        thread = threading.Thread(target=body)
+        thread.start()
+        thread.join(timeout=10.0)
+        assert done == [True]
+        assert threading.active_count() < 10  # timer thread cancelled
+
+    def test_falsy_deadline_is_noop(self):
+        with worker_mod.deadline(None):
+            pass
+        with worker_mod.deadline(0):
+            pass
