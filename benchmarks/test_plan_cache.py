@@ -1,0 +1,162 @@
+"""Plan/execute split: sweep speedup from cached extrapolation plans.
+
+A 16-point network-only sweep (the ISSUE 5 acceptance scenario) of a
+transformer workload (flan-t5-small, 8-stage pipeline parallelism), run
+two ways over the same prepared trace:
+
+* **plan caching off** — every point re-runs the extrapolator, the
+  pre-plan pipeline's behaviour;
+* **plan caching on** — the first point builds an
+  :class:`ExtrapolationPlan`, the other 15 instantiate it (all points
+  share one plan key: they differ only in link bandwidth and latency).
+
+Both arms must produce bit-identical ``simulated_time`` for every point —
+that assertion always binds, in quick mode and on any machine.  The wall
+speedup (target >= 3x) is asserted only in full mode; each arm is timed
+best-of-``RUNS`` to cut scheduler noise.  Results land in
+``BENCH_pipeline.json`` at the repo root, including the profiler's
+per-phase breakdown and the multi-iteration instancing counter
+(``iterations=4`` builds the graph once).
+"""
+
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.core.config import SimulationConfig
+from repro.core.plan import PlanCache
+from repro.core.simulator import TrioSim
+from repro.gpus.specs import get_gpu
+from repro.trace.tracer import Tracer
+from repro.workloads.registry import get_model
+
+from conftest import QUICK
+
+MODEL = "flan-t5-small"
+BATCH = 8
+BASE = dict(parallelism="pp", num_gpus=8, chunks=2, topology="ring")
+
+#: 16 points varying only execute-time network parameters — one plan key.
+GRID = [
+    SimulationConfig(link_bandwidth=bw, link_latency=lat, **BASE)
+    for bw in (25e9, 50e9, 100e9, 200e9)
+    for lat in (5e-7, 1e-6, 2e-6, 5e-6)
+]
+
+#: Timed repetitions per arm (best-of); quick mode keeps CI fast.
+RUNS = 2 if QUICK else 3
+
+SPEEDUP_TARGET = 3.0
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+
+
+def _sweep(trace, plan_cache):
+    start = time.perf_counter()
+    results = [
+        TrioSim(trace, cfg, record_timeline=False,
+                plan_cache=plan_cache).run()
+        for cfg in GRID
+    ]
+    return time.perf_counter() - start, results
+
+
+def test_plan_cache_sweep(show):
+    trace = Tracer(get_gpu("A100")).trace(get_model(MODEL), BATCH)
+    # Warm the trace-level memos (tensor-table indexing, model fits) that
+    # are orthogonal to plan caching, so neither arm pays them.
+    TrioSim(trace, GRID[0], record_timeline=False).run()
+
+    off_walls, on_walls = [], []
+    off_results = on_results = None
+    cache = None
+    for _ in range(RUNS):
+        wall, off_results = _sweep(trace, plan_cache=None)
+        off_walls.append(wall)
+        cache = PlanCache()
+        wall, on_results = _sweep(trace, plan_cache=cache)
+        on_walls.append(wall)
+        # The correctness gate: caching must never change a result.
+        assert ([r.total_time for r in off_results]
+                == [r.total_time for r in on_results])
+
+    off_s, on_s = min(off_walls), min(on_walls)
+    speedup = off_s / on_s if on_s > 0 else float("inf")
+
+    points = [
+        {
+            "link_bandwidth": cfg.link_bandwidth,
+            "link_latency": cfg.link_latency,
+            "simulated_time": off.total_time,
+            "identical_simulated_time": off.total_time == on.total_time,
+            "plan_source": on.profile.get("plan_source"),
+        }
+        for cfg, off, on in zip(GRID, off_results, on_results)
+    ]
+    assert all(p["identical_simulated_time"] for p in points)
+    assert points[0]["plan_source"] == "built"
+    assert all(p["plan_source"] == "memory" for p in points[1:])
+
+    def phase_totals(results):
+        totals = {}
+        for r in results:
+            for name, seconds in r.profile["phases"].items():
+                totals[name] = totals.get(name, 0.0) + seconds
+        return totals
+
+    # Multi-iteration instancing: 4 iterations, one extrapolator build.
+    iterated = TrioSim(
+        trace, SimulationConfig(iterations=4, **BASE),
+        record_timeline=False,
+    ).run()
+    counters = iterated.profile["counters"]
+    assert counters["extrapolator_builds"] == 1
+    assert counters["plan_instances"] == 4
+
+    payload = {
+        "benchmark": "plan_cache_sweep",
+        "schema_version": 1,
+        "quick": QUICK,
+        "python": platform.python_version(),
+        "model": MODEL,
+        "batch_size": BATCH,
+        "base_config": dict(BASE),
+        "points": points,
+        "runs_per_arm": RUNS,
+        "wall_seconds": {"plan_cache_off": off_s, "plan_cache_on": on_s},
+        "phase_seconds": {
+            "plan_cache_off": phase_totals(off_results),
+            "plan_cache_on": phase_totals(on_results),
+        },
+        "plan_cache_stats": cache.stats(),
+        "multi_iteration": {
+            "iterations": 4,
+            "extrapolator_builds": counters["extrapolator_builds"],
+            "plan_instances": counters["plan_instances"],
+        },
+        "headline": {
+            "points": len(GRID),
+            "wall_speedup": speedup,
+            "speedup_target": SPEEDUP_TARGET,
+            "identical_simulated_time": all(
+                p["identical_simulated_time"] for p in points
+            ),
+        },
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    show(
+        f"16-point network-only sweep, {MODEL} {BASE['parallelism']}"
+        f"x{BASE['num_gpus']} (best of {RUNS})\n"
+        f"  plan caching off  {off_s * 1e3:8.0f} ms\n"
+        f"  plan caching on   {on_s * 1e3:8.0f} ms  ({speedup:.2f}x)\n"
+        f"  bit-identical simulated_time on all {len(GRID)} points: yes\n"
+        f"  iterations=4 run: {counters['extrapolator_builds']} build, "
+        f"{counters['plan_instances']} instances\n"
+        f"  wrote {OUTPUT.name}"
+    )
+    if not QUICK:
+        # Quick/CI runs gate on bit-identity only; the wall target binds
+        # on the full benchmark run.
+        assert speedup >= SPEEDUP_TARGET

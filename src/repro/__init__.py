@@ -26,11 +26,13 @@ from repro.analysis import (
     Report,
     SanitizerSuite,
     lint_config,
+    lint_plan,
     lint_spec,
     lint_taskgraph,
     lint_trace,
 )
 from repro.core.config import SimulationConfig
+from repro.core.plan import ExtrapolationPlan, PlanCache
 from repro.core.results import SimulationResult, TimelineRecord
 from repro.core.simulator import TrioSim
 from repro.core.report import export_html_report
@@ -67,6 +69,7 @@ __all__ = [
     "CNN_NAMES",
     "CrossGPUScaler",
     "Engine",
+    "ExtrapolationPlan",
     "Finding",
     "FlowNetwork",
     "HardwareOracle",
@@ -76,6 +79,7 @@ __all__ = [
     "MODEL_NAMES",
     "PiecewiseThroughputModel",
     "PhotonicNetwork",
+    "PlanCache",
     "Platform",
     "Report",
     "ResultCache",
@@ -101,6 +105,7 @@ __all__ = [
     "get_interconnect",
     "get_model",
     "lint_config",
+    "lint_plan",
     "lint_spec",
     "lint_taskgraph",
     "lint_trace",

@@ -11,8 +11,8 @@ them:
   :class:`RuleRegistry` with stable rule ids, enable/disable, and text +
   JSON reporters;
 * **static lint passes** — :func:`lint_trace`, :func:`lint_config`,
-  :func:`lint_taskgraph`, :func:`lint_spec`, :func:`lint_path` (the
-  ``repro lint`` CLI);
+  :func:`lint_taskgraph`, :func:`lint_spec`, :func:`lint_plan`,
+  :func:`lint_path` (the ``repro lint`` CLI);
 * **runtime sanitizers** — :class:`SanitizerSuite` hooks time
   monotonicity, link-capacity conservation, and event-heap hygiene into a
   running simulation (the ``--sanitize`` flag).
@@ -34,6 +34,7 @@ from repro.analysis.linter import (
     detect_kind,
     lint_config,
     lint_path,
+    lint_plan,
     lint_spec,
     lint_taskgraph,
     lint_trace,
@@ -66,6 +67,7 @@ __all__ = [
     "detect_kind",
     "lint_config",
     "lint_path",
+    "lint_plan",
     "lint_spec",
     "lint_taskgraph",
     "lint_trace",

@@ -24,7 +24,8 @@ import networkx as nx
 
 # Importing the rule modules registers their rules as a side effect.
 from repro.analysis import config_rules, fault_rules, taskgraph_rules, trace_rules  # noqa: F401
-from repro.analysis import sanitizers  # noqa: F401
+from repro.analysis import plan_rules, sanitizers  # noqa: F401
+from repro.analysis.plan_rules import PlanContext
 from repro.analysis.config_rules import ConfigContext
 from repro.analysis.findings import Finding, Report
 from repro.analysis.registry import DEFAULT_REGISTRY, Rule, RuleRegistry
@@ -123,6 +124,33 @@ def lint_taskgraph(sim: TaskGraphSimulator,
     registry = registry or DEFAULT_REGISTRY
     ctx = TaskGraphContext(sim, topology)
     return registry.run_category("taskgraph", ctx, Report())
+
+
+# ----------------------------------------------------------------------
+# Plans
+# ----------------------------------------------------------------------
+def lint_plan(plan, config: SimulationConfig,
+              trace: Optional[Trace] = None, prepared: bool = False,
+              registry: Optional[RuleRegistry] = None) -> Report:
+    """Run every plan rule against a pre-built extrapolation plan.
+
+    *trace* is the trace the plan would execute against; unless
+    ``prepared`` is true it is first cross-GPU rescaled to ``config.gpu``
+    — the same preparation :class:`~repro.core.simulator.TrioSim` applies
+    — so the expected plan key is derived from what the extrapolator
+    would actually consume.  Without a trace the key check (PL001) is
+    skipped and only structural rules run.
+    """
+    registry = registry or DEFAULT_REGISTRY
+    if trace is not None and not prepared:
+        target = config.gpu
+        if target is not None and target.upper() != trace.gpu_name.upper():
+            from repro.perfmodel.scaling import CrossGPUScaler
+
+            trace = CrossGPUScaler.between(
+                trace.gpu_name, target).convert_trace(trace)
+    ctx = PlanContext(plan, config, trace)
+    return registry.run_category("plan", ctx, Report())
 
 
 # ----------------------------------------------------------------------

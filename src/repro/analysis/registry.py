@@ -19,7 +19,7 @@ from typing import Callable, Dict, List, Optional, Set
 from repro.analysis.findings import SEVERITIES, Finding, Report
 
 #: Rule categories, i.e. which lint pass owns the rule.
-CATEGORIES = ("trace", "config", "taskgraph", "spec", "runtime")
+CATEGORIES = ("trace", "config", "taskgraph", "spec", "plan", "runtime")
 
 
 @dataclass(frozen=True)

@@ -98,6 +98,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="fault spec JSON (stragglers, link "
                                  "degradation, failures + checkpoint-"
                                  "restart); see docs/faults.md")
+    simulate_p.add_argument("--profile", action="store_true",
+                            help="print the pipeline wall-time breakdown "
+                                 "(trace-prep / plan / instancing / "
+                                 "engine); see docs/plans.md")
 
     sweep_p = sub.add_parser(
         "sweep", help="run a declarative config sweep (parallel + cached)"
@@ -117,6 +121,14 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="run every point with the runtime sanitizers")
     sweep_p.add_argument("--no-lint", action="store_true",
                          help="skip the static config lint before dispatch")
+    sweep_p.add_argument("--plan-cache", default=None, metavar="DIR",
+                         help="persist extrapolation plans in DIR so the "
+                              "parent builds each distinct plan once and "
+                              "workers load it (default: spec's plan_dir, "
+                              "else in-memory sharing)")
+    sweep_p.add_argument("--no-plan-cache", action="store_true",
+                         help="disable extrapolation-plan sharing; every "
+                              "point re-runs the extrapolator")
 
     lint_p = sub.add_parser(
         "lint", help="statically check a trace, config, or sweep spec"
@@ -194,6 +206,14 @@ def _cmd_simulate(args) -> int:
     else:
         result = sim.run()
     print(result.summary())
+    if args.profile and result.profile.get("phases"):
+        p = result.profile
+        parts = " | ".join(f"{name} {seconds * 1e3:.1f} ms"
+                           for name, seconds in p["phases"].items())
+        builds = p.get("counters", {}).get("extrapolator_builds", 0)
+        print(f"pipeline: {parts} | plan {p.get('plan_source', '?')} "
+              f"({builds} extrapolator build(s), "
+              f"{p.get('counters', {}).get('plan_instances', 1)} instance(s))")
     if sim.fault_stats is not None:
         s = sim.fault_stats
         print(
@@ -266,6 +286,14 @@ def _cmd_sweep(args) -> int:
     spec = SweepSpec.load(spec_path)
     trace = spec.load_trace(base_dir=spec_path.parent)
     labels, configs = zip(*spec.expand())
+    if args.no_plan_cache:
+        plan_cache = None
+    elif args.plan_cache is not None:
+        plan_cache = args.plan_cache
+    elif spec.plan_dir is not None:
+        plan_cache = spec.plan_dir
+    else:
+        plan_cache = True
     runner = SweepRunner(
         max_workers=args.workers if args.workers is not None else spec.workers,
         cache=args.cache if args.cache is not None else spec.cache_dir,
@@ -273,6 +301,7 @@ def _cmd_sweep(args) -> int:
         hooks=(_SweepProgress(),),
         lint=not args.no_lint,
         sanitize=args.sanitize,
+        plan_cache=plan_cache,
     )
     outcomes = runner.run(trace, configs, labels=labels)
     metrics = runner.last_metrics
@@ -280,6 +309,8 @@ def _cmd_sweep(args) -> int:
         f"{metrics.total} points in {metrics.elapsed:.2f}s | "
         f"{metrics.cache_hits} cache hits "
         f"({metrics.hit_rate * 100:.0f}%) | "
+        f"{metrics.plan_builds} plan builds, "
+        f"{metrics.plan_cache_hits} plan hits | "
         f"{metrics.errors} errors | "
         f"{metrics.events_per_sec:,.0f} simulated events/s"
     )

@@ -17,8 +17,9 @@ from repro.engine.hooks import HookCtx
 
 #: Version of the serialized result format.  Part of every cache key, so
 #: a schema change silently invalidates old cache entries instead of
-#: returning mis-shaped results.
-RESULT_SCHEMA_VERSION = 1
+#: returning mis-shaped results.  v2 added the ``profile`` pipeline
+#: breakdown.
+RESULT_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -82,7 +83,10 @@ class SimulationResult:
     (summed across GPUs / transfers); ``total_time`` is the simulated
     end-to-end iteration time.  ``per_layer`` maps layer name to its total
     compute time across GPUs.  ``wall_time`` and ``events`` report the
-    simulator's own performance (paper Figure 14).
+    simulator's own performance (paper Figure 14).  ``profile`` is the
+    pipeline profiler's per-phase wall breakdown and counters (see
+    ``docs/plans.md``); like ``wall_time`` it describes *how* the result
+    was produced, so bit-identity comparisons exclude it.
     """
 
     total_time: float
@@ -95,6 +99,7 @@ class SimulationResult:
     wall_time: float = 0.0
     events: int = 0
     iteration_times: List[float] = field(default_factory=list)
+    profile: dict = field(default_factory=dict)
 
     @property
     def communication_ratio(self) -> float:
@@ -129,6 +134,7 @@ class SimulationResult:
             "wall_time": self.wall_time,
             "events": self.events,
             "iteration_times": list(self.iteration_times),
+            "profile": dict(self.profile),
         }
 
     @classmethod
@@ -147,6 +153,7 @@ class SimulationResult:
             wall_time=data["wall_time"],
             events=data["events"],
             iteration_times=list(data["iteration_times"]),
+            profile=dict(data.get("profile") or {}),
         )
 
     def to_json(self) -> str:

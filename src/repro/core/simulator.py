@@ -23,6 +23,8 @@ from collections import defaultdict
 import networkx as nx
 
 from repro.core.config import SimulationConfig
+from repro.core.plan import ExtrapolationPlan, PlanBuilder, PlanCache, plan_key
+from repro.core.profiler import PipelineProfiler
 from repro.core.results import SimulationResult, TimelineRecorder
 from repro.core.taskgraph import TaskGraphSimulator
 from repro.engine.engine import Engine
@@ -37,9 +39,24 @@ from repro.extrapolator.pipeline import PipelineExtrapolator
 from repro.extrapolator.single import SingleGPUExtrapolator
 from repro.extrapolator.tensor_parallel import TensorParallelExtrapolator
 from repro.network.flow import FlowNetwork
-from repro.network.topology import build_topology
+from repro.network.topology import build_topology_cached
 from repro.perfmodel.scaling import CrossGPUScaler
 from repro.trace.trace import Trace
+
+
+def iteration_times_from_fences(fence_end_times, total: float):
+    """Per-iteration durations from fence boundaries, clamped to *total*.
+
+    A faulted run's stall can leave the last fence's recorded end time
+    past the simulation's finish time; clamping keeps every boundary
+    inside ``[0, total]`` so iteration durations never go negative and
+    always sum to *total*.
+    """
+    boundaries = [0.0]
+    boundaries.extend(min(t, total) for t in fence_end_times)
+    boundaries.append(total)
+    return [boundaries[i + 1] - boundaries[i]
+            for i in range(len(boundaries) - 1)]
 
 
 class TrioSim:
@@ -73,16 +90,30 @@ class TrioSim:
         process then SIGKILLs itself mid-run).  Only the sweep service's
         sacrificial worker processes pass ``True``; everywhere else such
         a spec raises :class:`repro.faults.ChaosError`.
+    plan:
+        Optional pre-built :class:`~repro.core.plan.ExtrapolationPlan` to
+        execute instead of running the extrapolator.  Its key must match
+        this (trace, config) pair — checked by lint rule PL001, raising
+        :class:`repro.analysis.AnalysisError` on mismatch.
+    plan_cache:
+        Optional :class:`~repro.core.plan.PlanCache`.  :meth:`run` looks
+        the plan up by :meth:`plan_key` and builds (and caches) it only
+        on a miss, so runs differing only in network/topology/fault
+        parameters extrapolate once.
     """
 
     def __init__(self, trace: Trace, config: SimulationConfig,
                  record_timeline: bool = True, hooks=(), op_time=None,
-                 sanitize: bool = False, allow_chaos: bool = False):
+                 sanitize: bool = False, allow_chaos: bool = False,
+                 plan: ExtrapolationPlan = None,
+                 plan_cache: PlanCache = None):
         self.config = config
         self.record_timeline = record_timeline
         self.hooks = tuple(hooks)
         self.sanitize = sanitize
         self.allow_chaos = allow_chaos
+        self.plan = plan
+        self.plan_cache = plan_cache
         #: Runtime sanitizer findings of the last :meth:`run` (a
         #: :class:`repro.analysis.Report`), or ``None`` when off.
         self.sanitizer_report = None
@@ -90,6 +121,7 @@ class TrioSim:
         #: :meth:`repro.faults.FaultInjector.stats`), or ``None`` when the
         #: config carries no (non-empty) fault spec.
         self.fault_stats = None
+        _prep_started = _wall.perf_counter()
         self.trace = self._prepare_trace(trace)
         if op_time is not None and op_time.trace is not self.trace:
             raise ValueError(
@@ -97,6 +129,7 @@ class TrioSim:
                 "prepared (cross-GPU-rescaled) trace"
             )
         self.op_time = op_time or OpTimeModel(self.trace, self._build_perf_model())
+        self._trace_prep_wall = _wall.perf_counter() - _prep_started
 
     def _build_perf_model(self):
         if self.config.perf_model == "piecewise":
@@ -126,20 +159,30 @@ class TrioSim:
     def _build_network(self, engine: Engine):
         if self.config.network_factory is not None:
             return self.config.network_factory(engine, self.config)
-        topology = self.config.topology
+        cfg = self.config
+        topology = cfg.topology
         if not isinstance(topology, nx.Graph):
-            topology = build_topology(
-                topology, self.config.num_gpus,
-                self.config.link_bandwidth, self.config.link_latency,
+            # Named topologies come from the process-level cache — built
+            # (and host-augmented) once per parameter key, shared across
+            # sweep points.  Fault injection mutates link attributes
+            # (``set_link_capacity``), so faulted runs get a copy.
+            host = ((cfg.host_bandwidth, cfg.host_latency)
+                    if cfg.include_host_transfers else None)
+            topology = build_topology_cached(
+                topology, cfg.num_gpus,
+                cfg.link_bandwidth, cfg.link_latency, host=host,
             )
-        if self.config.include_host_transfers:
+            if cfg.faults is not None and not cfg.faults.is_empty:
+                topology = topology.copy()
+            return FlowNetwork(engine, topology)
+        if cfg.include_host_transfers:
             topology = topology.copy()
             topology.add_node("host")
-            for i in range(self.config.num_gpus):
+            for i in range(cfg.num_gpus):
                 topology.add_edge(
                     "host", f"gpu{i}",
-                    bandwidth=self.config.host_bandwidth,
-                    latency=self.config.host_latency,
+                    bandwidth=cfg.host_bandwidth,
+                    latency=cfg.host_latency,
                 )
         return FlowNetwork(engine, topology)
 
@@ -192,14 +235,59 @@ class TrioSim:
         raise ValueError(f"unknown parallelism {cfg.parallelism!r}")
 
     # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan_key(self) -> str:
+        """Content key of this run's extrapolation plan (see
+        :func:`repro.core.plan.plan_key`): prepared-trace digest plus the
+        iteration-invariant parallelism knobs, excluding every network /
+        topology / fault / iteration parameter."""
+        return plan_key(self.trace, self.config)
+
+    def build_plan(self) -> ExtrapolationPlan:
+        """Run the extrapolator once, recording into a reusable plan."""
+        builder = PlanBuilder()
+        extrapolator = self._build_extrapolator()
+        extrapolator.fetch_inputs = self.config.include_host_transfers
+        extrapolator.build(builder)
+        return builder.finish(self.plan_key())
+
+    def _resolve_plan(self, profiler: PipelineProfiler) -> ExtrapolationPlan:
+        if self.plan is not None:
+            from repro.analysis import AnalysisError, lint_plan
+
+            report = lint_plan(self.plan, self.config, self.trace,
+                               prepared=True)
+            if report.has_errors:
+                raise AnalysisError(
+                    report, "supplied plan does not match this config")
+            profiler.plan_source = "supplied"
+            return self.plan
+        if self.plan_cache is not None:
+            plan, source = self.plan_cache.get_or_build(
+                self.plan_key(), self.build_plan)
+            profiler.plan_source = source
+            if source == "built":
+                profiler.count("extrapolator_builds")
+            return plan
+        profiler.plan_source = "built"
+        profiler.count("extrapolator_builds")
+        return self.build_plan()
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Simulate one training iteration and return the result."""
         started = _wall.perf_counter()
-        engine = Engine()
-        network = self._build_network(engine)
-        sim = TaskGraphSimulator(engine, network)
+        profiler = PipelineProfiler()
+        profiler.add_phase("trace_prep", self._trace_prep_wall)
+        with profiler.phase("plan"):
+            plan = self._resolve_plan(profiler)
+        with profiler.phase("engine"):
+            engine = Engine()
+            network = self._build_network(engine)
+            sim = TaskGraphSimulator(engine, network)
         if self.config.gpu_slowdowns:
             sim.compute_scale.update(self.config.gpu_slowdowns)
         recorder = TimelineRecorder() if self.record_timeline else None
@@ -207,12 +295,14 @@ class TrioSim:
             sim.accept_hook(recorder)
         for hook in self.hooks:
             sim.accept_hook(hook)
-        extrapolator = self._build_extrapolator()
-        extrapolator.fetch_inputs = self.config.include_host_transfers
-        for iteration in range(self.config.iterations):
-            if iteration > 0:
-                sim.fence(f"iteration{iteration}")
-            extrapolator.build(sim)
+        with profiler.phase("instancing"):
+            created = plan.instantiate(sim)
+            for iteration in range(1, self.config.iterations):
+                sim.fence_from(f"iteration{iteration}",
+                               plan.terminals(created))
+                created = plan.instantiate(sim)
+        profiler.count("plan_instances", self.config.iterations)
+        profiler.count("plan_tasks", len(plan))
         injector = None
         faults = self.config.faults
         if faults is not None and not faults.is_empty:
@@ -229,18 +319,16 @@ class TrioSim:
                 raise AnalysisError(pre, "task graph failed pre-run analysis")
             suite = SanitizerSuite().attach(engine=engine, network=network,
                                             injector=injector, sim=sim)
-        total = sim.run()
+        with profiler.phase("engine"):
+            total = sim.run()
         if injector is not None:
             self.fault_stats = injector.stats()
         if suite is not None:
             self.sanitizer_report = suite.finalize(engine)
         iteration_times = []
         if self.config.iterations > 1:
-            boundaries = [0.0] + [f.end_time for f in sim.fences] + [total]
-            iteration_times = [
-                boundaries[i + 1] - boundaries[i]
-                for i in range(len(boundaries) - 1)
-            ]
+            iteration_times = iteration_times_from_fences(
+                [f.end_time for f in sim.fences], total)
         wall = _wall.perf_counter() - started
 
         per_layer = defaultdict(float)
@@ -264,4 +352,5 @@ class TrioSim:
             wall_time=wall,
             events=engine.dispatched_events,
             iteration_times=iteration_times,
+            profile=profiler.to_dict(),
         )

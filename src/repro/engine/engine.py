@@ -168,12 +168,17 @@ class Engine(Hookable):
         *until*).  Returns the final virtual time.
         """
         self._paused = False
+        heappop = heapq.heappop
+        # self._hooks is mutated in place by accept/remove, so binding the
+        # list keeps the emptiness check live while skipping two HookCtx
+        # allocations per event on the (common) unobserved path.
+        hooks = self._hooks
         while self._queue and not self._paused:
             time, _seq, event = self._queue[0]
             if until is not None and time > until:
                 self._now = until
                 return self._now
-            heapq.heappop(self._queue)
+            heappop(self._queue)
             event._engine = None  # no longer queued; cancel() needs no note
             if event.cancelled:
                 self._cancelled -= 1
@@ -185,9 +190,12 @@ class Engine(Hookable):
                     f"exceeded max_events={self._max_events}; "
                     "possible runaway event loop"
                 )
-            self.invoke_hooks(HookCtx(HOOK_BEFORE_EVENT, self._now, event))
-            event.handler.handle(event)
-            self.invoke_hooks(HookCtx(HOOK_AFTER_EVENT, self._now, event))
+            if hooks:
+                self.invoke_hooks(HookCtx(HOOK_BEFORE_EVENT, self._now, event))
+                event.handler.handle(event)
+                self.invoke_hooks(HookCtx(HOOK_AFTER_EVENT, self._now, event))
+            else:
+                event.handler.handle(event)
         if until is not None and not self._queue:
             self._now = max(self._now, until)
         return self._now

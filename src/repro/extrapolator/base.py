@@ -3,6 +3,17 @@
 An extrapolator owns the conversion of one single-GPU trace into a task
 DAG for one parallelism strategy.  Subclasses implement :meth:`build`;
 shared helpers cover per-GPU operator chains and placement bookkeeping.
+
+Builds target a **graph builder**, not necessarily a live simulator: any
+object exposing ``add_compute`` / ``add_transfer`` / ``add_barrier`` with
+:class:`~repro.core.taskgraph.TaskGraphSimulator`'s signatures, whose
+return values are opaque dependency handles.  The plan/execute split
+(:mod:`repro.core.plan`) relies on this: the same ``build`` records into a
+:class:`~repro.core.plan.PlanBuilder` to produce a cacheable plan.  A
+build must therefore be a *pure function of the extrapolator's inputs*:
+emit tasks in deterministic program order, never read task attributes or
+builder state back, and never call ``fence`` (iteration boundaries are an
+execute-time concern).
 """
 
 from __future__ import annotations
@@ -16,6 +27,12 @@ from repro.memory.tensor_store import TensorStore
 from repro.network.topology import gpu_names
 from repro.trace.records import OperatorRecord
 from repro.trace.trace import Trace
+
+#: The structural type extrapolators build into — a live
+#: :class:`TaskGraphSimulator` or a recording
+#: :class:`~repro.core.plan.PlanBuilder`.  (An alias, not a Protocol, to
+#: keep the annotation surface compatible with Python 3.9.)
+GraphBuilder = TaskGraphSimulator
 
 
 class Extrapolator(ABC):
@@ -49,7 +66,12 @@ class Extrapolator(ABC):
 
     @abstractmethod
     def build(self, sim: TaskGraphSimulator) -> None:
-        """Populate *sim* with the tasks of one training iteration."""
+        """Populate *sim* with the tasks of one training iteration.
+
+        *sim* may be any :data:`GraphBuilder` — a live simulator or a
+        plan recorder; implementations must honour the purity contract
+        in the module docstring so recorded plans replay bit-identically.
+        """
 
     # ------------------------------------------------------------------
     # Shared helpers

@@ -201,7 +201,8 @@ class FlowNetwork(Hookable):
         route = self.route(src, dst)  # validates both endpoints
         flow = _Flow(next(self._ids), src, dst, float(nbytes), callback, tag)
         flow.start_time = self.engine.now
-        self.invoke_hooks(HookCtx(HOOK_FLOW_START, self.engine.now, flow))
+        if self._hooks:
+            self.invoke_hooks(HookCtx(HOOK_FLOW_START, self.engine.now, flow))
         if not route or nbytes == 0:
             # Local move: no wire time; deliver via a zero-delay event so
             # callback ordering stays consistent with real transfers.
@@ -559,5 +560,7 @@ class FlowNetwork(Hookable):
                 self._dirty.clear()
         self.delivered_count += 1
         self.total_bytes_delivered += flow.nbytes
-        self.invoke_hooks(HookCtx(HOOK_FLOW_DELIVER, self.engine.now, flow))
+        if self._hooks:
+            self.invoke_hooks(
+                HookCtx(HOOK_FLOW_DELIVER, self.engine.now, flow))
         flow.callback(flow)

@@ -10,7 +10,8 @@ Hop case-study graphs — are all provided.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple
 
 import networkx as nx
 
@@ -227,6 +228,50 @@ def build_topology(name: str, n: int, bandwidth: float,
     if name not in _BUILDERS:
         raise KeyError(f"unknown topology {name!r}; known: {sorted(_BUILDERS)}")
     return _BUILDERS[name](n, bandwidth, latency)
+
+
+#: Process-level LRU of built (optionally host-augmented) topologies.
+#: Sweep points sharing network parameters reuse one graph instead of
+#: rebuilding — callers that mutate link attributes (fault injection)
+#: must ``.copy()`` what they get back.
+_TOPOLOGY_CACHE: "OrderedDict[tuple, nx.Graph]" = OrderedDict()
+TOPOLOGY_CACHE_LIMIT = 32
+
+
+def build_topology_cached(name: str, n: int, bandwidth: float,
+                          latency: float = 1e-6,
+                          host: Optional[Tuple[float, float]] = None
+                          ) -> nx.Graph:
+    """A cached :func:`build_topology`, keyed by every build parameter.
+
+    With ``host=(bandwidth, latency)`` the returned graph also carries a
+    ``host`` node linked to every GPU — the host-transfer augmentation
+    built once per key instead of copied per simulation.  The graph is
+    shared: treat it as immutable, or copy before mutating.
+    """
+    key = (name, n, float(bandwidth), float(latency),
+           None if host is None else (float(host[0]), float(host[1])))
+    graph = _TOPOLOGY_CACHE.get(key)
+    if graph is not None:
+        _TOPOLOGY_CACHE.move_to_end(key)
+        return graph
+    graph = build_topology(name, n, bandwidth, latency)
+    if host is not None:
+        graph.add_node("host")
+        for gpu in gpu_names(n):
+            graph.add_edge("host", gpu,
+                           bandwidth=float(host[0]), latency=float(host[1]))
+    _TOPOLOGY_CACHE[key] = graph
+    while len(_TOPOLOGY_CACHE) > TOPOLOGY_CACHE_LIMIT:
+        _TOPOLOGY_CACHE.popitem(last=False)
+    return graph
+
+
+def clear_topology_cache() -> int:
+    """Drop every cached topology; returns the number evicted."""
+    evicted = len(_TOPOLOGY_CACHE)
+    _TOPOLOGY_CACHE.clear()
+    return evicted
 
 
 def link_names(graph: nx.Graph) -> List[str]:

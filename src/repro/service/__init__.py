@@ -7,6 +7,7 @@ cache every result by content, dedup shared preparation work, and keep
 going when individual points fail.
 """
 
+from repro.core.plan import PlanCache
 from repro.service.cache import ResultCache, trace_digest
 from repro.service.runner import (
     HOOK_SWEEP_END,
@@ -25,6 +26,7 @@ __all__ = [
     "HOOK_SWEEP_END",
     "HOOK_SWEEP_POINT",
     "HOOK_SWEEP_START",
+    "PlanCache",
     "PointTimeoutError",
     "ResultCache",
     "SweepError",

@@ -21,24 +21,7 @@ from typing import Optional, Union
 
 from repro.core.config import SimulationConfig
 from repro.core.results import RESULT_SCHEMA_VERSION, SimulationResult
-from repro.trace.trace import Trace
-
-
-def trace_digest(trace: Trace) -> str:
-    """Stable content digest of a trace (sha256 of its canonical JSON).
-
-    The digest is memoized on the trace object and re-derived whenever the
-    operator/tensor counts change, so repeated sweeps over the same trace
-    pay the canonicalization cost once.
-    """
-    shape = (len(trace.operators), len(trace.tensors))
-    memo = getattr(trace, "_digest_memo", None)
-    if memo is not None and memo[0] == shape:
-        return memo[1]
-    canonical = json.dumps(trace.to_dict(), sort_keys=True)
-    digest = hashlib.sha256(canonical.encode()).hexdigest()
-    trace._digest_memo = (shape, digest)
-    return digest
+from repro.trace.trace import trace_digest  # noqa: F401  (re-export)
 
 
 class ResultCache:

@@ -10,6 +10,10 @@
 * shared-work dedup — cross-GPU trace rescaling happens once per
   ``(trace, target GPU)`` in the parent, and performance-model fits happen
   once per worker process instead of once per point;
+* extrapolation-plan sharing (:mod:`repro.core.plan`) — points differing
+  only in network/topology/fault parameters reuse one cached task-graph
+  plan; with a plan directory the parent pre-builds each distinct plan
+  once and workers load it from disk;
 * graceful degradation — a failing config yields a structured
   :class:`SweepError` (with the worker traceback) instead of killing the
   sweep, and each point runs under an optional wall-clock timeout;
@@ -44,7 +48,9 @@ from typing import Dict, List, Optional, Sequence, Union
 from repro.analysis.linter import lint_config
 from repro.analysis.reporters import render_text
 from repro.core.config import SimulationConfig
+from repro.core.plan import PlanCache
 from repro.core.results import SimulationResult
+from repro.core.simulator import TrioSim
 from repro.engine.hooks import HookCtx, Hookable
 from repro.perfmodel.scaling import CrossGPUScaler
 from repro.service import worker as _worker
@@ -136,6 +142,8 @@ class SweepMetrics:
     elapsed: float = 0.0
     retries: int = 0          # isolated re-executions after worker crashes
     worker_crashes: int = 0   # points abandoned as WorkerCrashed
+    plan_builds: int = 0      # extrapolator graph builds actually performed
+    plan_cache_hits: int = 0  # fresh points served by a cached plan
 
     @property
     def hit_rate(self) -> float:
@@ -161,6 +169,8 @@ class SweepMetrics:
             "errors": self.errors,
             "retries": self.retries,
             "worker_crashes": self.worker_crashes,
+            "plan_builds": self.plan_builds,
+            "plan_cache_hits": self.plan_cache_hits,
             "fresh_events": self.fresh_events,
             "events_per_sec": self.events_per_sec,
             "eta_seconds": self.eta_seconds,
@@ -199,6 +209,15 @@ class SweepRunner(Hookable):
     retry_backoff:
         Base of the bounded exponential backoff between isolated retries
         of a crashed point, in seconds.
+    plan_cache:
+        Extrapolation-plan sharing (see :mod:`repro.core.plan`; on by
+        default).  ``True`` keeps an in-memory :class:`PlanCache` in the
+        parent (in-process points) plus a private one per worker; a
+        directory path (or a rooted :class:`PlanCache`) additionally
+        persists plans, letting the parent pre-build each distinct plan
+        once and every worker load it; ``False``/``None`` disables the
+        cache and every point re-extrapolates.  Results are bit-identical
+        in all three modes.
     """
 
     #: Bound on memoized (rescaled trace, fitted models) entries.
@@ -215,12 +234,21 @@ class SweepRunner(Hookable):
                  cache: Union[ResultCache, str, Path, None] = None,
                  timeout: Optional[float] = None, hooks: Sequence = (),
                  lint: bool = True, sanitize: bool = False,
-                 retry_seed: int = 0, retry_backoff: float = 0.05):
+                 retry_seed: int = 0, retry_backoff: float = 0.05,
+                 plan_cache: Union[PlanCache, str, Path, bool, None] = True):
         super().__init__()
         self.max_workers = max_workers if max_workers is not None \
             else (os.cpu_count() or 1)
         self.cache = (ResultCache(cache)
                       if isinstance(cache, (str, Path)) else cache)
+        if plan_cache is True:
+            self.plan_cache: Optional[PlanCache] = PlanCache()
+        elif isinstance(plan_cache, (str, Path)):
+            self.plan_cache = PlanCache(root=plan_cache)
+        elif isinstance(plan_cache, PlanCache):
+            self.plan_cache = plan_cache
+        else:
+            self.plan_cache = None
         self.timeout = timeout
         self.lint = lint
         self.sanitize = sanitize
@@ -272,6 +300,49 @@ class SweepRunner(Hookable):
             if gpu_key not in prepared:
                 prepared[gpu_key] = self._shared_work(trace, gpu_key)[0]
         return prepared
+
+    def _plan_mode(self) -> Optional[str]:
+        """The worker-initializer encoding of this runner's plan cache:
+        ``None`` disabled, ``""`` private in-memory, else a shared
+        directory."""
+        if self.plan_cache is None:
+            return None
+        if self.plan_cache.root is not None:
+            return str(self.plan_cache.root)
+        return ""
+
+    def _prepare_plans(self, trace: Trace, points,
+                       metrics: "SweepMetrics") -> None:
+        """Build each distinct plan once in the parent (disk-backed
+        caches only), so pool workers load instead of re-extrapolating.
+
+        Preparation is best-effort: a config whose plan can't even be
+        built will fail identically — with a proper error record — when
+        its point runs.
+        """
+        if self.plan_cache is None or self.plan_cache.root is None:
+            return
+        seen = set()
+        for outcome in points:
+            try:
+                gpu_key = self._gpu_key(trace, outcome.config)
+                point_trace, op_times = self._shared_work(trace, gpu_key)
+                op_time = _worker.shared_op_time(
+                    point_trace, outcome.config.perf_model, op_times,
+                    gpu_key,
+                )
+                sim = TrioSim(point_trace, outcome.config,
+                              record_timeline=False, op_time=op_time)
+                key = sim.plan_key()
+                if key in seen:
+                    continue
+                seen.add(key)
+                _plan, source = self.plan_cache.get_or_build(
+                    key, sim.build_plan)
+                if source == "built":
+                    metrics.plan_builds += 1
+            except Exception:
+                continue
 
     # ------------------------------------------------------------------
     # Execution
@@ -360,6 +431,11 @@ class SweepRunner(Hookable):
             metrics.errors += 1
         elif not outcome.cached and outcome.result is not None:
             metrics.fresh_events += outcome.result.events
+            source = outcome.result.profile.get("plan_source")
+            if source == "built":
+                metrics.plan_builds += 1
+            elif source in ("memory", "disk"):
+                metrics.plan_cache_hits += 1
         metrics.elapsed = _wall.perf_counter() - started
         self.invoke_hooks(
             HookCtx(HOOK_SWEEP_POINT, 0.0, item=outcome,
@@ -397,6 +473,7 @@ class SweepRunner(Hookable):
         trace_dicts = {
             gpu_key: scaled.to_dict() for gpu_key, scaled in prepared.items()
         }
+        self._prepare_plans(trace, points, metrics)
         crashed = self._parallel_wave(trace, points, workers, trace_dicts,
                                       record_timeline, metrics, started,
                                       base_key)
@@ -414,7 +491,7 @@ class SweepRunner(Hookable):
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_worker.init_worker,
-            initargs=(trace_dicts,),
+            initargs=(trace_dicts, self._plan_mode()),
         ) as pool:
             futures = {
                 pool.submit(_worker.run_point,
@@ -482,7 +559,7 @@ class SweepRunner(Hookable):
         with ProcessPoolExecutor(
             max_workers=1,
             initializer=_worker.init_worker,
-            initargs=(trace_dicts,),
+            initargs=(trace_dicts, self._plan_mode()),
         ) as pool:
             future = pool.submit(
                 _worker.run_point,
@@ -509,6 +586,7 @@ class SweepRunner(Hookable):
                     point_trace, outcome.config, record_timeline,
                     self.timeout, op_time=op_time, sanitize=self.sanitize,
                     sanitizer_sink=outcome.sanitizer_findings,
+                    plan_cache=self.plan_cache,
                 )
                 if (self.cache is not None
                         and outcome.config.is_serializable):

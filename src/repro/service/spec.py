@@ -11,6 +11,7 @@ are cross-producted::
                 "link_bandwidth": [25e9, 100e9, 234e9]},
       "workers": 4,
       "cache_dir": ".repro-cache",
+      "plan_dir": ".repro-plans",
       "timeout": 120
     }
 
@@ -34,7 +35,7 @@ from repro.trace.trace import Trace
 
 _TOP_LEVEL_KEYS = {
     "trace", "model", "gpu", "batch", "seq_len",
-    "base", "axes", "workers", "cache_dir", "timeout",
+    "base", "axes", "workers", "cache_dir", "timeout", "plan_dir",
 }
 
 
@@ -52,6 +53,9 @@ class SweepSpec:
     workers: Optional[int] = None
     cache_dir: Optional[str] = None
     timeout: Optional[float] = None
+    #: Directory for the persistent extrapolation-plan cache
+    #: (``docs/plans.md``); ``None`` keeps plan sharing in-memory only.
+    plan_dir: Optional[str] = None
 
     def __post_init__(self):
         if (self.trace_path is None) == (self.model is None):
@@ -83,6 +87,7 @@ class SweepSpec:
             workers=data.get("workers"),
             cache_dir=data.get("cache_dir"),
             timeout=data.get("timeout"),
+            plan_dir=data.get("plan_dir"),
         )
 
     @classmethod

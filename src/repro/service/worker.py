@@ -25,6 +25,7 @@ from contextlib import contextmanager
 from typing import Dict, Optional, Tuple
 
 from repro.core.config import SimulationConfig
+from repro.core.plan import PlanCache
 from repro.core.simulator import TrioSim
 from repro.extrapolator.optime import OpTimeModel
 from repro.trace.trace import Trace
@@ -120,13 +121,32 @@ _TRACE_DICTS: Dict[str, dict] = {}
 _PARSED: Dict[str, Trace] = {}
 _OP_TIMES: Dict[Tuple[str, str], OpTimeModel] = {}
 
+#: This worker's extrapolation-plan cache, or ``None`` when disabled.
+_PLAN_CACHE: Optional[PlanCache] = None
 
-def init_worker(trace_dicts: Dict[str, dict]) -> None:
-    """Pool initializer: receive every prepared trace exactly once."""
+
+def init_worker(trace_dicts: Dict[str, dict],
+                plan_mode: Optional[str] = "") -> None:
+    """Pool initializer: receive every prepared trace exactly once.
+
+    *plan_mode* configures plan caching in this process: ``None``
+    disables it, ``""`` (the default) gives the worker a private
+    in-memory :class:`PlanCache`, and any other string is a directory a
+    disk-backed cache shares with the parent and sibling workers — the
+    parent pre-builds each distinct plan there, so workers only ever
+    load.
+    """
+    global _PLAN_CACHE
     _TRACE_DICTS.clear()
     _TRACE_DICTS.update(trace_dicts)
     _PARSED.clear()
     _OP_TIMES.clear()
+    if plan_mode is None:
+        _PLAN_CACHE = None
+    elif plan_mode == "":
+        _PLAN_CACHE = PlanCache()
+    else:
+        _PLAN_CACHE = PlanCache(root=plan_mode)
 
 
 def shared_op_time(trace: Trace, perf_model: str,
@@ -156,7 +176,8 @@ def simulate_point(trace: Trace, config: SimulationConfig,
                    op_time: Optional[OpTimeModel] = None,
                    sanitize: bool = False,
                    sanitizer_sink: Optional[list] = None,
-                   allow_chaos: bool = False):
+                   allow_chaos: bool = False,
+                   plan_cache: Optional[PlanCache] = None):
     """Run one sweep point (optionally under a deadline).
 
     With ``sanitize``, runtime sanitizer findings are appended to
@@ -164,11 +185,13 @@ def simulate_point(trace: Trace, config: SimulationConfig,
     ``allow_chaos`` arms ``chaos_kill_at`` fault specs; worker processes
     are sacrificial, so :func:`run_point` passes ``True``, while
     in-process runs keep the default and such specs raise instead.
+    *plan_cache* shares extrapolation plans across points that differ
+    only in network/topology/fault parameters.
     """
     with deadline(timeout):
         sim = TrioSim(trace, config, record_timeline=record_timeline,
                       op_time=op_time, sanitize=sanitize,
-                      allow_chaos=allow_chaos)
+                      allow_chaos=allow_chaos, plan_cache=plan_cache)
         result = sim.run()
         if sanitizer_sink is not None and sim.sanitizer_report is not None:
             sanitizer_sink.extend(sim.sanitizer_report.to_dicts())
@@ -197,6 +220,7 @@ def run_point(payload: dict) -> dict:
             trace, config, payload["record_timeline"], payload["timeout"],
             op_time=op_time, sanitize=payload.get("sanitize", False),
             sanitizer_sink=sanitizer_findings, allow_chaos=True,
+            plan_cache=_PLAN_CACHE,
         )
         return {"ok": True, "result": result.to_dict(),
                 "sanitizer": sanitizer_findings}

@@ -8,6 +8,7 @@ the original tool's profiler dumps.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -315,3 +316,20 @@ class Trace:
         except json.JSONDecodeError as exc:
             raise TraceFormatError(f"{path} is not valid JSON: {exc}") from exc
         return cls.from_dict(data)
+
+
+def trace_digest(trace: Trace) -> str:
+    """Stable content digest of a trace (sha256 of its canonical JSON).
+
+    The digest is memoized on the trace object and re-derived whenever the
+    operator/tensor counts change, so repeated sweeps over the same trace
+    pay the canonicalization cost once.
+    """
+    shape = (len(trace.operators), len(trace.tensors))
+    memo = getattr(trace, "_digest_memo", None)
+    if memo is not None and memo[0] == shape:
+        return memo[1]
+    canonical = json.dumps(trace.to_dict(), sort_keys=True)
+    digest = hashlib.sha256(canonical.encode()).hexdigest()
+    trace._digest_memo = (shape, digest)
+    return digest

@@ -292,26 +292,23 @@ class TestTrioSimSanitize:
         assert sanitized_sim.sanitizer_report.ok
 
     def test_broken_extrapolator_rejected_pre_run(self, trace, monkeypatch):
+        from repro.core.plan import ExtrapolationPlan
+
         config = SimulationConfig(parallelism="ddp", num_gpus=2,
                                   topology="ring")
         sim = TrioSim(trace, config, sanitize=True)
-        original = sim._build_extrapolator
+        original = ExtrapolationPlan.instantiate
 
-        def sabotaged():
-            extrapolator = original()
-            build = extrapolator.build
+        def bad_instantiate(plan, tg):
+            created = original(plan, tg)
+            # Introduce a dependency cycle after extrapolation.
+            a, b = tg.tasks[0], tg.tasks[1]
+            b.dependents.append(a)
+            a.remaining_deps += 1
+            return created
 
-            def bad_build(tg):
-                build(tg)
-                # Introduce a dependency cycle after extrapolation.
-                a, b = tg.tasks[0], tg.tasks[1]
-                b.dependents.append(a)
-                a.remaining_deps += 1
-
-            extrapolator.build = bad_build
-            return extrapolator
-
-        monkeypatch.setattr(sim, "_build_extrapolator", sabotaged)
+        monkeypatch.setattr(ExtrapolationPlan, "instantiate",
+                            bad_instantiate)
         with pytest.raises(AnalysisError) as excinfo:
             sim.run()
         assert "TG001" in str(excinfo.value)

@@ -303,7 +303,9 @@ class TestDeterminism:
                 result = TrioSim(rn18_trace, config,
                                  record_timeline=False).run()
                 payload = result.to_dict()
-                payload.pop("wall_time")  # host timing, not simulation state
+                # Host timing, not simulation state.
+                payload.pop("wall_time")
+                payload.pop("profile")
                 payloads.append(payload)
             return payloads
 
