@@ -1,0 +1,114 @@
+"""Fabric-scale benchmark: routing strategies on a 128-GPU leaf-spine Clos.
+
+The datacenter-fabric layer must not cost the simulator its headline
+lightness: candidate-path enumeration, per-flow routing choices, and the
+per-link congestion counters all sit on the network hot path.  This
+benchmark runs DDP training on a 128-GPU oversubscribed leaf-spine
+fabric under the legacy shortest-path policy and every non-trivial
+routing strategy, and writes the events/s + wall-time baseline to
+``BENCH_fabric.json`` at the repo root — the number future fabric PRs
+compare against.
+
+``REPRO_BENCH_QUICK=1`` shrinks the fabric to 64 GPUs for CI smoke runs
+(the committed baseline is the full 128-GPU figure).
+"""
+
+import json
+import platform
+from pathlib import Path
+
+from conftest import QUICK
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import TrioSim
+from repro.gpus.specs import get_gpu
+from repro.network.topology import TopologySpec
+from repro.trace.tracer import Tracer
+from repro.workloads import get_model
+
+NUM_GPUS = 64 if QUICK else 128
+GPUS_PER_LEAF = 8
+SPINES = 4 if QUICK else 8
+OVERSUBSCRIPTION = 2.0
+STRATEGIES = ("shortest", "ecmp", "flowlet", "adaptive")
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_fabric.json"
+
+
+def _config(routing: str) -> SimulationConfig:
+    return SimulationConfig(
+        parallelism="ddp", num_gpus=NUM_GPUS,
+        topology=TopologySpec("leaf_spine", {
+            "gpus_per_leaf": GPUS_PER_LEAF, "spines": SPINES,
+        }),
+        oversubscription=OVERSUBSCRIPTION,
+        link_bandwidth=100e9, routing=routing, routing_seed=1,
+    )
+
+
+def test_fabric_routing_scale(benchmark, show):
+    trace = Tracer(get_gpu("A100")).trace(get_model("resnet50"), 64)
+
+    def run_all():
+        results = {}
+        for routing in STRATEGIES:
+            res = TrioSim(trace, _config(routing),
+                          record_timeline=False).run()
+            results[routing] = res
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    cases = {}
+    for routing, res in results.items():
+        cases[routing] = {
+            "total_time": res.total_time,
+            "wall_time": res.wall_time,
+            "events": res.events,
+            "events_per_sec": res.events / max(res.wall_time, 1e-9),
+            "multipath_pairs": res.network["multipath_pairs"],
+            "max_peak_flows": res.network["max_peak_flows"],
+            "most_loaded_link": res.network["most_loaded_link"],
+        }
+    headline = cases["adaptive"]
+    payload = {
+        "benchmark": "fabric_routing_scale",
+        "schema_version": 1,
+        "quick": QUICK,
+        "python": platform.python_version(),
+        "num_gpus": NUM_GPUS,
+        "gpus_per_leaf": GPUS_PER_LEAF,
+        "spines": SPINES,
+        "oversubscription": OVERSUBSCRIPTION,
+        "cases": cases,
+        "headline": {
+            "routing": "adaptive",
+            "num_gpus": NUM_GPUS,
+            "events_per_sec": headline["events_per_sec"],
+            "wall_time": headline["wall_time"],
+            "overhead_vs_shortest": (
+                headline["wall_time"]
+                / max(cases["shortest"]["wall_time"], 1e-9)),
+        },
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    show("\n".join(
+        f"fabric {routing:>8}: predicted {case['total_time'] * 1e3:.1f} ms, "
+        f"{case['wall_time']:.1f} s wall, {case['events_per_sec']:,.0f} "
+        f"events/s, peak {case['max_peak_flows']} flows on "
+        f"{case['most_loaded_link']}"
+        for routing, case in cases.items()
+    ) + f"\nwrote {OUTPUT}")
+
+    # The fabric layer must stay lightweight: every strategy finishes the
+    # 128-GPU run in interactive time, and cross-leaf pairs really did see
+    # multiple candidate paths.
+    for routing, case in cases.items():
+        assert case["wall_time"] < 60.0, routing
+    assert all(case["multipath_pairs"] > 0
+               for name, case in cases.items() if name != "shortest")
+    # Path diversity spreads congestion: adaptive's hottest link carries
+    # no more concurrent flows than the hash-pinned ECMP one.
+    assert cases["adaptive"]["max_peak_flows"] <= \
+        cases["ecmp"]["max_peak_flows"]

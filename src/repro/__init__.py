@@ -49,6 +49,18 @@ from repro.gpus.specs import (
 )
 from repro.network.flow import FlowNetwork
 from repro.network.photonic import PhotonicNetwork
+from repro.network.routing import (
+    RoutingStrategy,
+    get_routing_strategy,
+    register_routing_strategy,
+    routing_names,
+)
+from repro.network.topology import (
+    TOPOLOGIES,
+    TopologySpec,
+    register_topology,
+    topology_names,
+)
 from repro.oracle.oracle import HardwareOracle
 from repro.hop.protocol import HopConfig, HopSimulation
 from repro.memory.estimator import check_fits, estimate_memory
@@ -83,6 +95,7 @@ __all__ = [
     "Platform",
     "Report",
     "ResultCache",
+    "RoutingStrategy",
     "SanitizerSuite",
     "SimulationConfig",
     "SimulationResult",
@@ -90,7 +103,9 @@ __all__ = [
     "SweepOutcome",
     "SweepRunner",
     "SweepSpec",
+    "TOPOLOGIES",
     "TRANSFORMER_NAMES",
+    "TopologySpec",
     "TimelineRecord",
     "Trace",
     "TraceFormatError",
@@ -104,6 +119,7 @@ __all__ = [
     "get_gpu",
     "get_interconnect",
     "get_model",
+    "get_routing_strategy",
     "lint_config",
     "lint_plan",
     "lint_spec",
@@ -112,5 +128,9 @@ __all__ = [
     "platform_p1",
     "platform_p2",
     "platform_p3",
+    "register_routing_strategy",
+    "register_topology",
+    "routing_names",
     "timeline_summary",
+    "topology_names",
 ]

@@ -19,7 +19,7 @@ import networkx as nx
 from repro.analysis.registry import rule
 from repro.core.config import SimulationConfig
 from repro.gpus.specs import GPU_SPECS
-from repro.network.topology import _BUILDERS, build_topology, gpu_names
+from repro.network.topology import TOPOLOGIES, TopologySpec, build_topology, gpu_names
 from repro.trace.trace import Trace
 from repro.workloads.graph import TENSOR_PARALLEL_KINDS
 
@@ -40,6 +40,14 @@ class ConfigContext:
     graph: Optional[nx.Graph] = None
     prebuilt: bool = False
     unknown_topology: Optional[str] = None
+    #: Resolved topology name / builder params (named topologies only).
+    topology_name: Optional[str] = None
+    topology_params: Optional[dict] = None
+    #: ``True`` when the resolved topology is registered as multi-path.
+    multipath: bool = False
+    #: Builder error text when a known topology rejected its parameters
+    #: (an invalid fabric shape) — the feed of lint rule NW001.
+    build_error: Optional[str] = None
 
     @classmethod
     def build(cls, config: SimulationConfig,
@@ -49,13 +57,29 @@ class ConfigContext:
         if isinstance(topology, nx.Graph):
             ctx.graph = topology
             ctx.prebuilt = True
-        elif topology in _BUILDERS:
-            ctx.graph = build_topology(
-                topology, config.num_gpus,
-                config.link_bandwidth, config.link_latency,
-            )
+            return ctx
+        if isinstance(topology, TopologySpec):
+            ctx.topology_name = topology.name
+            ctx.topology_params = dict(topology.params)
         else:
-            ctx.unknown_topology = str(topology)
+            ctx.topology_name = str(topology)
+            ctx.topology_params = {}
+        if ctx.topology_name not in TOPOLOGIES:
+            ctx.unknown_topology = ctx.topology_name
+            return ctx
+        ctx.multipath = TOPOLOGIES.get(ctx.topology_name).multipath
+        params = dict(ctx.topology_params)
+        if config.oversubscription is not None and \
+                TOPOLOGIES.supports_param(ctx.topology_name,
+                                          "oversubscription"):
+            params["oversubscription"] = config.oversubscription
+        try:
+            ctx.graph = build_topology(
+                ctx.topology_name, config.num_gpus,
+                config.link_bandwidth, config.link_latency, **params,
+            )
+        except (TypeError, ValueError) as exc:
+            ctx.build_error = str(exc)
         return ctx
 
     @property
@@ -87,7 +111,11 @@ class ConfigContext:
 def check_topology_nodes(ctx: ConfigContext, emit) -> None:
     if ctx.unknown_topology is not None:
         emit(f"unknown topology {ctx.unknown_topology!r}; known: "
-             f"{sorted(_BUILDERS)}", location="topology")
+             f"{sorted(TOPOLOGIES.names())}", location="topology")
+        return
+    if ctx.graph is None:
+        # A known topology that failed to build is NW001's finding, not a
+        # missing-GPU problem; skip quietly so the gate doesn't double-fire.
         return
     missing = [g for g in ctx.required_gpus if g not in ctx.graph]
     if missing:

@@ -24,7 +24,7 @@ import networkx as nx
 
 # Importing the rule modules registers their rules as a side effect.
 from repro.analysis import config_rules, fault_rules, taskgraph_rules, trace_rules  # noqa: F401
-from repro.analysis import plan_rules, sanitizers  # noqa: F401
+from repro.analysis import network_rules, plan_rules, sanitizers  # noqa: F401
 from repro.analysis.plan_rules import PlanContext
 from repro.analysis.config_rules import ConfigContext
 from repro.analysis.findings import Finding, Report

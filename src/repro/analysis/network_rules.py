@@ -1,0 +1,90 @@
+"""Static lint rules for fabric and routing parameters (``NW``-series).
+
+The fabric builders (:func:`~repro.network.topology.leaf_spine`,
+:func:`~repro.network.topology.fat_tree_clos`) and the routing layer
+(:mod:`repro.network.routing`) accept their knobs permissively at config
+construction time — like topology names, typos and shape errors are a
+*lint* concern, caught here before they fail deep inside topology
+building or network dispatch:
+
+* **NW001** (gate) — a known topology rejected its builder parameters
+  (an invalid fabric shape: odd Clos ``k``, rows not dividing the GPU
+  count, an unknown builder param, ...);
+* **NW002** — ``oversubscription`` set on a topology without uplink
+  tiers, or an unusual ratio (< 1 means uplinks are *faster* than the
+  access links — legal, but almost always a flipped ratio);
+* **NW003** — ``routing`` does not name a registered strategy;
+* **NW004** — a non-default routing strategy on a single-path topology,
+  where it is inert by design (every strategy is bit-identical to
+  ``shortest`` there; see ``docs/network.md``).
+
+These share :class:`~repro.analysis.config_rules.ConfigContext` and run
+with the ``CF``-series inside ``lint_config``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.config_rules import ConfigContext
+from repro.analysis.registry import rule
+from repro.network.routing import routing_names
+from repro.network.topology import TOPOLOGIES
+
+
+@rule("NW001", "fabric-invalid-shape", "config", "error", gate=True,
+      description="A named topology's builder parameters must describe a "
+                  "buildable fabric (even Clos k, rows dividing the GPU "
+                  "count, positive tier sizes, known params).")
+def check_fabric_shape(ctx: ConfigContext, emit) -> None:
+    if ctx.build_error is not None:
+        emit(f"topology {ctx.topology_name!r} cannot be built: "
+             f"{ctx.build_error}", location="topology",
+             params=ctx.topology_params)
+
+
+@rule("NW002", "oversubscription-range", "config", "error",
+      description="oversubscription only applies to fabrics with uplink "
+                  "tiers (e.g. leaf_spine) and should be >= 1 (downlink:"
+                  "uplink capacity ratio).")
+def check_oversubscription(ctx: ConfigContext, emit) -> None:
+    ratio = ctx.config.oversubscription
+    if ratio is None:
+        return
+    name = ctx.topology_name
+    if name is not None and name in TOPOLOGIES and \
+            not TOPOLOGIES.supports_param(name, "oversubscription"):
+        emit(f"topology {name!r} does not take an oversubscription "
+             "parameter; only fabrics with uplink tiers do "
+             "(e.g. leaf_spine)", location="oversubscription")
+        return
+    if ratio < 1.0:
+        emit(f"oversubscription {ratio:g} is below 1 — uplinks would be "
+             "faster than access links; the ratio is downlink:uplink and "
+             "is usually >= 1", location="oversubscription",
+             severity="warning", ratio=ratio)
+
+
+@rule("NW003", "routing-unknown", "config", "error",
+      description="routing must name a registered strategy (see "
+                  "repro.network.routing).")
+def check_routing_name(ctx: ConfigContext, emit) -> None:
+    name = ctx.config.routing
+    if name not in routing_names():
+        emit(f"unknown routing strategy {name!r}; known: "
+             f"{routing_names()}", location="routing")
+
+
+@rule("NW004", "routing-single-path", "config", "info",
+      description="A non-default routing strategy on a single-path "
+                  "topology is inert: every strategy is bit-identical to "
+                  "'shortest' there.")
+def check_routing_engages(ctx: ConfigContext, emit) -> None:
+    name = ctx.config.routing
+    if name == "shortest" or name not in routing_names():
+        return
+    if ctx.prebuilt or ctx.topology_name is None:
+        return  # prebuilt graphs always engage the strategy
+    if ctx.topology_name in TOPOLOGIES and not ctx.multipath:
+        emit(f"routing {name!r} has no effect on single-path topology "
+             f"{ctx.topology_name!r}; it engages only on multi-path "
+             "fabrics (e.g. leaf_spine, fat_tree_clos)",
+             location="routing")

@@ -16,7 +16,12 @@ corrupts results:
 * :class:`AllocatorWarningSanitizer` — the max-min allocator's
   numerical-safety edges (progressive filling stalling without freezing a
   flow) must not pass silently (hooked on
-  :data:`~repro.network.flow.HOOK_FLOW_WARNING`).
+  :data:`~repro.network.flow.HOOK_FLOW_WARNING`);
+* :class:`PathCapacitySanitizer` — every allocated flow must ride a
+  route that exists in the topology, and its rate must not exceed the
+  route's bottleneck capacity (path-capacity conservation — the
+  multi-path routing layer must never assemble a route whose links
+  cannot carry the allocated rate).
 
 :class:`SanitizerSuite` bundles all three behind ``--sanitize``: attach
 before :meth:`Engine.run`, call :meth:`finalize` after, read ``.report``.
@@ -65,6 +70,12 @@ DEFAULT_REGISTRY.register(Rule(
     description="After a faulted run, transient link degradations must be "
                 "restored, no flow may be stranded, every task must have "
                 "finished, and stall accounting must be non-negative.",
+))
+DEFAULT_REGISTRY.register(Rule(
+    id="SZ006", name="path-capacity", category="runtime", severity="error",
+    description="Every allocated flow's route must consist of topology "
+                "edges, and its rate must not exceed the route's "
+                "bottleneck link capacity.",
 ))
 
 
@@ -129,6 +140,57 @@ class LinkCapacitySanitizer:
                           f"{capacity:.6g} B/s capacity at t={ctx.time:g}",
                           location=f"edge {u}-{v}",
                           load=load, capacity=capacity, time=ctx.time)
+
+
+class PathCapacitySanitizer:
+    """Hook asserting per-flow path-capacity conservation.
+
+    Fires on :data:`~repro.network.flow.HOOK_FLOW_REALLOC`: every solved
+    flow's route must consist of edges present in the topology (a
+    strategy returning a stale or fabricated path would corrupt the
+    allocator's incidence index), and the flow's allocated rate must not
+    exceed the smallest link capacity along its route — max-min fairness
+    can never hand one flow more than its path's bottleneck.
+    """
+
+    def __init__(self, report: Report, rel_tolerance: float = 1e-6):
+        self.report = report
+        self.rel_tolerance = rel_tolerance
+        self._fired = 0
+
+    def func(self, ctx: HookCtx) -> None:
+        if ctx.pos != HOOK_FLOW_REALLOC:
+            return
+        topology = ctx.detail["topology"]
+        for flow in ctx.item:
+            bottleneck = None
+            for u, v in flow.route:
+                if not topology.has_edge(u, v):
+                    if self._fired < MAX_FINDINGS_PER_SANITIZER:
+                        self._fired += 1
+                        _emit(self.report, "SZ006",
+                              f"flow {flow.src}->{flow.dst} routed over "
+                              f"{u}->{v}, which is not a topology edge",
+                              location=f"edge {u}-{v}",
+                              src=flow.src, dst=flow.dst, time=ctx.time)
+                    bottleneck = None
+                    break
+                capacity = topology[u][v]["bandwidth"]
+                if bottleneck is None or capacity < bottleneck:
+                    bottleneck = capacity
+            if bottleneck is None or flow.rate <= 0.0:
+                continue
+            if flow.rate > bottleneck * (1.0 + self.rel_tolerance) + 1e-3:
+                if self._fired < MAX_FINDINGS_PER_SANITIZER:
+                    self._fired += 1
+                    _emit(self.report, "SZ006",
+                          f"flow {flow.src}->{flow.dst} allocated "
+                          f"{flow.rate:.6g} B/s over a path with "
+                          f"{bottleneck:.6g} B/s bottleneck at "
+                          f"t={ctx.time:g}",
+                          location=f"{flow.src}->{flow.dst}",
+                          rate=flow.rate, bottleneck=bottleneck,
+                          time=ctx.time)
 
 
 class AllocatorWarningSanitizer:
@@ -222,6 +284,7 @@ class SanitizerSuite:
         self.report = Report()
         self._time: Optional[TimeMonotonicSanitizer] = None
         self._capacity: Optional[LinkCapacitySanitizer] = None
+        self._path: Optional[PathCapacitySanitizer] = None
         self._allocator: Optional[AllocatorWarningSanitizer] = None
         self._injector = None
         self._sim = None
@@ -246,6 +309,10 @@ class SanitizerSuite:
                 self._allocator = AllocatorWarningSanitizer(self.report)
                 network.accept_hook(self._allocator)
                 self._attached.append((network, self._allocator))
+            if self.registry.is_enabled("SZ006"):
+                self._path = PathCapacitySanitizer(self.report)
+                network.accept_hook(self._path)
+                self._attached.append((network, self._path))
         return self
 
     def finalize(self, engine: Optional[Engine] = None) -> Report:

@@ -28,6 +28,8 @@ from repro.core.simulator import TrioSim
 from repro.core.timeline import export_chrome_trace
 from repro.gpus.specs import GPU_SPECS, get_gpu
 from repro.memory.estimator import check_fits
+from repro.network.routing import routing_names
+from repro.network.topology import topology_names
 from repro.trace.trace import Trace
 from repro.trace.tracer import Tracer
 from repro.workloads.registry import MODEL_NAMES, get_model
@@ -35,7 +37,7 @@ from repro.workloads.registry import MODEL_NAMES, get_model
 _EXPERIMENTS = (
     "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12",
     "fig13", "fig14", "fig15", "fig16", "table1", "sensitivity",
-    "resilience", "all",
+    "resilience", "fabric", "all",
 )
 
 
@@ -65,11 +67,20 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate_p.add_argument("--chunks", type=int, default=1)
     simulate_p.add_argument("--dp-degree", type=int, default=None)
     simulate_p.add_argument("--topology", default="ring",
-                            choices=("ring", "switch", "fat_tree",
-                                     "dgx_hypercube"))
+                            choices=tuple(topology_names()))
     simulate_p.add_argument("--bandwidth", type=float, default=25e9,
                             help="achieved link bandwidth, bytes/s")
     simulate_p.add_argument("--latency", type=float, default=2e-6)
+    simulate_p.add_argument("--routing", default="shortest",
+                            choices=tuple(routing_names()),
+                            help="path choice on multi-path fabrics "
+                                 "(leaf_spine, fat_tree_clos); inert on "
+                                 "single-path topologies")
+    simulate_p.add_argument("--routing-seed", type=int, default=0,
+                            help="hash seed for ecmp/flowlet routing")
+    simulate_p.add_argument("--oversubscription", type=float, default=None,
+                            help="downlink:uplink capacity ratio for "
+                                 "fabrics with uplink tiers (leaf_spine)")
     simulate_p.add_argument("--gpu", default=None, choices=sorted(GPU_SPECS),
                             help="target GPU (cross-GPU prediction)")
     simulate_p.add_argument("--tp-scheme", default="layerwise",

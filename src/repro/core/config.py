@@ -17,13 +17,17 @@ import networkx as nx
 
 from repro.faults.spec import FaultSpec
 from repro.gpus.specs import Platform
+from repro.network.topology import TopologySpec
 
 PARALLELISMS = ("single", "dp", "ddp", "tp", "pp", "hybrid", "fsdp")
 
 #: Bumped whenever the meaning of a serialized config changes; part of
 #: every :meth:`SimulationConfig.cache_key` so stale cache entries from
-#: older schemas can never be returned.
-CONFIG_SCHEMA_VERSION = 1
+#: older schemas can never be returned.  v2 added ``routing`` /
+#: ``routing_seed`` / ``oversubscription`` and :class:`TopologySpec`
+#: topologies; v1 dicts still load (:meth:`SimulationConfig.from_dict`
+#: fills the new fields with their defaults).
+CONFIG_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -58,11 +62,27 @@ class SimulationConfig:
         paper's implementation) or ``1f1b`` (one-forward-one-backward,
         same bubble, far lower peak activation memory).
     topology:
-        Topology name (built with the link parameters below) or a prebuilt
+        Topology name (built with the link parameters below), a
+        :class:`~repro.network.topology.TopologySpec` (name + builder
+        params — the registry-backed way to parameterize fabrics), a
+        dict (``TopologySpec.to_dict()`` output), or a prebuilt
         ``networkx.Graph`` for arbitrary, possibly asymmetric networks.
+        A spec with no params is normalized to its plain name, so old
+        string configs keep their exact cache keys.
     link_bandwidth / link_latency:
         Link parameters used when *topology* is a name.  Like the paper,
         feed *achieved* (measured) bandwidth here.
+    routing / routing_seed:
+        Routing-strategy name (``shortest``, ``ecmp``, ``flowlet``,
+        ``adaptive`` — see :mod:`repro.network.routing`) plus the hash
+        seed.  Only multi-path fabrics are affected: on single-path
+        topologies every strategy is bit-identical to ``shortest``.
+    oversubscription:
+        Convenience override of the ``leaf_spine`` oversubscription
+        ratio (downlink:uplink capacity).  ``None`` keeps the builder's
+        own default/params; a value is injected when the chosen topology
+        supports the parameter and rejected (by lint rule NW002 and at
+        build time) when it does not.
     gpu:
         Target GPU name for cross-GPU prediction; when it differs from the
         trace's GPU the trace is first rescaled with
@@ -111,9 +131,12 @@ class SimulationConfig:
     dp_degree: Optional[int] = None
     tp_scheme: str = "layerwise"
     pp_schedule: str = "gpipe"
-    topology: Union[str, nx.Graph] = "ring"
+    topology: Union[str, TopologySpec, dict, nx.Graph] = "ring"
     link_bandwidth: float = 25e9
     link_latency: float = 2e-6
+    routing: str = "shortest"
+    routing_seed: int = 0
+    oversubscription: Optional[float] = None
     gpu: Optional[str] = None
     network_factory: Optional[Callable] = None
     bucket_bytes: int = 25 * 1024 * 1024
@@ -131,6 +154,24 @@ class SimulationConfig:
     def __post_init__(self):
         if isinstance(self.faults, dict):
             self.faults = FaultSpec.from_dict(self.faults)
+        if isinstance(self.topology, dict):
+            # Graph payloads are decoded by from_dict before construction;
+            # any other dict is a serialized TopologySpec.
+            self.topology = TopologySpec.from_dict(self.topology)
+        if isinstance(self.topology, TopologySpec) and not self.topology.params:
+            # Param-less specs collapse to the plain name so configs that
+            # predate TopologySpec keep bit-identical serialized forms
+            # (and therefore cache keys modulo the schema version).
+            self.topology = self.topology.name
+        if not isinstance(self.routing, str) or not self.routing:
+            raise ValueError("routing must be a strategy name (str)")
+        if not isinstance(self.routing_seed, int) or isinstance(
+                self.routing_seed, bool):
+            raise ValueError("routing_seed must be an int")
+        if self.oversubscription is not None:
+            self.oversubscription = float(self.oversubscription)
+            if self.oversubscription <= 0:
+                raise ValueError("oversubscription must be positive")
         if self.parallelism not in PARALLELISMS:
             raise ValueError(
                 f"unknown parallelism {self.parallelism!r}; known: {PARALLELISMS}"
@@ -221,6 +262,8 @@ class SimulationConfig:
                 continue
             if f.name == "faults" and value is not None:
                 value = value.to_dict()
+            if f.name == "topology" and isinstance(value, TopologySpec):
+                value = value.to_dict()
             if f.name == "topology" and isinstance(value, nx.Graph):
                 value = {
                     "__graph__": {
@@ -244,8 +287,11 @@ class SimulationConfig:
         """
         data = dict(data)
         version = data.pop("schema_version", CONFIG_SCHEMA_VERSION)
-        if version != CONFIG_SCHEMA_VERSION:
+        if version not in (1, CONFIG_SCHEMA_VERSION):
             raise ValueError(f"unsupported config schema version {version}")
+        # v1 dicts predate routing/routing_seed/oversubscription and
+        # TopologySpec topologies; absent fields take their defaults
+        # below, which reproduce v1 semantics exactly.
         known = {f.name for f in fields(cls)}
         unknown = set(data) - known
         if unknown:
@@ -293,6 +339,9 @@ class SimulationConfig:
             topology=getattr(ns, "topology", None),
             link_bandwidth=getattr(ns, "bandwidth", None),
             link_latency=getattr(ns, "latency", None),
+            routing=getattr(ns, "routing", None),
+            routing_seed=getattr(ns, "routing_seed", None),
+            oversubscription=getattr(ns, "oversubscription", None),
             gpu=getattr(ns, "gpu", None),
             collective_scheme=getattr(ns, "collective", None),
             gpus_per_node=getattr(ns, "gpus_per_node", None),

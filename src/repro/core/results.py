@@ -18,8 +18,9 @@ from repro.engine.hooks import HookCtx
 #: Version of the serialized result format.  Part of every cache key, so
 #: a schema change silently invalidates old cache entries instead of
 #: returning mis-shaped results.  v2 added the ``profile`` pipeline
-#: breakdown.
-RESULT_SCHEMA_VERSION = 2
+#: breakdown; v3 added the ``network`` routing/congestion summary (v2
+#: payloads still load, with an empty summary).
+RESULT_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -86,7 +87,12 @@ class SimulationResult:
     simulator's own performance (paper Figure 14).  ``profile`` is the
     pipeline profiler's per-phase wall breakdown and counters (see
     ``docs/plans.md``); like ``wall_time`` it describes *how* the result
-    was produced, so bit-identity comparisons exclude it.
+    was produced, so bit-identity comparisons exclude it.  ``network``
+    is the flow network's routing/congestion summary — per-link bytes,
+    flows, peak concurrency and utilization, flow-completion-time stats,
+    and the per-pair path choices on multi-path fabrics (see
+    ``docs/network.md``); it is deterministic simulation content and
+    *included* in bit-identity comparisons.
     """
 
     total_time: float
@@ -100,6 +106,7 @@ class SimulationResult:
     events: int = 0
     iteration_times: List[float] = field(default_factory=list)
     profile: dict = field(default_factory=dict)
+    network: dict = field(default_factory=dict)
 
     @property
     def communication_ratio(self) -> float:
@@ -135,12 +142,15 @@ class SimulationResult:
             "events": self.events,
             "iteration_times": list(self.iteration_times),
             "profile": dict(self.profile),
+            "network": dict(self.network),
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "SimulationResult":
         version = data.get("schema_version")
-        if version != RESULT_SCHEMA_VERSION:
+        # v2 payloads (pre-``network``) still load; the summary is simply
+        # absent, which the empty-dict default represents.
+        if version not in (2, RESULT_SCHEMA_VERSION):
             raise ValueError(f"unsupported result schema version {version}")
         return cls(
             total_time=data["total_time"],
@@ -154,6 +164,7 @@ class SimulationResult:
             events=data["events"],
             iteration_times=list(data["iteration_times"]),
             profile=dict(data.get("profile") or {}),
+            network=dict(data.get("network") or {}),
         )
 
     def to_json(self) -> str:

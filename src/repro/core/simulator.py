@@ -39,7 +39,7 @@ from repro.extrapolator.pipeline import PipelineExtrapolator
 from repro.extrapolator.single import SingleGPUExtrapolator
 from repro.extrapolator.tensor_parallel import TensorParallelExtrapolator
 from repro.network.flow import FlowNetwork
-from repro.network.topology import build_topology_cached
+from repro.network.topology import TOPOLOGIES, TopologySpec, build_topology_cached
 from repro.perfmodel.scaling import CrossGPUScaler
 from repro.trace.trace import Trace
 
@@ -160,8 +160,32 @@ class TrioSim:
         if self.config.network_factory is not None:
             return self.config.network_factory(engine, self.config)
         cfg = self.config
+        # "shortest" maps to no strategy object at all — the exact legacy
+        # routing codepath, so default configs stay bit-identical.
+        routing = cfg.routing if cfg.routing != "shortest" else None
         topology = cfg.topology
         if not isinstance(topology, nx.Graph):
+            if isinstance(topology, TopologySpec):
+                name, params = topology.name, dict(topology.params)
+            else:
+                name, params = topology, {}
+            # Routing strategies engage only on topologies registered as
+            # multipath (leaf_spine, fat_tree_clos, ...).  Single-path
+            # topologies model deterministic dimension-order-style routes
+            # — even where a mesh has several equal-cost lattice paths —
+            # so every strategy stays bit-identical to ``shortest`` there.
+            # Prebuilt graphs (below) are the explicit opt-in escape hatch.
+            if routing is not None and name in TOPOLOGIES \
+                    and not TOPOLOGIES.get(name).multipath:
+                routing = None
+            if cfg.oversubscription is not None:
+                if not TOPOLOGIES.supports_param(name, "oversubscription"):
+                    raise ValueError(
+                        f"topology {name!r} does not take an "
+                        "oversubscription parameter (only fabrics with "
+                        "uplink tiers do, e.g. leaf_spine)"
+                    )
+                params["oversubscription"] = cfg.oversubscription
             # Named topologies come from the process-level cache — built
             # (and host-augmented) once per parameter key, shared across
             # sweep points.  Fault injection mutates link attributes
@@ -169,12 +193,13 @@ class TrioSim:
             host = ((cfg.host_bandwidth, cfg.host_latency)
                     if cfg.include_host_transfers else None)
             topology = build_topology_cached(
-                topology, cfg.num_gpus,
-                cfg.link_bandwidth, cfg.link_latency, host=host,
+                name, cfg.num_gpus,
+                cfg.link_bandwidth, cfg.link_latency, host=host, **params,
             )
             if cfg.faults is not None and not cfg.faults.is_empty:
                 topology = topology.copy()
-            return FlowNetwork(engine, topology)
+            return FlowNetwork(engine, topology, routing=routing,
+                               routing_seed=cfg.routing_seed)
         if cfg.include_host_transfers:
             topology = topology.copy()
             topology.add_node("host")
@@ -184,7 +209,8 @@ class TrioSim:
                     bandwidth=cfg.host_bandwidth,
                     latency=cfg.host_latency,
                 )
-        return FlowNetwork(engine, topology)
+        return FlowNetwork(engine, topology, routing=routing,
+                           routing_seed=cfg.routing_seed)
 
     def _build_extrapolator(self) -> Extrapolator:
         cfg = self.config
@@ -341,6 +367,7 @@ class TrioSim:
                 per_layer[record.layer] += record.duration
             if record.phase:
                 per_phase[record.phase] += record.duration
+        summarize = getattr(network, "network_summary", None)
         return SimulationResult(
             total_time=total,
             compute_time=sim.compute_task_time,
@@ -353,4 +380,5 @@ class TrioSim:
             events=engine.dispatched_events,
             iteration_times=iteration_times,
             profile=profiler.to_dict(),
+            network=summarize(total_time=total) if summarize else {},
         )

@@ -10,43 +10,83 @@ circuit-switching :class:`~repro.network.photonic.PhotonicNetwork`
 (the Lightmatter Passage case study, §7.1) is the bundled example.
 
 Topology builders live in :mod:`repro.network.topology` (ring, switch,
-2-D mesh, fat tree, DGX hypercube mesh, the Hop graphs, the wafer mesh).
+2-D mesh, fat tree, DGX hypercube mesh, the Hop graphs, the wafer mesh,
+and the multi-path datacenter fabrics ``leaf_spine`` /
+``fat_tree_clos``).  Builders are looked up through the
+:data:`~repro.network.topology.TOPOLOGIES` registry; describe a fabric
+declaratively with :class:`~repro.network.topology.TopologySpec`.
+
+On multi-path fabrics the path each flow takes is chosen by a
+:class:`~repro.network.routing.RoutingStrategy` (deterministic ECMP,
+flowlet, congestion-adaptive); see :mod:`repro.network.routing`.
 """
 
 from repro.network.base import NetworkModel, Transfer
 from repro.network.flow import FlowNetwork, RoutingError
 from repro.network.photonic import PhotonicNetwork
+from repro.network.routing import (
+    AdaptiveRouting,
+    EcmpRouting,
+    FlowletRouting,
+    RoutingStrategy,
+    ShortestPathRouting,
+    get_routing_strategy,
+    register_routing_strategy,
+    routing_names,
+)
 from repro.network.topology import (
+    TOPOLOGIES,
+    TopologyRegistry,
+    TopologySpec,
     build_topology,
     dgx_hypercube,
     double_ring,
     fat_tree,
+    fat_tree_clos,
     gpu_names,
+    leaf_spine,
     mesh2d,
     multi_node,
     node_groups,
+    register_topology,
     ring,
     ring_with_chords,
     switch,
+    topology_names,
     wafer_mesh,
 )
 
 __all__ = [
+    "AdaptiveRouting",
+    "EcmpRouting",
     "FlowNetwork",
+    "FlowletRouting",
     "NetworkModel",
     "PhotonicNetwork",
     "RoutingError",
+    "RoutingStrategy",
+    "ShortestPathRouting",
+    "TOPOLOGIES",
+    "TopologyRegistry",
+    "TopologySpec",
     "Transfer",
     "build_topology",
     "dgx_hypercube",
     "double_ring",
     "fat_tree",
+    "fat_tree_clos",
+    "get_routing_strategy",
     "gpu_names",
+    "leaf_spine",
     "mesh2d",
     "multi_node",
     "node_groups",
+    "register_routing_strategy",
+    "register_topology",
     "ring",
     "ring_with_chords",
+    "routing_names",
     "switch",
+    "topology_names",
     "wafer_mesh",
 ]

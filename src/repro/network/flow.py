@@ -5,7 +5,12 @@ model implements the paper's 4-step packet process (Figure 5):
 
 1. **Routing** — shortest path over the topology, cached per (src, dst)
    pair; the reverse pair is filled in the same lookup (paths are
-   symmetric on our undirected topologies).
+   symmetric on our undirected topologies).  On multi-path fabrics a
+   :class:`~repro.network.routing.RoutingStrategy` (ECMP / flowlet /
+   congestion-adaptive) chooses among the equal-cost shortest paths at
+   flow start; candidate paths are enumerated in sorted order and cached
+   per pair, and a pair with a single candidate always takes it, so
+   single-path topologies behave bit-identically under every strategy.
 2. **Bandwidth allocation** — max-min fair shares over directed link
    capacities (progressive filling), solved *incrementally*: a link→flow
    incidence index scopes each re-allocation to the contention component
@@ -35,7 +40,8 @@ and a differential property test pins the two against each other (see
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, List, Optional, Set, Tuple
+import math
+from typing import Callable, Dict, List, Optional, Set, Tuple, Union
 
 import networkx as nx
 
@@ -43,6 +49,11 @@ from repro.engine.engine import Engine
 from repro.engine.events import Event
 from repro.engine.hooks import HookCtx, Hookable
 from repro.network.base import Transfer
+from repro.network.routing import (
+    RoutingStrategy,
+    ShortestPathRouting,
+    get_routing_strategy,
+)
 
 _RATE_EPS = 1e-9
 
@@ -84,6 +95,9 @@ class _Flow(Transfer):
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self.route: List[DirectedEdge] = []
+        #: Index of the chosen candidate path for this flow's pair (0 on
+        #: single-path pairs and under the default shortest-path policy).
+        self.path_index: int = 0
         self.remaining: float = self.nbytes
         self.rate: float = 0.0
         self.last_update: float = 0.0
@@ -108,13 +122,33 @@ class FlowNetwork(Hookable):
         reschedule everything).  Defaults to :data:`DEFAULT_INCREMENTAL`.
         The two knobs are also exposed separately as
         :attr:`scoped_realloc` and :attr:`stable_rate_fastpath`.
+    routing:
+        A :class:`~repro.network.routing.RoutingStrategy` instance or
+        registered strategy name choosing among equal-cost shortest paths
+        on multi-path fabrics.  ``None`` (the default) and ``"shortest"``
+        keep the legacy single-shortest-path behavior bit-identically.
+    routing_seed:
+        Seed passed to the strategy when *routing* is given by name;
+        ignored when *routing* is already an instance.
     """
 
+    #: Deterministic cap on enumerated equal-cost paths per pair.  Clos
+    #: fabrics stay well below it ((k/2)^2 = 64 inter-pod paths at k=16);
+    #: it exists so pathological pairs on large meshes (combinatorially
+    #: many lattice paths) cannot blow up enumeration.
+    max_candidate_paths = 64
+
     def __init__(self, engine: Engine, topology: nx.Graph,
-                 incremental: Optional[bool] = None):
+                 incremental: Optional[bool] = None,
+                 routing: Optional[Union[str, RoutingStrategy]] = None,
+                 routing_seed: int = 0):
         super().__init__()
         self.engine = engine
         self.topology = topology
+        if isinstance(routing, str):
+            routing = get_routing_strategy(routing, seed=routing_seed)
+        #: The active strategy instance, or ``None`` for legacy routing.
+        self.routing: Optional[RoutingStrategy] = routing
         if incremental is None:
             incremental = DEFAULT_INCREMENTAL
         #: Solve only the contention component(s) the joined/left flows
@@ -124,6 +158,30 @@ class FlowNetwork(Hookable):
         #: exactly unchanged instead of cancelling and rescheduling it.
         self.stable_rate_fastpath = bool(incremental)
         self._route_cache: Dict[Tuple[str, str], List[DirectedEdge]] = {}
+        # (src, dst) -> candidate path list (legacy shortest path first,
+        # remaining equal-cost paths in sorted order).
+        self._candidate_cache: Dict[Tuple[str, str],
+                                    List[List[DirectedEdge]]] = {}
+        # (src, dst) -> chosen candidate index, for static (non-dynamic)
+        # strategies; one choice per pair per run.
+        self._choice_cache: Dict[Tuple[str, str], int] = {}
+        # (src, dst) -> {candidate index: flows sent down it}; recorded
+        # only for pairs that actually had more than one candidate.
+        self._path_choices: Dict[Tuple[str, str], Dict[int, int]] = {}
+        # Directed edge -> flows routed onto it but not yet active (the
+        # send->activate latency window).  Adaptive routing reads this on
+        # top of the incidence index so a wave of flows issued at the
+        # same instant still sees its own earlier members' choices.
+        self._route_commitments: Dict[DirectedEdge, int] = {}
+        # Directed edge -> [bytes delivered, flows carried, peak
+        # concurrent flows] — the per-link congestion counters surfaced
+        # by :meth:`network_summary`.
+        self._link_stats: Dict[DirectedEdge, List] = {}
+        # Flow-completion-time accumulators (wire flows only).
+        self._fct_count = 0
+        self._fct_total = 0.0
+        self._fct_min = math.inf
+        self._fct_max = 0.0
         # Keyed by transfer_id; dict preserves insertion order, keeping
         # iteration deterministic with O(1) removal.
         self._active: Dict[int, _Flow] = {}
@@ -186,6 +244,68 @@ class FlowNetwork(Hookable):
         the error raised on disconnected pairs)."""
         return sum(self.topology[u][v]["latency"] for u, v in self.route(src, dst))
 
+    def candidate_routes(self, src: str, dst: str) -> List[List[DirectedEdge]]:
+        """All equal-cost shortest paths src -> dst, as directed edge lists.
+
+        The first candidate is always the legacy :meth:`route` path, so
+        index 0 reproduces pre-multipath behavior exactly; the remaining
+        candidates follow in lexicographically sorted order.  Enumeration
+        is capped at :attr:`max_candidate_paths` (deterministically — the
+        cap keeps a sorted prefix).  The list is cached per pair.
+        """
+        key = (src, dst)
+        cached = self._candidate_cache.get(key)
+        if cached is not None:
+            return cached
+        primary = self.route(src, dst)  # validates endpoints/connectivity
+        if not primary:
+            candidates = [primary]
+        else:
+            paths = itertools.islice(
+                nx.all_shortest_paths(self.topology, src, dst),
+                self.max_candidate_paths,
+            )
+            candidates = [primary]
+            for path in sorted(paths):
+                edges = list(zip(path, path[1:]))
+                if edges != primary:
+                    candidates.append(edges)
+        self._candidate_cache[key] = candidates
+        return candidates
+
+    def _route_for(self, src: str, dst: str) -> Tuple[List[DirectedEdge], int]:
+        """Route a new flow: the chosen edge list and its candidate index.
+
+        ``None`` / shortest-path routing short-circuits to the legacy
+        cached path; pairs with a single candidate always take it (the
+        bit-identity guarantee for single-path topologies); otherwise the
+        strategy chooses, with the choice cached per pair for static
+        strategies and re-made per flow for dynamic ones.
+        """
+        strategy = self.routing
+        if strategy is None or isinstance(strategy, ShortestPathRouting):
+            return self.route(src, dst), 0
+        candidates = self.candidate_routes(src, dst)
+        if len(candidates) == 1:
+            return candidates[0], 0
+        key = (src, dst)
+        if strategy.dynamic:
+            index = strategy.choose(src, dst, candidates, self)
+        else:
+            index = self._choice_cache.get(key, -1)
+            if index < 0:
+                index = strategy.choose(src, dst, candidates, self)
+                self._choice_cache[key] = index
+        if not 0 <= index < len(candidates):
+            raise ValueError(
+                f"routing strategy {strategy.name!r} chose path {index} "
+                f"for {src}->{dst}, out of range for "
+                f"{len(candidates)} candidates"
+            )
+        counts = self._path_choices.setdefault(key, {})
+        counts[index] = counts.get(index, 0) + 1
+        return candidates[index], index
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
@@ -198,8 +318,9 @@ class FlowNetwork(Hookable):
         """
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
-        route = self.route(src, dst)  # validates both endpoints
+        route, path_index = self._route_for(src, dst)  # validates endpoints
         flow = _Flow(next(self._ids), src, dst, float(nbytes), callback, tag)
+        flow.path_index = path_index
         flow.start_time = self.engine.now
         if self._hooks:
             self.invoke_hooks(HookCtx(HOOK_FLOW_START, self.engine.now, flow))
@@ -209,7 +330,10 @@ class FlowNetwork(Hookable):
             self.engine.call_after(0.0, lambda _ev, f=flow: self._deliver(f))
             return flow
         flow.route = route
-        latency = self.path_latency(src, dst)
+        commitments = self._route_commitments
+        for edge in route:
+            commitments[edge] = commitments.get(edge, 0) + 1
+        latency = sum(self.topology[u][v]["latency"] for u, v in route)
         self.engine.call_after(latency, lambda _ev, f=flow: self._activate(f))
         return flow
 
@@ -270,12 +394,25 @@ class FlowNetwork(Hookable):
     def _activate(self, flow: _Flow) -> None:
         flow.last_update = self.engine.now
         self._active[flow.transfer_id] = flow
+        commitments = self._route_commitments
+        for edge in flow.route:
+            left = commitments.get(edge, 0) - 1
+            if left > 0:
+                commitments[edge] = left
+            else:
+                commitments.pop(edge, None)
         for edge in flow.route:
             users = self._edge_users.get(edge)
             if users is None:
                 users = self._edge_users[edge] = set()
             users.add(flow.transfer_id)
             self._dirty.add(edge)
+            stats = self._link_stats.get(edge)
+            if stats is None:
+                stats = self._link_stats[edge] = [0.0, 0, 0]
+            stats[1] += 1
+            if len(users) > stats[2]:
+                stats[2] = len(users)
         self._request_reallocate()
 
     def _request_reallocate(self) -> None:
@@ -560,7 +697,74 @@ class FlowNetwork(Hookable):
                 self._dirty.clear()
         self.delivered_count += 1
         self.total_bytes_delivered += flow.nbytes
+        if flow.route:
+            fct = flow.deliver_time - flow.start_time
+            self._fct_count += 1
+            self._fct_total += fct
+            if fct < self._fct_min:
+                self._fct_min = fct
+            if fct > self._fct_max:
+                self._fct_max = fct
+            for edge in flow.route:
+                self._link_stats[edge][0] += flow.nbytes
         if self._hooks:
             self.invoke_hooks(
                 HookCtx(HOOK_FLOW_DELIVER, self.engine.now, flow))
         flow.callback(flow)
+
+    # ------------------------------------------------------------------
+    # Congestion / routing metrics
+    # ------------------------------------------------------------------
+    def network_summary(self, total_time: Optional[float] = None) -> Dict:
+        """JSON-safe summary of routing choices and per-link congestion.
+
+        Deterministic: links, pairs, and candidate indices are emitted in
+        sorted order.  Per-link entries count delivered bytes, flows
+        carried, and peak concurrent flows; ``utilization`` (mean offered
+        load as a fraction of capacity) is added when *total_time* is
+        given.  ``path_choices`` records, for every pair that had more
+        than one candidate path, how many flows took each candidate — the
+        per-flow route record that lands in :class:`SimulationResult`.
+        """
+        links: Dict[str, Dict[str, float]] = {}
+        max_peak = 0
+        hottest = None
+        for edge in sorted(self._link_stats):
+            nbytes, flows, peak = self._link_stats[edge]
+            name = f"{edge[0]}->{edge[1]}"
+            entry: Dict[str, float] = {
+                "bytes": nbytes, "flows": flows, "peak_flows": peak,
+            }
+            if total_time is not None and total_time > 0:
+                bandwidth = self.topology[edge[0]][edge[1]]["bandwidth"]
+                entry["utilization"] = nbytes / (bandwidth * total_time)
+            links[name] = entry
+            if peak > max_peak:
+                max_peak = peak
+                hottest = name
+        fct: Dict[str, float] = {"count": self._fct_count}
+        if self._fct_count:
+            fct["total"] = self._fct_total
+            fct["mean"] = self._fct_total / self._fct_count
+            fct["min"] = self._fct_min
+            fct["max"] = self._fct_max
+        strategy = self.routing
+        return {
+            "routing": strategy.name if strategy is not None else "shortest",
+            "routing_seed": strategy.seed if strategy is not None else 0,
+            "flows_delivered": self.delivered_count,
+            "bytes_delivered": self.total_bytes_delivered,
+            "multipath_pairs": sum(
+                1 for c in self._candidate_cache.values() if len(c) > 1),
+            "path_choices": {
+                f"{src}->{dst}": {
+                    str(index): count
+                    for index, count in sorted(counts.items())
+                }
+                for (src, dst), counts in sorted(self._path_choices.items())
+            },
+            "fct": fct,
+            "links": links,
+            "max_peak_flows": max_peak,
+            "most_loaded_link": hottest,
+        }

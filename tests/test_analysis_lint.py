@@ -298,6 +298,79 @@ class TestConfigRules:
         assert lint_config(config).ok
 
 
+class TestNetworkRules:
+    def test_clean_fabric_config(self):
+        from repro.network.topology import TopologySpec
+
+        config = SimulationConfig(
+            parallelism="ddp", num_gpus=8,
+            topology=TopologySpec("leaf_spine", {"gpus_per_leaf": 4}),
+            oversubscription=2.0, routing="adaptive")
+        assert lint_config(config).ok
+
+    def test_nw001_invalid_fabric_shape(self):
+        from repro.network.topology import TopologySpec
+
+        # Odd k is not a buildable Clos.
+        config = SimulationConfig(
+            parallelism="ddp", num_gpus=8,
+            topology=TopologySpec("fat_tree_clos", {"k": 3}))
+        report = lint_config(config)
+        assert rule_ids(report) == {"NW001"}
+        assert report.has_errors
+
+    def test_nw001_gates_downstream_graph_rules(self):
+        from repro.network.topology import TopologySpec
+
+        # rows=3 does not divide 8 GPUs; only the gate fires, not a
+        # cascade of CF-rules complaining about the missing graph.
+        config = SimulationConfig(
+            parallelism="ddp", num_gpus=8,
+            topology=TopologySpec("mesh2d", {"rows": 3}))
+        assert rule_ids(lint_config(config)) == {"NW001"}
+
+    def test_nw002_oversubscription_on_wrong_topology(self):
+        config = SimulationConfig(parallelism="ddp", num_gpus=4,
+                                  topology="ring", oversubscription=2.0)
+        report = lint_config(config)
+        assert rule_ids(report) == {"NW002"}
+        assert report.has_errors
+
+    def test_nw002_flipped_ratio_warns(self):
+        config = SimulationConfig(parallelism="ddp", num_gpus=8,
+                                  topology="leaf_spine",
+                                  oversubscription=0.25)
+        report = lint_config(config)
+        assert rule_ids(report) == {"NW002"}
+        assert not report.has_errors  # severity downgraded to warning
+
+    def test_nw003_unknown_routing(self):
+        config = SimulationConfig(parallelism="ddp", num_gpus=8,
+                                  topology="leaf_spine", routing="spray")
+        report = lint_config(config)
+        assert rule_ids(report) == {"NW003"}
+        assert report.has_errors
+
+    def test_nw004_inert_routing_info(self):
+        config = SimulationConfig(parallelism="ddp", num_gpus=4,
+                                  topology="ring", routing="ecmp")
+        report = lint_config(config)
+        assert rule_ids(report) == {"NW004"}
+        assert not report.has_errors
+
+    def test_nw004_silent_on_multipath_fabric(self):
+        config = SimulationConfig(parallelism="ddp", num_gpus=8,
+                                  topology="leaf_spine", routing="ecmp")
+        assert lint_config(config).ok
+
+    def test_nw004_silent_on_prebuilt_graph(self):
+        g = nx.Graph()
+        g.add_edge("gpu0", "gpu1", bandwidth=1e9, latency=1e-6)
+        config = SimulationConfig(parallelism="ddp", num_gpus=2,
+                                  topology=g, routing="ecmp")
+        assert lint_config(config).ok
+
+
 # ----------------------------------------------------------------------
 # Registry behaviour
 # ----------------------------------------------------------------------
@@ -502,7 +575,8 @@ class TestLintCli:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("TR001", "CF002", "TG001", "SZ001", "SP001"):
+        for rule_id in ("TR001", "CF002", "TG001", "SZ001", "SP001",
+                        "NW001", "NW002", "NW003", "NW004", "SZ006"):
             assert rule_id in out
 
     def test_missing_path_is_usage_error(self, capsys):

@@ -199,8 +199,9 @@ class TestSanitizerSuite:
         network = FlowNetwork(engine, build_topology("ring", 2, 1e9, 1e-6))
         suite = SanitizerSuite().attach(engine=engine, network=network)
         assert len(engine._hooks) == 1
-        # Link-capacity (SZ002) and allocator-convergence (SZ004).
-        assert len(network._hooks) == 2
+        # Link-capacity (SZ002), allocator-convergence (SZ004), and
+        # path-capacity (SZ006).
+        assert len(network._hooks) == 3
         engine.run()
         report = suite.finalize(engine)
         assert report.ok

@@ -131,3 +131,24 @@ class TestRemainingArtifacts:
         csv = res.to_csv()
         assert csv.splitlines()[0] == "label,measured_s,predicted_s,error"
         assert len(csv.splitlines()) == len(res.rows) + 1
+
+    def test_fabric_quick(self):
+        from repro.experiments import fabric
+        from repro.network.routing import routing_names
+
+        res = fabric.run(quick=True)
+        assert len(res.rows) == len(routing_names()) * 3  # 3 scenarios
+        # Every strategy starts from the same healthy fabric.
+        healthy = {r.predicted for r in res.rows
+                   if r.label.endswith("/healthy")}
+        assert len(healthy) == 1
+        # Static ECMP is dragged down by the failed uplink; adaptive
+        # steers around it and stays near its healthy baseline.
+        ecmp = res.row("ecmp/failed")
+        adaptive = res.row("adaptive/failed")
+        assert ecmp.detail["slowdown"] > 2.0
+        assert adaptive.detail["slowdown"] < 1.5
+        assert adaptive.predicted < ecmp.predicted
+        # The degraded uplink carries fewer adaptive flows than ECMP ones.
+        assert adaptive.detail["fault_link_flows"] <= \
+            ecmp.detail["fault_link_flows"]
