@@ -16,7 +16,7 @@ from typing import List, Optional
 
 import networkx as nx
 
-from repro.analysis.registry import rule
+from repro.analysis.registry import Emitter, rule
 from repro.core.config import SimulationConfig
 from repro.gpus.specs import GPU_SPECS
 from repro.network.topology import TOPOLOGIES, TopologySpec, build_topology, gpu_names
@@ -108,7 +108,7 @@ class ConfigContext:
 @rule("CF001", "topology-missing-gpu", "config", "error", gate=True,
       description="Every simulated GPU (gpu0..gpuN-1) must be a node of "
                   "the topology; named topologies must exist.")
-def check_topology_nodes(ctx: ConfigContext, emit) -> None:
+def check_topology_nodes(ctx: ConfigContext, emit: Emitter) -> None:
     if ctx.unknown_topology is not None:
         emit(f"unknown topology {ctx.unknown_topology!r}; known: "
              f"{sorted(TOPOLOGIES.names())}", location="topology")
@@ -128,7 +128,7 @@ def check_topology_nodes(ctx: ConfigContext, emit) -> None:
 @rule("CF002", "topology-disconnected", "config", "error",
       description="All simulated GPUs must be mutually reachable; a "
                   "disconnected pair deadlocks its first transfer.")
-def check_topology_connected(ctx: ConfigContext, emit) -> None:
+def check_topology_connected(ctx: ConfigContext, emit: Emitter) -> None:
     present = [g for g in ctx.required_gpus if g in ctx.graph]
     if len(present) < 2:
         return
@@ -150,7 +150,7 @@ def check_topology_connected(ctx: ConfigContext, emit) -> None:
 @rule("CF003", "topology-bad-link", "config", "error",
       description="Prebuilt topology edges must carry positive bandwidth "
                   "and non-negative latency attributes.")
-def check_link_attrs(ctx: ConfigContext, emit) -> None:
+def check_link_attrs(ctx: ConfigContext, emit: Emitter) -> None:
     if not ctx.prebuilt or ctx.graph is None:
         return
     count = 0
@@ -173,7 +173,7 @@ def check_link_attrs(ctx: ConfigContext, emit) -> None:
 @rule("CF004", "link-speed-range", "config", "warning",
       description="Link bandwidth/latency far outside hardware-plausible "
                   "ranges usually means the wrong unit was used.")
-def check_link_ranges(ctx: ConfigContext, emit) -> None:
+def check_link_ranges(ctx: ConfigContext, emit: Emitter) -> None:
     cfg = ctx.config
     low, high = BANDWIDTH_SANE_RANGE
     if not ctx.prebuilt:
@@ -197,7 +197,7 @@ def check_link_ranges(ctx: ConfigContext, emit) -> None:
 @rule("CF005", "pp-too-many-stages", "config", "error",
       description="A pipeline cannot have more stages than the trace has "
                   "forward operators.")
-def check_pipeline_stages(ctx: ConfigContext, emit) -> None:
+def check_pipeline_stages(ctx: ConfigContext, emit: Emitter) -> None:
     stages = ctx.pp_stages
     if stages is None or ctx.trace is None:
         return
@@ -211,7 +211,7 @@ def check_pipeline_stages(ctx: ConfigContext, emit) -> None:
 @rule("CF006", "pp-chunks-exceed-batch", "config", "error",
       description="More micro-batches than samples leaves empty "
                   "micro-batches.")
-def check_chunks_vs_batch(ctx: ConfigContext, emit) -> None:
+def check_chunks_vs_batch(ctx: ConfigContext, emit: Emitter) -> None:
     if ctx.pp_stages is None or ctx.config.chunks <= 1:
         return
     batch = ctx.effective_batch
@@ -224,7 +224,7 @@ def check_chunks_vs_batch(ctx: ConfigContext, emit) -> None:
 @rule("CF007", "pp-chunks-divisibility", "config", "warning",
       description="The batch should divide evenly into micro-batches; "
                   "real GPipe launches would pad the remainder.")
-def check_chunks_divisibility(ctx: ConfigContext, emit) -> None:
+def check_chunks_divisibility(ctx: ConfigContext, emit: Emitter) -> None:
     if ctx.pp_stages is None or ctx.config.chunks <= 1:
         return
     batch = ctx.effective_batch
@@ -238,7 +238,7 @@ def check_chunks_divisibility(ctx: ConfigContext, emit) -> None:
 @rule("CF008", "tp-shard-divisibility", "config", "warning",
       description="Tensor-parallel degree should divide every shardable "
                   "operator's weight (heads/channels) evenly.")
-def check_tp_shardability(ctx: ConfigContext, emit) -> None:
+def check_tp_shardability(ctx: ConfigContext, emit: Emitter) -> None:
     cfg = ctx.config
     if cfg.parallelism != "tp" or cfg.num_gpus <= 1 or ctx.trace is None:
         return
@@ -262,7 +262,7 @@ def check_tp_shardability(ctx: ConfigContext, emit) -> None:
 @rule("CF009", "slowdown-unknown-gpu", "config", "warning",
       description="gpu_slowdowns entries must name simulated devices or "
                   "they silently do nothing.")
-def check_slowdown_targets(ctx: ConfigContext, emit) -> None:
+def check_slowdown_targets(ctx: ConfigContext, emit: Emitter) -> None:
     if not ctx.config.gpu_slowdowns:
         return
     known = set(ctx.required_gpus) | {"host"}
@@ -276,7 +276,7 @@ def check_slowdown_targets(ctx: ConfigContext, emit) -> None:
 @rule("CF010", "unknown-target-gpu", "config", "error",
       description="Cross-GPU prediction requires both the trace GPU and "
                   "the target GPU to have known specs.")
-def check_target_gpu(ctx: ConfigContext, emit) -> None:
+def check_target_gpu(ctx: ConfigContext, emit: Emitter) -> None:
     target = ctx.config.gpu
     if target is None:
         return

@@ -10,14 +10,14 @@ config carries no spec, so fault-free configs pay nothing.
 from __future__ import annotations
 
 from repro.analysis.config_rules import ConfigContext
-from repro.analysis.registry import rule
+from repro.analysis.registry import Emitter, rule
 from repro.faults.spec import parse_link
 
 
 @rule("FT001", "fault-unknown-device", "config", "error",
       description="Every GPU a fault targets (stragglers, failures) must "
                   "be a simulated device.")
-def check_fault_devices(ctx: ConfigContext, emit) -> None:
+def check_fault_devices(ctx: ConfigContext, emit: Emitter) -> None:
     spec = ctx.config.faults
     if spec is None:
         return
@@ -41,7 +41,7 @@ def check_fault_devices(ctx: ConfigContext, emit) -> None:
 @rule("FT002", "fault-unknown-link", "config", "error",
       description="Every link a fault degrades or fails must be an edge "
                   "of the topology.")
-def check_fault_links(ctx: ConfigContext, emit) -> None:
+def check_fault_links(ctx: ConfigContext, emit: Emitter) -> None:
     spec = ctx.config.faults
     if spec is None or ctx.graph is None:
         return
@@ -63,7 +63,7 @@ def check_fault_links(ctx: ConfigContext, emit) -> None:
       description="A straggler factor <= 1 or a link-degradation factor "
                   ">= 1 does not degrade anything — probably an inverted "
                   "multiplier.")
-def check_fault_noop(ctx: ConfigContext, emit) -> None:
+def check_fault_noop(ctx: ConfigContext, emit: Emitter) -> None:
     spec = ctx.config.faults
     if spec is None:
         return
@@ -83,7 +83,7 @@ def check_fault_noop(ctx: ConfigContext, emit) -> None:
 @rule("FT004", "fault-unprotected-failure", "config", "warning",
       description="Failures without a checkpoint_interval replay the "
                   "whole run so far on every failure (restart from t=0).")
-def check_unprotected_failures(ctx: ConfigContext, emit) -> None:
+def check_unprotected_failures(ctx: ConfigContext, emit: Emitter) -> None:
     spec = ctx.config.faults
     if spec is None:
         return
@@ -96,7 +96,7 @@ def check_unprotected_failures(ctx: ConfigContext, emit) -> None:
 @rule("FT005", "fault-checkpoint-overhead", "config", "warning",
       description="A checkpoint_cost at or above checkpoint_interval "
                   "means the job spends >= 50% of its time checkpointing.")
-def check_checkpoint_overhead(ctx: ConfigContext, emit) -> None:
+def check_checkpoint_overhead(ctx: ConfigContext, emit: Emitter) -> None:
     spec = ctx.config.faults
     if spec is None or spec.checkpoint_interval is None:
         return
@@ -111,7 +111,7 @@ def check_checkpoint_overhead(ctx: ConfigContext, emit) -> None:
       description="The spec contains chaos_kill_at: the simulating "
                   "process will SIGKILL itself (only sweep workers may "
                   "run it).")
-def check_chaos_kill(ctx: ConfigContext, emit) -> None:
+def check_chaos_kill(ctx: ConfigContext, emit: Emitter) -> None:
     spec = ctx.config.faults
     if spec is None or spec.chaos_kill_at is None:
         return

@@ -18,17 +18,19 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import TYPE_CHECKING, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, Optional, Tuple, Union
 
 import networkx as nx
 
-# Importing the rule modules registers their rules as a side effect.
-from repro.analysis import config_rules, fault_rules, taskgraph_rules, trace_rules  # noqa: F401
-from repro.analysis import network_rules, plan_rules, sanitizers  # noqa: F401
 from repro.analysis.plan_rules import PlanContext
 from repro.analysis.config_rules import ConfigContext
 from repro.analysis.findings import Finding, Report
-from repro.analysis.registry import DEFAULT_REGISTRY, Rule, RuleRegistry
+from repro.analysis.registry import (
+    DEFAULT_REGISTRY,
+    Rule,
+    RuleRegistry,
+    load_rules,
+)
 from repro.analysis.taskgraph_rules import TaskGraphContext
 from repro.analysis.trace_rules import TraceContext
 from repro.core.config import SimulationConfig
@@ -52,6 +54,12 @@ DEFAULT_REGISTRY.register(Rule(
     id="CF011", name="config-schema", category="config", severity="error",
     description="A serialized config must deserialize through "
                 "SimulationConfig.from_dict.",
+))
+DEFAULT_REGISTRY.register(Rule(
+    id="PL003", name="plan-schema", category="plan", severity="error",
+    description="A serialized plan must deserialize through "
+                "ExtrapolationPlan.from_dict with in-range backward "
+                "dependency indices.",
 ))
 
 
@@ -129,7 +137,7 @@ def lint_taskgraph(sim: TaskGraphSimulator,
 # ----------------------------------------------------------------------
 # Plans
 # ----------------------------------------------------------------------
-def lint_plan(plan, config: SimulationConfig,
+def lint_plan(plan: Any, config: SimulationConfig,
               trace: Optional[Trace] = None, prepared: bool = False,
               registry: Optional[RuleRegistry] = None) -> Report:
     """Run every plan rule against a pre-built extrapolation plan.
@@ -220,11 +228,17 @@ def lint_spec(source: Union[SweepSpec, dict, str, Path],
 # Auto-detection
 # ----------------------------------------------------------------------
 def detect_kind(data: dict) -> str:
-    """Classify a parsed JSON document as trace, spec, or config."""
+    """Classify a parsed JSON document as trace, plan, spec, faults, or
+    config."""
     if "operators" in data and "tensors" in data:
         return "trace"
+    if "tasks" in data and "key" in data:
+        return "plan"
     if "axes" in data or "trace" in data or "model" in data or "base" in data:
         return "spec"
+    if ("stragglers" in data or "link_faults" in data or "failures" in data) \
+            and "parallelism" not in data:
+        return "faults"
     return "config"
 
 
@@ -245,4 +259,35 @@ def lint_path(path: Union[str, Path], kind: str = "auto",
     if kind == "spec":
         return lint_spec(data, base_dir=Path(path).parent,
                          registry=registry), kind
+    if kind == "plan":
+        from repro.core.plan import ExtrapolationPlan
+
+        report = Report()
+        try:
+            plan = ExtrapolationPlan.from_dict(data)
+        except (ValueError, KeyError, IndexError, TypeError) as exc:
+            report.add(_finding(registry, "PL003",
+                                f"plan does not deserialize: {exc}"))
+            return report, kind
+        if len(plan) == 0:
+            report.add(_finding(registry, "PL002", "plan contains no tasks"))
+        return report, kind
+    if kind == "faults":
+        from repro.analysis.verifier.verify import _faults_config
+
+        report = Report()
+        try:
+            inferred = _faults_config(data)
+        except (ValueError, TypeError, KeyError) as exc:
+            report.add(_finding(registry, "CF011",
+                                f"fault spec does not deserialize: {exc}"))
+            return report, kind
+        return lint_config(inferred, registry=registry), kind
     return lint_config(data, registry=registry), kind
+
+
+# Every rule module registers itself on import; walking the package here
+# (instead of hand-listing imports) is what lets check_catalogue assert
+# completeness — a forgotten module fails the catalogue test, rather than
+# silently dropping its rules from --list-rules and the linter.
+load_rules()

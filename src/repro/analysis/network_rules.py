@@ -25,7 +25,7 @@ with the ``CF``-series inside ``lint_config``.
 from __future__ import annotations
 
 from repro.analysis.config_rules import ConfigContext
-from repro.analysis.registry import rule
+from repro.analysis.registry import Emitter, rule
 from repro.network.routing import routing_names
 from repro.network.topology import TOPOLOGIES
 
@@ -34,7 +34,7 @@ from repro.network.topology import TOPOLOGIES
       description="A named topology's builder parameters must describe a "
                   "buildable fabric (even Clos k, rows dividing the GPU "
                   "count, positive tier sizes, known params).")
-def check_fabric_shape(ctx: ConfigContext, emit) -> None:
+def check_fabric_shape(ctx: ConfigContext, emit: Emitter) -> None:
     if ctx.build_error is not None:
         emit(f"topology {ctx.topology_name!r} cannot be built: "
              f"{ctx.build_error}", location="topology",
@@ -45,7 +45,7 @@ def check_fabric_shape(ctx: ConfigContext, emit) -> None:
       description="oversubscription only applies to fabrics with uplink "
                   "tiers (e.g. leaf_spine) and should be >= 1 (downlink:"
                   "uplink capacity ratio).")
-def check_oversubscription(ctx: ConfigContext, emit) -> None:
+def check_oversubscription(ctx: ConfigContext, emit: Emitter) -> None:
     ratio = ctx.config.oversubscription
     if ratio is None:
         return
@@ -66,7 +66,7 @@ def check_oversubscription(ctx: ConfigContext, emit) -> None:
 @rule("NW003", "routing-unknown", "config", "error",
       description="routing must name a registered strategy (see "
                   "repro.network.routing).")
-def check_routing_name(ctx: ConfigContext, emit) -> None:
+def check_routing_name(ctx: ConfigContext, emit: Emitter) -> None:
     name = ctx.config.routing
     if name not in routing_names():
         emit(f"unknown routing strategy {name!r}; known: "
@@ -77,7 +77,7 @@ def check_routing_name(ctx: ConfigContext, emit) -> None:
       description="A non-default routing strategy on a single-path "
                   "topology is inert: every strategy is bit-identical to "
                   "'shortest' there.")
-def check_routing_engages(ctx: ConfigContext, emit) -> None:
+def check_routing_engages(ctx: ConfigContext, emit: Emitter) -> None:
     name = ctx.config.routing
     if name == "shortest" or name not in routing_names():
         return

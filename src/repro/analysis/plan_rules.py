@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.analysis.registry import rule
+from repro.analysis.registry import Emitter, rule
 from repro.core.config import SimulationConfig
 from repro.core.plan import (
     PLAN_SCHEMA_VERSION,
@@ -40,7 +40,7 @@ class PlanContext:
       description="A pre-built plan's key must match the (trace, config) "
                   "it executes under; a mismatched plan simulates the "
                   "wrong system.")
-def plan_config_mismatch(ctx: PlanContext, emit) -> None:
+def plan_config_mismatch(ctx: PlanContext, emit: Emitter) -> None:
     if ctx.expected_key is None or ctx.plan.key == ctx.expected_key:
         return
     emit(
@@ -59,6 +59,6 @@ def plan_config_mismatch(ctx: PlanContext, emit) -> None:
 @rule(id="PL002", name="plan-empty", category="plan", severity="warning",
       description="A plan with zero tasks simulates nothing; usually a "
                   "sign the extrapolator recorded into the wrong target.")
-def plan_empty(ctx: PlanContext, emit) -> None:
+def plan_empty(ctx: PlanContext, emit: Emitter) -> None:
     if len(ctx.plan) == 0:
         emit("plan contains no tasks")

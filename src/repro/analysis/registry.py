@@ -14,12 +14,94 @@ Runtime sanitizers register with ``fn=None``: they appear in the catalogue
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.analysis.findings import SEVERITIES, Finding, Report
 
-#: Rule categories, i.e. which lint pass owns the rule.
-CATEGORIES = ("trace", "config", "taskgraph", "spec", "plan", "runtime")
+#: Rule categories, i.e. which lint pass owns the rule.  ``verify`` rules
+#: are the deep whole-graph pass (``repro verify``); ``runtime`` rules are
+#: sanitizers and race detectors that fire from hooks.
+CATEGORIES = ("trace", "config", "taskgraph", "spec", "plan", "verify",
+              "runtime")
+
+#: The complete rule catalogue, series prefix -> number of rules.  Every
+#: rule module registers by import side effect; :func:`load_rules`
+#: auto-discovers them, and :func:`check_catalogue` asserts the registry
+#: matches this table — a forgotten module, a renumbered id, or an
+#: undeclared new rule fails CI instead of silently shrinking coverage.
+RULE_SERIES: Dict[str, int] = {
+    "TR": 11,  # trace rules
+    "CF": 11,  # config rules
+    "TG": 3,   # shallow task-graph rules (pre-run --sanitize check)
+    "SP": 2,   # sweep-spec rules
+    "PL": 3,   # extrapolation-plan rules
+    "NW": 4,   # fabric/routing rules
+    "FT": 6,   # fault-spec rules
+    "SZ": 6,   # runtime sanitizers
+    "DV": 5,   # deep graph verifier (repro verify, Tier A)
+    "RC": 3,   # determinism race detectors (Tier B)
+}
+
+_RULES_LOADED = False
+
+
+def load_rules() -> None:
+    """Import every rule module under :mod:`repro.analysis` (idempotent).
+
+    Rules register at import time; this walks the package (including the
+    ``verifier`` subpackage) so the catalogue can never miss a series
+    because of a forgotten explicit import.
+    """
+    global _RULES_LOADED
+    if _RULES_LOADED:
+        return
+    _RULES_LOADED = True
+    import importlib
+    import pkgutil
+
+    package = importlib.import_module("repro.analysis")
+    prefix = package.__name__ + "."
+    for info in pkgutil.walk_packages(package.__path__, prefix=prefix):
+        importlib.import_module(info.name)
+
+
+def check_catalogue(registry: Optional["RuleRegistry"] = None) -> List[str]:
+    """Problems keeping the registry from matching :data:`RULE_SERIES`.
+
+    Returns human-readable discrepancies (missing series, count drift,
+    numbering gaps, ids outside any declared series); empty means the
+    catalogue is complete.  ``repro lint --list-rules`` and CI both fail
+    on a non-empty result.
+    """
+    load_rules()
+    registry = registry or DEFAULT_REGISTRY
+    problems: List[str] = []
+    by_series: Dict[str, List[str]] = {}
+    for rule_obj in registry.rules(enabled_only=False):
+        series = rule_obj.id.rstrip("0123456789")
+        by_series.setdefault(series, []).append(rule_obj.id)
+        if series not in RULE_SERIES:
+            problems.append(
+                f"rule {rule_obj.id} belongs to undeclared series "
+                f"{series!r} (declare it in repro.analysis.RULE_SERIES)")
+    for series, expected in RULE_SERIES.items():
+        ids = by_series.get(series, [])
+        if not ids:
+            problems.append(
+                f"series {series} is missing entirely ({expected} rule(s) "
+                "declared): its module failed to register")
+            continue
+        if len(ids) != expected:
+            problems.append(
+                f"series {series} has {len(ids)} rule(s), catalogue "
+                f"declares {expected}")
+        numbers = sorted(int(i[len(series):]) for i in ids)
+        want = list(range(1, len(numbers) + 1))
+        if numbers != want:
+            problems.append(
+                f"series {series} ids are not contiguous from "
+                f"{series}001: found {ids}")
+    return problems
 
 
 @dataclass(frozen=True)
@@ -37,7 +119,7 @@ class Rule:
     #: is too malformed to analyse further).
     gate: bool = False
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.category not in CATEGORIES:
             raise ValueError(f"unknown rule category {self.category!r}")
         if self.severity not in SEVERITIES:
@@ -52,7 +134,7 @@ class Emitter:
         self._report = report
 
     def __call__(self, message: str, location: str = "",
-                 severity: Optional[str] = None, **detail) -> Finding:
+                 severity: Optional[str] = None, **detail: object) -> Finding:
         finding = Finding(
             rule=self._rule.id,
             name=self._rule.name,
@@ -68,7 +150,7 @@ class Emitter:
 class RuleRegistry:
     """Rules by id with per-registry enable/disable state."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._rules: Dict[str, Rule] = {}
         self._by_name: Dict[str, str] = {}
         self._disabled: Set[str] = set()
@@ -130,7 +212,7 @@ class RuleRegistry:
     def is_enabled(self, id_or_name: str) -> bool:
         return self._resolve(id_or_name) not in self._disabled
 
-    def scoped(self, disable: List[str] = ()) -> "RuleRegistry":
+    def scoped(self, disable: Sequence[str] = ()) -> "RuleRegistry":
         """A shallow copy sharing rule definitions with its own
         enable/disable state (the CLI's ``--disable`` path)."""
         clone = RuleRegistry()
@@ -142,7 +224,8 @@ class RuleRegistry:
         return clone
 
     # -- execution -----------------------------------------------------
-    def run_category(self, category: str, subject, report: Report) -> Report:
+    def run_category(self, category: str, subject: object,
+                     report: Report) -> Report:
         """Run every enabled rule of *category* against *subject*.
 
         Gate rules run first; if any emits, the rest of the category is

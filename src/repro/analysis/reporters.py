@@ -1,5 +1,5 @@
 """Reporters: render a :class:`~repro.analysis.findings.Report` for
-humans (text) or machines (JSON)."""
+humans (text) or machines (JSON / SARIF)."""
 
 from __future__ import annotations
 
@@ -7,6 +7,9 @@ from typing import Optional
 
 from repro.analysis.findings import Report
 from repro.analysis.registry import DEFAULT_REGISTRY, RuleRegistry
+
+#: SARIF 2.1.0 level per finding severity.
+_SARIF_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
 
 
 def render_text(report: Report, source: str = "") -> str:
@@ -44,6 +47,70 @@ def render_json(report: Report, source: str = "") -> str:
         "errors": len(report.errors),
         "warnings": len(report.warnings),
         "findings": report.to_dicts(),
+    }, indent=2)
+
+
+def render_sarif(report: Report, source: str = "",
+                 registry: Optional[RuleRegistry] = None) -> str:
+    """The findings as a SARIF 2.1.0 document (one run, one tool).
+
+    ``source`` becomes each result's artifact location; the repro-internal
+    location (``task[...]``, ``collective[...]``) rides along as a logical
+    location, and the finding's detail dict lands in ``properties`` — so
+    CI annotators and SARIF viewers can ingest lint/verify output
+    directly.
+    """
+    import json
+
+    registry = registry or DEFAULT_REGISTRY
+    rules_seen = {}
+    results = []
+    for finding in report:
+        if finding.rule not in rules_seen:
+            try:
+                rule = registry.get(finding.rule)
+                description = rule.description
+            except KeyError:
+                description = ""
+            rules_seen[finding.rule] = {
+                "id": finding.rule,
+                "name": finding.name,
+                "shortDescription": {"text": description or finding.name},
+            }
+        result = {
+            "ruleId": finding.rule,
+            "level": _SARIF_LEVELS.get(finding.severity, "warning"),
+            "message": {"text": finding.message},
+        }
+        location: dict = {}
+        if source:
+            location["physicalLocation"] = {
+                "artifactLocation": {"uri": source},
+            }
+        if finding.location:
+            location["logicalLocations"] = [
+                {"fullyQualifiedName": finding.location},
+            ]
+        if location:
+            result["locations"] = [location]
+        if finding.detail:
+            result["properties"] = dict(finding.detail)
+        results.append(result)
+    return json.dumps({
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/"
+                   "sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro",
+                    "informationUri":
+                        "https://github.com/triosim/repro",
+                    "rules": list(rules_seen.values()),
+                },
+            },
+            "results": results,
+        }],
     }, indent=2)
 
 

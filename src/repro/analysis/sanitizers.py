@@ -29,7 +29,7 @@ before :meth:`Engine.run`, call :meth:`finalize` after, read ``.report``.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, List, Optional, Tuple
 
 from repro.analysis.findings import Finding, Report
 from repro.analysis.registry import DEFAULT_REGISTRY, Rule, RuleRegistry
@@ -80,7 +80,7 @@ DEFAULT_REGISTRY.register(Rule(
 
 
 def _emit(report: Report, rule_id: str, message: str, location: str = "",
-          **detail) -> None:
+          **detail: object) -> None:
     rule = DEFAULT_REGISTRY.get(rule_id)
     report.add(Finding(rule=rule.id, name=rule.name, severity=rule.severity,
                        message=message, location=location, detail=detail))
@@ -250,7 +250,8 @@ class RestartConsistencySanitizer:
     def __init__(self, report: Report):
         self.report = report
 
-    def check(self, injector, sim=None, network=None) -> None:
+    def check(self, injector: Any, sim: Any = None,
+              network: Any = None) -> None:
         for message in injector.consistency_errors():
             _emit(self.report, "SZ005", message, location="injector")
         if sim is not None and sim.unfinished_tasks:
@@ -286,13 +287,13 @@ class SanitizerSuite:
         self._capacity: Optional[LinkCapacitySanitizer] = None
         self._path: Optional[PathCapacitySanitizer] = None
         self._allocator: Optional[AllocatorWarningSanitizer] = None
-        self._injector = None
-        self._sim = None
-        self._network = None
-        self._attached = []
+        self._injector: Any = None
+        self._sim: Any = None
+        self._network: Any = None
+        self._attached: List[Tuple[Any, Any]] = []
 
-    def attach(self, engine: Optional[Engine] = None,
-               network=None, injector=None, sim=None) -> "SanitizerSuite":
+    def attach(self, engine: Optional[Engine] = None, network: Any = None,
+               injector: Any = None, sim: Any = None) -> "SanitizerSuite":
         self._injector = injector
         self._sim = sim
         self._network = network

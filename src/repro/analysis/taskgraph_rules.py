@@ -17,7 +17,7 @@ from typing import Optional
 
 import networkx as nx
 
-from repro.analysis.registry import rule
+from repro.analysis.registry import Emitter, rule
 from repro.core.taskgraph import TaskGraphSimulator
 
 
@@ -32,55 +32,27 @@ class TaskGraphContext:
 @rule("TG001", "taskgraph-cycle", "taskgraph", "error",
       description="The task dependency graph must be acyclic; a cycle "
                   "(e.g. mis-ordered collectives) deadlocks the run.")
-def check_cycles(ctx: TaskGraphContext, emit) -> None:
-    # Fast path: Kahn's toposort with plain dicts.  The check runs before
-    # every sanitized simulation, so the clean (acyclic) case must be
-    # near-free; the SCC machinery is only built once a cycle exists.
-    tasks = ctx.sim.tasks
-    indegree = {t.task_id: 0 for t in tasks}
-    for task in tasks:
-        for dependent in task.dependents:
-            indegree[dependent.task_id] += 1
-    ready = [t for t in tasks if indegree[t.task_id] == 0]
-    processed = 0
-    while ready:
-        task = ready.pop()
-        processed += 1
-        for dependent in task.dependents:
-            indegree[dependent.task_id] -= 1
-            if indegree[dependent.task_id] == 0:
-                ready.append(dependent)
-    if processed == len(tasks):
-        return
+def check_cycles(ctx: TaskGraphContext, emit: Emitter) -> None:
+    # GraphView's Kahn fast path keeps the clean (acyclic) case near-free
+    # — this runs before every sanitized simulation — and only builds the
+    # SCC machinery once a cycle exists (shared with the DV002 deep rule).
+    # Deferred import: the verifier package reaches back into the linter,
+    # which imports this module.
+    from repro.analysis.verifier.graph import GraphView
 
-    # Slow path: name the cycles via SCC analysis.
-    graph = nx.DiGraph()
-    graph.add_nodes_from(t.task_id for t in tasks)
-    by_id = {t.task_id: t for t in tasks}
-    for task in tasks:
-        for dependent in task.dependents:
-            graph.add_edge(task.task_id, dependent.task_id)
-    count = 0
-    for component in nx.strongly_connected_components(graph):
-        cyclic = len(component) > 1 or any(
-            graph.has_edge(n, n) for n in component
-        )
-        if not cyclic:
-            continue
-        if count < 3:
-            members = sorted(component)
-            names = [by_id[m].name for m in members[:5]]
-            emit(f"dependency cycle through {len(component)} task(s): "
-                 f"{', '.join(names)}"
-                 + (" ..." if len(component) > 5 else ""),
-                 location=f"task[{members[0]}]", size=len(component))
-        count += 1
+    view = GraphView.from_simulator(ctx.sim)
+    for members in view.cycles(limit=3):
+        names = [view.names[m] for m in members[:5]]
+        emit(f"dependency cycle through {len(members)} task(s): "
+             f"{', '.join(names)}"
+             + (" ..." if len(members) > 5 else ""),
+             location=f"task[{view.ids[members[0]]}]", size=len(members))
 
 
 @rule("TG002", "taskgraph-endpoint", "taskgraph", "error",
       description="Transfer tasks must name endpoints that exist in the "
                   "network topology.")
-def check_endpoints(ctx: TaskGraphContext, emit) -> None:
+def check_endpoints(ctx: TaskGraphContext, emit: Emitter) -> None:
     if ctx.topology is None:
         return
     count = 0
@@ -100,7 +72,7 @@ def check_endpoints(ctx: TaskGraphContext, emit) -> None:
 @rule("TG003", "taskgraph-dep-mismatch", "taskgraph", "error",
       description="Each task's remaining-dependency counter must equal "
                   "its in-degree; a mismatch strands the task forever.")
-def check_dep_counts(ctx: TaskGraphContext, emit) -> None:
+def check_dep_counts(ctx: TaskGraphContext, emit: Emitter) -> None:
     indegree = {t.task_id: 0 for t in ctx.sim.tasks}
     for task in ctx.sim.tasks:
         if task.done:

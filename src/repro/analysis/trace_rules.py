@@ -16,7 +16,7 @@ from typing import Dict, List
 
 import networkx as nx
 
-from repro.analysis.registry import rule
+from repro.analysis.registry import Emitter, rule
 from repro.trace.records import DTYPE_BYTES, PHASES, TENSOR_CATEGORIES
 from repro.trace.trace import validate_trace_dict
 
@@ -55,7 +55,7 @@ def _op_name(op: dict, index: int) -> str:
 @rule("TR001", "trace-schema", "trace", "error", gate=True,
       description="Trace JSON must carry the documented schema: version, "
                   "metadata, and well-typed tensor/operator tables.")
-def check_schema(ctx: TraceContext, emit) -> None:
+def check_schema(ctx: TraceContext, emit: Emitter) -> None:
     for problem in validate_trace_dict(ctx.data)[:MAX_FINDINGS_PER_RULE]:
         emit(problem)
 
@@ -63,7 +63,7 @@ def check_schema(ctx: TraceContext, emit) -> None:
 @rule("TR002", "tensor-dangling-ref", "trace", "error",
       description="Operators may only reference tensor IDs present in the "
                   "tensor table.")
-def check_dangling_refs(ctx: TraceContext, emit) -> None:
+def check_dangling_refs(ctx: TraceContext, emit: Emitter) -> None:
     count = 0
     for i, op in enumerate(ctx.operators):
         for direction in ("inputs", "outputs"):
@@ -78,7 +78,7 @@ def check_dangling_refs(ctx: TraceContext, emit) -> None:
 
 @rule("TR003", "tensor-duplicate-id", "trace", "error",
       description="Tensor IDs must be unique within the tensor table.")
-def check_duplicate_tensors(ctx: TraceContext, emit) -> None:
+def check_duplicate_tensors(ctx: TraceContext, emit: Emitter) -> None:
     seen: Dict[int, int] = {}
     count = 0
     for i, entry in enumerate(ctx.data.get("tensors", [])):
@@ -97,7 +97,7 @@ def check_duplicate_tensors(ctx: TraceContext, emit) -> None:
 @rule("TR004", "op-bad-duration", "trace", "error",
       description="Operator durations and FLOP counts must be finite and "
                   "non-negative.")
-def check_durations(ctx: TraceContext, emit) -> None:
+def check_durations(ctx: TraceContext, emit: Emitter) -> None:
     count = 0
     for i, op in enumerate(ctx.operators):
         for key in ("duration", "flops"):
@@ -114,7 +114,7 @@ def check_durations(ctx: TraceContext, emit) -> None:
 
 @rule("TR005", "op-bad-phase", "trace", "error",
       description=f"Operator phase must be one of {PHASES}.")
-def check_phases(ctx: TraceContext, emit) -> None:
+def check_phases(ctx: TraceContext, emit: Emitter) -> None:
     count = 0
     for i, op in enumerate(ctx.operators):
         phase = op.get("phase")
@@ -128,7 +128,7 @@ def check_phases(ctx: TraceContext, emit) -> None:
 @rule("TR006", "phase-order", "trace", "error",
       description="Operators must appear in phase order: every forward op "
                   "before every backward op before every optimizer op.")
-def check_phase_order(ctx: TraceContext, emit) -> None:
+def check_phase_order(ctx: TraceContext, emit: Emitter) -> None:
     count = 0
     prev_index = 0
     prev_phase = PHASES[0]
@@ -150,7 +150,7 @@ def check_phase_order(ctx: TraceContext, emit) -> None:
 @rule("TR007", "tensor-nbytes-mismatch", "trace", "error",
       description="A tensor's declared nbytes must equal dims x dtype "
                   "element size (the serializer's redundancy field).")
-def check_nbytes(ctx: TraceContext, emit) -> None:
+def check_nbytes(ctx: TraceContext, emit: Emitter) -> None:
     count = 0
     for i, entry in enumerate(ctx.data.get("tensors", [])):
         if not isinstance(entry, dict) or "nbytes" not in entry:
@@ -176,7 +176,7 @@ def check_nbytes(ctx: TraceContext, emit) -> None:
       description="The operator dataflow graph (producer -> consumer over "
                   "non-weight tensors) must be acyclic; weights legitimately "
                   "cycle through the optimizer update and are excluded.")
-def check_dataflow_cycles(ctx: TraceContext, emit) -> None:
+def check_dataflow_cycles(ctx: TraceContext, emit: Emitter) -> None:
     producers: Dict[int, List[int]] = {}
     for i, op in enumerate(ctx.operators):
         for tid in op.get("outputs", ()):
@@ -211,7 +211,7 @@ def check_dataflow_cycles(ctx: TraceContext, emit) -> None:
 @rule("TR009", "op-orphan", "trace", "warning",
       description="An operator with no input and no output tensors is "
                   "disconnected from the dataflow and likely a trace bug.")
-def check_orphan_operators(ctx: TraceContext, emit) -> None:
+def check_orphan_operators(ctx: TraceContext, emit: Emitter) -> None:
     count = 0
     for i, op in enumerate(ctx.operators):
         if not op.get("inputs") and not op.get("outputs"):
@@ -224,7 +224,7 @@ def check_orphan_operators(ctx: TraceContext, emit) -> None:
 @rule("TR010", "tensor-orphan", "trace", "warning",
       description="A tensor never referenced by any operator bloats the "
                   "table and usually indicates a truncated operator list.")
-def check_orphan_tensors(ctx: TraceContext, emit) -> None:
+def check_orphan_tensors(ctx: TraceContext, emit: Emitter) -> None:
     referenced = set()
     for op in ctx.operators:
         referenced.update(op.get("inputs", ()))
@@ -244,7 +244,7 @@ def check_orphan_tensors(ctx: TraceContext, emit) -> None:
 @rule("TR011", "tensor-bad-shape", "trace", "error",
       description="Tensor dims must be non-negative and dtype/category "
                   "must be known to the simulator.")
-def check_tensor_values(ctx: TraceContext, emit) -> None:
+def check_tensor_values(ctx: TraceContext, emit: Emitter) -> None:
     count = 0
     for i, entry in enumerate(ctx.data.get("tensors", [])):
         if not isinstance(entry, dict):

@@ -1,0 +1,287 @@
+"""Verification orchestration: one entry point per input kind.
+
+Two-tier layering on top of the lint passes: every ``verify_*`` function
+first runs the relevant shallow lint (same registry, same gates), then —
+when the input survives — lowers the execution DAG to a
+:class:`~repro.analysis.verifier.graph.GraphView` and runs the deep
+``DV`` rules over the whole graph.
+
+* :func:`verify_taskgraph` — a live, not-yet-run
+  :class:`~repro.core.taskgraph.TaskGraphSimulator` (the ``--verify``
+  pre-run gate inside :class:`~repro.core.simulator.TrioSim`);
+* :func:`verify_plan` — a recorded
+  :class:`~repro.core.plan.ExtrapolationPlan`;
+* :func:`verify_config` — a ``(config, trace)`` pair: config lint, then
+  build the plan and verify it (the sweep service's pre-dispatch gate);
+* :func:`verify_spec` — a sweep spec: full spec lint, then one deep
+  verification per *distinct plan key* among the expanded points;
+* :func:`verify_path` — auto-detects what a JSON file is and dispatches
+  (the ``repro verify`` CLI).
+
+Every function returns a :class:`~repro.analysis.findings.Report`; a
+clean graph verifies with zero findings.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Optional, Set, Tuple, Union
+
+import networkx as nx
+
+from repro.analysis import linter as _linter
+from repro.analysis.findings import Finding, Report
+from repro.analysis.registry import DEFAULT_REGISTRY, RuleRegistry
+from repro.analysis.verifier.graph import GraphView
+from repro.analysis.verifier.rules import VerifyContext
+from repro.core.config import SimulationConfig
+from repro.trace.trace import Trace
+
+
+def _manual(registry: RuleRegistry, rule_id: str, message: str,
+            location: str = "") -> Finding:
+    rule = registry.get(rule_id)
+    return Finding(rule=rule.id, name=rule.name, severity=rule.severity,
+                   message=message, location=location)
+
+
+def _run_verify(view: GraphView, config: Optional[SimulationConfig],
+                topology: Optional[nx.Graph],
+                registry: RuleRegistry) -> Report:
+    ctx = VerifyContext(view, config=config, topology=topology)
+    return registry.run_category("verify", ctx, Report())
+
+
+# ----------------------------------------------------------------------
+# Live task graphs and plans
+# ----------------------------------------------------------------------
+def verify_taskgraph(sim: Any, topology: Optional[nx.Graph] = None,
+                     config: Optional[SimulationConfig] = None,
+                     registry: Optional[RuleRegistry] = None) -> Report:
+    """Deep-verify a live (not yet run) task-graph simulator."""
+    registry = registry or DEFAULT_REGISTRY
+    return _run_verify(GraphView.from_simulator(sim), config, topology,
+                       registry)
+
+
+def verify_plan(plan: Any, config: Optional[SimulationConfig] = None,
+                registry: Optional[RuleRegistry] = None) -> Report:
+    """Deep-verify a recorded extrapolation plan.
+
+    With a *config*, slack annotations use its link parameters and DV005
+    checks peaks against its target GPU; the findings themselves depend
+    only on the plan (two configs sharing a plan key share a verdict).
+    """
+    registry = registry or DEFAULT_REGISTRY
+    return _run_verify(GraphView.from_plan(plan), config, None, registry)
+
+
+def plan_summary(plan: Any,
+                 config: Optional[SimulationConfig] = None) -> dict:
+    """Whole-graph annotation block of *plan* (sizes, critical path,
+    peak transfer footprint) — the CLI's summary line."""
+    return GraphView.from_plan(plan).summary(config)
+
+
+# ----------------------------------------------------------------------
+# Configs (build the plan, then verify it)
+# ----------------------------------------------------------------------
+def verify_config(config: Union[SimulationConfig, dict],
+                  trace: Optional[Trace] = None,
+                  registry: Optional[RuleRegistry] = None,
+                  plan_cache: Any = None, op_time: Any = None) -> Report:
+    """Config lint, then build this point's plan and deep-verify it.
+
+    Mirrors :func:`~repro.analysis.linter.lint_config` but adds the deep
+    tier when a *trace* is available: the extrapolation plan is built
+    (through *plan_cache* when given, so a later simulation reuses it)
+    and every DV rule runs over it.  A config that cannot even build a
+    graph yields a DV001 finding naming the failure.
+    """
+    registry = registry or DEFAULT_REGISTRY
+    report = _linter.lint_config(config, trace, registry)
+    if report.has_errors or trace is None:
+        return report
+    if isinstance(config, dict):
+        config = SimulationConfig.from_dict(config)
+    from repro.core.simulator import TrioSim
+
+    sim = TrioSim(trace, config, record_timeline=False, op_time=op_time,
+                  plan_cache=plan_cache)
+    try:
+        if plan_cache is not None:
+            plan, _source = plan_cache.get_or_build(sim.plan_key(),
+                                                    sim.build_plan)
+        else:
+            plan = sim.build_plan()
+    except Exception as exc:
+        report.add(_manual(registry, "DV001",
+                           f"cannot build the task graph: {exc}"))
+        return report
+    return report.merge(verify_plan(plan, config=config, registry=registry))
+
+
+# ----------------------------------------------------------------------
+# Sweep specs
+# ----------------------------------------------------------------------
+def verify_spec(source: Any, base_dir: Union[str, Path, None] = None,
+                registry: Optional[RuleRegistry] = None) -> Report:
+    """Full spec lint, then one deep verification per distinct plan.
+
+    Points differing only in execute-time parameters (topology, link
+    bandwidth/latency, routing, faults, iterations) share an
+    extrapolation plan, so a 16-point network sweep typically deep-
+    verifies one graph, not sixteen.
+    """
+    from repro.service.spec import SweepSpec
+
+    registry = registry or DEFAULT_REGISTRY
+    report = _linter.lint_spec(source, base_dir=base_dir, registry=registry)
+    if report.has_errors:
+        return report
+    if isinstance(source, SweepSpec):
+        spec = source
+    else:
+        if isinstance(source, (str, Path)):
+            data, _error = _linter._load_json(source)
+            if base_dir is None:
+                base_dir = Path(source).parent
+        else:
+            data = source
+        spec = SweepSpec.from_dict(data)
+    trace = spec.load_trace(base_dir=base_dir)
+    from repro.core.simulator import TrioSim
+
+    seen: Set[str] = set()
+    prepared: Dict[str, TrioSim] = {}
+    for label, config in spec.expand():
+        sim = TrioSim(trace, config, record_timeline=False)
+        key = sim.plan_key()
+        if key in seen:
+            continue
+        seen.add(key)
+        try:
+            plan = sim.build_plan()
+        except Exception as exc:
+            report.add(_manual(registry, "DV001",
+                               f"cannot build the task graph: {exc}",
+                               location=label))
+            continue
+        report.merge(_linter._prefixed(
+            verify_plan(plan, config=config, registry=registry), label))
+    return report
+
+
+# ----------------------------------------------------------------------
+# Files (the CLI entry point)
+# ----------------------------------------------------------------------
+def verify_path(path: Union[str, Path], kind: str = "auto",
+                config: Optional[SimulationConfig] = None,
+                registry: Optional[RuleRegistry] = None
+                ) -> Tuple[Report, str, dict]:
+    """Deep-verify a JSON file, auto-detecting its kind.
+
+    Returns ``(report, kind, info)``; ``info`` may carry a ``"summary"``
+    block (graph sizes, critical-path length, peak transfer footprint)
+    for single-graph inputs.  For trace inputs, *config* describes the
+    simulation whose graph is verified; without one only the shallow
+    trace lint runs.
+    """
+    registry = registry or DEFAULT_REGISTRY
+    report = Report()
+    info: dict = {}
+    data, error = _linter._load_json(path)
+    if data is None:
+        rule_id = {"trace": "TR001", "spec": "SP001"}.get(kind, "CF011")
+        report.add(_manual(registry, rule_id, error))
+        return report, (kind if kind != "auto" else "unknown"), info
+    if kind == "auto":
+        kind = _linter.detect_kind(data)
+
+    if kind == "spec":
+        return (verify_spec(data, base_dir=Path(path).parent,
+                            registry=registry), kind, info)
+
+    if kind == "plan":
+        from repro.core.plan import ExtrapolationPlan
+
+        try:
+            plan = ExtrapolationPlan.from_dict(data)
+        except (ValueError, KeyError, IndexError, TypeError) as exc:
+            report.add(_manual(registry, "DV001",
+                               f"plan does not deserialize: {exc}"))
+            return report, kind, info
+        report = verify_plan(plan, config=config, registry=registry)
+        info["summary"] = plan_summary(plan, config)
+        return report, kind, info
+
+    if kind == "faults":
+        try:
+            inferred = _faults_config(data)
+        except (ValueError, TypeError, KeyError) as exc:
+            report.add(_manual(registry, "CF011",
+                               f"fault spec does not deserialize: {exc}"))
+            return report, kind, info
+        return (_linter.lint_config(inferred, registry=registry), kind,
+                info)
+
+    if kind == "trace":
+        report = _linter.lint_trace(data, registry)
+        if report.has_errors or config is None:
+            return report, kind, info
+        try:
+            trace = Trace.from_dict(data)
+        except Exception as exc:
+            report.add(_manual(registry, "TR001",
+                               f"trace does not deserialize: {exc}"))
+            return report, kind, info
+        report.merge(_linter.lint_config(config, trace, registry))
+        if report.has_errors:
+            return report, kind, info
+        from repro.core.simulator import TrioSim
+
+        sim = TrioSim(trace, config, record_timeline=False)
+        try:
+            plan = sim.build_plan()
+        except Exception as exc:
+            report.add(_manual(registry, "DV001",
+                               f"cannot build the task graph: {exc}"))
+            return report, kind, info
+        report.merge(verify_plan(plan, config=config, registry=registry))
+        info["summary"] = plan_summary(plan, config)
+        return report, kind, info
+
+    # config
+    report = verify_config(data, trace=None, registry=registry)
+    return report, kind, info
+
+
+def _faults_config(data: dict) -> SimulationConfig:
+    """A minimal config a standalone fault spec can be linted against.
+
+    GPU count is inferred from the highest ``gpuN`` index the spec
+    references (at least 2), so device/link targets resolve against the
+    same ring topology ``repro simulate --faults`` would build.
+    """
+    from repro.faults.spec import FaultSpec, parse_link
+
+    spec = FaultSpec.from_dict(data)
+    names = [straggler.gpu for straggler in spec.stragglers]
+    for failure in spec.failures:
+        if "-" in failure.device:
+            try:
+                names.extend(parse_link(failure.device))
+            except ValueError:
+                pass
+        else:
+            names.append(failure.device)
+    for fault in spec.link_faults:
+        try:
+            names.extend(parse_link(fault.link))
+        except ValueError:
+            pass
+    indices = [int(name[3:]) for name in names
+               if name.startswith("gpu") and name[3:].isdigit()]
+    num_gpus = max(max(indices) + 1 if indices else 0, 2)
+    return SimulationConfig(parallelism="ddp", num_gpus=num_gpus,
+                            faults=spec)

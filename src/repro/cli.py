@@ -41,6 +41,45 @@ _EXPERIMENTS = (
 )
 
 
+def _add_config_args(parser: argparse.ArgumentParser) -> None:
+    """The simulation-shape arguments (``SimulationConfig.from_cli_args``
+    consumes them), shared by ``simulate`` and ``verify``."""
+    parser.add_argument("--parallelism", default="ddp",
+                        choices=("single", "dp", "ddp", "tp", "pp", "hybrid", "fsdp"))
+    parser.add_argument("--num-gpus", type=int, default=1)
+    parser.add_argument("--batch", type=int, default=None)
+    parser.add_argument("--chunks", type=int, default=1)
+    parser.add_argument("--dp-degree", type=int, default=None)
+    parser.add_argument("--topology", default="ring",
+                        choices=tuple(topology_names()))
+    parser.add_argument("--bandwidth", type=float, default=25e9,
+                        help="achieved link bandwidth, bytes/s")
+    parser.add_argument("--latency", type=float, default=2e-6)
+    parser.add_argument("--routing", default="shortest",
+                        choices=tuple(routing_names()),
+                        help="path choice on multi-path fabrics "
+                             "(leaf_spine, fat_tree_clos); inert on "
+                             "single-path topologies")
+    parser.add_argument("--routing-seed", type=int, default=0,
+                        help="hash seed for ecmp/flowlet routing")
+    parser.add_argument("--oversubscription", type=float, default=None,
+                        help="downlink:uplink capacity ratio for "
+                             "fabrics with uplink tiers (leaf_spine)")
+    parser.add_argument("--gpu", default=None, choices=sorted(GPU_SPECS),
+                        help="target GPU (cross-GPU prediction)")
+    parser.add_argument("--tp-scheme", default="layerwise",
+                        choices=("layerwise", "megatron"))
+    parser.add_argument("--pp-schedule", default="gpipe",
+                        choices=("gpipe", "1f1b"))
+    parser.add_argument("--slow", action="append", default=[],
+                        metavar="GPU=FACTOR",
+                        help="per-GPU compute slowdown, e.g. gpu2=1.5")
+    parser.add_argument("--iterations", type=int, default=1)
+    parser.add_argument("--collective", default="ring",
+                        choices=("ring", "tree", "hierarchical"))
+    parser.add_argument("--gpus-per-node", type=int, default=None)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="TrioSim reproduction command-line tool"
@@ -60,40 +99,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     simulate_p = sub.add_parser("simulate", help="run TrioSim on a trace")
     simulate_p.add_argument("trace", help="trace JSON file")
-    simulate_p.add_argument("--parallelism", default="ddp",
-                            choices=("single", "dp", "ddp", "tp", "pp", "hybrid", "fsdp"))
-    simulate_p.add_argument("--num-gpus", type=int, default=1)
-    simulate_p.add_argument("--batch", type=int, default=None)
-    simulate_p.add_argument("--chunks", type=int, default=1)
-    simulate_p.add_argument("--dp-degree", type=int, default=None)
-    simulate_p.add_argument("--topology", default="ring",
-                            choices=tuple(topology_names()))
-    simulate_p.add_argument("--bandwidth", type=float, default=25e9,
-                            help="achieved link bandwidth, bytes/s")
-    simulate_p.add_argument("--latency", type=float, default=2e-6)
-    simulate_p.add_argument("--routing", default="shortest",
-                            choices=tuple(routing_names()),
-                            help="path choice on multi-path fabrics "
-                                 "(leaf_spine, fat_tree_clos); inert on "
-                                 "single-path topologies")
-    simulate_p.add_argument("--routing-seed", type=int, default=0,
-                            help="hash seed for ecmp/flowlet routing")
-    simulate_p.add_argument("--oversubscription", type=float, default=None,
-                            help="downlink:uplink capacity ratio for "
-                                 "fabrics with uplink tiers (leaf_spine)")
-    simulate_p.add_argument("--gpu", default=None, choices=sorted(GPU_SPECS),
-                            help="target GPU (cross-GPU prediction)")
-    simulate_p.add_argument("--tp-scheme", default="layerwise",
-                            choices=("layerwise", "megatron"))
-    simulate_p.add_argument("--pp-schedule", default="gpipe",
-                            choices=("gpipe", "1f1b"))
-    simulate_p.add_argument("--slow", action="append", default=[],
-                            metavar="GPU=FACTOR",
-                            help="per-GPU compute slowdown, e.g. gpu2=1.5")
-    simulate_p.add_argument("--iterations", type=int, default=1)
-    simulate_p.add_argument("--collective", default="ring",
-                            choices=("ring", "tree", "hierarchical"))
-    simulate_p.add_argument("--gpus-per-node", type=int, default=None)
+    _add_config_args(simulate_p)
     simulate_p.add_argument("--timeline", default=None,
                             help="write a Chrome trace-event file")
     simulate_p.add_argument("--report", default=None,
@@ -105,6 +111,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="pre-run task-graph analysis + runtime "
                                  "sanitizers (time monotonicity, link "
                                  "capacity, event-heap leaks)")
+    simulate_p.add_argument("--verify", action="store_true",
+                            help="deep-verify the task graph before the "
+                                 "run (DV rules: cycles, dead tasks, "
+                                 "collective matching, peak memory) and "
+                                 "run the determinism race detectors "
+                                 "(RC rules) during it")
     simulate_p.add_argument("--faults", default=None, metavar="SPEC",
                             help="fault spec JSON (stragglers, link "
                                  "degradation, failures + checkpoint-"
@@ -130,6 +142,10 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="write label,total_s,cached rows as CSV")
     sweep_p.add_argument("--sanitize", action="store_true",
                          help="run every point with the runtime sanitizers")
+    sweep_p.add_argument("--verify", action="store_true",
+                         help="deep-verify each distinct task graph before "
+                              "dispatch (VerifyError outcomes) and run the "
+                              "determinism race detectors on every point")
     sweep_p.add_argument("--no-lint", action="store_true",
                          help="skip the static config lint before dispatch")
     sweep_p.add_argument("--plan-cache", default=None, metavar="DIR",
@@ -142,20 +158,43 @@ def _build_parser() -> argparse.ArgumentParser:
                               "point re-runs the extrapolator")
 
     lint_p = sub.add_parser(
-        "lint", help="statically check a trace, config, or sweep spec"
+        "lint", help="statically check a trace, config, plan, fault spec, "
+                     "or sweep spec"
     )
     lint_p.add_argument("path", nargs="?", default=None,
-                        help="JSON file to check (trace, config, or spec)")
+                        help="JSON file to check (trace, config, plan, "
+                             "fault spec, or sweep spec)")
     lint_p.add_argument("--kind", default="auto",
-                        choices=("auto", "trace", "config", "spec"),
+                        choices=("auto", "trace", "config", "plan",
+                                 "faults", "spec"),
                         help="input kind (default: detect from content)")
     lint_p.add_argument("--format", default="text",
-                        choices=("text", "json"), dest="fmt")
+                        choices=("text", "json", "sarif"), dest="fmt")
     lint_p.add_argument("--disable", action="append", default=[],
                         metavar="RULE",
                         help="disable a rule by id or name (repeatable)")
     lint_p.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+
+    verify_p = sub.add_parser(
+        "verify", help="deep whole-graph verification of a trace, plan, "
+                       "config, fault spec, or sweep spec"
+    )
+    verify_p.add_argument("path", nargs="?", default=None,
+                          help="JSON file to verify")
+    verify_p.add_argument("--kind", default="auto",
+                          choices=("auto", "trace", "config", "plan",
+                                   "faults", "spec"),
+                          help="input kind (default: detect from content)")
+    verify_p.add_argument("--format", default="text",
+                          choices=("text", "json", "sarif"), dest="fmt")
+    verify_p.add_argument("--disable", action="append", default=[],
+                          metavar="RULE",
+                          help="disable a rule by id or name (repeatable)")
+    verify_p.add_argument("--list-rules", action="store_true",
+                          help="print the rule catalogue (checking its "
+                               "completeness) and exit")
+    _add_config_args(verify_p)
 
     inspect_p = sub.add_parser("inspect", help="summarize or diff traces")
     inspect_p.add_argument("trace", help="trace JSON file")
@@ -202,8 +241,8 @@ def _cmd_simulate(args) -> int:
         config.faults = FaultSpec.load(args.faults)
     wants_timeline = args.timeline is not None or args.report is not None
     sim = TrioSim(trace, config, record_timeline=wants_timeline,
-                  sanitize=args.sanitize)
-    if args.sanitize:
+                  sanitize=args.sanitize, verify=args.verify)
+    if args.sanitize or args.verify:
         from repro.analysis import AnalysisError, render_text
 
         try:
@@ -211,8 +250,16 @@ def _cmd_simulate(args) -> int:
         except AnalysisError as exc:
             print(render_text(exc.report, source=args.trace))
             return 1
-        print(render_text(sim.sanitizer_report, source="sanitizers"))
-        if sim.sanitizer_report.has_errors:
+        if sim.sanitizer_report is not None:
+            print(render_text(sim.sanitizer_report, source="sanitizers"))
+        if sim.verify_report is not None:
+            print(render_text(sim.verify_report, source="verify"))
+            print(f"verify: dispatch-order digest "
+                  f"{sim.verify_digest:016x}")
+        if (sim.sanitizer_report is not None
+                and sim.sanitizer_report.has_errors):
+            return 1
+        if sim.verify_report is not None and sim.verify_report.has_errors:
             return 1
     else:
         result = sim.run()
@@ -312,6 +359,7 @@ def _cmd_sweep(args) -> int:
         hooks=(_SweepProgress(),),
         lint=not args.no_lint,
         sanitize=args.sanitize,
+        verify=args.verify,
         plan_cache=plan_cache,
     )
     outcomes = runner.run(trace, configs, labels=labels)
@@ -325,7 +373,7 @@ def _cmd_sweep(args) -> int:
         f"{metrics.errors} errors | "
         f"{metrics.events_per_sec:,.0f} simulated events/s"
     )
-    if args.sanitize:
+    if args.sanitize or args.verify:
         flagged = sum(len(o.sanitizer_findings) for o in outcomes)
         print(f"sanitizers: {flagged} findings across "
               f"{sum(1 for o in outcomes if o.sanitizer_findings)} points")
@@ -345,13 +393,7 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_lint(args) -> int:
-    from repro.analysis import (
-        DEFAULT_REGISTRY,
-        lint_path,
-        render_catalogue,
-        render_json,
-        render_text,
-    )
+    from repro.analysis import DEFAULT_REGISTRY, lint_path, render_catalogue
 
     if args.list_rules:
         print(render_catalogue())
@@ -363,11 +405,54 @@ def _cmd_lint(args) -> int:
     registry = (DEFAULT_REGISTRY.scoped(disable=args.disable)
                 if args.disable else DEFAULT_REGISTRY)
     report, kind = lint_path(args.path, kind=args.kind, registry=registry)
-    source = f"{args.path} ({kind})"
-    if args.fmt == "json":
+    _print_report(report, args.path, kind, args.fmt)
+    return 1 if report.has_errors else 0
+
+
+def _print_report(report, path: str, kind: str, fmt: str) -> None:
+    from repro.analysis import render_json, render_sarif, render_text
+
+    source = f"{path} ({kind})"
+    if fmt == "json":
         print(render_json(report, source=source))
+    elif fmt == "sarif":
+        print(render_sarif(report, source=path))
     else:
         print(render_text(report, source=source))
+
+
+def _cmd_verify(args) -> int:
+    from repro.analysis import (
+        DEFAULT_REGISTRY,
+        check_catalogue,
+        render_catalogue,
+        verify_path,
+    )
+
+    if args.list_rules:
+        print(render_catalogue())
+        problems = check_catalogue()
+        for problem in problems:
+            print(f"catalogue: {problem}", file=sys.stderr)
+        return 2 if problems else 0
+    if args.path is None:
+        print("error: a path to verify is required (or --list-rules)",
+              file=sys.stderr)
+        return 2
+    registry = (DEFAULT_REGISTRY.scoped(disable=args.disable)
+                if args.disable else DEFAULT_REGISTRY)
+    config = SimulationConfig.from_cli_args(args)
+    report, kind, info = verify_path(args.path, kind=args.kind,
+                                     config=config, registry=registry)
+    _print_report(report, args.path, kind, args.fmt)
+    summary = info.get("summary")
+    if summary and args.fmt == "text" and not report.has_errors:
+        print(f"graph: {summary['tasks']} tasks "
+              f"({summary['compute']} compute, {summary['transfer']} "
+              f"transfer, {summary['barrier']} barrier) | critical path "
+              f"{summary['critical_path_s'] * 1e3:.3f} ms across "
+              f"{summary['critical_tasks']} task(s) | peak transfer "
+              f"footprint {summary['peak_transfer_bytes'] / 2 ** 20:.1f} MiB")
     return 1 if report.has_errors else 0
 
 
@@ -414,6 +499,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_sweep(args)
         if args.command == "lint":
             return _cmd_lint(args)
+        if args.command == "verify":
+            return _cmd_verify(args)
         if args.command == "inspect":
             return _cmd_inspect(args)
         if args.command == "experiment":

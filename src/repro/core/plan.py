@@ -324,6 +324,18 @@ class ExtrapolationPlan:
                                          deps=tuple(deps)))
             else:
                 raise ValueError(f"unknown plan row tag {tag!r}")
+            for dep in tasks[-1].deps:
+                # Dependencies must point strictly backwards: a forward,
+                # self, or out-of-range reference would corrupt the
+                # dependent wiring at instantiation.  Raising ValueError
+                # here puts corrupt persisted plans on PlanCache.get's
+                # drop-and-rebuild path instead of into a simulation.
+                if not isinstance(dep, int) or not 0 <= dep < index:
+                    raise ValueError(
+                        f"plan row {index} ({tasks[-1].name!r}) has an "
+                        f"invalid dependency index {dep!r}: dependencies "
+                        "must reference earlier rows"
+                    )
         return cls(tasks, data["key"])
 
     def to_json(self) -> str:

@@ -100,13 +100,24 @@ class TrioSim:
         the plan up by :meth:`plan_key` and builds (and caches) it only
         on a miss, so runs differing only in network/topology/fault
         parameters extrapolate once.
+    verify:
+        Run the two-tier verifier around the simulation: the deep static
+        graph verifier (``DV`` rules — cycles, dead tasks, mismatched
+        collectives, memory-infeasible schedules) over the fully
+        instantiated graph before any event is scheduled, raising
+        :class:`repro.analysis.AnalysisError` on errors, and the
+        determinism race detectors (``RC`` rules) during the run.
+        Findings land in :attr:`verify_report`; the dispatch-order
+        digest in :attr:`verify_digest`.  Pass the string ``"races"``
+        to skip the static tier (when the caller verified the plan
+        already) and run only the race detectors.
     """
 
     def __init__(self, trace: Trace, config: SimulationConfig,
                  record_timeline: bool = True, hooks=(), op_time=None,
                  sanitize: bool = False, allow_chaos: bool = False,
                  plan: ExtrapolationPlan = None,
-                 plan_cache: PlanCache = None):
+                 plan_cache: PlanCache = None, verify: bool = False):
         self.config = config
         self.record_timeline = record_timeline
         self.hooks = tuple(hooks)
@@ -114,9 +125,16 @@ class TrioSim:
         self.allow_chaos = allow_chaos
         self.plan = plan
         self.plan_cache = plan_cache
+        self.verify = verify
         #: Runtime sanitizer findings of the last :meth:`run` (a
         #: :class:`repro.analysis.Report`), or ``None`` when off.
         self.sanitizer_report = None
+        #: Verifier findings of the last :meth:`run` — static (``DV``)
+        #: warnings plus dynamic (``RC``) races — or ``None`` when off.
+        self.verify_report = None
+        #: Stable fold of the run's dispatched ``(time, seq)`` schedule;
+        #: equal digests certify two runs dispatched identically.
+        self.verify_digest = None
         #: Injection counters of the last :meth:`run` (see
         #: :meth:`repro.faults.FaultInjector.stats`), or ``None`` when the
         #: config carries no (non-empty) fault spec.
@@ -345,12 +363,37 @@ class TrioSim:
                 raise AnalysisError(pre, "task graph failed pre-run analysis")
             suite = SanitizerSuite().attach(engine=engine, network=network,
                                             injector=injector, sim=sim)
+        races = None
+        if self.verify:
+            from repro.analysis import AnalysisError, Report
+            from repro.analysis.verifier import (
+                RaceDetectorSuite,
+                verify_taskgraph,
+            )
+
+            if self.verify == "races":
+                # Tier B only: the caller (e.g. the sweep runner, which
+                # verifies each distinct plan once pre-dispatch) already
+                # ran the static pass.
+                self.verify_report = Report()
+            else:
+                with profiler.phase("verify"):
+                    pre = verify_taskgraph(
+                        sim, topology=getattr(network, "topology", None),
+                        config=self.config)
+                if pre.has_errors:
+                    raise AnalysisError(pre, "task graph failed verification")
+                self.verify_report = pre
+            races = RaceDetectorSuite().attach(engine=engine, sim=sim)
         with profiler.phase("engine"):
             total = sim.run()
         if injector is not None:
             self.fault_stats = injector.stats()
         if suite is not None:
             self.sanitizer_report = suite.finalize(engine)
+        if races is not None:
+            self.verify_report.merge(races.finalize())
+            self.verify_digest = races.order_digest
         iteration_times = []
         if self.config.iterations > 1:
             iteration_times = iteration_times_from_fences(

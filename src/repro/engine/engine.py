@@ -48,6 +48,8 @@ class Engine(Hookable):
         self._compactions = 0
         self._max_events = max_events
         self._paused = False
+        self._dispatch_observer: Optional[
+            Callable[[float, int, Event], None]] = None
 
     @property
     def now(self) -> float:
@@ -160,6 +162,21 @@ class Engine(Hookable):
             heapq.heapify(self._queue)
         return deferred
 
+    def set_dispatch_observer(
+            self, observer: Optional[Callable[[float, int, Event], None]]
+    ) -> None:
+        """Install a ``(time, seq, event)`` callback fired per dispatch.
+
+        The observer sees each event's heap position (its timestamp and
+        tie-breaking sequence number) *before* the event is handled —
+        the instrumentation point of the determinism race detectors
+        (:mod:`repro.analysis.verifier.races`).  At most one observer;
+        ``None`` uninstalls.  Like the hook list, the observer is bound
+        once at the top of :meth:`run`: install it before running.
+        Costs nothing when unset (one bound-local check per loop setup).
+        """
+        self._dispatch_observer = observer
+
     def run(self, until: Optional[float] = None) -> float:
         """Dispatch events in time order.
 
@@ -173,6 +190,7 @@ class Engine(Hookable):
         # list keeps the emptiness check live while skipping two HookCtx
         # allocations per event on the (common) unobserved path.
         hooks = self._hooks
+        observer = self._dispatch_observer
         while self._queue and not self._paused:
             time, _seq, event = self._queue[0]
             if until is not None and time > until:
@@ -190,6 +208,8 @@ class Engine(Hookable):
                     f"exceeded max_events={self._max_events}; "
                     "possible runaway event loop"
                 )
+            if observer is not None:
+                observer(time, _seq, event)
             if hooks:
                 self.invoke_hooks(HookCtx(HOOK_BEFORE_EVENT, self._now, event))
                 event.handler.handle(event)

@@ -203,6 +203,17 @@ class SweepRunner(Hookable):
     sanitize:
         Run every simulated point with the runtime sanitizers attached;
         findings land on each outcome's ``sanitizer_findings``.
+    verify:
+        Deep-verify every point's task graph *before* any simulation is
+        dispatched (cycles, dead tasks, mismatched collectives,
+        memory-infeasible schedules — the ``DV`` rules) and run the
+        determinism race detectors (``RC`` rules) during each point.  A
+        point whose graph fails verification becomes a structured
+        ``VerifyError`` outcome, mirroring ``LintError``; points sharing
+        an extrapolation plan share one verification, and the verified
+        plans land in the plan cache so the sweep itself reuses them.
+        Race findings ride each outcome's ``sanitizer_findings``
+        (distinguishable by their ``RC``/``DV`` rule ids).
     retry_seed:
         Seed of the crash-retry backoff jitter, so retry timing (the only
         nondeterminism a crash introduces) is reproducible.
@@ -234,6 +245,7 @@ class SweepRunner(Hookable):
                  cache: Union[ResultCache, str, Path, None] = None,
                  timeout: Optional[float] = None, hooks: Sequence = (),
                  lint: bool = True, sanitize: bool = False,
+                 verify: bool = False,
                  retry_seed: int = 0, retry_backoff: float = 0.05,
                  plan_cache: Union[PlanCache, str, Path, bool, None] = True):
         super().__init__()
@@ -252,6 +264,7 @@ class SweepRunner(Hookable):
         self.timeout = timeout
         self.lint = lint
         self.sanitize = sanitize
+        self.verify = verify
         self.retry_seed = retry_seed
         self.retry_backoff = retry_backoff
         self.last_metrics: Optional[SweepMetrics] = None
@@ -387,6 +400,12 @@ class SweepRunner(Hookable):
                 else:
                     survivors.append(outcome)
 
+        # Verify pass: deep-verify each distinct task graph once before
+        # dispatching any simulation work built on it.
+        if self.verify:
+            survivors = self._verify_points(trace, survivors, metrics,
+                                            started)
+
         # Cache pass: satisfy points without any simulation.
         pending: List[SweepOutcome] = []
         for outcome in survivors:
@@ -423,6 +442,58 @@ class SweepRunner(Hookable):
                     detail=metrics.detail())
         )
         return outcomes
+
+    def _verify_points(self, trace: Trace, points: List[SweepOutcome],
+                       metrics: SweepMetrics,
+                       started: float) -> List[SweepOutcome]:
+        """Pre-dispatch deep verification, deduplicated by plan key.
+
+        Points differing only in execute-time parameters share an
+        extrapolation plan, so a 16-point network sweep verifies one
+        graph, not sixteen; the built plans land in the plan cache and
+        the sweep itself reuses them.  A config whose graph can't even
+        be built is passed through — it will fail identically, with a
+        proper error record, when its point runs.
+        """
+        from repro.analysis.verifier import verify_plan
+
+        verified: Dict[str, object] = {}
+        survivors: List[SweepOutcome] = []
+        for outcome in points:
+            report = None
+            try:
+                gpu_key = self._gpu_key(trace, outcome.config)
+                point_trace, op_times = self._shared_work(trace, gpu_key)
+                op_time = _worker.shared_op_time(
+                    point_trace, outcome.config.perf_model, op_times,
+                    gpu_key,
+                )
+                sim = TrioSim(point_trace, outcome.config,
+                              record_timeline=False, op_time=op_time)
+                key = sim.plan_key()
+                report = verified.get(key)
+                if report is None:
+                    if self.plan_cache is not None:
+                        plan, source = self.plan_cache.get_or_build(
+                            key, sim.build_plan)
+                        if source == "built":
+                            metrics.plan_builds += 1
+                    else:
+                        plan = sim.build_plan()
+                    report = verify_plan(plan, config=outcome.config)
+                    verified[key] = report
+            except Exception:
+                report = None
+            if report is not None and report.has_errors:
+                outcome.error = SweepError(
+                    kind="VerifyError",
+                    message="; ".join(str(f) for f in report.errors),
+                    traceback=render_text(report, source="verify"),
+                )
+                self._note_done(outcome, metrics, started)
+            else:
+                survivors.append(outcome)
+        return survivors
 
     def _note_done(self, outcome: SweepOutcome, metrics: SweepMetrics,
                    started: float) -> None:
@@ -463,6 +534,9 @@ class SweepRunner(Hookable):
             "record_timeline": record_timeline,
             "timeout": self.timeout,
             "sanitize": self.sanitize,
+            # The static tier already ran once per distinct plan in
+            # _verify_points; workers only need the race detectors.
+            "verify": "races" if self.verify else False,
         }
 
     def _run_parallel(self, trace: Trace, points: List[SweepOutcome],
@@ -587,6 +661,7 @@ class SweepRunner(Hookable):
                     self.timeout, op_time=op_time, sanitize=self.sanitize,
                     sanitizer_sink=outcome.sanitizer_findings,
                     plan_cache=self.plan_cache,
+                    verify="races" if self.verify else False,
                 )
                 if (self.cache is not None
                         and outcome.config.is_serializable):

@@ -177,11 +177,16 @@ def simulate_point(trace: Trace, config: SimulationConfig,
                    sanitize: bool = False,
                    sanitizer_sink: Optional[list] = None,
                    allow_chaos: bool = False,
-                   plan_cache: Optional[PlanCache] = None):
+                   plan_cache: Optional[PlanCache] = None,
+                   verify=False):
     """Run one sweep point (optionally under a deadline).
 
     With ``sanitize``, runtime sanitizer findings are appended to
-    *sanitizer_sink* as dicts (the process-boundary form).
+    *sanitizer_sink* as dicts (the process-boundary form); ``verify``
+    findings — determinism races and verifier warnings — ride the same
+    sink, distinguishable by their ``RC``/``DV`` rule ids.  ``verify``
+    may be the string ``"races"`` to run only the dynamic tier (the
+    sweep runner statically verifies each distinct plan pre-dispatch).
     ``allow_chaos`` arms ``chaos_kill_at`` fault specs; worker processes
     are sacrificial, so :func:`run_point` passes ``True``, while
     in-process runs keep the default and such specs raise instead.
@@ -191,10 +196,13 @@ def simulate_point(trace: Trace, config: SimulationConfig,
     with deadline(timeout):
         sim = TrioSim(trace, config, record_timeline=record_timeline,
                       op_time=op_time, sanitize=sanitize,
-                      allow_chaos=allow_chaos, plan_cache=plan_cache)
+                      allow_chaos=allow_chaos, plan_cache=plan_cache,
+                      verify=verify)
         result = sim.run()
         if sanitizer_sink is not None and sim.sanitizer_report is not None:
             sanitizer_sink.extend(sim.sanitizer_report.to_dicts())
+        if sanitizer_sink is not None and sim.verify_report is not None:
+            sanitizer_sink.extend(sim.verify_report.to_dicts())
         return result
 
 
@@ -220,7 +228,7 @@ def run_point(payload: dict) -> dict:
             trace, config, payload["record_timeline"], payload["timeout"],
             op_time=op_time, sanitize=payload.get("sanitize", False),
             sanitizer_sink=sanitizer_findings, allow_chaos=True,
-            plan_cache=_PLAN_CACHE,
+            plan_cache=_PLAN_CACHE, verify=payload.get("verify", False),
         )
         return {"ok": True, "result": result.to_dict(),
                 "sanitizer": sanitizer_findings}

@@ -442,6 +442,61 @@ class TestSpecLint:
 
 
 # ----------------------------------------------------------------------
+# Plan and fault-spec linting
+# ----------------------------------------------------------------------
+class TestPlanLint:
+    @pytest.fixture(scope="class")
+    def plan_dict(self, trace):
+        from repro import TrioSim
+
+        sim = TrioSim(trace, SimulationConfig(parallelism="ddp", num_gpus=2),
+                      record_timeline=False)
+        return sim.build_plan().to_dict()
+
+    def test_lint_path_clean_plan(self, tmp_path, plan_dict):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan_dict))
+        report, kind = lint_path(path)
+        assert kind == "plan" and report.ok
+
+    def test_pl003_corrupt_plan(self, tmp_path, plan_dict):
+        corrupt = copy.deepcopy(plan_dict)
+        corrupt["tasks"][0][-1] = [5]  # forward dependency reference
+        path = tmp_path / "bad_plan.json"
+        path.write_text(json.dumps(corrupt))
+        report, kind = lint_path(path)
+        assert kind == "plan"
+        assert rule_ids(report) == {"PL003"}
+
+    def test_pl003_bad_schema_version(self, tmp_path, plan_dict):
+        corrupt = copy.deepcopy(plan_dict)
+        corrupt["schema_version"] = 999
+        path = tmp_path / "bad_plan.json"
+        path.write_text(json.dumps(corrupt))
+        report, _ = lint_path(path, kind="plan")
+        assert rule_ids(report) == {"PL003"}
+
+    def test_lint_path_faults_kind(self, tmp_path):
+        path = tmp_path / "faults.json"
+        path.write_text(json.dumps({
+            "stragglers": [{"gpu": "gpu1", "start": 0.001,
+                            "duration": 0.004, "factor": 2.0}],
+        }))
+        report, kind = lint_path(path)
+        assert kind == "faults" and report.ok
+
+    def test_example_fault_specs_are_clean(self):
+        from pathlib import Path
+
+        examples = Path(__file__).parent.parent / "examples"
+        for name in ("faults_stragglers.json", "faults_link_flap.json",
+                     "faults_failover.json"):
+            report, kind = lint_path(examples / name)
+            assert kind == "faults"
+            assert report.ok, [str(f) for f in report]
+
+
+# ----------------------------------------------------------------------
 # Reporters + path dispatch
 # ----------------------------------------------------------------------
 class TestReporting:
@@ -576,7 +631,8 @@ class TestLintCli:
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in ("TR001", "CF002", "TG001", "SZ001", "SP001",
-                        "NW001", "NW002", "NW003", "NW004", "SZ006"):
+                        "NW001", "NW002", "NW003", "NW004", "SZ006",
+                        "PL003", "DV001", "DV005", "RC001", "RC003"):
             assert rule_id in out
 
     def test_missing_path_is_usage_error(self, capsys):
