@@ -1,0 +1,176 @@
+"""Write the iteration-folding benchmark results to ``BENCH_fold.json``.
+
+Runs multi-iteration DDP training scenarios twice over a shared plan
+cache — once with steady-state iteration folding (the default) and once
+with ``fold=False`` (the exact event-by-event path) — and records the
+wall speedup, the simulated-time drift between the two, and the exact
+path's events/sec.  This is the perf baseline future PRs compare
+against (``benchmarks/check_perf_regression.py``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fold.py [-o BENCH_fold.json]
+    PYTHONPATH=src python benchmarks/bench_fold.py --quick   # CI smoke
+
+The headline case uses ``fold_warmup=1`` (the documented max-speed
+configuration: the first iteration's period is trusted without a
+steadiness check) and no timeline recording, so the folded run simulates
+1 of 8 iterations.  The second case keeps the default ``fold_warmup=2``.
+Folded and exact simulated times agree to ~1e-13 relative (repeated
+float addition of the steady-state period vs. per-event accumulation);
+``max_relative_error`` records the drift and ``identical_simulated_time``
+is honest about it not being bit-exact (see docs/performance.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, Tuple
+
+from repro.core.config import SimulationConfig
+from repro.core.plan import PlanCache
+from repro.core.simulator import TrioSim
+from repro.gpus.specs import get_gpu
+from repro.trace.tracer import Tracer
+from repro.workloads.registry import get_model
+
+#: The headline case is the 8-iteration 64-GPU run with the max-speed
+#: knobs; the second case shows the default warm-up.  Quick mode shrinks
+#: the model and GPU count so CI stays under ~30s.
+FULL_CASES = [
+    dict(model="resnet50", batch=128, num_gpus=64, iterations=8,
+         fold_warmup=1, record_timeline=False),
+    dict(model="resnet50", batch=128, num_gpus=64, iterations=8,
+         fold_warmup=2, record_timeline=False),
+]
+QUICK_CASES = [
+    dict(model="resnet18", batch=32, num_gpus=16, iterations=8,
+         fold_warmup=1, record_timeline=False),
+]
+
+_TRACES: Dict[Tuple[str, int], object] = {}
+
+
+def _trace(model: str, batch: int):
+    key = (model, batch)
+    if key not in _TRACES:
+        _TRACES[key] = Tracer(get_gpu("A100")).trace(get_model(model), batch)
+    return _TRACES[key]
+
+
+def _timed_run(trace, config, cache, record_timeline):
+    start = time.perf_counter()
+    result = TrioSim(trace, config, record_timeline=record_timeline,
+                     plan_cache=cache).run()
+    return time.perf_counter() - start, result
+
+
+def compare_fold(model: str, batch: int, num_gpus: int, iterations: int,
+                 fold_warmup: int, record_timeline: bool) -> dict:
+    """One folded-vs-exact comparison over a shared, pre-warmed plan."""
+    trace = _trace(model, batch)
+    cache = PlanCache()
+    folded_cfg = SimulationConfig(
+        parallelism="ddp", num_gpus=num_gpus, topology="ring",
+        link_bandwidth=234e9, iterations=iterations,
+        fold_warmup=fold_warmup)
+    exact_cfg = dataclasses.replace(folded_cfg, fold=False)
+
+    # Warm the plan cache and process-level memos with an untimed folded
+    # run; the plan key ignores the fold knobs, so both arms then
+    # instantiate the same cached plan.
+    TrioSim(trace, folded_cfg, record_timeline=False,
+            plan_cache=cache).run()
+
+    exact_wall, exact = _timed_run(trace, exact_cfg, cache, record_timeline)
+    folded_wall, folded = _timed_run(trace, folded_cfg, cache,
+                                     record_timeline)
+
+    rel_errors = [abs(folded.total_time - exact.total_time)
+                  / exact.total_time]
+    rel_errors += [
+        abs(f - e) / e for f, e in
+        zip(folded.iteration_times, exact.iteration_times)
+    ]
+    counters = folded.profile.get("counters", {})
+    return {
+        "scenario": f"{model}_ddp",
+        "params": dict(model=model, batch=batch, num_gpus=num_gpus,
+                       iterations=iterations, fold_warmup=fold_warmup,
+                       record_timeline=record_timeline),
+        "folded": {
+            "wall_time_s": folded_wall,
+            "simulated_time_s": folded.total_time,
+            "fold_status": folded.profile.get("fold_status"),
+            "iterations_folded": counters.get("iterations_folded", 0),
+            "plan_instances": counters.get("plan_instances", 0),
+            "events": folded.events,
+        },
+        "exact": {
+            "wall_time_s": exact_wall,
+            "simulated_time_s": exact.total_time,
+            "events": exact.events,
+            "events_per_sec": exact.events / exact_wall,
+        },
+        "wall_speedup": exact_wall / folded_wall,
+        "identical_simulated_time":
+            folded.total_time == exact.total_time
+            and folded.iteration_times == exact.iteration_times,
+        "max_relative_error": max(rel_errors),
+    }
+
+
+def run(quick: bool = False) -> dict:
+    cases = [compare_fold(**kwargs)
+             for kwargs in (QUICK_CASES if quick else FULL_CASES)]
+    headline = cases[0]
+    assert headline["folded"]["fold_status"] == "folded", headline
+    return {
+        "benchmark": "iteration_folding",
+        "schema_version": 1,
+        "quick": quick,
+        "python": platform.python_version(),
+        "cases": cases,
+        "headline": {
+            "scenario": headline["scenario"],
+            "num_gpus": headline["params"]["num_gpus"],
+            "iterations": headline["params"]["iterations"],
+            "fold_warmup": headline["params"]["fold_warmup"],
+            "wall_speedup": headline["wall_speedup"],
+            "events_per_sec": headline["exact"]["events_per_sec"],
+            "identical_simulated_time":
+                headline["identical_simulated_time"],
+            "max_relative_error": headline["max_relative_error"],
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", default="BENCH_fold.json",
+                        help="output path (default: ./BENCH_fold.json)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small scenario for CI smoke runs")
+    args = parser.parse_args(argv)
+
+    payload = run(quick=args.quick)
+    out = Path(args.output)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    head = payload["headline"]
+    print(f"wrote {out}")
+    print(f"  {head['scenario']} @ {head['num_gpus']} GPUs, "
+          f"{head['iterations']} iterations (warmup={head['fold_warmup']}): "
+          f"{head['wall_speedup']:.2f}x wall speedup, "
+          f"{head['events_per_sec']:,.0f} events/s exact, "
+          f"max relative error {head['max_relative_error']:.2e}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,121 @@
+"""Fail CI when a benchmark's headline regresses against its baseline.
+
+Compares a freshly generated benchmark JSON against the committed
+``BENCH_*.json`` baseline and exits non-zero when a headline metric
+regressed by more than ``--tolerance`` (default 20%).  The check is
+one-sided: improvements always pass, and only degradations beyond the
+tolerance fail.
+
+Metrics compared (whichever appear in both headlines):
+
+* ``wall_speedup`` — ratio metrics transfer across machines and scales,
+  so this is compared even when one file is a ``--quick`` smoke run.
+* ``events_per_sec`` — absolute throughput is machine- and
+  scale-dependent, so it is only compared when both files were produced
+  at the same scale (matching ``quick`` flags).
+
+``--floor METRIC=VALUE`` adds an absolute lower bound on a fresh
+headline metric regardless of the baseline — e.g. the iteration-folding
+acceptance bar ``--floor wall_speedup=5``.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py FRESH BASELINE \
+        [--tolerance 0.2] [--floor wall_speedup=5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Headline metrics where higher is better, in report order.
+METRICS = ("wall_speedup", "events_per_sec")
+
+#: Metrics meaningful across different benchmark scales (ratios).
+SCALE_FREE = {"wall_speedup"}
+
+
+def _load(path: str) -> dict:
+    doc = json.loads(Path(path).read_text())
+    if "headline" not in doc:
+        raise SystemExit(f"{path}: no 'headline' section")
+    return doc
+
+
+def _parse_floor(spec: str):
+    metric, _, value = spec.partition("=")
+    if not value:
+        raise argparse.ArgumentTypeError(
+            f"floor must look like METRIC=VALUE, got {spec!r}")
+    return metric, float(value)
+
+
+def check(fresh: dict, baseline: dict, tolerance: float,
+          floors) -> list:
+    """Human-readable failures; empty means the run is within bounds."""
+    failures = []
+    same_scale = fresh.get("quick") == baseline.get("quick")
+    for metric in METRICS:
+        if metric not in fresh["headline"] or \
+                metric not in baseline["headline"]:
+            continue
+        got = fresh["headline"][metric]
+        want = baseline["headline"][metric]
+        if metric not in SCALE_FREE and not same_scale:
+            print(f"  skip {metric}: scale mismatch "
+                  f"(fresh quick={fresh.get('quick')}, "
+                  f"baseline quick={baseline.get('quick')})")
+            continue
+        bound = want * (1.0 - tolerance)
+        status = "ok" if got >= bound else "REGRESSION"
+        print(f"  {metric}: fresh {got:,.2f} vs baseline {want:,.2f} "
+              f"(bound {bound:,.2f}) {status}")
+        if got < bound:
+            failures.append(
+                f"{metric} regressed: {got:,.2f} < {bound:,.2f} "
+                f"({tolerance:.0%} below baseline {want:,.2f})")
+    for metric, floor in floors:
+        got = fresh["headline"].get(metric)
+        if got is None:
+            failures.append(f"floor metric {metric!r} not in headline")
+            continue
+        status = "ok" if got >= floor else "BELOW FLOOR"
+        print(f"  {metric}: fresh {got:,.2f} vs floor {floor:,.2f} "
+              f"{status}")
+        if got < floor:
+            failures.append(f"{metric} below floor: {got:,.2f} < {floor}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="freshly generated benchmark JSON")
+    parser.add_argument("baseline", help="committed BENCH_*.json baseline")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed fractional regression (default 0.2)")
+    parser.add_argument("--floor", type=_parse_floor, action="append",
+                        default=[], metavar="METRIC=VALUE",
+                        help="absolute lower bound on a fresh headline "
+                             "metric (repeatable)")
+    args = parser.parse_args(argv)
+
+    fresh = _load(args.fresh)
+    baseline = _load(args.baseline)
+    if fresh.get("benchmark") != baseline.get("benchmark"):
+        raise SystemExit(
+            f"benchmark mismatch: {fresh.get('benchmark')!r} vs "
+            f"{baseline.get('benchmark')!r}")
+
+    print(f"{fresh['benchmark']}: fresh {args.fresh} vs "
+          f"baseline {args.baseline} (tolerance {args.tolerance:.0%})")
+    failures = check(fresh, baseline, args.tolerance, args.floor)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -105,14 +105,17 @@ def test_plan_cache_sweep(show):
                 totals[name] = totals.get(name, 0.0) + seconds
         return totals
 
-    # Multi-iteration instancing: 4 iterations, one extrapolator build.
-    iterated = TrioSim(
-        trace, SimulationConfig(iterations=4, **BASE),
-        record_timeline=False,
-    ).run()
+    # Multi-iteration instancing: 4 iterations, one extrapolator build;
+    # with steady-state folding (the default) only the warm-up
+    # iterations are instanced and the tail is extended algebraically
+    # (see docs/performance.md).
+    iter_cfg = SimulationConfig(iterations=4, **BASE)
+    iterated = TrioSim(trace, iter_cfg, record_timeline=False).run()
     counters = iterated.profile["counters"]
     assert counters["extrapolator_builds"] == 1
-    assert counters["plan_instances"] == 4
+    assert counters["plan_instances"] == iter_cfg.fold_warmup
+    assert counters["iterations_folded"] == 4 - iter_cfg.fold_warmup
+    assert iterated.profile["fold_status"] == "folded"
 
     payload = {
         "benchmark": "plan_cache_sweep",
@@ -134,6 +137,8 @@ def test_plan_cache_sweep(show):
             "iterations": 4,
             "extrapolator_builds": counters["extrapolator_builds"],
             "plan_instances": counters["plan_instances"],
+            "iterations_folded": counters["iterations_folded"],
+            "fold_status": iterated.profile["fold_status"],
         },
         "headline": {
             "points": len(GRID),
@@ -153,7 +158,8 @@ def test_plan_cache_sweep(show):
         f"  plan caching on   {on_s * 1e3:8.0f} ms  ({speedup:.2f}x)\n"
         f"  bit-identical simulated_time on all {len(GRID)} points: yes\n"
         f"  iterations=4 run: {counters['extrapolator_builds']} build, "
-        f"{counters['plan_instances']} instances\n"
+        f"{counters['plan_instances']} instances, "
+        f"{counters['iterations_folded']} folded\n"
         f"  wrote {OUTPUT.name}"
     )
     if not QUICK:

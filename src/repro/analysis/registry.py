@@ -37,6 +37,7 @@ RULE_SERIES: Dict[str, int] = {
     "PL": 3,   # extrapolation-plan rules
     "NW": 4,   # fabric/routing rules
     "FT": 6,   # fault-spec rules
+    "PF": 1,   # performance rules (fold eligibility)
     "SZ": 6,   # runtime sanitizers
     "DV": 5,   # deep graph verifier (repro verify, Tier A)
     "RC": 3,   # determinism race detectors (Tier B)

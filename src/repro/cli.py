@@ -75,6 +75,18 @@ def _add_config_args(parser: argparse.ArgumentParser) -> None:
                         metavar="GPU=FACTOR",
                         help="per-GPU compute slowdown, e.g. gpu2=1.5")
     parser.add_argument("--iterations", type=int, default=1)
+    parser.add_argument("--no-fold", action="store_true",
+                        help="simulate every iteration event-by-event "
+                             "instead of folding the steady-state tail "
+                             "(see docs/performance.md)")
+    parser.add_argument("--fold-warmup", type=int, default=None,
+                        metavar="K",
+                        help="iterations simulated exactly before folding "
+                             "engages (default 2)")
+    parser.add_argument("--fold-tolerance", type=float, default=None,
+                        metavar="REL",
+                        help="relative steadiness tolerance between the "
+                             "last two warm-up durations (default 1e-9)")
     parser.add_argument("--collective", default="ring",
                         choices=("ring", "tree", "hierarchical"))
     parser.add_argument("--gpus-per-node", type=int, default=None)

@@ -25,9 +25,11 @@ PARALLELISMS = ("single", "dp", "ddp", "tp", "pp", "hybrid", "fsdp")
 #: every :meth:`SimulationConfig.cache_key` so stale cache entries from
 #: older schemas can never be returned.  v2 added ``routing`` /
 #: ``routing_seed`` / ``oversubscription`` and :class:`TopologySpec`
-#: topologies; v1 dicts still load (:meth:`SimulationConfig.from_dict`
-#: fills the new fields with their defaults).
-CONFIG_SCHEMA_VERSION = 2
+#: topologies; v3 added the ``fold`` / ``fold_warmup`` /
+#: ``fold_tolerance`` steady-state iteration-folding knobs.  v1 and v2
+#: dicts still load (:meth:`SimulationConfig.from_dict` fills the new
+#: fields with their defaults).
+CONFIG_SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -122,6 +124,17 @@ class SimulationConfig:
         injected into the run (see ``docs/faults.md``).  ``None`` (or an
         empty spec) leaves the simulation bit-identical to a fault-free
         build.
+    fold / fold_warmup / fold_tolerance:
+        Steady-state iteration folding (see ``docs/performance.md``): a
+        multi-iteration run simulates ``fold_warmup`` warm-up iterations
+        event-by-event, checks that the last two warm-up durations agree
+        within ``fold_tolerance`` (relative), and extends the remaining
+        iterations algebraically by shifting the steady-state schedule.
+        Folding engages only on fold-eligible runs (no faults, no
+        dynamic routing, no observers); ineligible or non-steady runs
+        fall back to the exact event-by-event path, bit-identically.
+        ``fold=False`` disables folding outright (the ``--no-fold``
+        escape hatch).
     """
 
     parallelism: str = "ddp"
@@ -150,6 +163,9 @@ class SimulationConfig:
     host_bandwidth: float = 12e9
     host_latency: float = 5e-6
     faults: Optional[FaultSpec] = None
+    fold: bool = True
+    fold_warmup: int = 2
+    fold_tolerance: float = 1e-9
 
     def __post_init__(self):
         if isinstance(self.faults, dict):
@@ -198,6 +214,14 @@ class SimulationConfig:
                 raise ValueError(f"gpu_slowdowns must be positive: {bad}")
         if self.iterations < 1:
             raise ValueError("iterations must be >= 1")
+        if not isinstance(self.fold, bool):
+            raise ValueError("fold must be a bool")
+        if not isinstance(self.fold_warmup, int) or isinstance(
+                self.fold_warmup, bool) or self.fold_warmup < 1:
+            raise ValueError("fold_warmup must be an int >= 1")
+        self.fold_tolerance = float(self.fold_tolerance)
+        if self.fold_tolerance < 0:
+            raise ValueError("fold_tolerance must be non-negative")
         if self.tp_scheme not in ("layerwise", "megatron"):
             raise ValueError(f"unknown tp_scheme {self.tp_scheme!r}")
         if self.pp_schedule not in ("gpipe", "1f1b"):
@@ -287,11 +311,13 @@ class SimulationConfig:
         """
         data = dict(data)
         version = data.pop("schema_version", CONFIG_SCHEMA_VERSION)
-        if version not in (1, CONFIG_SCHEMA_VERSION):
+        if version not in (1, 2, CONFIG_SCHEMA_VERSION):
             raise ValueError(f"unsupported config schema version {version}")
         # v1 dicts predate routing/routing_seed/oversubscription and
-        # TopologySpec topologies; absent fields take their defaults
-        # below, which reproduce v1 semantics exactly.
+        # TopologySpec topologies; v2 dicts predate the fold knobs;
+        # absent fields take their defaults below, which reproduce the
+        # older semantics exactly (folding is differential-tested to
+        # reproduce unfolded totals within fold_tolerance).
         known = {f.name for f in fields(cls)}
         unknown = set(data) - known
         if unknown:
@@ -349,6 +375,9 @@ class SimulationConfig:
             pp_schedule=getattr(ns, "pp_schedule", None),
             iterations=getattr(ns, "iterations", None),
             gpu_slowdowns=slowdowns,
+            fold=(False if getattr(ns, "no_fold", False) else None),
+            fold_warmup=getattr(ns, "fold_warmup", None),
+            fold_tolerance=getattr(ns, "fold_tolerance", None),
         )
         # Optional-by-design fields keep None; the rest default when absent.
         optional = {"batch_size", "dp_degree", "gpu", "gpus_per_node",

@@ -48,7 +48,8 @@ PLAN_SCHEMA_VERSION = 1
 
 #: Config fields a plan depends on.  Everything else — topology, link
 #: bandwidth/latency, routing/routing_seed, oversubscription, host link
-#: parameters, gpu_slowdowns, faults, iterations, network_factory — is an
+#: parameters, gpu_slowdowns, faults, iterations, the fold knobs
+#: (fold/fold_warmup/fold_tolerance), network_factory — is an
 #: execute-time concern and two configs differing only there share a
 #: plan: the extrapolated task graph names logical transfers, and which
 #: fabric path carries each one is decided when the network executes it.
@@ -278,6 +279,32 @@ class ExtrapolationPlan:
     def terminals(self, created: Sequence[SimTask]) -> List[SimTask]:
         """The fence dependencies of one instance: its terminal tasks."""
         return [created[i] for i in self.terminal_ids]
+
+    def instantiate_iterations(self, sim: TaskGraphSimulator, count: int,
+                               start: int = 0) -> List[SimTask]:
+        """Instance *count* consecutive training iterations into *sim*.
+
+        The single multi-iteration construction loop shared by the
+        unfolded path, the folded path's warm-up, and the not-steady
+        fallback: every iteration numbered ``>= 1`` is preceded by an
+        inter-iteration fence named ``iteration{i}`` (numbering continues
+        from *start*, so a continuation span keeps the fence names the
+        all-upfront build would have used).  When a span opens on an
+        already-drained graph the fence's terminals are all done and
+        :meth:`TaskGraphSimulator.fence_from` falls back to the previous
+        fence — the continuation then replays the schedule the all-
+        upfront build would have produced, at the same virtual times.
+
+        Returns the last instance's created tasks (the terminals feed of
+        a follow-up fence).
+        """
+        created: Optional[List[SimTask]] = None
+        for index in range(start, start + count):
+            if index > 0:
+                terminals = self.terminals(created) if created else []
+                sim.fence_from(f"iteration{index}", terminals)
+            created = self.instantiate(sim)
+        return created if created is not None else []
 
     # ------------------------------------------------------------------
     # Serialization (the on-disk persistence format)

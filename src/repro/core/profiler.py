@@ -14,8 +14,13 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Optional
 
-#: Phase names in canonical reporting order.
-PHASES = ("trace_prep", "plan", "instancing", "engine")
+#: Phase names in canonical reporting order.  ``fold_detect`` times the
+#: steady-state check between warm-up iterations of a folded run;
+#: ``fold_extend`` times the algebraic extension of the folded tail
+#: (timeline replication + counter scaling).  Both are absent from
+#: unfolded runs.
+PHASES = ("trace_prep", "plan", "instancing", "fold_detect", "engine",
+          "fold_extend")
 
 
 class PipelineProfiler:
@@ -25,6 +30,12 @@ class PipelineProfiler:
         self.phases: Dict[str, float] = {}
         self.counters: Dict[str, int] = {}
         self.plan_source: Optional[str] = None
+        #: Iteration-folding outcome of the run: ``"folded"``,
+        #: ``"not-steady"`` (eligible but the warm-up durations
+        #: disagreed), or ``"off:<reason>"`` (see
+        #: :func:`repro.core.fold.fold_decision`); ``None`` for
+        #: single-iteration runs predating the concept.
+        self.fold_status: Optional[str] = None
 
     @contextmanager
     def phase(self, name: str):
@@ -51,6 +62,8 @@ class PipelineProfiler:
         out = {"phases": ordered, "counters": dict(self.counters)}
         if self.plan_source is not None:
             out["plan_source"] = self.plan_source
+        if self.fold_status is not None:
+            out["fold_status"] = self.fold_status
         return out
 
     def summary(self) -> str:
@@ -59,4 +72,7 @@ class PipelineProfiler:
                  for name, seconds in self.to_dict()["phases"].items()]
         builds = self.counters.get("extrapolator_builds", 0)
         source = self.plan_source or ("built" if builds else "?")
-        return f"pipeline: {' | '.join(parts)} | plan {source}"
+        line = f"pipeline: {' | '.join(parts)} | plan {source}"
+        if self.fold_status is not None:
+            line += f" | fold {self.fold_status}"
+        return line

@@ -23,10 +23,12 @@ from collections import defaultdict
 import networkx as nx
 
 from repro.core.config import SimulationConfig
+from repro.core.fold import fold_decision, steady
 from repro.core.plan import ExtrapolationPlan, PlanBuilder, PlanCache, plan_key
 from repro.core.profiler import PipelineProfiler
 from repro.core.results import SimulationResult, TimelineRecorder
 from repro.core.taskgraph import TaskGraphSimulator
+from repro.core.timeline import shift_records
 from repro.engine.engine import Engine
 from repro.extrapolator.base import Extrapolator
 from repro.extrapolator.hybrid import HybridExtrapolator
@@ -322,7 +324,16 @@ class TrioSim:
     # Execution
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
-        """Simulate one training iteration and return the result."""
+        """Simulate the configured training iterations and return the result.
+
+        Multi-iteration runs that qualify (see
+        :func:`repro.core.fold.fold_decision` and ``docs/performance.md``)
+        take the steady-state folding path: ``fold_warmup`` iterations
+        are simulated event-by-event and the rest are extended
+        algebraically.  Everything else — single iterations, faulted or
+        observed runs, ``fold=False`` — takes the exact event-by-event
+        path, bit-identically to builds that predate folding.
+        """
         started = _wall.perf_counter()
         profiler = PipelineProfiler()
         profiler.add_phase("trace_prep", self._trace_prep_wall)
@@ -339,12 +350,23 @@ class TrioSim:
             sim.accept_hook(recorder)
         for hook in self.hooks:
             sim.accept_hook(hook)
+        decision = fold_decision(self.config, network=network,
+                                 hooks=self.hooks, sanitize=self.sanitize,
+                                 verify=bool(self.verify))
+        if decision.eligible:
+            return self._run_folded(profiler, plan, engine, network, sim,
+                                    recorder, started)
+        if self.config.iterations > 1:
+            profiler.fold_status = decision.status
+        return self._run_exact(profiler, plan, engine, network, sim,
+                               recorder, started)
+
+    def _run_exact(self, profiler: PipelineProfiler, plan: ExtrapolationPlan,
+                   engine: Engine, network, sim: TaskGraphSimulator,
+                   recorder, started: float) -> SimulationResult:
+        """The exact event-by-event path (every iteration fully simulated)."""
         with profiler.phase("instancing"):
-            created = plan.instantiate(sim)
-            for iteration in range(1, self.config.iterations):
-                sim.fence_from(f"iteration{iteration}",
-                               plan.terminals(created))
-                created = plan.instantiate(sim)
+            plan.instantiate_iterations(sim, self.config.iterations)
         profiler.count("plan_instances", self.config.iterations)
         profiler.count("plan_tasks", len(plan))
         injector = None
@@ -398,8 +420,121 @@ class TrioSim:
         if self.config.iterations > 1:
             iteration_times = iteration_times_from_fences(
                 [f.end_time for f in sim.fences], total)
-        wall = _wall.perf_counter() - started
+        return self._assemble(profiler, engine, network, sim, recorder,
+                              started, total, iteration_times)
 
+    # ------------------------------------------------------------------
+    # Steady-state iteration folding
+    # ------------------------------------------------------------------
+    def _run_folded(self, profiler: PipelineProfiler,
+                    plan: ExtrapolationPlan, engine: Engine, network,
+                    sim: TaskGraphSimulator, recorder,
+                    started: float) -> SimulationResult:
+        """Warm up event-by-event, then extend the tail algebraically.
+
+        Each warm-up iteration is instanced and drained in its own
+        :meth:`TaskGraphSimulator.run` call — timing-identical to
+        upfront instancing, because the inter-iteration fence already
+        forces a full drain between iterations.  If the last two warm-up
+        durations agree within ``fold_tolerance`` the remaining
+        iterations are *folded*: boundaries extend by repeated addition
+        of the steady-state period (so iteration times telescope to the
+        total exactly), additive counters extend by the last warm-up
+        iteration's delta, and the timeline replicates the last warm-up
+        slice shifted by whole periods.  Otherwise the remaining
+        iterations are simulated exactly (``fold_status: not-steady``).
+        """
+        cfg = self.config
+        warmup = cfg.fold_warmup
+        created = None
+        boundaries = []   # end time of each simulated iteration
+        durations = []
+        before = None
+        for index in range(warmup):
+            with profiler.phase("instancing"):
+                if index:
+                    sim.fence_from(f"iteration{index}",
+                                   plan.terminals(created))
+                created = plan.instantiate(sim)
+            if index == warmup - 1:
+                before = self._fold_snapshot(sim, network, recorder)
+            with profiler.phase("engine"):
+                end = sim.run()
+            durations.append(end - (boundaries[-1] if boundaries else 0.0))
+            boundaries.append(end)
+        profiler.count("plan_instances", warmup)
+        profiler.count("plan_tasks", len(plan))
+        with profiler.phase("fold_detect"):
+            # fold_warmup=1 has a single duration and nothing to compare:
+            # the steadiness check is skipped by construction (documented
+            # as the maximum-speed escape hatch in docs/performance.md).
+            settled = warmup < 2 or steady(durations[-2], durations[-1],
+                                           cfg.fold_tolerance)
+        folded = cfg.iterations - warmup
+        if not settled:
+            profiler.fold_status = "not-steady"
+            with profiler.phase("instancing"):
+                plan.instantiate_iterations(sim, folded, start=warmup)
+            profiler.count("plan_instances", folded)
+            with profiler.phase("engine"):
+                total = sim.run()
+            iteration_times = iteration_times_from_fences(
+                [f.end_time for f in sim.fences], total)
+            return self._assemble(profiler, engine, network, sim, recorder,
+                                  started, total, iteration_times)
+        profiler.fold_status = "folded"
+        profiler.count("iterations_folded", folded)
+        after = self._fold_snapshot(sim, network, recorder)
+        with profiler.phase("fold_extend"):
+            period = durations[-1]
+            base = boundaries[-1]
+            for _ in range(folded):
+                base = base + period  # repeated addition: times telescope
+                boundaries.append(base)
+            total = boundaries[-1]
+            iteration_times = [boundaries[0]]
+            iteration_times.extend(boundaries[i + 1] - boundaries[i]
+                                   for i in range(len(boundaries) - 1))
+            self._fold_extend(sim, network, recorder, before, after,
+                              boundaries, warmup, folded)
+        return self._assemble(profiler, engine, network, sim, recorder,
+                              started, total, iteration_times)
+
+    @staticmethod
+    def _fold_snapshot(sim: TaskGraphSimulator, network, recorder) -> dict:
+        """Cumulative counters before/after the last warm-up iteration."""
+        return {
+            "busy": {g: sim.gpu_busy_time(g) for g in sim.gpus_seen},
+            "comm_time": sim.comm_task_time,
+            "comm_bytes": sim.comm_bytes,
+            "records": len(recorder.records) if recorder is not None else 0,
+            "network": network.stats_snapshot(),
+        }
+
+    @staticmethod
+    def _fold_extend(sim: TaskGraphSimulator, network, recorder,
+                     before: dict, after: dict, boundaries,
+                     warmup: int, folded: int) -> None:
+        """Replay the last warm-up iteration's deltas *folded* times."""
+        for gpu in sim.gpus_seen:
+            delta = after["busy"][gpu] - before["busy"].get(gpu, 0.0)
+            sim.add_busy_time(gpu, folded * delta)
+        sim.comm_task_time += folded * (after["comm_time"]
+                                        - before["comm_time"])
+        sim.comm_bytes += folded * (after["comm_bytes"]
+                                    - before["comm_bytes"])
+        network.extend_stats(before["network"], after["network"], folded)
+        if recorder is not None:
+            span = recorder.records[before["records"]:after["records"]]
+            last_end = boundaries[warmup - 1]
+            for index in range(folded):
+                offset = boundaries[warmup + index] - last_end
+                recorder.records.extend(shift_records(span, offset))
+
+    def _assemble(self, profiler: PipelineProfiler, engine: Engine, network,
+                  sim: TaskGraphSimulator, recorder, started: float,
+                  total: float, iteration_times) -> SimulationResult:
+        wall = _wall.perf_counter() - started
         per_layer = defaultdict(float)
         per_phase = defaultdict(float)
         timeline = recorder.records if recorder is not None else []

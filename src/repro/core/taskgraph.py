@@ -249,6 +249,12 @@ class TaskGraphSimulator(Hookable):
     def gpu_busy_time(self, gpu: str) -> float:
         return self._gpus[gpu].busy_time
 
+    def add_busy_time(self, gpu: str, seconds: float) -> None:
+        """Credit *seconds* of compute busy time to *gpu* without running
+        a task — the iteration-folding counter extension (the folded tail
+        dispatches no events but its compute time is known exactly)."""
+        self._gpus[gpu].busy_time += seconds
+
     @property
     def unfinished_tasks(self) -> int:
         """Tasks not yet finished (drains to 0 as the run completes)."""

@@ -31,6 +31,37 @@ _PHASE_COLORS = {
 _MICRO = 1e6  # trace events are in microseconds
 
 
+def shift_records(records: Iterable[TimelineRecord],
+                  offset: float) -> List[TimelineRecord]:
+    """Copies of *records* translated *offset* seconds along the timeline.
+
+    The replication primitive of steady-state iteration folding: a folded
+    iteration's timeline is the last warm-up iteration's records shifted
+    by a whole number of steady-state periods (see
+    ``docs/performance.md``).  Resources, phases, and layers are
+    preserved, so per-layer/per-phase aggregation and the Chrome trace
+    export treat replicated records exactly like simulated ones.
+
+    Clones are built by copying ``__dict__`` instead of going through
+    the frozen dataclass constructor: replication runs once per folded
+    iteration over every record of the steady-state slice, and the
+    constructor's per-field ``object.__setattr__`` calls dominate the
+    ``fold_extend`` phase at scale.
+    """
+    new = object.__new__
+    cls = TimelineRecord
+    out: List[TimelineRecord] = []
+    append = out.append
+    for record in records:
+        clone = new(cls)
+        attrs = clone.__dict__
+        attrs.update(record.__dict__)
+        attrs["start"] = attrs["start"] + offset
+        attrs["end"] = attrs["end"] + offset
+        append(clone)
+    return out
+
+
 def timeline_to_events(records: Iterable[TimelineRecord],
                        pid: int = 1) -> List[dict]:
     """Convert timeline records to Chrome duration events ("ph": "X")."""

@@ -69,19 +69,23 @@ class CallbackEvent(Event):
     Convenient for one-off continuations::
 
         engine.schedule(CallbackEvent(t, lambda ev: do_something()))
+
+    The event is its own handler: hot paths (flow delivery timers) create
+    millions of these, and folding the adapter object into the event
+    halves the allocations per scheduled callback.
     """
 
-    __slots__ = ()
-
-    def __init__(self, time: float, callback: Callable[[Event], None], payload=None):
-        super().__init__(time, _CallbackAdapter(callback), payload)
-
-
-class _CallbackAdapter:
     __slots__ = ("_callback",)
 
-    def __init__(self, callback: Callable[[Event], None]):
+    def __init__(self, time: float, callback: Callable[[Event], None], payload=None):
+        super().__init__(time, self, payload)
         self._callback = callback
 
     def handle(self, event: Event) -> None:
         self._callback(event)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        # Event.__repr__ prints handler!r, which for a self-handling
+        # event would recurse forever.
+        state = " cancelled" if self.cancelled else ""
+        return f"<CallbackEvent t={self.time:.9f} cb={self._callback!r}{state}>"

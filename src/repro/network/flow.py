@@ -46,7 +46,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple, Union
 import networkx as nx
 
 from repro.engine.engine import Engine
-from repro.engine.events import Event
+from repro.engine.events import CallbackEvent, Event
 from repro.engine.hooks import HookCtx, Hookable
 from repro.network.base import Transfer
 from repro.network.routing import (
@@ -55,7 +55,19 @@ from repro.network.routing import (
     get_routing_strategy,
 )
 
+try:  # vectorized waterfill fast path; the scalar solver is always kept
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
 _RATE_EPS = 1e-9
+
+#: Component size at which the numpy waterfill takes over from the scalar
+#: solver.  Below it, array setup costs more than the dict loops save; the
+#: two paths produce bit-identical rates (see
+#: ``tests/test_fold.py::test_vector_waterfill_matches_scalar``), so the
+#: threshold is purely a speed knob.
+_VECTOR_MIN_FLOWS = 24
 
 #: Default allocation strategy for newly built networks: scoped component
 #: re-solves plus the rate-stability fast path.  Flip to ``False`` (or pass
@@ -446,21 +458,31 @@ class FlowNetwork(Hookable):
         if not scope:
             return
         solved: List[_Flow] = []
+        pending: List[Event] = []
         for component in self._components(scope):
             rates = self._maxmin_component(component)
             for flow in component:
-                self._apply_rate(flow, rates[flow.transfer_id], now)
+                self._apply_rate(flow, rates[flow.transfer_id], now, pending)
             solved.extend(component)
+        # One bulk insert for the whole reschedule wave (a collective can
+        # move hundreds of deliveries at once).  Sequence numbers are
+        # assigned in list order — the same order the per-flow heappushes
+        # used — and nothing dispatches between collection and insertion,
+        # so delivery order is bit-identical to the one-at-a-time path.
+        if pending:
+            self.engine.schedule_bulk(pending)
         if self._hooks:
             self.invoke_hooks(HookCtx(
                 HOOK_FLOW_REALLOC, now, solved,
                 detail={"topology": self.topology},
             ))
 
-    def _apply_rate(self, flow: _Flow, rate: float, now: float) -> None:
-        """Install a solved rate: settle progress and reschedule delivery,
-        unless the rate is exactly unchanged (the fast path — the existing
-        heap entry is already correct and stays put)."""
+    def _apply_rate(self, flow: _Flow, rate: float, now: float,
+                    pending: List[Event]) -> None:
+        """Install a solved rate: settle progress and queue the delivery
+        reschedule onto *pending*, unless the rate is exactly unchanged
+        (the fast path — the existing heap entry is already correct and
+        stays put)."""
         if (self.stable_rate_fastpath and rate == flow.rate
                 and flow.deliver_event is not None
                 and not flow.deliver_event.cancelled):
@@ -476,9 +498,12 @@ class FlowNetwork(Hookable):
             flow.deliver_event = None
         if rate > _RATE_EPS:
             self.reschedules += 1
-            flow.deliver_event = self.engine.call_after(
-                flow.remaining / rate, lambda _ev, f=flow: self._deliver(f)
+            event = CallbackEvent(
+                now + flow.remaining / rate,
+                lambda _ev, f=flow: self._deliver(f),
             )
+            flow.deliver_event = event
+            pending.append(event)
 
     # ------------------------------------------------------------------
     # Contention components (the incidence-index walks)
@@ -543,6 +568,20 @@ class FlowNetwork(Hookable):
     # Max-min solvers
     # ------------------------------------------------------------------
     def _maxmin_component(self, flows: List[_Flow]) -> Dict[int, float]:
+        """Max-min rates for one contention component (progressive filling).
+
+        Dispatches to the numpy waterfill for components of at least
+        :data:`_VECTOR_MIN_FLOWS` flows and to the scalar counter-based
+        solver otherwise.  The two are bit-identical: every float the
+        vector path produces comes from the same IEEE operations in the
+        same per-round order (the bottleneck ``min`` is over the same
+        value set, and ``min`` of floats is order-independent).
+        """
+        if _np is not None and len(flows) >= _VECTOR_MIN_FLOWS:
+            return self._maxmin_component_vector(flows)
+        return self._maxmin_component_scalar(flows)
+
+    def _maxmin_component_scalar(self, flows: List[_Flow]) -> Dict[int, float]:
         """Counter-based progressive filling over one contention component.
 
         Per iteration: O(links) to find the bottleneck increment and update
@@ -617,6 +656,74 @@ class FlowNetwork(Hookable):
                 for edge in routes[fid]:
                     live[edge] -= 1
         return rates
+
+    def _maxmin_component_vector(self, flows: List[_Flow]) -> Dict[int, float]:
+        """Array-backed progressive filling (the numpy waterfill).
+
+        Same algorithm as :meth:`_maxmin_component_scalar` with the
+        per-round dict loops replaced by array ops over a flat
+        edge-index array: residual/live updates are elementwise, the
+        bottleneck increment is ``min`` over the loaded edges, and the
+        freeze step is a segmented ``bitwise_or.reduceat`` over each
+        flow's route slice.  Bit-identity with the scalar solver is
+        pinned by a differential test; the warning edges emit the same
+        messages through :meth:`_warn_allocator`.
+        """
+        route_lens = [len(flow.route) for flow in flows]
+        if min(route_lens) == 0:  # pragma: no cover - active flows have wires
+            return self._maxmin_component_scalar(flows)
+        topology = self.topology
+        edge_index: Dict[DirectedEdge, int] = {}
+        caps: List[float] = []
+        flat: List[int] = []  # edge indices, routes concatenated in flow order
+        for flow in flows:
+            for edge in flow.route:
+                index = edge_index.get(edge)
+                if index is None:
+                    index = edge_index[edge] = len(caps)
+                    u, v = edge
+                    caps.append(topology[u][v]["bandwidth"])
+                flat.append(index)
+        n_flows = len(flows)
+        n_edges = len(caps)
+        lens = _np.asarray(route_lens, dtype=_np.int64)
+        flat_arr = _np.asarray(flat, dtype=_np.int64)
+        starts = _np.zeros(n_flows, dtype=_np.int64)
+        _np.cumsum(lens[:-1], out=starts[1:])
+        residual = _np.asarray(caps, dtype=_np.float64)
+        live = _np.bincount(flat_arr, minlength=n_edges)
+        rates = _np.zeros(n_flows, dtype=_np.float64)
+        frozen = _np.zeros(n_flows, dtype=bool)
+        unfrozen = n_flows
+        while unfrozen:
+            loaded = live > 0
+            if not loaded.any():  # pragma: no cover - every flow loads an edge
+                self._warn_allocator(
+                    f"progressive filling found no loaded link with "
+                    f"{unfrozen} flow(s) unfrozen",
+                    unfrozen=unfrozen,
+                )
+                break
+            delta = float(_np.min(residual[loaded] / live[loaded]))
+            residual[loaded] -= delta * live[loaded]
+            saturated = loaded & (residual <= _RATE_EPS * max(delta, 1.0))
+            rates[~frozen] += delta
+            newly = _np.bitwise_or.reduceat(saturated[flat_arr], starts)
+            newly &= ~frozen
+            if not newly.any():
+                self._warn_allocator(
+                    f"progressive filling stalled: increment {delta!r} "
+                    f"saturated no link with {unfrozen} flow(s) "
+                    "unfrozen",
+                    delta=delta, unfrozen=unfrozen,
+                )
+                break
+            frozen |= newly
+            unfrozen = int(n_flows - int(frozen.sum()))
+            live -= _np.bincount(flat_arr[_np.repeat(newly, lens)],
+                                 minlength=n_edges)
+        return {flow.transfer_id: float(rates[i])
+                for i, flow in enumerate(flows)}
 
     def _maxmin_rates_reference(self, flows: List[_Flow]) -> Dict[int, float]:
         """The original dense allocator: one global progressive filling
@@ -715,6 +822,68 @@ class FlowNetwork(Hookable):
     # ------------------------------------------------------------------
     # Congestion / routing metrics
     # ------------------------------------------------------------------
+    def stats_snapshot(self) -> Dict:
+        """Copy of the cumulative traffic counters, for delta arithmetic.
+
+        Steady-state iteration folding takes one snapshot before and one
+        after the last warm-up iteration; :meth:`extend_stats` then
+        replays the delta algebraically for every folded iteration.  Only
+        *additive* counters are captured — extrema (per-link peak
+        concurrent flows, FCT min/max) are invariant under replaying the
+        same iteration and need no extension.
+        """
+        return {
+            "delivered_count": self.delivered_count,
+            "total_bytes": self.total_bytes_delivered,
+            "fct_count": self._fct_count,
+            "fct_total": self._fct_total,
+            "reallocations": self.reallocations,
+            "reschedules": self.reschedules,
+            "fastpath_hits": self.fastpath_hits,
+            "link_stats": {edge: (stats[0], stats[1])
+                           for edge, stats in self._link_stats.items()},
+            "path_choices": {pair: dict(counts)
+                             for pair, counts in self._path_choices.items()},
+        }
+
+    def extend_stats(self, before: Dict, after: Dict, repeats: int) -> None:
+        """Advance the additive counters by *repeats* copies of the
+        *before* → *after* delta (one folded steady-state iteration each).
+
+        After this, :meth:`network_summary` reports the traffic an
+        unfolded run of ``warmup + repeats`` identical iterations would
+        have reported, except ``utilization`` (recomputed from totals, so
+        it extends for free) and the extrema noted in
+        :meth:`stats_snapshot`.
+        """
+        if repeats <= 0:
+            return
+        for attr, key in (
+            ("delivered_count", "delivered_count"),
+            ("total_bytes_delivered", "total_bytes"),
+            ("_fct_count", "fct_count"),
+            ("_fct_total", "fct_total"),
+            ("reallocations", "reallocations"),
+            ("reschedules", "reschedules"),
+            ("fastpath_hits", "fastpath_hits"),
+        ):
+            delta = after[key] - before[key]
+            setattr(self, attr, getattr(self, attr) + repeats * delta)
+        before_links = before["link_stats"]
+        for edge, (nbytes, nflows) in after["link_stats"].items():
+            prior = before_links.get(edge, (0.0, 0))
+            stats = self._link_stats[edge]
+            stats[0] += repeats * (nbytes - prior[0])
+            stats[1] += repeats * (nflows - prior[1])
+        before_choices = before["path_choices"]
+        for pair, counts in after["path_choices"].items():
+            prior = before_choices.get(pair, {})
+            target = self._path_choices.setdefault(pair, {})
+            for index, count in counts.items():
+                delta = count - prior.get(index, 0)
+                if delta:
+                    target[index] = target.get(index, 0) + repeats * delta
+
     def network_summary(self, total_time: Optional[float] = None) -> Dict:
         """JSON-safe summary of routing choices and per-link congestion.
 

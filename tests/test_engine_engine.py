@@ -188,13 +188,34 @@ def test_pending_events_excludes_cancelled():
 
 
 def test_compaction_purges_dead_heap_entries():
+    from repro.engine.engine import COMPACT_FLOOR
+
+    eng = Engine()
+    count = COMPACT_FLOOR * 2
+    events = [eng.call_at(float(i + 1), lambda e: None)
+              for i in range(count)]
+    # Cancel a majority (past the floor): the heap must shrink, not just
+    # hide them.
+    for ev in events[:count // 2 + 1]:
+        ev.cancel()
+    assert eng.pending_events == count // 2 - 1
+    assert len(eng._queue) == count // 2 - 1
+    assert eng.compactions == 1
+
+
+def test_small_queues_never_churn_through_compaction():
+    # Satellite regression: a majority of cancelled entries in a *small*
+    # queue must not trigger a heap rebuild — below the floor, lazy
+    # skipping at dispatch time is cheaper than re-heapifying.
     eng = Engine()
     events = [eng.call_at(float(i + 1), lambda e: None) for i in range(10)]
-    # Cancel a majority: the heap must shrink, not just hide them.
     for ev in events[:6]:
         ev.cancel()
     assert eng.pending_events == 4
-    assert len(eng._queue) == 4
+    assert len(eng._queue) == 10   # dead entries remain, harmlessly
+    assert eng.compactions == 0    # the churn counter assertion
+    eng.run()
+    assert eng.pending_events == 0
 
 
 def test_cancelled_events_do_not_fire():
@@ -240,12 +261,16 @@ def test_scheduling_cancelled_event_rejected():
 def test_mass_cancellation_keeps_queue_bounded():
     # The sweep-service regression: many schedule/cancel cycles must not
     # accumulate dead entries in the heap.
+    from repro.engine.engine import COMPACT_FLOOR
+
     eng = Engine()
     keeper = eng.call_at(1e9, lambda e: None)
     for i in range(1000):
         eng.call_at(float(i + 1), lambda e: None).cancel()
     assert eng.pending_events == 1
-    assert len(eng._queue) < 10
+    # Dead entries are bounded by the compaction floor, not by the total
+    # number of cancellations (1000 here).
+    assert len(eng._queue) <= COMPACT_FLOOR + 1
     assert not keeper.cancelled
 
 
@@ -275,3 +300,68 @@ def test_reset_zeroes_churn_counters():
     eng.reset()
     assert eng.total_cancelled == 0
     assert eng.compactions == 0
+
+
+# ----------------------------------------------------------------------
+# Bulk scheduling
+# ----------------------------------------------------------------------
+
+
+def _dispatch_order(eng, schedule):
+    from repro.engine.events import CallbackEvent
+
+    order = []
+    schedule(eng, [
+        CallbackEvent(t, lambda e, i=i: order.append(i))
+        for i, t in enumerate([3.0, 1.0, 2.0, 1.0, 2.0, 0.5])
+    ])
+    eng.run()
+    return order
+
+
+def test_schedule_bulk_matches_sequential_dispatch_order():
+    sequential = _dispatch_order(
+        Engine(), lambda eng, evs: [eng.schedule(ev) for ev in evs])
+    bulk = _dispatch_order(
+        Engine(), lambda eng, evs: eng.schedule_bulk(evs))
+    assert bulk == sequential == [5, 1, 3, 2, 4, 0]
+
+
+def test_schedule_bulk_heapify_path_matches_push_path():
+    from repro.engine.events import CallbackEvent
+
+    # A big batch against a near-empty queue takes the extend+heapify
+    # fast path; (time, seq) is a total order, so pop order must match
+    # one-by-one pushes exactly.
+    times = [float((i * 7919) % 101) for i in range(200)]
+    orders = []
+    for bulk in (False, True):
+        eng = Engine()
+        eng.call_at(50.5, lambda e: None)
+        order = []
+        events = [CallbackEvent(t, lambda e, i=i: order.append(i))
+                  for i, t in enumerate(times)]
+        if bulk:
+            eng.schedule_bulk(events)
+        else:
+            for ev in events:
+                eng.schedule(ev)
+        eng.run()
+        orders.append(order)
+    assert orders[0] == orders[1]
+
+
+def test_schedule_bulk_validates_like_schedule():
+    from repro.engine.events import CallbackEvent
+
+    eng = Engine()
+    eng.call_at(1.0, lambda e: None)
+    eng.run()   # now == 1.0
+    with pytest.raises(ValueError):
+        eng.schedule_bulk([CallbackEvent(0.5, lambda e: None)])
+    stale = CallbackEvent(2.0, lambda e: None)
+    stale.cancel()
+    with pytest.raises(ValueError):
+        eng.schedule_bulk([stale])
+    eng.schedule_bulk([])   # a no-op, not an error
+    assert eng.pending_events == 0

@@ -131,7 +131,21 @@ class TestProfiler:
         result = TrioSim(trace, config).run()
         counters = result.profile["counters"]
         assert counters["extrapolator_builds"] == 1
+        # Folding engages by default: only the warm-up iterations are
+        # instanced; the rest are extended algebraically.
+        assert counters["plan_instances"] == config.fold_warmup
+        assert counters["iterations_folded"] == 4 - config.fold_warmup
+        assert result.profile["fold_status"] == "folded"
+        assert len(result.iteration_times) == 4
+
+    def test_multi_iteration_unfolded_instances_every_iteration(self, trace):
+        config = SimulationConfig(parallelism="ddp", num_gpus=4,
+                                  topology="ring", iterations=4, fold=False)
+        result = TrioSim(trace, config).run()
+        counters = result.profile["counters"]
         assert counters["plan_instances"] == 4
+        assert "iterations_folded" not in counters
+        assert result.profile["fold_status"] == "off:disabled"
         assert len(result.iteration_times) == 4
 
     def test_cache_hit_runs_zero_builds(self, trace):
