@@ -1,0 +1,195 @@
+"""Kill-and-resume smoke: SIGKILL a journaled sweep mid-wave, resume it,
+and assert the merged results match an uninterrupted baseline key for key.
+
+The CI `resume-smoke` job runs this on every push:
+
+    python benchmarks/resume_smoke.py -o resume_smoke.json \
+        --journal-dir resume_smoke_journal
+
+1. trace resnet18 and run a 16-point sweep uninterrupted (the baseline);
+2. launch the same sweep journaled in a subprocess, with every point
+   slowed so the wave takes a few seconds, and SIGKILL the whole process
+   group once half the points are durably journaled;
+3. resume from the journal and compare: every per-point cache key and
+   every simulated ``total_time`` must match the baseline bit for bit,
+   with the journaled half replayed (not re-simulated).
+
+Exits non-zero on any mismatch.  The journal directory is left behind
+for artifact upload — it shows exactly which records survived the kill.
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.core.config import SimulationConfig
+from repro.gpus.specs import get_gpu
+from repro.service.cache import ResultCache, trace_digest
+from repro.service.journal import JOURNAL_NAME, SweepJournal
+from repro.service.runner import SweepRunner
+from repro.trace.trace import Trace
+from repro.trace.tracer import Tracer
+from repro.workloads.registry import get_model
+
+POINTS = 16
+KILL_AFTER_DONE = POINTS // 2
+
+CHILD_SCRIPT = """\
+import sys, time
+trace_path, journal_dir, slowdown = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+import repro.service.worker as w
+_original = w.simulate_point
+
+def slow_simulate(*args, **kwargs):
+    time.sleep(slowdown)
+    return _original(*args, **kwargs)
+
+w.simulate_point = slow_simulate
+
+from repro.core.config import SimulationConfig
+from repro.service.runner import SweepRunner
+from repro.trace.trace import Trace
+
+trace = Trace.load(trace_path)
+configs = [
+    SimulationConfig(parallelism="ddp", num_gpus=n, link_bandwidth=bw)
+    for n in (2, 4, 8, 16)
+    for bw in (25e9, 50e9, 100e9, 200e9)
+]
+SweepRunner(max_workers=2, journal=journal_dir).run(trace, configs)
+"""
+
+
+def sweep_configs():
+    return [
+        SimulationConfig(parallelism="ddp", num_gpus=n, link_bandwidth=bw)
+        for n in (2, 4, 8, 16)
+        for bw in (25e9, 50e9, 100e9, 200e9)
+    ]
+
+
+def kill_mid_sweep(trace_path, journal_dir, slowdown=0.2, timeout=300.0):
+    """Run the journaled sweep in a subprocess; SIGKILL its process group
+    once KILL_AFTER_DONE points are journaled.  Returns the done count
+    observed at kill time."""
+    proc = subprocess.Popen(
+        [sys.executable, "-c", CHILD_SCRIPT,
+         str(trace_path), str(journal_dir), str(slowdown)],
+        start_new_session=True,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    journal_path = Path(journal_dir) / JOURNAL_NAME
+    deadline = time.monotonic() + timeout
+    try:
+        while True:
+            if time.monotonic() > deadline:
+                raise SystemExit("FAIL: sweep subprocess never reached "
+                                 f"{KILL_AFTER_DONE} journaled points")
+            if proc.poll() is not None:
+                _out, err = proc.communicate()
+                raise SystemExit("FAIL: sweep subprocess exited early "
+                                 f"({proc.returncode}):\n{err}")
+            done = 0
+            if journal_path.exists():
+                done = journal_path.read_text().count('"t": "done"')
+            if done >= KILL_AFTER_DONE:
+                return done
+            time.sleep(0.01)
+    finally:
+        try:
+            os.killpg(proc.pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+        proc.wait()
+        if proc.stdout:
+            proc.stdout.close()
+        if proc.stderr:
+            proc.stderr.close()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", default="resume_smoke.json")
+    parser.add_argument("--journal-dir", default="resume_smoke_journal")
+    parser.add_argument("--slowdown", type=float, default=0.2,
+                        help="per-point sleep (s) in the doomed sweep, so "
+                             "the kill lands mid-wave")
+    args = parser.parse_args(argv)
+
+    scratch = Path(args.journal_dir)
+    scratch.mkdir(parents=True, exist_ok=True)
+    trace_path = scratch / "trace.json"
+
+    print(f"[1/3] baseline: uninterrupted {POINTS}-point sweep")
+    trace = Tracer(get_gpu("A40")).trace(get_model("resnet18"), 16)
+    trace.save(trace_path)
+    trace = Trace.load(trace_path)   # the exact bytes the child will load
+    configs = sweep_configs()
+    baseline = SweepRunner(max_workers=2).run(trace, configs)
+    assert all(o.ok for o in baseline), "baseline sweep failed"
+    digest = trace_digest(trace)
+    expected = {
+        i: {"key": ResultCache.point_key(digest, cfg, False),
+            "total_time": baseline[i].unwrap().total_time}
+        for i, cfg in enumerate(configs)
+    }
+
+    print(f"[2/3] kill: journaled sweep, SIGKILL at >={KILL_AFTER_DONE} "
+          f"of {POINTS} points done")
+    journal_dir = scratch / "journal"
+    done_at_kill = kill_mid_sweep(trace_path, journal_dir, args.slowdown)
+    state = SweepJournal(journal_dir).read()
+    survived = set(state.completed)
+    print(f"      killed with {done_at_kill} done records written; "
+          f"{len(survived)} survived readback "
+          f"({state.torn_lines} torn line(s) dropped)")
+    if not survived:
+        raise SystemExit("FAIL: no journaled points survived the kill")
+    if len(survived) >= POINTS:
+        raise SystemExit("FAIL: the sweep finished before the kill; "
+                         "increase --slowdown")
+
+    print(f"[3/3] resume: replay {len(survived)} points, re-run the rest")
+    runner = SweepRunner(max_workers=2, journal=journal_dir, resume=True)
+    outcomes = runner.run(trace, configs)
+
+    failures = []
+    for i, outcome in enumerate(outcomes):
+        if not outcome.ok:
+            failures.append(f"point {i} failed: {outcome.error.kind}")
+            continue
+        if outcome.unwrap().total_time != expected[i]["total_time"]:
+            failures.append(f"point {i} total_time mismatch")
+    resumed = {o.index for o in outcomes if o.resumed}
+    if resumed != survived:
+        failures.append(f"replayed set {sorted(resumed)} != journaled set "
+                        f"{sorted(survived)}")
+    for i in survived:
+        if state.completed[i]["key"] != expected[i]["key"]:
+            failures.append(f"point {i} journal key mismatch")
+
+    report = {
+        "points": POINTS,
+        "done_at_kill": done_at_kill,
+        "survived_readback": len(survived),
+        "torn_lines": state.torn_lines,
+        "resumed": len(resumed),
+        "re_ran": POINTS - len(resumed),
+        "bit_identical": not failures,
+        "failures": failures,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2))
+    print(json.dumps(report, indent=2))
+    if failures:
+        raise SystemExit("FAIL: resumed sweep diverged from baseline")
+    print("OK: kill -> resume merged bit-identically, key for key")
+
+
+if __name__ == "__main__":
+    main()

@@ -61,6 +61,23 @@ DEFAULT_REGISTRY.register(Rule(
                 "ExtrapolationPlan.from_dict with in-range backward "
                 "dependency indices.",
 ))
+# Declarative (fn=None): emitted by repro.service.journal.check_resume
+# when a sweep resumes from a write-ahead journal.
+DEFAULT_REGISTRY.register(Rule(
+    id="SV001", name="resume-journal-mismatch", category="spec",
+    severity="error",
+    description="A resume journal's sweep fingerprint (trace digest, "
+                "point keys and order, timeline flag, journal schema) "
+                "must match the sweep being resumed.",
+))
+DEFAULT_REGISTRY.register(Rule(
+    id="SV002", name="resume-deadline-too-short", category="spec",
+    severity="warning",
+    description="The configured hard deadline should not be shorter than "
+                "the slowest point runtime observed in the resume "
+                "journal — pending points of that runtime class would "
+                "time out instead of completing.",
+))
 
 
 def _finding(registry: RuleRegistry, rule_id: str, message: str,

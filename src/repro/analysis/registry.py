@@ -41,6 +41,8 @@ RULE_SERIES: Dict[str, int] = {
     "SZ": 6,   # runtime sanitizers
     "DV": 5,   # deep graph verifier (repro verify, Tier A)
     "RC": 3,   # determinism race detectors (Tier B)
+    "SV": 2,   # sweep-service resume admission (journal fingerprints,
+               # deadline sanity; emitted by repro.service.journal)
 }
 
 _RULES_LOADED = False

@@ -147,7 +147,31 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--cache", default=None, metavar="DIR",
                          help="result cache directory (default: spec's)")
     sweep_p.add_argument("--timeout", type=float, default=None,
-                         help="per-point wall-clock budget, seconds")
+                         help="per-point wall-clock budget, seconds "
+                              "(alias for --deadline-hard)")
+    sweep_p.add_argument("--deadline-soft", type=float, default=None,
+                         help="cooperative per-point budget, seconds: the "
+                              "engine heartbeat stops the point with a "
+                              "PointTimeout error carrying its partial "
+                              "progress (default: spec's deadline_soft)")
+    sweep_p.add_argument("--deadline-hard", type=float, default=None,
+                         help="hard per-point budget, seconds: SIGALRM/"
+                              "watchdog kill (default: spec's "
+                              "deadline_hard, then --timeout)")
+    sweep_p.add_argument("--journal", default=None, metavar="DIR",
+                         help="write-ahead journal directory: every "
+                              "dispatch and disposition is fsync'd so a "
+                              "killed sweep can resume (default: spec's "
+                              "journal_dir; see docs/resilience.md)")
+    sweep_p.add_argument("--resume", action="store_true",
+                         help="replay completed points from the journal "
+                              "and re-dispatch only the remainder "
+                              "(requires --journal or journal_dir)")
+    sweep_p.add_argument("--breaker", action="store_true",
+                         help="trip a circuit breaker on crash/timeout "
+                              "storms: remaining points fail fast as "
+                              "CircuitOpen, with half-open probes before "
+                              "resuming (default: spec's breaker setting)")
     sweep_p.add_argument("-o", "--output", default=None,
                          help="write all outcomes as a JSON array")
     sweep_p.add_argument("--csv", default=None,
@@ -340,9 +364,12 @@ class _SweepProgress:
                 status += "  (cached)"
         else:
             status = f"ERROR {outcome.error.kind}: {outcome.error.message}"
+        if outcome.resumed:
+            status += "  (resumed)"
         label = outcome.label or f"point {outcome.index}"
         eta = d["eta_seconds"]
-        eta_text = f"  eta {eta:5.1f}s" if d["completed"] < d["total"] else ""
+        eta_text = (f"  eta {eta:5.1f}s"
+                    if eta is not None and d["completed"] < d["total"] else "")
         print(f"[{d['completed']}/{d['total']}] {label:<40} {status}{eta_text}")
 
 
@@ -350,7 +377,13 @@ def _cmd_sweep(args) -> int:
     import json as _json
     from pathlib import Path
 
-    from repro.service import SweepRunner, SweepSpec
+    from repro.analysis.reporters import render_text as _render_text
+    from repro.service import (
+        CircuitBreaker,
+        JournalMismatchError,
+        SweepRunner,
+        SweepSpec,
+    )
 
     spec_path = Path(args.spec)
     spec = SweepSpec.load(spec_path)
@@ -364,6 +397,18 @@ def _cmd_sweep(args) -> int:
         plan_cache = spec.plan_dir
     else:
         plan_cache = True
+    journal = (args.journal if args.journal is not None
+               else spec.journal_dir)
+    if args.resume and journal is None:
+        print("error: --resume needs a journal (--journal DIR or the "
+              "spec's journal_dir)", file=sys.stderr)
+        return 2
+    if args.breaker:
+        breaker = CircuitBreaker()
+    elif isinstance(spec.breaker, dict):
+        breaker = CircuitBreaker(**spec.breaker)
+    else:
+        breaker = bool(spec.breaker)
     runner = SweepRunner(
         max_workers=args.workers if args.workers is not None else spec.workers,
         cache=args.cache if args.cache is not None else spec.cache_dir,
@@ -373,13 +418,37 @@ def _cmd_sweep(args) -> int:
         sanitize=args.sanitize,
         verify=args.verify,
         plan_cache=plan_cache,
+        deadline_soft=(args.deadline_soft if args.deadline_soft is not None
+                       else spec.deadline_soft),
+        deadline_hard=(args.deadline_hard if args.deadline_hard is not None
+                       else spec.deadline_hard),
+        journal=journal,
+        resume=args.resume,
+        breaker=breaker,
     )
-    outcomes = runner.run(trace, configs, labels=labels)
+    try:
+        outcomes = runner.run(trace, configs, labels=labels)
+    except JournalMismatchError as exc:
+        print(_render_text(exc.report, source="resume"), file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        metrics = runner.last_metrics
+        print(f"\ninterrupted: {metrics.completed}/{metrics.total} points "
+              f"done, {metrics.interrupted} marked Interrupted"
+              + (" (journaled; rerun with --resume)"
+                 if journal is not None else ""),
+              file=sys.stderr)
+        return 130
+    if runner.last_resume_report is not None and len(runner.last_resume_report):
+        print(_render_text(runner.last_resume_report, source="resume"),
+              file=sys.stderr)
     metrics = runner.last_metrics
+    resumed_text = (f"{metrics.resumed} resumed | "
+                    if metrics.resumed else "")
     print(
         f"{metrics.total} points in {metrics.elapsed:.2f}s | "
         f"{metrics.cache_hits} cache hits "
-        f"({metrics.hit_rate * 100:.0f}%) | "
+        f"({metrics.hit_rate * 100:.0f}%) | " + resumed_text +
         f"{metrics.plan_builds} plan builds, "
         f"{metrics.plan_cache_hits} plan hits | "
         f"{metrics.errors} errors | "

@@ -28,7 +28,11 @@ PARALLELISMS = ("single", "dp", "ddp", "tp", "pp", "hybrid", "fsdp")
 #: topologies; v3 added the ``fold`` / ``fold_warmup`` /
 #: ``fold_tolerance`` steady-state iteration-folding knobs.  v1 and v2
 #: dicts still load (:meth:`SimulationConfig.from_dict` fills the new
-#: fields with their defaults).
+#: fields with their defaults).  The per-point deadline fields
+#: (``deadline_soft`` / ``deadline_hard``) ride schema v3 without a bump:
+#: they are execution policy, excluded from :meth:`cache_key`, and absent
+#: fields default to ``None`` — pre-deadline dicts and cache entries stay
+#: valid byte-for-byte.
 CONFIG_SCHEMA_VERSION = 3
 
 
@@ -135,6 +139,17 @@ class SimulationConfig:
         fall back to the exact event-by-event path, bit-identically.
         ``fold=False`` disables folding outright (the ``--no-fold``
         escape hatch).
+    deadline_soft / deadline_hard:
+        Optional per-point wall-clock budgets in seconds, enforced by the
+        sweep service (see ``docs/resilience.md``).  The soft deadline is
+        cooperative: an engine-heartbeat check stops the run between
+        events and reports partial progress; the hard deadline is the
+        watchdog backstop (``SIGALRM`` / async-exception injection) for
+        runs wedged inside native code.  Both are *execution policy*, not
+        simulation semantics — they are serialized with the config but
+        excluded from :meth:`cache_key`, because a result that completed
+        under any deadline is bit-identical to one computed without.
+        ``None`` (the default) disables enforcement.
     """
 
     parallelism: str = "ddp"
@@ -166,6 +181,8 @@ class SimulationConfig:
     fold: bool = True
     fold_warmup: int = 2
     fold_tolerance: float = 1e-9
+    deadline_soft: Optional[float] = None
+    deadline_hard: Optional[float] = None
 
     def __post_init__(self):
         if isinstance(self.faults, dict):
@@ -222,6 +239,17 @@ class SimulationConfig:
         self.fold_tolerance = float(self.fold_tolerance)
         if self.fold_tolerance < 0:
             raise ValueError("fold_tolerance must be non-negative")
+        for name in ("deadline_soft", "deadline_hard"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            value = float(value)
+            setattr(self, name, value)
+            if value <= 0:
+                raise ValueError(f"{name} must be positive (or None)")
+        if (self.deadline_soft is not None and self.deadline_hard is not None
+                and self.deadline_soft > self.deadline_hard):
+            raise ValueError("deadline_soft must not exceed deadline_hard")
         if self.tp_scheme not in ("layerwise", "megatron"):
             raise ValueError(f"unknown tp_scheme {self.tp_scheme!r}")
         if self.pp_schedule not in ("gpipe", "1f1b"):
@@ -340,8 +368,16 @@ class SimulationConfig:
         Two configs with equal serialized content share a key; any field
         change (or a schema-version bump) changes it.  Used to address the
         sweep service's on-disk result cache.
+
+        Execution-policy fields (``deadline_soft`` / ``deadline_hard``) are
+        excluded: they bound *how long* a point may run, not *what* it
+        computes, so a result that completed under a deadline is the same
+        result — and pre-deadline cache entries stay addressable.
         """
-        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        data = self.to_dict()
+        data.pop("deadline_soft", None)
+        data.pop("deadline_hard", None)
+        canonical = json.dumps(data, sort_keys=True)
         return hashlib.sha256(canonical.encode()).hexdigest()
 
     @classmethod

@@ -119,10 +119,18 @@ class TrioSim:
                  record_timeline: bool = True, hooks=(), op_time=None,
                  sanitize: bool = False, allow_chaos: bool = False,
                  plan: ExtrapolationPlan = None,
-                 plan_cache: PlanCache = None, verify: bool = False):
+                 plan_cache: PlanCache = None, verify: bool = False,
+                 heartbeat=None, heartbeat_every: int = 4096):
         self.config = config
         self.record_timeline = record_timeline
         self.hooks = tuple(hooks)
+        #: Optional ``(engine) -> None`` callback fired every
+        #: *heartbeat_every* dispatched events — the sweep service's
+        #: cooperative soft-deadline check.  Unlike hooks, a heartbeat
+        #: never affects fold eligibility: it observes wall clock, not
+        #: simulation state.
+        self.heartbeat = heartbeat
+        self.heartbeat_every = heartbeat_every
         self.sanitize = sanitize
         self.allow_chaos = allow_chaos
         self.plan = plan
@@ -341,6 +349,8 @@ class TrioSim:
             plan = self._resolve_plan(profiler)
         with profiler.phase("engine"):
             engine = Engine()
+            if self.heartbeat is not None:
+                engine.set_heartbeat(self.heartbeat, self.heartbeat_every)
             network = self._build_network(engine)
             sim = TaskGraphSimulator(engine, network)
         if self.config.gpu_slowdowns:

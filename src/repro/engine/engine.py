@@ -58,6 +58,8 @@ class Engine(Hookable):
         self._paused = False
         self._dispatch_observer: Optional[
             Callable[[float, int, Event], None]] = None
+        self._heartbeat: Optional[Callable[["Engine"], None]] = None
+        self._heartbeat_every = 4096
 
     @property
     def now(self) -> float:
@@ -224,6 +226,24 @@ class Engine(Hookable):
         """
         self._dispatch_observer = observer
 
+    def set_heartbeat(self, heartbeat: Optional[Callable[["Engine"], None]],
+                      every: int = 4096) -> None:
+        """Install a callback fired every *every* dispatched events.
+
+        The heartbeat is the wall-clock escape hatch for otherwise
+        uninterruptible runs: the sweep service's soft per-point deadline
+        checks elapsed wall time from it and raises to stop the run
+        cooperatively, keeping partial progress (``engine.now``,
+        :attr:`dispatched_events`) attributable.  Exceptions raised by the
+        heartbeat propagate out of :meth:`run`.  At most one heartbeat;
+        ``None`` uninstalls.  Costs one predictable branch per dispatch
+        when unset.
+        """
+        if every < 1:
+            raise ValueError("heartbeat interval must be >= 1 event")
+        self._heartbeat = heartbeat
+        self._heartbeat_every = every
+
     def run(self, until: Optional[float] = None) -> float:
         """Dispatch events in time order.
 
@@ -238,6 +258,8 @@ class Engine(Hookable):
         # allocations per event on the (common) unobserved path.
         hooks = self._hooks
         observer = self._dispatch_observer
+        heartbeat = self._heartbeat
+        beat_countdown = self._heartbeat_every
         while self._queue and not self._paused:
             time, _seq, event = self._queue[0]
             if until is not None and time > until:
@@ -255,6 +277,11 @@ class Engine(Hookable):
                     f"exceeded max_events={self._max_events}; "
                     "possible runaway event loop"
                 )
+            if heartbeat is not None:
+                beat_countdown -= 1
+                if beat_countdown <= 0:
+                    beat_countdown = self._heartbeat_every
+                    heartbeat(self)
             if observer is not None:
                 observer(time, _seq, event)
             if hooks:

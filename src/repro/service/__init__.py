@@ -9,10 +9,18 @@ going when individual points fail.
 
 from repro.core.plan import PlanCache
 from repro.service.cache import ResultCache, trace_digest
+from repro.service.journal import (
+    JournalMismatchError,
+    JournalState,
+    SweepJournal,
+    check_resume,
+    sweep_fingerprint,
+)
 from repro.service.runner import (
     HOOK_SWEEP_END,
     HOOK_SWEEP_POINT,
     HOOK_SWEEP_START,
+    CircuitBreaker,
     SweepError,
     SweepMetrics,
     SweepOutcome,
@@ -20,20 +28,27 @@ from repro.service.runner import (
     SweepRunner,
 )
 from repro.service.spec import SweepSpec
-from repro.service.worker import PointTimeoutError
+from repro.service.worker import PointSoftTimeoutError, PointTimeoutError
 
 __all__ = [
     "HOOK_SWEEP_END",
     "HOOK_SWEEP_POINT",
     "HOOK_SWEEP_START",
+    "CircuitBreaker",
+    "JournalMismatchError",
+    "JournalState",
     "PlanCache",
+    "PointSoftTimeoutError",
     "PointTimeoutError",
     "ResultCache",
     "SweepError",
+    "SweepJournal",
     "SweepMetrics",
     "SweepOutcome",
     "SweepPointError",
     "SweepRunner",
     "SweepSpec",
+    "check_resume",
+    "sweep_fingerprint",
     "trace_digest",
 ]

@@ -56,6 +56,16 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
+    def has(self, key: str) -> bool:
+        """Whether an entry for *key* exists on disk right now.
+
+        A pure existence probe: no hit/miss accounting, no
+        deserialization, no corruption eviction — the cheap check the
+        resume smoke test uses to compare journal replay against cache
+        contents key-for-key.
+        """
+        return self._path(key).is_file()
+
     def load(self, key: str) -> Optional[SimulationResult]:
         """The cached result for *key*, or ``None`` (counted as a miss).
 

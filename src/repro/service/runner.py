@@ -20,17 +20,35 @@
 * worker-crash survival — a point whose worker process dies (segfault,
   OOM kill, chaos injection) breaks only its pool, not the sweep: the
   executor is rebuilt and the in-flight points are retried in isolation
-  with seeded, bounded exponential backoff; a point that keeps killing
-  its worker becomes ``SweepError(kind="WorkerCrashed")`` while every
-  other point completes normally;
+  with seeded, bounded exponential backoff, then (last rung) once
+  in-process with chaos disarmed; a point that still fails becomes
+  ``SweepError(kind="WorkerCrashed")`` while every other point completes
+  normally;
+* a crash-safe write-ahead journal (:mod:`repro.service.journal`) —
+  every dispatch and every terminal disposition is fsync'd before the
+  sweep proceeds, so a SIGKILL'd sweep resumes from its journal
+  re-dispatching only the incomplete points, bit-identically;
+* per-point deadline budgets — a cooperative soft deadline enforced by
+  the engine heartbeat (partial progress preserved) plus the hard
+  ``SIGALRM``/watchdog kill, both reported as ``PointTimeout``;
+* a dispatch circuit breaker (:class:`CircuitBreaker`) — a crash/timeout
+  storm trips the breaker and the remaining points fail fast as
+  ``CircuitOpen`` instead of feeding workers to a dying machine, with
+  half-open probes to resume once points succeed again;
 * live progress through the existing :mod:`repro.engine.hooks` mechanism —
   the runner is a :class:`Hookable` and fires ``sweep_start`` /
   ``sweep_point`` / ``sweep_end`` positions with completed/total counts,
   cache hit-rate, aggregate simulated-events/sec, and an ETA.
 
 Determinism: TrioSim is deterministic and every point is independent, so
-parallel execution, in-process execution, and cache replay all produce
-bit-identical ``total_time`` values.
+parallel execution, in-process execution, cache replay, and journal
+resume all produce bit-identical ``total_time`` values.
+
+The failure taxonomy (``SweepError.kind``) is documented in
+``docs/resilience.md``: ``LintError`` / ``VerifyError`` (pre-dispatch),
+``PointTimeout`` (either deadline), ``WorkerCrashed`` (all rungs
+exhausted), ``CircuitOpen`` (failed fast by the breaker), and
+``Interrupted`` (Ctrl-C before the point completed).
 """
 
 from __future__ import annotations
@@ -38,7 +56,7 @@ from __future__ import annotations
 import os
 import random
 import time as _wall
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -55,6 +73,13 @@ from repro.engine.hooks import HookCtx, Hookable
 from repro.perfmodel.scaling import CrossGPUScaler
 from repro.service import worker as _worker
 from repro.service.cache import ResultCache, trace_digest
+from repro.service.journal import (
+    JournalMismatchError,
+    SweepJournal,
+    check_resume,
+    point_fingerprint,
+    sweep_fingerprint,
+)
 from repro.trace.trace import Trace
 
 #: Hook positions emitted by the runner.
@@ -67,13 +92,19 @@ HOOK_SWEEP_END = "sweep_end"
 class SweepError:
     """Structured record of one failed sweep point."""
 
-    kind: str        # exception class name, e.g. "PointTimeoutError"
+    kind: str        # taxonomy name, e.g. "PointTimeout", "WorkerCrashed"
     message: str
     traceback: str = ""
+    #: Structured context — e.g. a soft timeout's partial progress
+    #: (elapsed wall time, events dispatched, simulated_time reached).
+    detail: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
-        return {"kind": self.kind, "message": self.message,
+        data = {"kind": self.kind, "message": self.message,
                 "traceback": self.traceback}
+        if self.detail:
+            data["detail"] = dict(self.detail)
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "SweepError":
@@ -102,6 +133,11 @@ class SweepOutcome:
     sanitizer_findings: List[dict] = field(default_factory=list)
     #: Isolated re-executions this point needed after its worker died.
     retries: int = 0
+    #: Replayed from a resume journal instead of being re-simulated.
+    resumed: bool = False
+    #: Recovered by the last graceful-degradation rung (in-process, no
+    #: pool) after every isolated retry crashed its worker.
+    degraded: bool = False
 
     @property
     def ok(self) -> bool:
@@ -127,6 +163,8 @@ class SweepOutcome:
             "error": self.error.to_dict() if self.error else None,
             "sanitizer_findings": list(self.sanitizer_findings),
             "retries": self.retries,
+            "resumed": self.resumed,
+            "degraded": self.degraded,
         }
 
 
@@ -144,6 +182,12 @@ class SweepMetrics:
     worker_crashes: int = 0   # points abandoned as WorkerCrashed
     plan_builds: int = 0      # extrapolator graph builds actually performed
     plan_cache_hits: int = 0  # fresh points served by a cached plan
+    timeouts: int = 0         # points cut down as PointTimeout (either kind)
+    circuit_trips: int = 0    # breaker transitions into the open state
+    circuit_skips: int = 0    # points failed fast as CircuitOpen
+    interrupted: int = 0      # points marked Interrupted by Ctrl-C
+    resumed: int = 0          # points replayed from a resume journal
+    degraded_recoveries: int = 0  # crash victims saved by the in-process rung
 
     @property
     def hit_rate(self) -> float:
@@ -154,28 +198,158 @@ class SweepMetrics:
         return self.fresh_events / self.elapsed if self.elapsed > 0 else 0.0
 
     @property
-    def eta_seconds(self) -> float:
+    def eta_seconds(self) -> Optional[float]:
+        """Projected seconds to finish, or ``None`` before any completion.
+
+        ``None`` (serialized ``null``), not ``NaN`` — ``json.dumps``
+        renders ``NaN`` bare, which is not JSON and which strict
+        consumers reject.
+        """
         if not self.completed:
-            return float("nan")
+            return None
         remaining = self.total - self.completed
         return remaining * (self.elapsed / self.completed)
+
+    @staticmethod
+    def _json_safe(value: Optional[float]) -> Optional[float]:
+        """Non-finite floats become ``None`` so detail() is valid JSON."""
+        if value is None or value != value or value in (
+                float("inf"), float("-inf")):
+            return None
+        return value
 
     def detail(self) -> dict:
         return {
             "completed": self.completed,
             "total": self.total,
             "cache_hits": self.cache_hits,
-            "hit_rate": self.hit_rate,
+            "hit_rate": self._json_safe(self.hit_rate),
             "errors": self.errors,
             "retries": self.retries,
             "worker_crashes": self.worker_crashes,
             "plan_builds": self.plan_builds,
             "plan_cache_hits": self.plan_cache_hits,
+            "timeouts": self.timeouts,
+            "circuit_trips": self.circuit_trips,
+            "circuit_skips": self.circuit_skips,
+            "interrupted": self.interrupted,
+            "resumed": self.resumed,
+            "degraded_recoveries": self.degraded_recoveries,
             "fresh_events": self.fresh_events,
-            "events_per_sec": self.events_per_sec,
-            "eta_seconds": self.eta_seconds,
+            "events_per_sec": self._json_safe(self.events_per_sec),
+            "eta_seconds": self._json_safe(self.eta_seconds),
             "elapsed": self.elapsed,
         }
+
+
+class CircuitBreaker:
+    """Sliding-window failure-rate circuit breaker for point dispatch.
+
+    Protects a sweep from feeding every remaining point to a dying
+    substrate (an OOM-looping machine, a poisoned worker image): once the
+    crash/timeout rate over the last :attr:`window` dispatched points
+    reaches :attr:`threshold`, the breaker *trips open* and subsequent
+    points fail fast as ``SweepError(kind="CircuitOpen")`` without
+    touching a worker.  While open, every :attr:`probe_interval`-th
+    admission attempt is let through as a *half-open probe*: a probe that
+    succeeds closes the breaker (dispatch resumes normally, window
+    cleared); a probe that fails reopens it.
+
+    Only infrastructure failures count against the breaker
+    (:attr:`FAILURE_KINDS`: worker crashes and deadline overruns) — a
+    point that fails on its own config (lint, verify, simulation error)
+    says nothing about the substrate's health.
+
+    Deterministic by construction: every transition is driven by counts
+    of recorded outcomes and skipped admissions, never by wall-clock
+    time, so breaker behaviour in tests and replays is exactly
+    reproducible.
+    """
+
+    #: Error kinds that count as substrate failures.
+    FAILURE_KINDS = frozenset({"WorkerCrashed", _worker.TIMEOUT_KIND})
+
+    def __init__(self, window: int = 16, threshold: float = 0.5,
+                 min_samples: int = 4, probe_interval: int = 4):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if probe_interval < 1:
+            raise ValueError("probe_interval must be >= 1")
+        self.window = window
+        self.threshold = threshold
+        self.min_samples = min_samples
+        self.probe_interval = probe_interval
+        #: True entries are failures; bounded sliding window.
+        self._outcomes: deque = deque(maxlen=window)
+        self.state = "closed"          # closed | open | half_open
+        self.trips = 0
+        self.last_failure_kind: Optional[str] = None
+        self._skips_since_open = 0
+
+    @property
+    def failure_rate(self) -> float:
+        """Failure fraction over the current window (0.0 when empty)."""
+        if not self._outcomes:
+            return 0.0
+        return sum(self._outcomes) / len(self._outcomes)
+
+    def admit(self) -> bool:
+        """May the next point be dispatched?  (May transition to probe.)
+
+        Closed: always.  Half-open: no — exactly one probe flies at a
+        time.  Open: fail fast, except that every
+        :attr:`probe_interval`-th attempt becomes the half-open probe and
+        is admitted.
+        """
+        if self.state == "closed":
+            return True
+        if self.state == "half_open":
+            return False
+        self._skips_since_open += 1
+        if self._skips_since_open >= self.probe_interval:
+            self.state = "half_open"
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """A dispatched point completed (or failed on its own config)."""
+        if self.state == "half_open":
+            # The probe came back healthy: close and forget the storm.
+            self.state = "closed"
+            self._outcomes.clear()
+            self._skips_since_open = 0
+            return
+        self._outcomes.append(False)
+
+    def record_failure(self, kind: str) -> bool:
+        """A dispatched point failed as *kind*; True when this tripped.
+
+        Kinds outside :attr:`FAILURE_KINDS` are ignored (returns False).
+        A half-open probe failure reopens immediately (counted as a
+        trip); in the closed state the window must both hold
+        :attr:`min_samples` outcomes and cross :attr:`threshold`.
+        """
+        if kind not in self.FAILURE_KINDS:
+            return False
+        self.last_failure_kind = kind
+        if self.state == "half_open":
+            self.state = "open"
+            self._skips_since_open = 0
+            self.trips += 1
+            return True
+        self._outcomes.append(True)
+        if (self.state == "closed"
+                and len(self._outcomes) >= self.min_samples
+                and self.failure_rate >= self.threshold):
+            self.state = "open"
+            self._skips_since_open = 0
+            self.trips += 1
+            return True
+        return False
 
 
 class SweepRunner(Hookable):
@@ -192,7 +366,37 @@ class SweepRunner(Hookable):
         disable caching.
     timeout:
         Optional per-point wall-clock budget in seconds; an expired point
-        becomes a ``PointTimeoutError`` error record.
+        becomes a ``PointTimeout`` error record.  Alias for the hard
+        deadline — ``deadline_hard`` wins when both are given.
+    deadline_soft:
+        Optional cooperative per-point budget (seconds): the engine
+        heartbeat checks the wall clock every few hundred events and
+        stops the point with a ``PointTimeout`` error carrying its
+        partial progress (events dispatched, simulated time reached).
+        A per-config ``config.deadline_soft`` overrides the sweep-wide
+        value for that point.
+    deadline_hard:
+        Optional uncooperative per-point budget (seconds): ``SIGALRM``
+        (or the watchdog thread) kills the point wherever it is.  Give
+        both — soft first for attributable partial progress, hard as the
+        backstop for points stuck outside the engine loop.  Per-config
+        ``config.deadline_hard`` overrides.
+    journal:
+        A :class:`~repro.service.journal.SweepJournal`, a directory path
+        for one, or ``None`` (default) to disable write-ahead journaling
+        entirely (zero overhead).  With a journal every dispatch and
+        every terminal disposition is fsync'd before the sweep proceeds.
+    resume:
+        With a journal: replay completed points from it and re-dispatch
+        only the remainder.  The journal's fingerprint must match this
+        sweep (trace, point set and order, timeline flag) or the runner
+        raises :class:`~repro.service.journal.JournalMismatchError`
+        (lint rule ``SV001``); resume admission findings land on
+        :attr:`last_resume_report`.
+    breaker:
+        A :class:`CircuitBreaker`, ``True`` for one with defaults, or
+        ``None`` (default) to dispatch unconditionally.  See the class
+        docstring for trip/probe semantics.
     hooks:
         Observers registered for the runner's progress positions.
     lint:
@@ -247,7 +451,12 @@ class SweepRunner(Hookable):
                  lint: bool = True, sanitize: bool = False,
                  verify: bool = False,
                  retry_seed: int = 0, retry_backoff: float = 0.05,
-                 plan_cache: Union[PlanCache, str, Path, bool, None] = True):
+                 plan_cache: Union[PlanCache, str, Path, bool, None] = True,
+                 deadline_soft: Optional[float] = None,
+                 deadline_hard: Optional[float] = None,
+                 journal: Union[SweepJournal, str, Path, None] = None,
+                 resume: bool = False,
+                 breaker: Union[CircuitBreaker, bool, None] = None):
         super().__init__()
         self.max_workers = max_workers if max_workers is not None \
             else (os.cpu_count() or 1)
@@ -262,12 +471,28 @@ class SweepRunner(Hookable):
         else:
             self.plan_cache = None
         self.timeout = timeout
+        if (deadline_soft is not None and deadline_hard is not None
+                and deadline_soft > deadline_hard):
+            raise ValueError("deadline_soft must not exceed deadline_hard")
+        self.deadline_soft = deadline_soft
+        self.deadline_hard = deadline_hard
+        self.journal = (SweepJournal(journal)
+                        if isinstance(journal, (str, Path)) else journal)
+        self.resume = resume
+        if breaker is True:
+            self.breaker: Optional[CircuitBreaker] = CircuitBreaker()
+        else:
+            self.breaker = breaker or None
         self.lint = lint
         self.sanitize = sanitize
         self.verify = verify
         self.retry_seed = retry_seed
         self.retry_backoff = retry_backoff
         self.last_metrics: Optional[SweepMetrics] = None
+        #: Resume admission findings (SV rules) from the latest run().
+        self.last_resume_report = None
+        # Per-run journal bookkeeping (set by run(), used by _note_done).
+        self._journal_keys: Optional[List[str]] = None
         # (trace digest, target gpu) -> [prepared Trace, {perf_model: OpTimeModel}]
         # An LRU shared across run() calls, so per-point predict() loops
         # (the experiments harness) still rescale and fit exactly once.
@@ -379,69 +604,173 @@ class SweepRunner(Hookable):
             SweepOutcome(index=i, config=cfg, label=labels[i])
             for i, cfg in enumerate(configs)
         ]
-        base_key = trace_digest(trace) if self.cache is not None else ""
+        base_key = (trace_digest(trace)
+                    if (self.cache is not None or self.journal is not None)
+                    else "")
 
-        # Lint pass: reject statically-broken points before dispatching
-        # any simulation work for them.
-        survivors = outcomes
-        if self.lint:
-            survivors = []
-            for outcome in outcomes:
-                report = lint_config(outcome.config, trace=trace)
-                if report.has_errors:
-                    outcome.error = SweepError(
-                        kind="LintError",
-                        message="; ".join(str(f) for f in report.errors),
-                        # Findings stand in for a traceback: the point never
-                        # ran, but the error record must still explain why.
-                        traceback=render_text(report, source="lint"),
-                    )
+        # Journal setup: fingerprint the sweep, then either replay a
+        # matching journal (resume) or write a fresh begin record.  Both
+        # the mismatch check and the replay happen before any lint /
+        # verify / simulation work is dispatched.
+        survivors = self._journal_open(trace, outcomes, record_timeline,
+                                       base_key, metrics, started)
+
+        try:
+            # Lint pass: reject statically-broken points before
+            # dispatching any simulation work for them.
+            if self.lint:
+                remaining = []
+                for outcome in survivors:
+                    report = lint_config(outcome.config, trace=trace)
+                    if report.has_errors:
+                        outcome.error = SweepError(
+                            kind="LintError",
+                            message="; ".join(str(f) for f in report.errors),
+                            # Findings stand in for a traceback: the point
+                            # never ran, but the error record must still
+                            # explain why.
+                            traceback=render_text(report, source="lint"),
+                        )
+                        self._note_done(outcome, metrics, started)
+                    else:
+                        remaining.append(outcome)
+                survivors = remaining
+
+            # Verify pass: deep-verify each distinct task graph once
+            # before dispatching any simulation work built on it.
+            if self.verify:
+                survivors = self._verify_points(trace, survivors, metrics,
+                                                started)
+
+            # Cache pass: satisfy points without any simulation.
+            pending: List[SweepOutcome] = []
+            for outcome in survivors:
+                hit = None
+                if self.cache is not None and outcome.config.is_serializable:
+                    key = self.cache.point_key(base_key, outcome.config,
+                                               record_timeline)
+                    hit = self.cache.load(key)
+                if hit is not None:
+                    outcome.result = hit
+                    outcome.cached = True
+                    metrics.cache_hits += 1
                     self._note_done(outcome, metrics, started)
                 else:
-                    survivors.append(outcome)
+                    pending.append(outcome)
 
-        # Verify pass: deep-verify each distinct task graph once before
-        # dispatching any simulation work built on it.
-        if self.verify:
-            survivors = self._verify_points(trace, survivors, metrics,
-                                            started)
+            parallel = [o for o in pending if o.config.is_serializable]
+            inproc = [o for o in pending if not o.config.is_serializable]
+            workers = min(self.max_workers, len(parallel))
+            if workers <= 1:
+                inproc = pending
+                parallel = []
 
-        # Cache pass: satisfy points without any simulation.
-        pending: List[SweepOutcome] = []
-        for outcome in survivors:
-            hit = None
-            if self.cache is not None and outcome.config.is_serializable:
-                key = self.cache.point_key(base_key, outcome.config,
-                                           record_timeline)
-                hit = self.cache.load(key)
-            if hit is not None:
-                outcome.result = hit
-                outcome.cached = True
-                metrics.cache_hits += 1
-                self._note_done(outcome, metrics, started)
-            else:
-                pending.append(outcome)
-
-        parallel = [o for o in pending if o.config.is_serializable]
-        inproc = [o for o in pending if not o.config.is_serializable]
-        workers = min(self.max_workers, len(parallel))
-        if workers <= 1:
-            inproc = pending
-            parallel = []
-
-        if parallel:
-            self._run_parallel(trace, parallel, workers, record_timeline,
-                               metrics, started, base_key)
-        if inproc:
-            self._run_inproc(trace, inproc, record_timeline, metrics,
-                             started, base_key)
+            if parallel:
+                self._run_parallel(trace, parallel, workers, record_timeline,
+                                   metrics, started, base_key)
+            if inproc:
+                self._run_inproc(trace, inproc, record_timeline, metrics,
+                                 started, base_key)
+        except KeyboardInterrupt:
+            # Mark everything that never reached a terminal state, leave
+            # a clean journal tail, fire sweep_end, and let the
+            # interrupt propagate (the CLI exits 130).
+            self._mark_interrupted(outcomes, metrics)
+            metrics.elapsed = _wall.perf_counter() - started
+            self.invoke_hooks(
+                HookCtx(HOOK_SWEEP_END, 0.0, item=outcomes,
+                        detail=metrics.detail())
+            )
+            self._journal_close(metrics)
+            raise
 
         metrics.elapsed = _wall.perf_counter() - started
         self.invoke_hooks(
             HookCtx(HOOK_SWEEP_END, 0.0, item=outcomes,
                     detail=metrics.detail())
         )
+        self._journal_close(metrics)
         return outcomes
+
+    # ------------------------------------------------------------------
+    # Journal lifecycle
+    # ------------------------------------------------------------------
+    def _journal_open(self, trace: Trace, outcomes: List[SweepOutcome],
+                      record_timeline: bool, base_key: str,
+                      metrics: SweepMetrics,
+                      started: float) -> List[SweepOutcome]:
+        """Begin (or resume) the journal; returns the points still to run.
+
+        Without a journal this is the identity on *outcomes*.  On resume,
+        completed points are replayed from the journal's ``done`` records
+        — results round-trip through JSON exactly, so a replayed point is
+        bit-identical to re-simulating it — and only the remainder is
+        returned for the lint/verify/cache/simulate passes.
+        """
+        self.last_resume_report = None
+        self._journal_keys = None
+        if self.journal is None:
+            return outcomes
+        keys = [
+            point_fingerprint(base_key, o.config, record_timeline)
+            for o in outcomes
+        ]
+        self._journal_keys = keys
+        fingerprint = sweep_fingerprint(base_key, keys, record_timeline)
+        if self.resume and self.journal.exists():
+            state = self.journal.read()
+            report = check_resume(state, fingerprint,
+                                  deadline_hard=self._hard_deadline_default())
+            self.last_resume_report = report
+            if report.has_errors:
+                raise JournalMismatchError(report)
+            completed = state.completed
+            survivors: List[SweepOutcome] = []
+            for outcome in outcomes:
+                record = completed.get(outcome.index)
+                if record is None or keys[outcome.index] == "unserializable":
+                    survivors.append(outcome)
+                    continue
+                outcome.result = SimulationResult.from_dict(record["result"])
+                outcome.resumed = True
+                outcome.cached = bool(record.get("cached"))
+                metrics.resumed += 1
+                self._note_done(outcome, metrics, started)
+            self.journal.resume_marker(fingerprint, replayed=metrics.resumed,
+                                       remaining=len(survivors))
+            return survivors
+        self.journal.begin(fingerprint, base_key, len(outcomes),
+                           record_timeline)
+        return outcomes
+
+    def _journal_dispatch(self, outcome: SweepOutcome) -> None:
+        """Write-ahead record: *outcome* is about to reach a worker."""
+        if self.journal is not None and self._journal_keys is not None:
+            self.journal.dispatch(outcome.index,
+                                  self._journal_keys[outcome.index],
+                                  outcome.label)
+
+    def _journal_close(self, metrics: SweepMetrics) -> None:
+        if self.journal is not None:
+            self.journal.end(metrics.detail())
+            self.journal.close()
+
+    def _mark_interrupted(self, outcomes: List[SweepOutcome],
+                          metrics: SweepMetrics) -> None:
+        """Ctrl-C landed mid-sweep: give every unfinished point a
+        terminal ``Interrupted`` record (journaled, so a later resume
+        re-dispatches exactly these)."""
+        for outcome in outcomes:
+            if outcome.result is not None or outcome.error is not None:
+                continue
+            outcome.error = SweepError(
+                kind="Interrupted",
+                message="sweep interrupted before this point completed",
+            )
+            metrics.errors += 1
+            metrics.interrupted += 1
+            if self.journal is not None and self._journal_keys is not None:
+                self.journal.interrupt(outcome.index)
 
     def _verify_points(self, trace: Trace, points: List[SweepOutcome],
                        metrics: SweepMetrics,
@@ -500,6 +829,12 @@ class SweepRunner(Hookable):
         metrics.completed += 1
         if outcome.error is not None:
             metrics.errors += 1
+            if outcome.error.kind == _worker.TIMEOUT_KIND:
+                metrics.timeouts += 1
+        elif outcome.resumed:
+            # Replayed work: counted in metrics.resumed (by the journal
+            # open), never as fresh events or plan traffic.
+            pass
         elif not outcome.cached and outcome.result is not None:
             metrics.fresh_events += outcome.result.events
             source = outcome.result.profile.get("plan_source")
@@ -507,6 +842,17 @@ class SweepRunner(Hookable):
                 metrics.plan_builds += 1
             elif source in ("memory", "disk"):
                 metrics.plan_cache_hits += 1
+        if (self.journal is not None and self._journal_keys is not None
+                and not outcome.resumed):
+            key = self._journal_keys[outcome.index]
+            if outcome.result is not None:
+                self.journal.done(outcome.index, key,
+                                  outcome.result.to_dict(),
+                                  cached=outcome.cached)
+            elif outcome.error is not None:
+                self.journal.fail(outcome.index, key,
+                                  outcome.error.to_dict(),
+                                  outcome.error.kind)
         metrics.elapsed = _wall.perf_counter() - started
         self.invoke_hooks(
             HookCtx(HOOK_SWEEP_POINT, 0.0, item=outcome,
@@ -526,18 +872,73 @@ class SweepRunner(Hookable):
         else:
             outcome.error = SweepError.from_dict(payload["error"])
 
+    def _hard_deadline_default(self) -> Optional[float]:
+        """Sweep-wide hard budget: ``deadline_hard`` wins over the
+        legacy ``timeout`` alias."""
+        return self.deadline_hard if self.deadline_hard is not None \
+            else self.timeout
+
+    def _hard_deadline(self, config: SimulationConfig) -> Optional[float]:
+        """Effective hard budget for one point (config overrides sweep)."""
+        if config.deadline_hard is not None:
+            return config.deadline_hard
+        return self._hard_deadline_default()
+
+    def _soft_deadline(self, config: SimulationConfig) -> Optional[float]:
+        """Effective soft budget for one point (config overrides sweep)."""
+        if config.deadline_soft is not None:
+            return config.deadline_soft
+        return self.deadline_soft
+
     def _point_payload(self, trace: Trace, outcome: SweepOutcome,
                        record_timeline: bool) -> dict:
         return {
             "trace_key": self._gpu_key(trace, outcome.config),
             "config": outcome.config.to_dict(),
             "record_timeline": record_timeline,
-            "timeout": self.timeout,
+            "timeout": self._hard_deadline(outcome.config),
+            "deadline_soft": self._soft_deadline(outcome.config),
             "sanitize": self.sanitize,
             # The static tier already ran once per distinct plan in
             # _verify_points; workers only need the race detectors.
             "verify": "races" if self.verify else False,
         }
+
+    def _breaker_record(self, outcome: SweepOutcome,
+                        metrics: SweepMetrics) -> None:
+        """Feed one dispatched point's disposition to the breaker."""
+        if self.breaker is None:
+            return
+        if (outcome.error is not None
+                and outcome.error.kind in CircuitBreaker.FAILURE_KINDS):
+            if self.breaker.record_failure(outcome.error.kind):
+                metrics.circuit_trips += 1
+        elif outcome.result is not None:
+            self.breaker.record_success()
+
+    def _breaker_failure(self, kind: str, metrics: SweepMetrics) -> None:
+        if self.breaker is not None and self.breaker.record_failure(kind):
+            metrics.circuit_trips += 1
+
+    def _admit(self, outcome: SweepOutcome, metrics: SweepMetrics,
+               started: float) -> bool:
+        """Breaker admission for one point; False = failed fast.
+
+        A rejected point gets a terminal ``CircuitOpen`` error naming
+        the failure kind that tripped the breaker, so a journal resume
+        re-dispatches it once the substrate recovers.
+        """
+        if self.breaker is None or self.breaker.admit():
+            return True
+        metrics.circuit_skips += 1
+        culprit = self.breaker.last_failure_kind or "failures"
+        outcome.error = SweepError(
+            kind="CircuitOpen",
+            message=(f"dispatch circuit is open after repeated {culprit}; "
+                     "point failed fast without reaching a worker"),
+        )
+        self._note_done(outcome, metrics, started)
+        return False
 
     def _run_parallel(self, trace: Trace, points: List[SweepOutcome],
                       workers: int, record_timeline: bool,
@@ -555,44 +956,101 @@ class SweepRunner(Hookable):
             self._retry_crashed(trace, crashed, trace_dicts,
                                 record_timeline, metrics, started, base_key)
 
+    def _new_pool(self, workers: int, trace_dicts: dict) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker.init_worker,
+            initargs=(trace_dicts, self._plan_mode()),
+        )
+
     def _parallel_wave(self, trace: Trace, points: List[SweepOutcome],
                        workers: int, trace_dicts: dict,
                        record_timeline: bool, metrics: SweepMetrics,
                        started: float, base_key: str) -> List[SweepOutcome]:
-        """Fan *points* over one pool; returns the points whose futures
-        died with the pool (crash victims and collateral, unattributed)."""
+        """Fan *points* over a pool; returns the unattributed crash victims.
+
+        Dispatch is incremental — at most ``2 * workers`` futures are in
+        flight — so every submission passes the circuit breaker with
+        current information and is write-ahead journaled just before it
+        reaches the pool.  A worker death breaks only the in-flight
+        window: those points are collected for the isolated retry pass,
+        the pool is rebuilt, and the undispatched queue continues on the
+        fresh pool (a crash no longer forfeits every queued point).
+        Ctrl-C cancels the queue, waits out the running points, and
+        re-raises — no worker processes outlive the sweep.
+        """
         crashed: List[SweepOutcome] = []
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_worker.init_worker,
-            initargs=(trace_dicts, self._plan_mode()),
-        ) as pool:
-            futures = {
-                pool.submit(_worker.run_point,
-                            self._point_payload(trace, o, record_timeline)): o
-                for o in points
-            }
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+        queue = deque(points)
+        window = max(1, workers * 2)
+        pool = self._new_pool(workers, trace_dicts)
+        futures: Dict[object, SweepOutcome] = {}
+        try:
+            while queue or futures:
+                while queue and len(futures) < window:
+                    outcome = queue.popleft()
+                    if not self._admit(outcome, metrics, started):
+                        continue
+                    self._journal_dispatch(outcome)
+                    try:
+                        future = pool.submit(
+                            _worker.run_point,
+                            self._point_payload(trace, outcome,
+                                                record_timeline))
+                    except BrokenProcessPool:
+                        # The pool broke before the wait loop saw it;
+                        # this point is a crash-window victim too.
+                        crashed.append(outcome)
+                        self._breaker_failure("WorkerCrashed", metrics)
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        pool = self._new_pool(workers, trace_dicts)
+                        continue
+                    futures[future] = outcome
+                if not futures:
+                    continue  # breaker fast-failed the whole window
+                done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
+                broken = False
                 for future in done:
-                    outcome = futures[future]
+                    outcome = futures.pop(future)
                     exc = future.exception()
                     if exc is None:
                         self._finish(outcome, future.result(),
                                      record_timeline, base_key)
+                        self._breaker_record(outcome, metrics)
                         self._note_done(outcome, metrics, started)
                     elif isinstance(exc, BrokenProcessPool):
                         # A worker died.  Every in-flight future on the
                         # pool fails with it, so which point killed the
                         # worker is unknown here — the isolated retry
                         # pass attributes the crash.
+                        broken = True
                         crashed.append(outcome)
+                        self._breaker_failure("WorkerCrashed", metrics)
                     else:
                         outcome.error = SweepError(
                             kind=type(exc).__name__, message=str(exc)
                         )
+                        self._breaker_record(outcome, metrics)
                         self._note_done(outcome, metrics, started)
+                if broken:
+                    # The rest of the window died with the pool; sort
+                    # the stragglers (a future may still have finished
+                    # cleanly in the meantime) and rebuild.
+                    for future, outcome in list(futures.items()):
+                        if future.done() and future.exception() is None:
+                            self._finish(outcome, future.result(),
+                                         record_timeline, base_key)
+                            self._breaker_record(outcome, metrics)
+                            self._note_done(outcome, metrics, started)
+                        else:
+                            crashed.append(outcome)
+                            self._breaker_failure("WorkerCrashed", metrics)
+                    futures.clear()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = self._new_pool(workers, trace_dicts)
+        except KeyboardInterrupt:
+            pool.shutdown(wait=True, cancel_futures=True)
+            raise
+        pool.shutdown()
         return crashed
 
     def _retry_crashed(self, trace: Trace, crashed: List[SweepOutcome],
@@ -601,7 +1059,11 @@ class SweepRunner(Hookable):
                        base_key: str) -> None:
         """Re-execute crash victims one at a time, each on a fresh
         single-worker pool, with seeded bounded exponential backoff —
-        so a repeat crash is attributable to exactly one point."""
+        so a repeat crash is attributable to exactly one point.  A point
+        that kills every isolated worker gets one last
+        graceful-degradation rung: an in-process run with chaos specs
+        disarmed (no pool to crash); only if that also fails is the
+        point declared ``WorkerCrashed``."""
         rng = random.Random(self.retry_seed)
         for outcome in sorted(crashed, key=lambda o: o.index):
             for attempt in range(self.MAX_CRASH_RETRIES):
@@ -612,14 +1074,54 @@ class SweepRunner(Hookable):
                                           record_timeline, base_key):
                     break
             else:
-                metrics.worker_crashes += 1
-                outcome.error = SweepError(
-                    kind="WorkerCrashed",
-                    message=f"worker process died simulating this point "
-                            f"{outcome.retries} time(s) in isolation "
-                            f"(after crashing a shared pool)",
-                )
+                if self._inprocess_rescue(trace, outcome, record_timeline,
+                                          base_key):
+                    outcome.degraded = True
+                    metrics.degraded_recoveries += 1
+                else:
+                    metrics.worker_crashes += 1
+                    outcome.error = SweepError(
+                        kind="WorkerCrashed",
+                        message=f"worker process died simulating this point "
+                                f"{outcome.retries} time(s) in isolation "
+                                f"(after crashing a shared pool), and the "
+                                f"in-process rescue run also failed",
+                    )
             self._note_done(outcome, metrics, started)
+
+    def _inprocess_rescue(self, trace: Trace, outcome: SweepOutcome,
+                          record_timeline: bool, base_key: str) -> bool:
+        """Last degradation rung: run the point in the parent process.
+
+        No pool means nothing left to crash: if the failures were pool
+        infrastructure (a poisoned worker image, fork pressure, chaos
+        injection) the point completes here; chaos specs stay disarmed,
+        so a config that genuinely kills its host raises instead of
+        taking the sweep down.  Returns False on any failure — the
+        point's verdict stays ``WorkerCrashed``.
+        """
+        try:
+            gpu_key = self._gpu_key(trace, outcome.config)
+            point_trace, op_times = self._shared_work(trace, gpu_key)
+            op_time = _worker.shared_op_time(
+                point_trace, outcome.config.perf_model, op_times, gpu_key)
+            outcome.result = _worker.simulate_point(
+                point_trace, outcome.config, record_timeline,
+                self._hard_deadline(outcome.config), op_time=op_time,
+                sanitize=self.sanitize,
+                sanitizer_sink=outcome.sanitizer_findings,
+                plan_cache=self.plan_cache,
+                verify="races" if self.verify else False,
+                deadline_soft=self._soft_deadline(outcome.config),
+            )
+        except Exception:
+            outcome.result = None
+            return False
+        if self.cache is not None and outcome.config.is_serializable:
+            key = self.cache.point_key(base_key, outcome.config,
+                                       record_timeline)
+            self.cache.store(key, outcome.result)
+        return True
 
     def _backoff_delay(self, rng: random.Random, attempt: int) -> float:
         """Jittered exponential backoff, capped at :attr:`MAX_BACKOFF`."""
@@ -649,6 +1151,9 @@ class SweepRunner(Hookable):
                     record_timeline: bool, metrics: SweepMetrics,
                     started: float, base_key: str) -> None:
         for outcome in points:
+            if not self._admit(outcome, metrics, started):
+                continue
+            self._journal_dispatch(outcome)
             gpu_key = self._gpu_key(trace, outcome.config)
             point_trace, op_times = self._shared_work(trace, gpu_key)
             try:
@@ -658,10 +1163,12 @@ class SweepRunner(Hookable):
                 )
                 outcome.result = _worker.simulate_point(
                     point_trace, outcome.config, record_timeline,
-                    self.timeout, op_time=op_time, sanitize=self.sanitize,
+                    self._hard_deadline(outcome.config), op_time=op_time,
+                    sanitize=self.sanitize,
                     sanitizer_sink=outcome.sanitizer_findings,
                     plan_cache=self.plan_cache,
                     verify="races" if self.verify else False,
+                    deadline_soft=self._soft_deadline(outcome.config),
                 )
                 if (self.cache is not None
                         and outcome.config.is_serializable):
@@ -669,10 +1176,10 @@ class SweepRunner(Hookable):
                                                record_timeline)
                     self.cache.store(key, outcome.result)
             except Exception as exc:
-                import traceback as _tb
-
-                outcome.error = SweepError(
-                    kind=type(exc).__name__, message=str(exc),
-                    traceback=_tb.format_exc(),
-                )
+                # error_record normalizes deadline flavours to the
+                # taxonomy kind ("PointTimeout") and keeps any
+                # partial-progress detail the exception carries.
+                outcome.error = SweepError.from_dict(
+                    _worker.error_record(exc))
+            self._breaker_record(outcome, metrics)
             self._note_done(outcome, metrics, started)

@@ -12,7 +12,10 @@ are cross-producted::
       "workers": 4,
       "cache_dir": ".repro-cache",
       "plan_dir": ".repro-plans",
-      "timeout": 120
+      "journal_dir": ".repro-journal",
+      "deadline_soft": 60,
+      "deadline_hard": 120,
+      "breaker": {"window": 16, "threshold": 0.5}
     }
 
 Instead of ``trace`` (a path), a spec may name a zoo ``model`` (plus
@@ -36,6 +39,7 @@ from repro.trace.trace import Trace
 _TOP_LEVEL_KEYS = {
     "trace", "model", "gpu", "batch", "seq_len",
     "base", "axes", "workers", "cache_dir", "timeout", "plan_dir",
+    "journal_dir", "deadline_soft", "deadline_hard", "breaker",
 }
 
 
@@ -56,6 +60,17 @@ class SweepSpec:
     #: Directory for the persistent extrapolation-plan cache
     #: (``docs/plans.md``); ``None`` keeps plan sharing in-memory only.
     plan_dir: Optional[str] = None
+    #: Directory for the crash-safe write-ahead journal
+    #: (``docs/resilience.md``); ``None`` disables journaling.
+    journal_dir: Optional[str] = None
+    #: Per-point deadline budgets (seconds): cooperative soft stop and
+    #: hard kill.  ``deadline_hard`` wins over the legacy ``timeout``.
+    deadline_soft: Optional[float] = None
+    deadline_hard: Optional[float] = None
+    #: Dispatch circuit breaker: ``True`` for defaults, or a dict of
+    #: :class:`~repro.service.runner.CircuitBreaker` keyword arguments
+    #: (``window``, ``threshold``, ``min_samples``, ``probe_interval``).
+    breaker: Union[bool, dict, None] = None
 
     def __post_init__(self):
         if (self.trace_path is None) == (self.model is None):
@@ -68,6 +83,18 @@ class SweepSpec:
                 raise ValueError(
                     f"axis {axis!r} must map to a non-empty list"
                 )
+        for name in ("deadline_soft", "deadline_hard"):
+            value = getattr(self, name)
+            if value is not None and float(value) <= 0:
+                raise ValueError(f"{name} must be positive (or null)")
+        if (self.deadline_soft is not None and self.deadline_hard is not None
+                and self.deadline_soft > self.deadline_hard):
+            raise ValueError("deadline_soft must not exceed deadline_hard")
+        if not isinstance(self.breaker, (bool, dict, type(None))):
+            raise ValueError(
+                "breaker must be true, false, null, or an object of "
+                "CircuitBreaker settings"
+            )
         # Fail early on typos: every point must build a valid config.
         self.expand()
 
@@ -88,6 +115,10 @@ class SweepSpec:
             cache_dir=data.get("cache_dir"),
             timeout=data.get("timeout"),
             plan_dir=data.get("plan_dir"),
+            journal_dir=data.get("journal_dir"),
+            deadline_soft=data.get("deadline_soft"),
+            deadline_hard=data.get("deadline_hard"),
+            breaker=data.get("breaker"),
         )
 
     @classmethod

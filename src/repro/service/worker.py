@@ -20,6 +20,7 @@ from __future__ import annotations
 import ctypes
 import signal
 import threading
+import time
 import traceback
 from contextlib import contextmanager
 from typing import Dict, Optional, Tuple
@@ -30,9 +31,85 @@ from repro.core.simulator import TrioSim
 from repro.extrapolator.optime import OpTimeModel
 from repro.trace.trace import Trace
 
+#: Engine events between soft-deadline wall-clock checks.  Small enough
+#: that a stuck-but-dispatching run is caught within milliseconds, large
+#: enough that ``time.monotonic()`` stays invisible in profiles.
+SOFT_DEADLINE_EVERY = 256
+
+#: Error ``kind`` reported for any deadline overrun (soft or hard) —
+#: the sweep failure taxonomy's name for it (see ``docs/resilience.md``).
+TIMEOUT_KIND = "PointTimeout"
+
 
 class PointTimeoutError(Exception):
     """A sweep point exceeded its per-point wall-clock budget."""
+
+    #: Partial progress at expiry (events, simulated_time); the hard
+    #: deadline can't capture any, the soft one fills it in.
+    detail: dict = {}
+
+
+class PointSoftTimeoutError(PointTimeoutError):
+    """Cooperative expiry: the engine heartbeat saw the budget pass.
+
+    Unlike the hard deadline (``SIGALRM`` / watchdog injection, which can
+    land anywhere), the soft deadline raises from a known point in the
+    engine loop, so it can report partial progress: how many events were
+    dispatched and how far virtual time advanced before the stop.
+    """
+
+    def __init__(self, message: str, detail: Optional[dict] = None):
+        super().__init__(message)
+        self.detail = dict(detail or {})
+
+
+def soft_deadline_heartbeat(seconds: float):
+    """Engine heartbeat enforcing a cooperative *seconds* budget.
+
+    The wall clock starts when the closure is built (just before
+    ``TrioSim.run``), and every :data:`SOFT_DEADLINE_EVERY` events the
+    heartbeat compares elapsed time against the budget, raising
+    :class:`PointSoftTimeoutError` with the partial progress snapshot
+    once exceeded.
+    """
+    start = time.monotonic()
+    budget = float(seconds)
+
+    def _beat(engine) -> None:
+        elapsed = time.monotonic() - start
+        if elapsed > budget:
+            raise PointSoftTimeoutError(
+                f"sweep point exceeded {budget}s soft deadline "
+                f"after {elapsed:.2f}s",
+                detail={
+                    "elapsed": elapsed,
+                    "events": engine.dispatched_events,
+                    "simulated_time": engine.now,
+                },
+            )
+
+    return _beat
+
+
+def error_record(exc: BaseException) -> dict:
+    """The process-boundary error dict for *exc*.
+
+    Normalizes every deadline flavour (hard ``PointTimeoutError``, soft
+    subclass) to the taxonomy kind ``PointTimeout`` and attaches the
+    partial-progress ``detail`` when the exception carries one.
+    """
+    kind = type(exc).__name__
+    if isinstance(exc, PointTimeoutError):
+        kind = TIMEOUT_KIND
+    record = {
+        "kind": kind,
+        "message": str(exc),
+        "traceback": traceback.format_exc(),
+    }
+    detail = getattr(exc, "detail", None)
+    if detail:
+        record["detail"] = dict(detail)
+    return record
 
 
 class _Watchdog:
@@ -178,7 +255,8 @@ def simulate_point(trace: Trace, config: SimulationConfig,
                    sanitizer_sink: Optional[list] = None,
                    allow_chaos: bool = False,
                    plan_cache: Optional[PlanCache] = None,
-                   verify=False):
+                   verify=False,
+                   deadline_soft: Optional[float] = None):
     """Run one sweep point (optionally under a deadline).
 
     With ``sanitize``, runtime sanitizer findings are appended to
@@ -191,13 +269,18 @@ def simulate_point(trace: Trace, config: SimulationConfig,
     are sacrificial, so :func:`run_point` passes ``True``, while
     in-process runs keep the default and such specs raise instead.
     *plan_cache* shares extrapolation plans across points that differ
-    only in network/topology/fault parameters.
+    only in network/topology/fault parameters.  *deadline_soft* arms the
+    cooperative engine-heartbeat budget (seconds) in addition to the hard
+    *timeout*; the explicit argument wins over ``config.deadline_soft``.
     """
+    soft = deadline_soft if deadline_soft is not None else config.deadline_soft
+    heartbeat = soft_deadline_heartbeat(soft) if soft else None
     with deadline(timeout):
         sim = TrioSim(trace, config, record_timeline=record_timeline,
                       op_time=op_time, sanitize=sanitize,
                       allow_chaos=allow_chaos, plan_cache=plan_cache,
-                      verify=verify)
+                      verify=verify, heartbeat=heartbeat,
+                      heartbeat_every=SOFT_DEADLINE_EVERY)
         result = sim.run()
         if sanitizer_sink is not None and sim.sanitizer_report is not None:
             sanitizer_sink.extend(sim.sanitizer_report.to_dicts())
@@ -229,15 +312,9 @@ def run_point(payload: dict) -> dict:
             op_time=op_time, sanitize=payload.get("sanitize", False),
             sanitizer_sink=sanitizer_findings, allow_chaos=True,
             plan_cache=_PLAN_CACHE, verify=payload.get("verify", False),
+            deadline_soft=payload.get("deadline_soft"),
         )
         return {"ok": True, "result": result.to_dict(),
                 "sanitizer": sanitizer_findings}
     except Exception as exc:
-        return {
-            "ok": False,
-            "error": {
-                "kind": type(exc).__name__,
-                "message": str(exc),
-                "traceback": traceback.format_exc(),
-            },
-        }
+        return {"ok": False, "error": error_record(exc)}

@@ -49,3 +49,40 @@ class TestForPlatform:
                                             parallelism="pp", chunks=4)
         assert cfg.num_gpus == 2
         assert cfg.chunks == 4
+
+
+class TestDeadlines:
+    def test_defaults_off(self):
+        cfg = SimulationConfig()
+        assert cfg.deadline_soft is None
+        assert cfg.deadline_hard is None
+
+    def test_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(deadline_soft=0.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(deadline_hard=-1.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(deadline_soft="fast")
+
+    def test_soft_must_not_exceed_hard(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(deadline_soft=10.0, deadline_hard=5.0)
+        cfg = SimulationConfig(deadline_soft=5.0, deadline_hard=10.0)
+        assert cfg.deadline_soft == 5.0
+
+    def test_round_trips_through_dict(self):
+        cfg = SimulationConfig(deadline_soft=1.5, deadline_hard=30.0)
+        again = SimulationConfig.from_dict(cfg.to_dict())
+        assert again.deadline_soft == 1.5
+        assert again.deadline_hard == 30.0
+
+    def test_excluded_from_cache_key(self):
+        # Deadlines are execution policy, not simulation semantics: a
+        # result computed under a deadline is the same result, so the
+        # cache key (and the resume fingerprint built on it) must not
+        # change with deadline settings.
+        plain = SimulationConfig(num_gpus=2)
+        budgeted = SimulationConfig(num_gpus=2, deadline_soft=1.0,
+                                    deadline_hard=60.0)
+        assert plain.cache_key() == budgeted.cache_key()

@@ -365,3 +365,61 @@ def test_schedule_bulk_validates_like_schedule():
         eng.schedule_bulk([stale])
     eng.schedule_bulk([])   # a no-op, not an error
     assert eng.pending_events == 0
+
+
+# ----------------------------------------------------------------------
+# Heartbeats
+# ----------------------------------------------------------------------
+
+
+def test_heartbeat_fires_every_n_events():
+    eng = Engine()
+    beats = []
+    eng.set_heartbeat(lambda e: beats.append(e.dispatched_events), every=3)
+    for i in range(10):
+        eng.call_at(float(i), lambda e: None)
+    eng.run()
+    assert beats == [3, 6, 9]
+
+
+def test_heartbeat_exception_propagates_out_of_run():
+    class Budget(Exception):
+        pass
+
+    def beat(engine):
+        raise Budget
+
+    eng = Engine()
+    eng.set_heartbeat(beat, every=2)
+    for i in range(5):
+        eng.call_at(float(i), lambda e: None)
+    with pytest.raises(Budget):
+        eng.run()
+    # The budget tripped at the second event, before its handler ran.
+    assert eng.dispatched_events == 2
+
+
+def test_heartbeat_clears_and_validates():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        eng.set_heartbeat(lambda e: None, every=0)
+    beats = []
+    eng.set_heartbeat(lambda e: beats.append(1), every=1)
+    eng.set_heartbeat(None)
+    eng.call_at(1.0, lambda e: None)
+    eng.run()
+    assert beats == []
+
+
+def test_heartbeat_does_not_perturb_simulated_time():
+    def run(with_beat):
+        eng = Engine()
+        if with_beat:
+            eng.set_heartbeat(lambda e: None, every=1)
+        order = []
+        for i in range(8):
+            eng.call_at(float(i) * 0.5, lambda e, i=i: order.append(i))
+        end = eng.run()
+        return end, order
+
+    assert run(True) == run(False)

@@ -7,6 +7,8 @@ failing point degrades to a structured error record; and progress streams
 through the engine's hook mechanism.
 """
 
+import json
+
 import networkx as nx
 import pytest
 
@@ -22,6 +24,7 @@ from repro.service.runner import (
     HOOK_SWEEP_END,
     HOOK_SWEEP_POINT,
     HOOK_SWEEP_START,
+    SweepMetrics,
     SweepOutcome,
     SweepPointError,
     SweepRunner,
@@ -179,7 +182,7 @@ class TestErrors:
         runner = SweepRunner(max_workers=1, timeout=0.2)
         outcome = runner.run(trace, [SimulationConfig(num_gpus=2)])[0]
         assert not outcome.ok
-        assert outcome.error.kind == "PointTimeoutError"
+        assert outcome.error.kind == "PointTimeout"
 
     def test_error_record_serializes(self, trace):
         g = nx.Graph()
@@ -255,6 +258,44 @@ class TestProgressHooks:
         assert end.detail["completed"] == len(configs)
         assert end.detail["errors"] == 0
         assert end.detail["events_per_sec"] >= 0.0
+
+
+# ----------------------------------------------------------------------
+# Metrics serialization
+# ----------------------------------------------------------------------
+
+
+class TestMetricsSerialization:
+    def test_detail_is_strict_json_before_first_completion(self):
+        # Regression: eta_seconds and the rate fields used to serialize
+        # as bare NaN before any point completed, which json.loads (and
+        # every downstream consumer of --progress output) rejects.
+        detail = SweepMetrics(total=4).detail()
+        assert detail["eta_seconds"] is None
+        text = json.dumps(detail, allow_nan=False)   # raises on NaN/inf
+        assert json.loads(text)["eta_seconds"] is None
+
+    def test_eta_appears_once_points_complete(self):
+        metrics = SweepMetrics(total=4)
+        metrics.completed = 2
+        metrics.elapsed = 10.0
+        detail = metrics.detail()
+        assert detail["eta_seconds"] == pytest.approx(10.0)
+        json.dumps(detail, allow_nan=False)
+
+    def test_nonfinite_values_serialize_as_null(self):
+        metrics = SweepMetrics(total=1)
+        metrics.completed = 1
+        metrics.elapsed = 0.0          # infinite events/sec if unguarded
+        metrics.fresh_events = 100
+        json.dumps(metrics.detail(), allow_nan=False)
+
+    def test_end_hook_detail_round_trips_through_json(self, trace):
+        collected = _Collector()
+        SweepRunner(max_workers=1, hooks=[collected]).run(
+            trace, [SimulationConfig(num_gpus=2)])
+        for ctx in collected.ctxs:
+            json.loads(json.dumps(ctx.detail, allow_nan=False))
 
 
 # ----------------------------------------------------------------------
