@@ -168,10 +168,17 @@ def _build_parser() -> argparse.ArgumentParser:
                               "and re-dispatch only the remainder "
                               "(requires --journal or journal_dir)")
     sweep_p.add_argument("--breaker", action="store_true",
-                         help="trip a circuit breaker on crash/timeout "
-                              "storms: remaining points fail fast as "
-                              "CircuitOpen, with half-open probes before "
-                              "resuming (default: spec's breaker setting)")
+                         help="enable the dispatch circuit breaker: on "
+                              "crash/timeout storms remaining points fail "
+                              "fast as CircuitOpen, with half-open probes "
+                              "before resuming.  The spec's tuned breaker "
+                              "settings (window/threshold/...) are kept "
+                              "when present; the flag only forces "
+                              "enablement (default: spec's breaker "
+                              "setting)")
+    sweep_p.add_argument("--no-breaker", action="store_true",
+                         help="disable the circuit breaker even when the "
+                              "spec enables one (overrides --breaker)")
     sweep_p.add_argument("-o", "--output", default=None,
                          help="write all outcomes as a JSON array")
     sweep_p.add_argument("--csv", default=None,
@@ -403,12 +410,14 @@ def _cmd_sweep(args) -> int:
         print("error: --resume needs a journal (--journal DIR or the "
               "spec's journal_dir)", file=sys.stderr)
         return 2
-    if args.breaker:
-        breaker = CircuitBreaker()
+    # --no-breaker wins; otherwise the spec's tuned breaker dict is
+    # honoured even under --breaker (the flag only forces enablement).
+    if args.no_breaker:
+        breaker = None
     elif isinstance(spec.breaker, dict):
         breaker = CircuitBreaker(**spec.breaker)
     else:
-        breaker = bool(spec.breaker)
+        breaker = bool(spec.breaker) or args.breaker
     runner = SweepRunner(
         max_workers=args.workers if args.workers is not None else spec.workers,
         cache=args.cache if args.cache is not None else spec.cache_dir,

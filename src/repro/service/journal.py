@@ -19,6 +19,14 @@ Durability model:
   any line that does not parse as JSON (counting it in
   ``JournalState.torn_lines``); at most the final record of a killed
   sweep is lost, and that record's point simply re-runs on resume.
+* **Multi-run scoping.**  A fresh (non-resume) sweep pointed at an
+  existing journal directory appends a new ``begin`` record rather than
+  truncating the file.  Every recovery view
+  (:attr:`JournalState.completed`, ``failed``, ``in_flight``, the
+  fingerprint, the SV002 runtime scan) is scoped to the records from the
+  last ``begin`` onward, so an earlier run's results are never replayed
+  into a later sweep; the runner additionally refuses to replay any
+  ``done`` record whose point key does not match the expected one.
 * **Fingerprint pinning.**  A journal written for a different spec,
   trace, or point order must never be replayed into the wrong sweep:
   :func:`check_resume` compares fingerprints and emits lint rule
@@ -103,18 +111,36 @@ class JournalState:
     torn_lines: int = 0
 
     @property
+    def run_records(self) -> List[dict]:
+        """Records of the current run: from the last ``begin`` onward.
+
+        A journal file accumulates runs — a fresh (non-resume) sweep
+        appends a new ``begin`` record rather than truncating the file —
+        so every recovery view scopes itself to the latest run.  Without
+        this, ``done``/``fail`` records from an earlier (possibly
+        different) sweep would leak into resume decisions and be
+        silently replayed into the wrong sweep at matching indices.
+        ``resume`` markers continue a run and never reset the scope.
+        """
+        start = 0
+        for i, record in enumerate(self.records):
+            if record.get("t") == "begin":
+                start = i
+        return self.records[start:]
+
+    @property
     def fingerprint(self) -> Optional[str]:
         """The sweep fingerprint of the most recent begin/resume record."""
-        for record in reversed(self.records):
+        for record in reversed(self.run_records):
             if record.get("t") in ("begin", "resume"):
                 return record.get("fingerprint")
         return None
 
     @property
     def completed(self) -> Dict[int, dict]:
-        """Latest ``done`` record per point index."""
+        """Latest ``done`` record per point index (current run only)."""
         done: Dict[int, dict] = {}
-        for record in self.records:
+        for record in self.run_records:
             if record.get("t") == "done":
                 done[record["i"]] = record
         return done
@@ -124,7 +150,7 @@ class JournalState:
         """Latest ``fail`` record per point index (superseded by done)."""
         failed: Dict[int, dict] = {}
         completed = self.completed
-        for record in self.records:
+        for record in self.run_records:
             if record.get("t") == "fail" and record["i"] not in completed:
                 failed[record["i"]] = record
         return failed
@@ -133,16 +159,16 @@ class JournalState:
     def interrupted(self) -> Set[int]:
         """Indices marked interrupted and never completed afterwards."""
         completed = self.completed
-        return {r["i"] for r in self.records
+        return {r["i"] for r in self.run_records
                 if r.get("t") == "interrupted" and r["i"] not in completed}
 
     @property
     def in_flight(self) -> Set[int]:
         """Dispatched points with no terminal record: the crash victims."""
         terminal = set(self.completed)
-        terminal.update(r["i"] for r in self.records
+        terminal.update(r["i"] for r in self.run_records
                         if r.get("t") in ("fail", "interrupted"))
-        return {r["i"] for r in self.records
+        return {r["i"] for r in self.run_records
                 if r.get("t") == "dispatch"} - terminal
 
 

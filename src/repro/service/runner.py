@@ -728,7 +728,13 @@ class SweepRunner(Hookable):
             survivors: List[SweepOutcome] = []
             for outcome in outcomes:
                 record = completed.get(outcome.index)
-                if record is None or keys[outcome.index] == "unserializable":
+                key = keys[outcome.index]
+                # Defense in depth on top of the fingerprint check: a
+                # done record is replayed only if it carries exactly
+                # this point's content-addressed key; anything else
+                # (a forged or foreign record) simply re-runs.
+                if (record is None or key == "unserializable"
+                        or record.get("key") != key):
                     survivors.append(outcome)
                     continue
                 outcome.result = SimulationResult.from_dict(record["result"])
@@ -972,7 +978,11 @@ class SweepRunner(Hookable):
         Dispatch is incremental — at most ``2 * workers`` futures are in
         flight — so every submission passes the circuit breaker with
         current information and is write-ahead journaled just before it
-        reaches the pool.  A worker death breaks only the in-flight
+        reaches the pool.  When the breaker is open or half-open with
+        work still in flight, dispatch pauses rather than failing the
+        queue fast, so a successful half-open probe closes the breaker
+        and the remaining points dispatch normally (the same recovery
+        semantics as the in-process path).  A worker death breaks only the in-flight
         window: those points are collected for the isolated retry pass,
         the pool is rebuilt, and the undispatched queue continues on the
         fresh pool (a crash no longer forfeits every queued point).
@@ -987,6 +997,20 @@ class SweepRunner(Hookable):
         try:
             while queue or futures:
                 while queue and len(futures) < window:
+                    if (self.breaker is not None and futures
+                            and self.breaker.state != "closed"):
+                        # The breaker tripped (or a half-open probe is
+                        # flying) while work is in flight.  Draining the
+                        # queue through _admit now would fail every
+                        # remaining point fast before the probe's result
+                        # can close the breaker, making recovery
+                        # unreachable — so stop dispatching and wait for
+                        # the in-flight verdicts instead.  Once the
+                        # window drains, _admit resumes: skips count up
+                        # to the next probe, and a probe that succeeds
+                        # re-closes the breaker for the rest of the
+                        # queue.
+                        break
                     outcome = queue.popleft()
                     if not self._admit(outcome, metrics, started):
                         continue

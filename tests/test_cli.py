@@ -177,6 +177,62 @@ class TestSweep:
             main(["sweep", str(path)])
 
 
+class TestSweepBreakerFlags:
+    @pytest.fixture
+    def captured_runner_kwargs(self, monkeypatch):
+        import repro.service as service
+
+        captured = {}
+        real = service.SweepRunner
+
+        class Capturing(real):
+            def __init__(self, **kwargs):
+                captured.update(kwargs)
+                super().__init__(**kwargs)
+
+        monkeypatch.setattr(service, "SweepRunner", Capturing)
+        return captured
+
+    def _spec(self, trace_file, tmp_path, **extra):
+        spec = {
+            "trace": str(trace_file),
+            "base": {"parallelism": "ddp"},
+            "axes": {"num_gpus": [1, 2]},
+            **extra,
+        }
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(spec))
+        return path
+
+    def test_breaker_flag_keeps_the_specs_tuning(
+            self, trace_file, tmp_path, captured_runner_kwargs):
+        from repro.service import CircuitBreaker
+
+        tuned = {"window": 5, "threshold": 0.25, "min_samples": 2,
+                 "probe_interval": 7}
+        path = self._spec(trace_file, tmp_path, breaker=tuned)
+        assert main(["sweep", str(path), "--breaker"]) == 0
+        breaker = captured_runner_kwargs["breaker"]
+        assert isinstance(breaker, CircuitBreaker)
+        assert (breaker.window, breaker.threshold, breaker.min_samples,
+                breaker.probe_interval) == (5, 0.25, 2, 7)
+
+    def test_breaker_flag_enables_without_spec_setting(
+            self, trace_file, tmp_path, captured_runner_kwargs):
+        path = self._spec(trace_file, tmp_path)
+        assert main(["sweep", str(path), "--breaker"]) == 0
+        assert captured_runner_kwargs["breaker"] is True
+        assert main(["sweep", str(path)]) == 0
+        assert captured_runner_kwargs["breaker"] is False
+
+    def test_no_breaker_overrides_spec_and_flag(
+            self, trace_file, tmp_path, captured_runner_kwargs):
+        tuned = {"window": 5, "threshold": 0.25}
+        path = self._spec(trace_file, tmp_path, breaker=tuned)
+        assert main(["sweep", str(path), "--breaker", "--no-breaker"]) == 0
+        assert captured_runner_kwargs["breaker"] is None
+
+
 class TestSaveResult:
     def test_simulate_save_result_round_trips(self, trace_file, tmp_path):
         from repro.core.results import SimulationResult

@@ -123,6 +123,39 @@ class TestJournalFile:
         state = journal.read()
         assert state.completed[0]["result"]["marker"] == "new"
 
+    def test_recovery_views_scope_to_the_last_begin(self, tmp_path):
+        # A fresh (non-resume) sweep pointed at an existing journal
+        # directory appends its own begin record; every recovery view
+        # must then ignore the earlier run's records entirely.
+        journal = SweepJournal(tmp_path)
+        journal.begin("fpA", "trace", total=2, record_timeline=False)
+        journal.dispatch(0, "a0")
+        journal.done(0, "a0", {"wall_time": 9.0})
+        journal.fail(1, "a1", {"kind": "PointTimeout", "message": "m",
+                               "traceback": ""}, kind="PointTimeout")
+        journal.begin("fpB", "trace", total=2, record_timeline=False)
+        journal.dispatch(0, "b0")
+        journal.close()
+
+        state = journal.read()
+        assert state.fingerprint == "fpB"
+        assert state.completed == {}       # run A's done is out of scope
+        assert state.failed == {}
+        assert state.in_flight == {0}      # run B's own dispatch only
+
+    def test_resume_markers_do_not_reset_the_run_scope(self, tmp_path):
+        # resume continues a run: records before the marker (but after
+        # the begin) stay visible.
+        journal = SweepJournal(tmp_path)
+        journal.begin("fp", "trace", total=2, record_timeline=False)
+        journal.done(0, "k0", {"wall_time": 0.5})
+        journal.resume_marker("fp", replayed=1, remaining=1)
+        journal.done(1, "k1", {"wall_time": 0.7})
+        journal.close()
+        state = journal.read()
+        assert state.fingerprint == "fp"
+        assert set(state.completed) == {0, 1}
+
 
 # ----------------------------------------------------------------------
 # Resume admission (SV rules)
@@ -175,6 +208,18 @@ class TestCheckResume:
         journal.close()
         report = check_resume(journal.read(), "fp", deadline_hard=1.0)
         assert len(report) == 0
+
+    def test_sv002_ignores_earlier_runs_walls(self, tmp_path):
+        # A slow point from a previous run in the same journal file must
+        # not trigger (or suppress) the deadline warning for this run.
+        journal = SweepJournal(tmp_path)
+        journal.begin("old", "trace", total=1, record_timeline=False)
+        journal.done(0, "k0", {"wall_time": 99.0})
+        journal.begin("fp", "trace", total=1, record_timeline=False)
+        journal.done(0, "k0", {"wall_time": 0.1})
+        journal.close()
+        assert len(check_resume(journal.read(), "fp",
+                                deadline_hard=1.0)) == 0
 
     def test_fingerprint_is_order_sensitive(self):
         a = sweep_fingerprint("t", ["k1", "k2"], False)
@@ -273,6 +318,51 @@ class TestJournaledSweep:
         second = SweepRunner(max_workers=1, journal=tmp_path, resume=True) \
             .run(trace, lifted)[0]
         assert second.ok and not second.resumed
+
+    def test_resume_never_replays_an_earlier_runs_results(
+            self, trace, tmp_path):
+        # Sweep A fills the journal; sweep B (different points) is then
+        # run fresh into the same directory and "killed" right after
+        # its begin record.  Resuming B passes the fingerprint check
+        # (the last begin is B's) but must re-run B's points rather
+        # than replaying A's results at matching indices.
+        SweepRunner(max_workers=1, journal=tmp_path) \
+            .run(trace, _configs(2, 4))
+        sweep_b = _configs(8, 16)
+        SweepRunner(max_workers=1, journal=tmp_path).run(trace, sweep_b)
+        path = tmp_path / JOURNAL_NAME
+        lines = path.read_text().splitlines()
+        last_begin = max(n for n, line in enumerate(lines)
+                         if json.loads(line).get("t") == "begin")
+        path.write_text("\n".join(lines[:last_begin + 1]) + "\n")
+
+        runner = SweepRunner(max_workers=1, journal=tmp_path, resume=True)
+        outcomes = runner.run(trace, sweep_b)
+        assert runner.last_metrics.resumed == 0
+        assert all(o.ok and not o.resumed for o in outcomes)
+        for outcome, config in zip(outcomes, sweep_b):
+            expected = TrioSim(trace, config).run().total_time
+            assert outcome.result.total_time == expected
+
+    def test_done_record_with_foreign_key_is_not_replayed(
+            self, trace, tmp_path):
+        configs = _configs(2, 4)
+        SweepRunner(max_workers=1, journal=tmp_path).run(trace, configs)
+        path = tmp_path / JOURNAL_NAME
+        lines = []
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            if record.get("t") == "done" and record["i"] == 1:
+                record["key"] = "not-this-points-key"
+                line = json.dumps(record, sort_keys=True)
+            lines.append(line)
+        path.write_text("\n".join(lines) + "\n")
+
+        runner = SweepRunner(max_workers=1, journal=tmp_path, resume=True)
+        outcomes = runner.run(trace, configs)
+        assert outcomes[0].resumed
+        assert outcomes[1].ok and not outcomes[1].resumed
+        assert runner.last_metrics.resumed == 1
 
     def test_journal_end_record_carries_metrics(self, trace, tmp_path):
         SweepRunner(max_workers=1, journal=tmp_path).run(trace, _configs(2))
@@ -386,6 +476,36 @@ class TestBreakeredSweep:
         assert metrics.circuit_trips == breaker.trips
         assert metrics.circuit_skips == kinds.count("CircuitOpen")
         assert metrics.detail()["circuit_skips"] == metrics.circuit_skips
+
+    def test_timeout_storm_recovers_in_parallel_path(self, trace):
+        # Regression: once the breaker tripped inside the parallel
+        # wave, the dispatch loop used to drain the entire remaining
+        # queue through fail-fast admission before the half-open
+        # probe's result could close the breaker — a transient storm
+        # failed the whole rest of the sweep.  Dispatch must instead
+        # pause while the breaker is open and resume after a
+        # successful probe.
+        doomed = [SimulationConfig(parallelism="ddp", num_gpus=2,
+                                   link_bandwidth=25e9, deadline_soft=1e-7)
+                  for _ in range(6)]
+        healthy = _configs(2, 4, 2, 4, 2, 4)
+        breaker = CircuitBreaker(window=8, threshold=0.5, min_samples=4,
+                                 probe_interval=2)
+        runner = SweepRunner(max_workers=2, breaker=breaker)
+        outcomes = runner.run(trace, doomed + healthy)
+
+        kinds = [o.error.kind if o.error else "ok" for o in outcomes]
+        assert set(kinds[:6]) <= {"PointTimeout", "CircuitOpen"}
+        assert breaker.trips >= 1
+        # Per open episode at most probe_interval - 1 points fail fast
+        # before a probe flies, so a recovered sweep completes nearly
+        # every healthy point instead of failing them all fast.
+        budget = breaker.trips * (breaker.probe_interval - 1)
+        assert kinds.count("CircuitOpen") <= budget
+        assert kinds[6:].count("ok") >= len(healthy) - budget
+        metrics = runner.last_metrics
+        assert metrics.circuit_skips == kinds.count("CircuitOpen")
+        assert metrics.circuit_trips == breaker.trips
 
     def test_breaker_true_uses_defaults(self, trace):
         runner = SweepRunner(max_workers=1, breaker=True)
