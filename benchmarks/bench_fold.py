@@ -98,6 +98,7 @@ def compare_fold(model: str, batch: int, num_gpus: int, iterations: int,
         zip(folded.iteration_times, exact.iteration_times)
     ]
     counters = folded.profile.get("counters", {})
+    max_relative_error = max(rel_errors)
     return {
         "scenario": f"{model}_ddp",
         "params": dict(model=model, batch=batch, num_gpus=num_gpus,
@@ -121,7 +122,14 @@ def compare_fold(model: str, batch: int, num_gpus: int, iterations: int,
         "identical_simulated_time":
             folded.total_time == exact.total_time
             and folded.iteration_times == exact.iteration_times,
-        "max_relative_error": max(rel_errors),
+        "max_relative_error": max_relative_error,
+        # The surfaced accuracy contract: folding promises agreement
+        # within the config's fold_tolerance, not bit-identity.  The
+        # regression gate asserts this stays true (and additionally
+        # ceilings max_relative_error; see check_perf_regression.py).
+        "fold_tolerance": folded_cfg.fold_tolerance,
+        "within_fold_tolerance":
+            max_relative_error <= folded_cfg.fold_tolerance,
     }
 
 
@@ -146,6 +154,8 @@ def run(quick: bool = False) -> dict:
             "identical_simulated_time":
                 headline["identical_simulated_time"],
             "max_relative_error": headline["max_relative_error"],
+            "fold_tolerance": headline["fold_tolerance"],
+            "within_fold_tolerance": headline["within_fold_tolerance"],
         },
     }
 
@@ -168,7 +178,9 @@ def main(argv=None) -> int:
           f"{head['iterations']} iterations (warmup={head['fold_warmup']}): "
           f"{head['wall_speedup']:.2f}x wall speedup, "
           f"{head['events_per_sec']:,.0f} events/s exact, "
-          f"max relative error {head['max_relative_error']:.2e}")
+          f"max relative error {head['max_relative_error']:.2e} "
+          f"({'within' if head['within_fold_tolerance'] else 'OUTSIDE'} "
+          f"fold_tolerance {head['fold_tolerance']:.0e})")
     return 0
 
 

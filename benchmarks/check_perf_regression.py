@@ -1,27 +1,50 @@
 """Fail CI when a benchmark's headline regresses against its baseline.
 
-Compares a freshly generated benchmark JSON against the committed
-``BENCH_*.json`` baseline and exits non-zero when a headline metric
-regressed by more than ``--tolerance`` (default 20%).  The check is
-one-sided: improvements always pass, and only degradations beyond the
-tolerance fail.
+Compares freshly generated benchmark JSONs against the committed
+``BENCH_*.json`` baselines and exits non-zero when a headline metric
+regressed by more than ``--tolerance`` (default 20%).  Numeric checks
+are one-sided: improvements always pass, and only degradations beyond
+the tolerance fail.
 
-Metrics compared (whichever appear in both headlines):
+Numeric metrics compared (whichever appear in both headlines):
 
 * ``wall_speedup`` — ratio metrics transfer across machines and scales,
   so this is compared even when one file is a ``--quick`` smoke run.
+* ``overhead_vs_shortest`` — lower-is-better ratio (fabric routing
+  overhead), also scale-free.
 * ``events_per_sec`` — absolute throughput is machine- and
   scale-dependent, so it is only compared when both files were produced
   at the same scale (matching ``quick`` flags).
 
-``--floor METRIC=VALUE`` adds an absolute lower bound on a fresh
-headline metric regardless of the baseline — e.g. the iteration-folding
-acceptance bar ``--floor wall_speedup=5``.
+Boolean contract metrics (``identical_simulated_time``,
+``within_fold_tolerance``): when the baseline headline records ``true``,
+a fresh ``false`` fails regardless of tolerance — these encode
+correctness contracts, not performance.
+
+Multiple benchmarks gate in one invocation with repeatable
+``--pair FRESH=BASELINE`` arguments, and ``--require-all DIR`` fails the
+run when any committed ``BENCH_*.json`` under ``DIR`` is *not* covered
+by a pair — so adding a benchmark without wiring it into the CI gate is
+itself a CI failure.
+
+``--floor [BENCHMARK:]METRIC=VALUE`` adds an absolute lower bound on a
+fresh headline metric regardless of the baseline — e.g. the
+iteration-folding acceptance bar ``--floor wall_speedup=3``.
+``--ceiling [BENCHMARK:]METRIC=VALUE`` is the upper-bound mirror — e.g.
+``--ceiling iteration_folding:max_relative_error=1e-9`` asserts folding
+drift stays inside ``fold_tolerance``.  The optional ``BENCHMARK:``
+prefix scopes a bound to one benchmark when gating several.
 
 Usage::
 
     python benchmarks/check_perf_regression.py FRESH BASELINE \
         [--tolerance 0.2] [--floor wall_speedup=5]
+    python benchmarks/check_perf_regression.py \
+        --pair fresh/engine.json=BENCH_engine.json \
+        --pair fresh/fold.json=BENCH_fold.json \
+        --require-all . \
+        --floor iteration_folding:wall_speedup=3 \
+        --ceiling iteration_folding:max_relative_error=1e-9
 """
 
 from __future__ import annotations
@@ -34,8 +57,14 @@ from pathlib import Path
 #: Headline metrics where higher is better, in report order.
 METRICS = ("wall_speedup", "events_per_sec")
 
+#: Headline metrics where lower is better (ratios; scale-free).
+LOWER_BETTER = ("overhead_vs_shortest",)
+
 #: Metrics meaningful across different benchmark scales (ratios).
-SCALE_FREE = {"wall_speedup"}
+SCALE_FREE = {"wall_speedup", "overhead_vs_shortest"}
+
+#: Boolean headline contracts: baseline ``true`` must stay ``true``.
+BOOLEANS = ("identical_simulated_time", "within_fold_tolerance")
 
 
 def _load(path: str) -> dict:
@@ -45,20 +74,31 @@ def _load(path: str) -> dict:
     return doc
 
 
-def _parse_floor(spec: str):
-    metric, _, value = spec.partition("=")
+def _parse_bound(spec: str):
+    """``[BENCHMARK:]METRIC=VALUE`` -> (benchmark-or-None, metric, value)."""
+    head, _, value = spec.partition("=")
     if not value:
         raise argparse.ArgumentTypeError(
-            f"floor must look like METRIC=VALUE, got {spec!r}")
-    return metric, float(value)
+            f"bound must look like [BENCHMARK:]METRIC=VALUE, got {spec!r}")
+    benchmark, _, metric = head.rpartition(":")
+    return benchmark or None, metric, float(value)
+
+
+def _parse_pair(spec: str):
+    fresh, _, baseline = spec.partition("=")
+    if not baseline:
+        raise argparse.ArgumentTypeError(
+            f"pair must look like FRESH=BASELINE, got {spec!r}")
+    return fresh, baseline
 
 
 def check(fresh: dict, baseline: dict, tolerance: float,
-          floors) -> list:
+          floors, ceilings) -> list:
     """Human-readable failures; empty means the run is within bounds."""
     failures = []
+    name = fresh.get("benchmark", "?")
     same_scale = fresh.get("quick") == baseline.get("quick")
-    for metric in METRICS:
+    for metric in METRICS + LOWER_BETTER:
         if metric not in fresh["headline"] or \
                 metric not in baseline["headline"]:
             continue
@@ -69,49 +109,125 @@ def check(fresh: dict, baseline: dict, tolerance: float,
                   f"(fresh quick={fresh.get('quick')}, "
                   f"baseline quick={baseline.get('quick')})")
             continue
-        bound = want * (1.0 - tolerance)
-        status = "ok" if got >= bound else "REGRESSION"
+        if metric in LOWER_BETTER:
+            bound = want * (1.0 + tolerance)
+            ok = got <= bound
+        else:
+            bound = want * (1.0 - tolerance)
+            ok = got >= bound
+        status = "ok" if ok else "REGRESSION"
         print(f"  {metric}: fresh {got:,.2f} vs baseline {want:,.2f} "
               f"(bound {bound:,.2f}) {status}")
-        if got < bound:
+        if not ok:
             failures.append(
-                f"{metric} regressed: {got:,.2f} < {bound:,.2f} "
-                f"({tolerance:.0%} below baseline {want:,.2f})")
-    for metric, floor in floors:
+                f"{name}: {metric} regressed: {got:,.2f} vs bound "
+                f"{bound:,.2f} ({tolerance:.0%} beyond baseline "
+                f"{want:,.2f})")
+    for metric in BOOLEANS:
+        if baseline["headline"].get(metric) is not True:
+            continue
+        got = fresh["headline"].get(metric)
+        status = "ok" if got is True else "BROKEN"
+        print(f"  {metric}: baseline true, fresh {got} {status}")
+        if got is not True:
+            failures.append(
+                f"{name}: {metric} was true in the baseline but is "
+                f"{got!r} in the fresh run")
+    for scope, metric, floor in floors:
+        if scope is not None and scope != name:
+            continue
         got = fresh["headline"].get(metric)
         if got is None:
-            failures.append(f"floor metric {metric!r} not in headline")
+            failures.append(f"{name}: floor metric {metric!r} not in "
+                            f"headline")
             continue
         status = "ok" if got >= floor else "BELOW FLOOR"
         print(f"  {metric}: fresh {got:,.2f} vs floor {floor:,.2f} "
               f"{status}")
         if got < floor:
-            failures.append(f"{metric} below floor: {got:,.2f} < {floor}")
+            failures.append(
+                f"{name}: {metric} below floor: {got:,.2f} < {floor}")
+    for scope, metric, ceiling in ceilings:
+        if scope is not None and scope != name:
+            continue
+        got = fresh["headline"].get(metric)
+        if got is None:
+            failures.append(f"{name}: ceiling metric {metric!r} not in "
+                            f"headline")
+            continue
+        status = "ok" if got <= ceiling else "ABOVE CEILING"
+        print(f"  {metric}: fresh {got:.3g} vs ceiling {ceiling:.3g} "
+              f"{status}")
+        if got > ceiling:
+            failures.append(
+                f"{name}: {metric} above ceiling: {got:.3g} > {ceiling}")
     return failures
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("fresh", help="freshly generated benchmark JSON")
-    parser.add_argument("baseline", help="committed BENCH_*.json baseline")
+    parser.add_argument("fresh", nargs="?", default=None,
+                        help="freshly generated benchmark JSON")
+    parser.add_argument("baseline", nargs="?", default=None,
+                        help="committed BENCH_*.json baseline")
+    parser.add_argument("--pair", type=_parse_pair, action="append",
+                        default=[], metavar="FRESH=BASELINE",
+                        help="gate FRESH against BASELINE (repeatable; "
+                             "alternative to the positional pair)")
     parser.add_argument("--tolerance", type=float, default=0.2,
                         help="allowed fractional regression (default 0.2)")
-    parser.add_argument("--floor", type=_parse_floor, action="append",
-                        default=[], metavar="METRIC=VALUE",
+    parser.add_argument("--floor", type=_parse_bound, action="append",
+                        default=[], metavar="[BENCHMARK:]METRIC=VALUE",
                         help="absolute lower bound on a fresh headline "
-                             "metric (repeatable)")
+                             "metric (repeatable; BENCHMARK: scopes it)")
+    parser.add_argument("--ceiling", type=_parse_bound, action="append",
+                        default=[], metavar="[BENCHMARK:]METRIC=VALUE",
+                        help="absolute upper bound on a fresh headline "
+                             "metric (repeatable; BENCHMARK: scopes it)")
+    parser.add_argument("--require-all", default=None, metavar="DIR",
+                        help="fail unless every BENCH_*.json under DIR "
+                             "is covered by a gated pair")
     args = parser.parse_args(argv)
 
-    fresh = _load(args.fresh)
-    baseline = _load(args.baseline)
-    if fresh.get("benchmark") != baseline.get("benchmark"):
-        raise SystemExit(
-            f"benchmark mismatch: {fresh.get('benchmark')!r} vs "
-            f"{baseline.get('benchmark')!r}")
+    pairs = list(args.pair)
+    if args.fresh is not None:
+        if args.baseline is None:
+            parser.error("positional FRESH needs a BASELINE")
+        pairs.append((args.fresh, args.baseline))
+    if not pairs:
+        parser.error("nothing to gate: give FRESH BASELINE or --pair")
 
-    print(f"{fresh['benchmark']}: fresh {args.fresh} vs "
-          f"baseline {args.baseline} (tolerance {args.tolerance:.0%})")
-    failures = check(fresh, baseline, args.tolerance, args.floor)
+    failures = []
+    gated_names = set()
+    for fresh_path, baseline_path in pairs:
+        fresh = _load(fresh_path)
+        baseline = _load(baseline_path)
+        if fresh.get("benchmark") != baseline.get("benchmark"):
+            raise SystemExit(
+                f"benchmark mismatch: {fresh.get('benchmark')!r} vs "
+                f"{baseline.get('benchmark')!r}")
+        gated_names.add(baseline.get("benchmark"))
+        print(f"{fresh['benchmark']}: fresh {fresh_path} vs "
+              f"baseline {baseline_path} "
+              f"(tolerance {args.tolerance:.0%})")
+        failures += check(fresh, baseline, args.tolerance,
+                          args.floor, args.ceiling)
+
+    if args.require_all is not None:
+        committed = sorted(Path(args.require_all).glob("BENCH_*.json"))
+        if not committed:
+            failures.append(
+                f"--require-all {args.require_all}: no BENCH_*.json found")
+        for path in committed:
+            name = json.loads(path.read_text()).get("benchmark")
+            covered = name in gated_names
+            print(f"coverage: {path.name} ({name}) "
+                  f"{'gated' if covered else 'NOT GATED'}")
+            if not covered:
+                failures.append(
+                    f"{path.name} (benchmark {name!r}) is committed but "
+                    f"not covered by any --pair gate")
+
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

@@ -29,6 +29,7 @@ per-GPU-slowdown, and iteration parameters: those apply at execute time.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 import tempfile
@@ -37,8 +38,10 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.core.config import SimulationConfig
-from repro.core.taskgraph import SimTask, TaskGraphSimulator
+from repro.core.taskgraph import SimTask, SoAGraph, TaskGraphSimulator
 from repro.trace.trace import Trace, trace_digest
 
 #: Bumped whenever the serialized plan format (or the meaning of a plan
@@ -189,6 +192,7 @@ class ExtrapolationPlan:
         self.key = key
         self.build_wall = build_wall
         self._protos: Optional[list] = None
+        self._soa_template: Optional[dict] = None
         has_dependents = [False] * len(self.tasks)
         for task in self.tasks:
             for dep in task.deps:
@@ -305,6 +309,180 @@ class ExtrapolationPlan:
                 sim.fence_from(f"iteration{index}", terminals)
             created = self.instantiate(sim)
         return created if created is not None else []
+
+    # ------------------------------------------------------------------
+    # Columnar (structure-of-arrays) instancing
+    # ------------------------------------------------------------------
+    def soa_template(self) -> dict:
+        """Plan-level columns and CSR dependents, computed once per plan.
+
+        The dependents CSR row of task *d* lists its dependent indices in
+        ascending order — exactly the order :meth:`instantiate` appends
+        them to ``SimTask.dependents`` — so the columnar scheduler's
+        release walk is the object scheduler's walk, element for element.
+        """
+        tpl = self._soa_template
+        if tpl is None:
+            tasks = self.tasks
+            n = len(tasks)
+            codes = {"compute": 0, "transfer": 1, "barrier": 2}
+            indeg = [len(t.deps) for t in tasks]
+            deg = [0] * n
+            edges = 0
+            for t in tasks:
+                for d in t.deps:
+                    deg[d] += 1
+                edges += len(t.deps)
+            indptr = [0] * (n + 1)
+            running = 0
+            for i, d in enumerate(deg):
+                running += d
+                indptr[i + 1] = running
+            indices = [0] * edges
+            fill = indptr[:-1].copy()
+            for j, t in enumerate(tasks):
+                for d in t.deps:
+                    indices[fill[d]] = j
+                    fill[d] += 1
+            tpl = {
+                "kind": [codes[t.kind] for t in tasks],
+                "name": [t.name for t in tasks],
+                "gpu": [t.gpu if t.kind == "compute" else None
+                        for t in tasks],
+                "duration": [t.duration for t in tasks],
+                "priority": [t.priority for t in tasks],
+                "src": [t.src for t in tasks],
+                "dst": [t.dst for t in tasks],
+                "nbytes": [t.nbytes for t in tasks],
+                "indeg": indeg,
+                "deg_np": np.asarray(deg, dtype=np.int64),
+                "indices_np": np.asarray(indices, dtype=np.int64),
+                "roots": [i for i, d in enumerate(indeg) if d == 0],
+                "uniform_priority": len({t.priority for t in tasks}) <= 1,
+            }
+            self._soa_template = tpl
+        return tpl
+
+    def instantiate_iterations_soa(self, sim: TaskGraphSimulator,
+                                   count: int) -> SoAGraph:
+        """Instance *count* iterations as one columnar (SoA) graph.
+
+        The structure-of-arrays counterpart of
+        :meth:`instantiate_iterations`: instead of stamping out
+        :class:`SimTask` objects and wiring dependent lists, the plan's
+        CSR template is tiled across instances (numpy shift-and-concat)
+        and executed by :class:`repro.core.taskgraph.SoAGraph` — with
+        bit-identical dispatch.  Inter-iteration fences become single
+        rows whose ``release`` lists hold the next instance's roots; the
+        per-task implicit fence dependency the object path wires is
+        redundant there (non-root tasks also wait on within-instance
+        dependencies that cannot resolve before the fence) and is
+        elided.  Task ids advance *sim*'s counter exactly as the object
+        path would, so views carry the same ``task_id`` values.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        tpl = self.soa_template()
+        n = len(self.tasks)
+        if n and not self.terminal_ids:
+            raise RuntimeError("plan has tasks but no terminals")
+        block = n + 1
+        total = count * block - 1
+        base = next(sim._ids)
+        sim._ids = itertools.count(base + total)
+        scale = sim.compute_scale
+        durations = tpl["duration"]
+        if scale:
+            # x * 1.0 is bit-identical to x: matches the object path's
+            # conditional multiply (compute tasks only).
+            durations = [d * scale.get(g, 1.0) if g is not None else d
+                         for d, g in zip(durations, tpl["gpu"])]
+        queues = [sim._gpus[g] if g is not None else None
+                  for g in tpl["gpu"]]
+        terminal_ids = self.terminal_ids
+        roots = tpl["roots"]
+        plan_deg = tpl["deg_np"]
+        plan_indices = tpl["indices_np"]
+        zero1 = np.zeros(1, dtype=np.int64)
+        row_t = list(range(n))
+        none_row: list = [None] * n
+        neg_row = [-1] * n
+        kind: list = []
+        name: list = []
+        gpu: list = []
+        dur: list = []
+        prio: list = []
+        src: list = []
+        dst: list = []
+        nb: list = []
+        queue: list = []
+        indegree: list = []
+        plan_row: list = []
+        release: list = []
+        fence_link: list = []
+        idx_blocks = []
+        deg_blocks = []
+        for i in range(count):
+            off = i * block
+            kind.extend(tpl["kind"])
+            name.extend(tpl["name"])
+            gpu.extend(tpl["gpu"])
+            dur.extend(durations)
+            prio.extend(tpl["priority"])
+            src.extend(tpl["src"])
+            dst.extend(tpl["dst"])
+            nb.extend(tpl["nbytes"])
+            queue.extend(queues)
+            indegree.extend(tpl["indeg"])
+            plan_row.extend(row_t)
+            release.extend(none_row)
+            idx_blocks.append(plan_indices + off)
+            deg_blocks.append(plan_deg)
+            if i < count - 1:
+                fence_tid = off + n
+                link = neg_row.copy()
+                for t in terminal_ids:
+                    link[t] = fence_tid
+                fence_link.extend(link)
+                kind.append(2)
+                name.append(f"iteration{i + 1}")
+                gpu.append(None)
+                dur.append(0.0)
+                prio.append(0)
+                src.append(None)
+                dst.append(None)
+                nb.append(0.0)
+                queue.append(None)
+                indegree.append(len(terminal_ids))
+                plan_row.append(-1)
+                next_off = off + block
+                release.append([next_off + r for r in roots])
+                fence_link.append(-1)
+                idx_blocks.append(zero1[:0])
+                deg_blocks.append(zero1)
+            else:
+                fence_link.extend(neg_row)
+        degrees = np.concatenate(deg_blocks) if deg_blocks else zero1[:0]
+        indices_np = (np.concatenate(idx_blocks) if idx_blocks
+                      else zero1[:0])
+        indptr_np = np.zeros(total + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr_np[1:])
+        graph = SoAGraph(
+            base=base, kind=kind, name=name, gpu=gpu, duration=dur,
+            priority=prio, src=src, dst=dst, nbytes=nb, queue=queue,
+            indegree=indegree, indptr=indptr_np.tolist(),
+            indices=indices_np.tolist(), fence_link=fence_link,
+            release=release, plan_row=plan_row,
+            protos=self._prototypes, entry_roots=list(roots),
+            uniform_priority=tpl["uniform_priority"],
+        )
+        sim.adopt_soa(graph)
+        for i in range(1, count):
+            fence_tid = i * block - 1
+            fence = SimTask(base + fence_tid, f"iteration{i}", "barrier")
+            graph.views[fence_tid] = fence
+            sim.fences.append(fence)
+        return graph
 
     # ------------------------------------------------------------------
     # Serialization (the on-disk persistence format)

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import time as _wall
 from collections import defaultdict
+from typing import Dict, Optional
+
 import networkx as nx
 
 from repro.core.config import SimulationConfig
@@ -120,7 +122,32 @@ class TrioSim:
                  sanitize: bool = False, allow_chaos: bool = False,
                  plan: ExtrapolationPlan = None,
                  plan_cache: PlanCache = None, verify: bool = False,
-                 heartbeat=None, heartbeat_every: int = 4096):
+                 heartbeat=None, heartbeat_every: int = 4096,
+                 scheduler: str = "auto", profile_engine: bool = False):
+        if scheduler not in ("auto", "soa", "object"):
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; "
+                "expected 'auto', 'soa', or 'object'"
+            )
+        if scheduler == "soa" and (sanitize or verify):
+            raise ValueError(
+                "--sanitize/--verify walk the object task graph; use "
+                "scheduler='auto' (they fall back to the object "
+                "scheduler automatically)"
+            )
+        #: Exact-path scheduler choice: ``auto`` runs the columnar
+        #: (structure-of-arrays) core except under sanitize/verify,
+        #: ``object`` forces the per-task object walk (the differential
+        #: benchmark's reference arm), ``soa`` asserts the columnar core.
+        self.scheduler = scheduler
+        #: When true the engine runs its instrumented loop and the
+        #: result's profile gains ``engine.queue_ops`` /
+        #: ``engine.handler`` / ``engine.hook_overhead`` sub-phases —
+        #: where exact-path time actually goes.  Dispatch order is
+        #: unchanged; the instrumentation costs ~2 clock reads/event.
+        self.profile_engine = profile_engine
+        self._engine_profile: Optional[Dict[str, float]] = \
+            {} if profile_engine else None
         self.config = config
         self.record_timeline = record_timeline
         self.hooks = tuple(hooks)
@@ -349,6 +376,8 @@ class TrioSim:
             plan = self._resolve_plan(profiler)
         with profiler.phase("engine"):
             engine = Engine()
+            if self._engine_profile is not None:
+                engine.set_profile(self._engine_profile)
             if self.heartbeat is not None:
                 engine.set_heartbeat(self.heartbeat, self.heartbeat_every)
             network = self._build_network(engine)
@@ -375,8 +404,16 @@ class TrioSim:
                    engine: Engine, network, sim: TaskGraphSimulator,
                    recorder, started: float) -> SimulationResult:
         """The exact event-by-event path (every iteration fully simulated)."""
+        # The columnar (SoA) scheduler is dispatch-identical to the
+        # object walk; sanitize/verify need the object graph (their
+        # rules read SimTask.dependents), so they keep the object path.
+        use_soa = (self.scheduler != "object"
+                   and not self.sanitize and not self.verify)
         with profiler.phase("instancing"):
-            plan.instantiate_iterations(sim, self.config.iterations)
+            if use_soa:
+                plan.instantiate_iterations_soa(sim, self.config.iterations)
+            else:
+                plan.instantiate_iterations(sim, self.config.iterations)
         profiler.count("plan_instances", self.config.iterations)
         profiler.count("plan_tasks", len(plan))
         injector = None
@@ -555,6 +592,12 @@ class TrioSim:
                 per_layer[record.layer] += record.duration
             if record.phase:
                 per_phase[record.phase] += record.duration
+        if self._engine_profile:
+            # Split the engine phase into the instrumented loop's
+            # buckets (queue_ops / handler / hook_overhead) so
+            # ``simulate --profile`` shows where exact-path time goes.
+            for bucket, seconds in sorted(self._engine_profile.items()):
+                profiler.add_phase(f"engine.{bucket}", seconds)
         summarize = getattr(network, "network_summary", None)
         return SimulationResult(
             total_time=total,

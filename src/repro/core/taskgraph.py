@@ -18,17 +18,21 @@ being an analytical correction.
 
 from __future__ import annotations
 
+import inspect
 import itertools
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.engine.engine import Engine
+from repro.engine.engine import CallbackEvent, Engine
 from repro.engine.hooks import HookCtx, Hookable
 from repro.network.base import NetworkModel
 
 HOOK_TASK_START = "task_start"
 HOOK_TASK_END = "task_end"
+
+#: Kind codes of the columnar (structure-of-arrays) scheduler.
+SOA_COMPUTE, SOA_TRANSFER, SOA_BARRIER = 0, 1, 2
 
 
 @dataclass
@@ -59,12 +63,101 @@ class SimTask:
 
 
 class _GPUQueue:
-    """FIFO compute queue of one GPU: one task in flight at a time."""
+    """FIFO compute queue of one GPU: one task in flight at a time.
+
+    The object scheduler stores :class:`SimTask` entries; the columnar
+    scheduler stores integer task ids.  Both use ``running is None`` as
+    the idle test and accumulate ``busy_time`` identically.
+    """
 
     def __init__(self):
-        self.ready: List[SimTask] = []
-        self.running: Optional[SimTask] = None
+        self.ready: list = []
+        self.running = None
         self.busy_time = 0.0
+
+
+class SoAGraph:
+    """Columnar (structure-of-arrays) execution state for one run.
+
+    Built by :meth:`repro.core.plan.ExtrapolationPlan.
+    instantiate_iterations_soa` and installed with
+    :meth:`TaskGraphSimulator.adopt_soa`.  Columns are indexed by *local*
+    task id (global ``task_id`` is ``base + local id``); dependents are
+    CSR (``indptr``/``indices``), dependency counts live in ``indegree``.
+    The plan-level arrays are tiled with numpy and then materialized as
+    plain lists: CPython list indexing beats per-element numpy access in
+    the scalar dispatch loop, while construction stays vectorized.
+
+    Inter-iteration fences are single rows: each terminal of instance
+    *i* carries a ``fence_link`` to its fence, and the fence's
+    ``release`` entry lists the next instance's root tasks — so a fence
+    completing releases an iteration in O(roots) instead of walking
+    every task of the instance the way the object scheduler's dependent
+    lists do (the walk order is provably identical: non-root tasks hold
+    within-instance dependencies and cannot start before a root chain
+    reaches them).
+
+    :class:`SimTask` views are materialized lazily — only when hooks
+    need an object to observe — and mirror the columns' start/end
+    times, so observers see exactly what the object scheduler shows.
+    """
+
+    __slots__ = ("base", "kind", "name", "gpu", "duration", "priority",
+                 "src", "dst", "nbytes", "queue", "indegree", "indptr",
+                 "indices", "fence_link", "release", "plan_row", "protos",
+                 "entry_roots", "uniform_priority", "start", "end",
+                 "views", "batched_send", "size")
+
+    def __init__(self, base, kind, name, gpu, duration, priority, src,
+                 dst, nbytes, queue, indegree, indptr, indices,
+                 fence_link, release, plan_row, protos, entry_roots,
+                 uniform_priority):
+        self.base = base
+        self.kind = kind
+        self.name = name
+        self.gpu = gpu
+        self.duration = duration
+        self.priority = priority
+        self.src = src
+        self.dst = dst
+        self.nbytes = nbytes
+        self.queue = queue
+        self.indegree = indegree
+        self.indptr = indptr
+        self.indices = indices
+        self.fence_link = fence_link
+        self.release = release
+        self.plan_row = plan_row
+        self.protos = protos
+        self.entry_roots = entry_roots
+        self.uniform_priority = uniform_priority
+        self.size = len(kind)
+        self.start: list = [None] * self.size
+        self.end: list = [None] * self.size
+        self.views: list = [None] * self.size
+        #: Whether the network's ``send`` accepts ``pending=`` (delivery
+        #: events appended for one bulk submission per release wave).
+        self.batched_send = False
+
+    def view(self, tid: int) -> SimTask:
+        """The lazily-materialized :class:`SimTask` view of *tid*."""
+        task = self.views[tid]
+        if task is None:
+            # protos is a zero-arg callable (the plan's cached prototype
+            # builder): hookless runs never materialize a view, so the
+            # prototype table is only ever built on the first view.
+            base, _deps, _gpu = self.protos()[self.plan_row[tid]]
+            task = SimTask.__new__(SimTask)
+            fields = dict(base)
+            fields["task_id"] = self.base + tid
+            fields["duration"] = self.duration[tid]
+            fields["dependents"] = []
+            fields["remaining_deps"] = 0
+            fields["start_time"] = self.start[tid]
+            fields["end_time"] = self.end[tid]
+            task.__dict__ = fields
+            self.views[tid] = task
+        return task
 
 
 class TaskGraphSimulator(Hookable):
@@ -94,12 +187,18 @@ class TaskGraphSimulator(Hookable):
         self.runtime_compute_scale: Optional[Callable[[str, float], float]] = None
         self.comm_task_time = 0.0
         self.comm_bytes = 0.0
+        self._soa: Optional[SoAGraph] = None
 
     # ------------------------------------------------------------------
     # Graph construction
     # ------------------------------------------------------------------
     def _new_task(self, name: str, kind: str,
                   deps: Sequence[SimTask], **fields) -> SimTask:
+        if self._soa is not None:
+            raise RuntimeError(
+                "this simulator executes a columnar (SoA) graph; object "
+                "tasks cannot be added to it"
+            )
         task = SimTask(next(self._ids), name, kind, **fields)
         live_deps = 0
         all_deps = list(deps)
@@ -179,6 +278,8 @@ class TaskGraphSimulator(Hookable):
     # ------------------------------------------------------------------
     def run(self) -> float:
         """Dispatch the DAG; returns the finish time of the last task."""
+        if self._soa is not None:
+            return self._run_soa()
         roots = [t for t in self.tasks if t.remaining_deps == 0 and not t.done]
         for task in roots:
             self._start(task)
@@ -242,6 +343,169 @@ class TaskGraphSimulator(Hookable):
             dependent.remaining_deps -= 1
             if dependent.remaining_deps == 0:
                 self._start(dependent)
+
+    # ------------------------------------------------------------------
+    # Columnar (SoA) execution
+    # ------------------------------------------------------------------
+    def adopt_soa(self, graph: SoAGraph) -> None:
+        """Install a columnar task graph as this simulator's DAG.
+
+        Exclusive with the object-graph builders: the simulator must
+        hold no object tasks and no open fence, and ``add_*`` calls
+        raise afterwards.  Dispatch decisions, hook firing positions,
+        and accounting are bit-identical to the object scheduler — the
+        differential engine benchmark pins the two paths' dispatch
+        digests equal.
+        """
+        if self._soa is not None:
+            raise RuntimeError("a columnar graph is already installed")
+        if self.tasks or self._fence is not None:
+            raise RuntimeError(
+                "cannot install a columnar graph on a simulator that "
+                "already holds object tasks"
+            )
+        try:
+            graph.batched_send = (
+                "pending" in inspect.signature(self.network.send).parameters)
+        except (TypeError, ValueError):  # builtins / odd callables
+            graph.batched_send = False
+        self._soa = graph
+        self._unfinished += graph.size
+
+    def _run_soa(self) -> float:
+        soa = self._soa
+        assert soa is not None
+        pending: list = []
+        for tid in soa.entry_roots:
+            self._start_soa(tid, pending)
+        if pending:
+            self.engine.schedule_bulk(pending)
+        self.engine.run()
+        if self._unfinished:
+            end = soa.end
+            stuck = [soa.name[t] for t in range(soa.size)
+                     if end[t] is None][:10]
+            raise RuntimeError(
+                f"{self._unfinished} tasks never became ready "
+                f"(dependency cycle?); e.g. {stuck}"
+            )
+        return max(soa.end) if soa.size else self.engine.now
+
+    def _start_soa(self, tid: int, pending: list) -> None:
+        soa = self._soa
+        kind = soa.kind[tid]
+        if kind == SOA_COMPUTE:
+            queue = soa.queue[tid]
+            queue.ready.append(tid)
+            if queue.running is None:
+                self._dispatch_soa(queue, pending)
+        elif kind == SOA_TRANSFER:
+            # engine._now read directly: the .now property costs a
+            # descriptor call per event on this path.
+            now = self.engine._now
+            soa.start[tid] = now
+            if self._hooks:
+                view = soa.view(tid)
+                view.start_time = now
+                self.invoke_hooks(HookCtx(HOOK_TASK_START, now, view))
+            if soa.batched_send:
+                self.network.send(soa.src[tid], soa.dst[tid],
+                                  soa.nbytes[tid],
+                                  lambda _t, t=tid: self._finish_soa(t),
+                                  tag=soa.name[tid], pending=pending)
+            else:
+                # Networks without batched delivery schedule directly;
+                # flushing first keeps the event-creation order (and so
+                # the seq order) identical to the object scheduler's
+                # schedule-as-you-walk behaviour.
+                if pending:
+                    self.engine.schedule_bulk(pending)
+                    del pending[:]
+                self.network.send(soa.src[tid], soa.dst[tid],
+                                  soa.nbytes[tid],
+                                  lambda _t, t=tid: self._finish_soa(t),
+                                  tag=soa.name[tid])
+        else:  # barrier / fence
+            now = self.engine._now
+            soa.start[tid] = now
+            pending.append(CallbackEvent(
+                now + 0.0, lambda _ev, t=tid: self._finish_soa(t)))
+
+    def _dispatch_soa(self, queue: _GPUQueue, pending: list) -> None:
+        ready = queue.ready
+        if not ready:
+            return
+        soa = self._soa
+        if soa.uniform_priority:
+            # min() over plain ints; ids ascend in creation order, so
+            # this is the object scheduler's (priority, task_id) key.
+            tid = min(ready)
+        else:
+            priority = soa.priority
+            tid = min(ready, key=lambda t: (priority[t], t))
+        ready.remove(tid)
+        queue.running = tid
+        now = self.engine._now
+        soa.start[tid] = now
+        if self._hooks:
+            view = soa.view(tid)
+            view.start_time = now
+            self.invoke_hooks(HookCtx(HOOK_TASK_START, now, view))
+        duration = soa.duration[tid]
+        scale = self.runtime_compute_scale
+        if scale is not None:
+            duration *= scale(soa.gpu[tid], now)
+        pending.append(CallbackEvent(
+            now + duration, lambda _ev, t=tid: self._finish_soa(t)))
+
+    def _finish_soa(self, tid: int) -> None:
+        soa = self._soa
+        now = self.engine._now
+        soa.end[tid] = now
+        self._unfinished -= 1
+        if self._hooks:
+            view = soa.view(tid)
+            view.start_time = soa.start[tid]
+            view.end_time = now
+            self.invoke_hooks(HookCtx(HOOK_TASK_END, now, view))
+        pending: list = []
+        kind = soa.kind[tid]
+        if kind == SOA_COMPUTE:
+            queue = soa.queue[tid]
+            queue.busy_time += now - soa.start[tid]
+            queue.running = None
+            self._dispatch_soa(queue, pending)
+        elif kind == SOA_TRANSFER:
+            self.comm_task_time += now - soa.start[tid]
+            self.comm_bytes += soa.nbytes[tid]
+        indptr = soa.indptr
+        lo = indptr[tid]
+        hi = indptr[tid + 1]
+        if lo != hi:
+            indices = soa.indices
+            indegree = soa.indegree
+            for k in range(lo, hi):
+                rid = indices[k]
+                left = indegree[rid] - 1
+                indegree[rid] = left
+                if not left:
+                    self._start_soa(rid, pending)
+        link = soa.fence_link[tid]
+        if link >= 0:
+            left = soa.indegree[link] - 1
+            soa.indegree[link] = left
+            if not left:
+                self._start_soa(link, pending)
+        else:
+            release = soa.release[tid]
+            if release is not None:
+                fence = soa.views[tid]
+                if fence is not None:
+                    fence.end_time = now
+                for rid in release:
+                    self._start_soa(rid, pending)
+        if pending:
+            self.engine.schedule_bulk(pending)
 
     # ------------------------------------------------------------------
     # Accounting

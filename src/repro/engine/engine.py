@@ -12,7 +12,8 @@ an operator that takes 3 ms is one event, not three million cycles.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional, Tuple
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.engine.events import CallbackEvent, Event
 from repro.engine.hooks import HookCtx, Hookable
@@ -60,6 +61,13 @@ class Engine(Hookable):
             Callable[[float, int, Event], None]] = None
         self._heartbeat: Optional[Callable[["Engine"], None]] = None
         self._heartbeat_every = 4096
+        self._profile: Optional[Dict[str, float]] = None
+        # (id(event), orphaned seq) records for entries superseded by
+        # mark_requeued.  Distinguishes legitimately-requeued stale
+        # entries (skipped silently) from entries pushed around
+        # Engine.schedule (dispatched, so the race detector can flag the
+        # stamped-seq disagreement).
+        self._requeue_stale: set = set()
 
     @property
     def now(self) -> float:
@@ -142,6 +150,48 @@ class Engine(Hookable):
             for entry in entries:
                 heapq.heappush(queue, entry)
 
+    def mark_requeued(self, event: Event) -> None:
+        """Account for re-submitting a still-queued *event* at a new time.
+
+        The cheap reschedule path for in-flight timers (network delivery
+        events whose bandwidth share changed): instead of cancelling the
+        event and allocating a replacement, the caller re-submits the
+        *same* object through :meth:`schedule` / :meth:`schedule_bulk`,
+        which stamps a fresh sequence number.  The old heap entry still
+        carries the previous sequence number, so the run loop recognises
+        it as stale (``entry seq != event._seq``) and discards it before
+        the dispatch observer fires — the ``(time, seq)`` dispatch
+        stream is bit-identical to the cancel-and-replace path, with no
+        throwaway event object and no cancelled-flag churn.
+
+        Call this *before* re-submitting.  The orphaned entry counts
+        toward compaction pressure exactly like a cancellation.
+        """
+        if event._engine is self:
+            self._requeue_stale.add((id(event), event._seq))
+            self._note_cancelled()
+
+    def reschedule(self, event: Event, time: float) -> Event:
+        """Move a queued *event* to absolute *time* (see :meth:`mark_requeued`)."""
+        self.mark_requeued(event)
+        event.time = time
+        return self.schedule(event)
+
+    def _discard_stale(self, event: Event, seq: int) -> bool:
+        """Consume the requeue record for a seq-mismatched heap entry.
+
+        Returns True when the entry was orphaned by :meth:`mark_requeued`
+        (skip it silently).  False means the entry's stamped sequence
+        number disagrees for some *other* reason — an entry pushed
+        around :meth:`schedule` — which must dispatch as it always has,
+        so the race detector can flag it.
+        """
+        key = (id(event), seq)
+        if key in self._requeue_stale:
+            self._requeue_stale.discard(key)
+            return True
+        return False
+
     def _note_cancelled(self) -> None:
         """A queued event was cancelled; compact once they dominate.
 
@@ -159,13 +209,27 @@ class Engine(Hookable):
             self._compact()
 
     def _compact(self) -> None:
-        # One comprehension pass (C-speed) + one heapify.  Stale _engine
-        # backrefs on the dropped entries are harmless: Event.cancel()
-        # early-returns on already-cancelled events, which dropped
-        # entries always are.
-        self._queue = [entry for entry in self._queue
-                       if not entry[2].cancelled]
-        heapq.heapify(self._queue)
+        # One comprehension pass (C-speed) + one heapify, in place so the
+        # run loop can keep a local binding of the queue list.  An entry
+        # survives only if its event is live and was not orphaned by
+        # :meth:`mark_requeued`.  The orphan check must be by record, not
+        # by seq mismatch: between mark_requeued and the re-submit the
+        # event still carries the orphaned entry's sequence number, and
+        # keeping that entry while clearing its record would dispatch
+        # the event twice once the re-submit lands.  Stale _engine
+        # backrefs on dropped cancelled entries are harmless:
+        # Event.cancel() early-returns on cancelled events.
+        queue = self._queue
+        stale = self._requeue_stale
+        if stale:
+            queue[:] = [entry for entry in queue
+                        if not entry[2].cancelled
+                        and (id(entry[2]), entry[1]) not in stale]
+            stale.clear()
+        else:
+            queue[:] = [entry for entry in queue
+                        if not entry[2].cancelled]
+        heapq.heapify(queue)
         self._cancelled = 0
         self._compactions += 1
 
@@ -197,15 +261,20 @@ class Engine(Hookable):
         if delay == 0 or not self._queue:
             return 0
         skip = set(map(id, exclude))
+        stale = self._requeue_stale
         deferred = 0
         shifted = []
         for time, seq, event in self._queue:
-            if not event.cancelled and id(event) not in skip:
+            # Requeue-stale entries are dead weight: the event's live
+            # entry is shifted exactly once, under its current seq.
+            if (not event.cancelled
+                    and (event._seq == seq or (id(event), seq) not in stale)
+                    and id(event) not in skip):
                 time += delay
                 event.time = time
                 deferred += 1
             shifted.append((time, seq, event))
-        self._queue = shifted
+        self._queue[:] = shifted
         # A uniform shift preserves heap order, but exclusions may not.
         if skip:
             heapq.heapify(self._queue)
@@ -244,6 +313,19 @@ class Engine(Hookable):
         self._heartbeat = heartbeat
         self._heartbeat_every = every
 
+    def set_profile(self, sink: Optional[Dict[str, float]]) -> None:
+        """Accumulate run-loop timing into *sink*; ``None`` disables.
+
+        When a sink is installed :meth:`run` uses an instrumented loop
+        that buckets wall time into ``queue_ops`` (heap peek/pop and
+        bookkeeping), ``handler`` (event handler bodies, where the
+        simulation actually runs) and ``hook_overhead`` (engine-level
+        hook dispatch).  The buckets are *added* to the sink's existing
+        values so repeated runs aggregate.  Instrumentation costs two
+        clock reads per event — only install it for profiling runs.
+        """
+        self._profile = sink
+
     def run(self, until: Optional[float] = None) -> float:
         """Dispatch events in time order.
 
@@ -252,24 +334,103 @@ class Engine(Hookable):
         *until*).  Returns the final virtual time.
         """
         self._paused = False
+        if self._profile is not None:
+            return self._run_instrumented(until)
+        if self._dispatch_observer is not None or self._heartbeat is not None:
+            return self._run_observed(until)
         heappop = heapq.heappop
+        queue = self._queue
         # self._hooks is mutated in place by accept/remove, so binding the
         # list keeps the emptiness check live while skipping two HookCtx
         # allocations per event on the (common) unobserved path.
         hooks = self._hooks
+        max_events = self._max_events
+        callback_lane = CallbackEvent
+        while queue and not self._paused:
+            entry = queue[0]
+            time = entry[0]
+            if until is not None and time > until:
+                self._now = until
+                return until
+            # Drain every entry sharing this timestamp in one inner pass:
+            # the heap already yields them in sequence order, and events a
+            # handler schedules *at* this timestamp carry higher sequence
+            # numbers, so they surface here in the correct total order.
+            while True:
+                heappop(queue)
+                event = entry[2]
+                if not event.cancelled and (
+                        event._seq == entry[1]
+                        or not self._discard_stale(event, entry[1])):
+                    self._now = time
+                    event._engine = None  # dequeued; cancel() needs no note
+                    self._dispatched += 1
+                    if self._dispatched > max_events:
+                        raise SimulationLimitError(
+                            f"exceeded max_events={max_events}; "
+                            "possible runaway event loop"
+                        )
+                    if hooks:
+                        self.invoke_hooks(
+                            HookCtx(HOOK_BEFORE_EVENT, time, event))
+                        event.handler.handle(event)
+                        self.invoke_hooks(
+                            HookCtx(HOOK_AFTER_EVENT, time, event))
+                    elif type(event) is callback_lane:
+                        # Inlined fast lane: a CallbackEvent is its own
+                        # handler, so skip the handler.handle indirection.
+                        event._callback(event)
+                    else:
+                        event.handler.handle(event)
+                    if self._paused:
+                        break
+                else:
+                    # Cancelled, or a stale entry left behind by a
+                    # requeue (seq mismatch) — never dispatched, never
+                    # observed.
+                    if event.cancelled and event._seq != entry[1]:
+                        self._discard_stale(event, entry[1])
+                    self._cancelled -= 1
+                if not queue:
+                    break
+                entry = queue[0]
+                if entry[0] != time:
+                    break
+        if until is not None and not queue:
+            self._now = max(self._now, until)
+        return self._now
+
+    def _run_observed(self, until: Optional[float]) -> float:
+        """Run-loop variant when a dispatch observer or heartbeat is set.
+
+        Dispatch order is identical to :meth:`run`'s fast loop; this
+        variant just keeps the per-event observer/heartbeat call sites
+        out of the common path.
+        """
+        heappop = heapq.heappop
+        queue = self._queue
+        hooks = self._hooks
         observer = self._dispatch_observer
         heartbeat = self._heartbeat
         beat_countdown = self._heartbeat_every
-        while self._queue and not self._paused:
-            time, _seq, event = self._queue[0]
+        callback_lane = CallbackEvent
+        while queue and not self._paused:
+            time, seq, event = queue[0]
             if until is not None and time > until:
                 self._now = until
-                return self._now
-            heappop(self._queue)
-            event._engine = None  # no longer queued; cancel() needs no note
+                return until
+            heappop(queue)
             if event.cancelled:
+                if event._seq != seq:
+                    self._discard_stale(event, seq)
                 self._cancelled -= 1
                 continue
+            if event._seq != seq and self._discard_stale(event, seq):
+                # Skipped before the observer: requeue-stale entries are
+                # invisible to the dispatch stream.
+                self._cancelled -= 1
+                continue
+            event._engine = None
             self._now = time
             self._dispatched += 1
             if self._dispatched > self._max_events:
@@ -283,14 +444,92 @@ class Engine(Hookable):
                     beat_countdown = self._heartbeat_every
                     heartbeat(self)
             if observer is not None:
-                observer(time, _seq, event)
+                observer(time, seq, event)
             if hooks:
-                self.invoke_hooks(HookCtx(HOOK_BEFORE_EVENT, self._now, event))
+                self.invoke_hooks(HookCtx(HOOK_BEFORE_EVENT, time, event))
                 event.handler.handle(event)
-                self.invoke_hooks(HookCtx(HOOK_AFTER_EVENT, self._now, event))
+                self.invoke_hooks(HookCtx(HOOK_AFTER_EVENT, time, event))
+            elif type(event) is callback_lane:
+                event._callback(event)
             else:
                 event.handler.handle(event)
-        if until is not None and not self._queue:
+        if until is not None and not queue:
+            self._now = max(self._now, until)
+        return self._now
+
+    def _run_instrumented(self, until: Optional[float]) -> float:
+        """Fully-featured run loop that buckets time for the profiler.
+
+        Same dispatch semantics as :meth:`_run_observed`; additionally
+        accumulates ``queue_ops`` / ``handler`` / ``hook_overhead``
+        seconds into the sink installed by :meth:`set_profile`.
+        """
+        profile = self._profile
+        assert profile is not None
+        heappop = heapq.heappop
+        queue = self._queue
+        hooks = self._hooks
+        observer = self._dispatch_observer
+        heartbeat = self._heartbeat
+        beat_countdown = self._heartbeat_every
+        queue_ops = profile.get("queue_ops", 0.0)
+        handler_s = profile.get("handler", 0.0)
+        hook_s = profile.get("hook_overhead", 0.0)
+        try:
+            while True:
+                t0 = perf_counter()
+                if not queue or self._paused:
+                    queue_ops += perf_counter() - t0
+                    break
+                time, seq, event = queue[0]
+                if until is not None and time > until:
+                    self._now = until
+                    queue_ops += perf_counter() - t0
+                    return until
+                heappop(queue)
+                if event.cancelled or (
+                        event._seq != seq
+                        and self._discard_stale(event, seq)):
+                    if event.cancelled and event._seq != seq:
+                        self._discard_stale(event, seq)
+                    self._cancelled -= 1
+                    queue_ops += perf_counter() - t0
+                    continue
+                event._engine = None
+                self._now = time
+                self._dispatched += 1
+                if self._dispatched > self._max_events:
+                    raise SimulationLimitError(
+                        f"exceeded max_events={self._max_events}; "
+                        "possible runaway event loop"
+                    )
+                if heartbeat is not None:
+                    beat_countdown -= 1
+                    if beat_countdown <= 0:
+                        beat_countdown = self._heartbeat_every
+                        heartbeat(self)
+                if observer is not None:
+                    observer(time, seq, event)
+                queue_ops += perf_counter() - t0
+                if hooks:
+                    t1 = perf_counter()
+                    self.invoke_hooks(HookCtx(HOOK_BEFORE_EVENT, time, event))
+                    t2 = perf_counter()
+                    event.handler.handle(event)
+                    t3 = perf_counter()
+                    self.invoke_hooks(HookCtx(HOOK_AFTER_EVENT, time, event))
+                    t4 = perf_counter()
+                    hook_s += (t2 - t1) + (t4 - t3)
+                    handler_s += t3 - t2
+                else:
+                    t1 = perf_counter()
+                    event.handler.handle(event)
+                    handler_s += perf_counter() - t1
+        finally:
+            profile["queue_ops"] = queue_ops
+            profile["handler"] = handler_s
+            profile["hook_overhead"] = hook_s
+        if until is not None and not queue:
             self._now = max(self._now, until)
         return self._now
 
@@ -303,6 +542,7 @@ class Engine(Hookable):
         for _, _, event in self._queue:
             event._engine = None
         self._queue.clear()
+        self._requeue_stale.clear()
         self._now = 0.0
         self._seq = 0
         self._dispatched = 0

@@ -78,7 +78,16 @@ class CallbackEvent(Event):
     __slots__ = ("_callback",)
 
     def __init__(self, time: float, callback: Callable[[Event], None], payload=None):
-        super().__init__(time, self, payload)
+        # Event.__init__ inlined: hot paths allocate one of these per
+        # dispatched event, and the extra constructor frame is measurable.
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        self.time = float(time)
+        self.handler = self
+        self.payload = payload
+        self.cancelled = False
+        self._seq = -1
+        self._engine = None
         self._callback = callback
 
     def handle(self, event: Event) -> None:

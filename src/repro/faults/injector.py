@@ -36,7 +36,7 @@ import os
 import signal
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.taskgraph import HOOK_TASK_START, TaskGraphSimulator
+from repro.core.taskgraph import TaskGraphSimulator
 from repro.engine.engine import Engine
 from repro.engine.events import Event
 from repro.engine.hooks import HookCtx
@@ -152,8 +152,7 @@ class FaultInjector:
             raise RuntimeError("injector already installed")
         self._installed = True
         if self._gpu_windows:
-            self.sim.runtime_compute_scale = self._scale_for
-            self.sim.accept_hook(self)
+            self.sim.runtime_compute_scale = self._scaled_dispatch
         for fault in spec.link_faults:
             self._wall_events.append(self.engine.call_at(
                 fault.start, lambda _ev, f=fault: self._open_link_fault(f)))
@@ -182,13 +181,18 @@ class FaultInjector:
                 factor *= window.factor
         return factor
 
-    def func(self, ctx: HookCtx) -> None:
-        """Task-start hook: count compute dispatches that hit a window."""
-        if ctx.pos != HOOK_TASK_START:
-            return
-        task = ctx.item
-        if task.kind == "compute" and self._scale_for(task.gpu, ctx.time) != 1.0:
+    def _scaled_dispatch(self, gpu: str, now: float) -> float:
+        """The ``runtime_compute_scale`` callback: scale + straggler count.
+
+        The scheduler consults it exactly once per compute dispatch, so
+        counting here is equivalent to the old task-start hook — without
+        keeping the simulator's hook list non-empty (an empty hook list
+        lets the scheduler skip task-view materialisation entirely).
+        """
+        factor = self._scale_for(gpu, now)
+        if factor != 1.0:
             self.straggled_tasks += 1
+        return factor
 
     # ------------------------------------------------------------------
     # Link degradation / flapping

@@ -170,6 +170,18 @@ class FlowNetwork(Hookable):
         #: exactly unchanged instead of cancelling and rescheduling it.
         self.stable_rate_fastpath = bool(incremental)
         self._route_cache: Dict[Tuple[str, str], List[DirectedEdge]] = {}
+        # Directed edge -> live capacity, shadowing the topology's edge
+        # attribute.  networkx adjacency lookups build an AtlasView per
+        # access — far too slow for the allocator's inner loops — so the
+        # hot paths read this plain dict instead.  The *only* runtime
+        # mutation point for capacities is :meth:`set_link_capacity`,
+        # which writes both the graph and this cache.
+        self._bandwidth_cache: Dict[DirectedEdge, float] = {}
+        # id(route list) -> summed link latency.  Route lists are interned
+        # in _route_cache/_candidate_cache for the network's lifetime, so
+        # their ids are stable cache keys; link latencies never change at
+        # runtime (faults degrade bandwidth, not latency).
+        self._latency_sum: Dict[int, float] = {}
         # (src, dst) -> candidate path list (legacy shortest path first,
         # remaining equal-cost paths in sorted order).
         self._candidate_cache: Dict[Tuple[str, str],
@@ -254,7 +266,33 @@ class FlowNetwork(Hookable):
     def path_latency(self, src: str, dst: str) -> float:
         """Sum of link latencies along the route (see :meth:`route` for
         the error raised on disconnected pairs)."""
-        return sum(self.topology[u][v]["latency"] for u, v in self.route(src, dst))
+        return self._route_latency(self.route(src, dst))
+
+    def _route_latency(self, route: List[DirectedEdge]) -> float:
+        """Summed link latency of an interned route list, cached by id."""
+        key = id(route)
+        latency = self._latency_sum.get(key)
+        if latency is None:
+            topology = self.topology
+            latency = sum(topology[u][v]["latency"] for u, v in route)
+            self._latency_sum[key] = latency
+        return latency
+
+    def link_bandwidth(self, edge: DirectedEdge) -> float:
+        """Live capacity of a directed edge, from the shadow cache.
+
+        Reflects fault degradation immediately (see
+        :meth:`set_link_capacity`); reads the topology only on first
+        touch per edge.  Routing strategies should prefer this over
+        ``topology[u][v]["bandwidth"]`` — it is the same value without
+        the per-access networkx adjacency-view cost.
+        """
+        bandwidth = self._bandwidth_cache.get(edge)
+        if bandwidth is None:
+            u, v = edge
+            bandwidth = self.topology[u][v]["bandwidth"]
+            self._bandwidth_cache[edge] = bandwidth
+        return bandwidth
 
     def candidate_routes(self, src: str, dst: str) -> List[List[DirectedEdge]]:
         """All equal-cost shortest paths src -> dst, as directed edge lists.
@@ -322,8 +360,16 @@ class FlowNetwork(Hookable):
     # Public API
     # ------------------------------------------------------------------
     def send(self, src: str, dst: str, nbytes: float,
-             callback: Callable[[Transfer], None], tag: object = None) -> Transfer:
+             callback: Callable[[Transfer], None], tag: object = None,
+             pending: Optional[List[Event]] = None) -> Transfer:
         """Start a transfer; the callback fires at delivery.
+
+        When *pending* is given the kick-off event (activation after
+        route latency, or the zero-delay local delivery) is appended to
+        it instead of being scheduled — the caller batches a whole
+        release wave into one :meth:`Engine.schedule_bulk`, which stamps
+        sequence numbers in list order, so dispatch order is identical
+        to scheduling each send as it was issued.
 
         Raises :class:`RoutingError` when either endpoint is unknown or
         unreachable, :class:`ValueError` on negative sizes.
@@ -333,20 +379,29 @@ class FlowNetwork(Hookable):
         route, path_index = self._route_for(src, dst)  # validates endpoints
         flow = _Flow(next(self._ids), src, dst, float(nbytes), callback, tag)
         flow.path_index = path_index
-        flow.start_time = self.engine.now
+        # engine._now read directly on the per-flow paths in this module:
+        # the .now property costs a descriptor call per access.
+        now = self.engine._now
+        flow.start_time = now
         if self._hooks:
-            self.invoke_hooks(HookCtx(HOOK_FLOW_START, self.engine.now, flow))
+            self.invoke_hooks(HookCtx(HOOK_FLOW_START, now, flow))
         if not route or nbytes == 0:
             # Local move: no wire time; deliver via a zero-delay event so
             # callback ordering stays consistent with real transfers.
-            self.engine.call_after(0.0, lambda _ev, f=flow: self._deliver(f))
-            return flow
-        flow.route = route
-        commitments = self._route_commitments
-        for edge in route:
-            commitments[edge] = commitments.get(edge, 0) + 1
-        latency = sum(self.topology[u][v]["latency"] for u, v in route)
-        self.engine.call_after(latency, lambda _ev, f=flow: self._activate(f))
+            event: Event = CallbackEvent(
+                now + 0.0, lambda _ev, f=flow: self._deliver(f))
+        else:
+            flow.route = route
+            commitments = self._route_commitments
+            for edge in route:
+                commitments[edge] = commitments.get(edge, 0) + 1
+            event = CallbackEvent(
+                now + self._route_latency(route),
+                lambda _ev, f=flow: self._activate(f))
+        if pending is None:
+            self.engine.schedule(event)
+        else:
+            pending.append(event)
         return flow
 
     @property
@@ -371,8 +426,10 @@ class FlowNetwork(Hookable):
             )
         if not self.topology.has_edge(u, v):
             raise ValueError(f"link {u}-{v}: no such edge in the topology")
-        self.topology[u][v]["bandwidth"] = float(bandwidth)
+        value = float(bandwidth)
+        self.topology[u][v]["bandwidth"] = value
         for edge in ((u, v), (v, u)):
+            self._bandwidth_cache[edge] = value
             if self._edge_users.get(edge):
                 self._dirty.add(edge)
         if self._active:
@@ -404,24 +461,27 @@ class FlowNetwork(Hookable):
     # Steps 2-3: allocation and progress updates
     # ------------------------------------------------------------------
     def _activate(self, flow: _Flow) -> None:
-        flow.last_update = self.engine.now
+        flow.last_update = self.engine._now
         self._active[flow.transfer_id] = flow
         commitments = self._route_commitments
+        edge_users = self._edge_users
+        link_stats = self._link_stats
+        dirty = self._dirty
+        tid = flow.transfer_id
         for edge in flow.route:
             left = commitments.get(edge, 0) - 1
             if left > 0:
                 commitments[edge] = left
             else:
                 commitments.pop(edge, None)
-        for edge in flow.route:
-            users = self._edge_users.get(edge)
+            users = edge_users.get(edge)
             if users is None:
-                users = self._edge_users[edge] = set()
-            users.add(flow.transfer_id)
-            self._dirty.add(edge)
-            stats = self._link_stats.get(edge)
+                users = edge_users[edge] = set()
+            users.add(tid)
+            dirty.add(edge)
+            stats = link_stats.get(edge)
             if stats is None:
-                stats = self._link_stats[edge] = [0.0, 0, 0]
+                stats = link_stats[edge] = [0.0, 0, 0]
             stats[1] += 1
             if len(users) > stats[2]:
                 stats[2] = len(users)
@@ -449,17 +509,17 @@ class FlowNetwork(Hookable):
         """Re-solve max-min rates for every contention component that
         changed and reschedule only the deliveries whose rate moved."""
         self.reallocations += 1
-        now = self.engine.now
+        now = self.engine._now
         if self.scoped_realloc:
-            scope = self._dirty_scope()
+            components = self._dirty_components()
         else:
-            scope = list(self._active.values())
+            components = self._components(list(self._active.values()))
         self._dirty.clear()
-        if not scope:
+        if not components:
             return
         solved: List[_Flow] = []
         pending: List[Event] = []
-        for component in self._components(scope):
+        for component in components:
             rates = self._maxmin_component(component)
             for flow in component:
                 self._apply_rate(flow, rates[flow.transfer_id], now, pending)
@@ -493,47 +553,85 @@ class FlowNetwork(Hookable):
             flow.remaining = 0.0
         flow.last_update = now
         flow.rate = rate
-        if flow.deliver_event is not None:
-            flow.deliver_event.cancel()
-            flow.deliver_event = None
+        event = flow.deliver_event
         if rate > _RATE_EPS:
             self.reschedules += 1
-            event = CallbackEvent(
-                now + flow.remaining / rate,
-                lambda _ev, f=flow: self._deliver(f),
-            )
-            flow.deliver_event = event
+            deliver_at = now + flow.remaining / rate
+            if event is not None and not event.cancelled:
+                # Requeue the existing delivery event instead of
+                # cancel-and-replace: mark_requeued orphans the old heap
+                # entry (skipped silently, never observed) and the bulk
+                # insert below stamps a fresh sequence number — the
+                # dispatch stream is bit-identical to the legacy path
+                # with no throwaway event allocation.
+                self.engine.mark_requeued(event)
+                event.time = deliver_at
+            else:
+                event = CallbackEvent(
+                    deliver_at, lambda _ev, f=flow: self._deliver(f))
+                flow.deliver_event = event
             pending.append(event)
+        elif event is not None:
+            event.cancel()
+            flow.deliver_event = None
 
     # ------------------------------------------------------------------
     # Contention components (the incidence-index walks)
     # ------------------------------------------------------------------
-    def _dirty_scope(self) -> List[_Flow]:
-        """Active flows transitively sharing a link with any flow that
-        joined or left since the last solve (closure over the incidence
-        index).  Flows outside the closure provably keep their rates:
-        max-min fairness decomposes over link-sharing components."""
-        flows: Dict[int, _Flow] = {}
-        pending: List[_Flow] = []
+    def _dirty_components(self) -> List[List[_Flow]]:
+        """Contention components touched since the last solve, directly.
+
+        Fuses the old two-pass walk (closure over the incidence index,
+        then re-partition into components) into one BFS per component,
+        seeded from the users of each dirty edge.  Flows outside the
+        closure provably keep their rates: max-min fairness decomposes
+        over link-sharing components.  Emission order matches
+        :meth:`_components` on the closure exactly — components ascend
+        by their smallest member transfer-id, members ascend within —
+        which is the bit-identity anchor for scoped reallocation.
+        """
+        edge_users = self._edge_users
+        active = self._active
+        seeds: Set[int] = set()
         for edge in self._dirty:
-            for fid in self._edge_users.get(edge, ()):
-                if fid not in flows:
-                    flow = self._active[fid]
-                    flows[fid] = flow
-                    pending.append(flow)
-        seen: Set[DirectedEdge] = set(self._dirty)
-        while pending:
-            flow = pending.pop()
-            for edge in flow.route:
-                if edge in seen:
-                    continue
-                seen.add(edge)
-                for fid in self._edge_users[edge]:
-                    if fid not in flows:
-                        other = self._active[fid]
-                        flows[fid] = other
-                        pending.append(other)
-        return list(flows.values())
+            users = edge_users.get(edge)
+            if users:
+                seeds.update(users)
+        if not seeds:
+            return []
+        visited: Set[int] = set()
+        keyed: List[Tuple[int, List[_Flow]]] = []
+        for fid in sorted(seeds):
+            if fid in visited:
+                continue
+            flow = active[fid]
+            ids: Set[int] = {fid}
+            stack: List[_Flow] = [flow]
+            seen: Set[DirectedEdge] = set()
+            while stack:
+                current = stack.pop()
+                for edge in current.route:
+                    if edge in seen:
+                        continue
+                    seen.add(edge)
+                    for ofid in edge_users.get(edge, ()):
+                        if ofid not in ids:
+                            ids.add(ofid)
+                            stack.append(active[ofid])
+            visited |= ids
+            if len(ids) == 1:
+                # Disjoint flow — the overwhelmingly common case on
+                # multipath fabrics.
+                keyed.append((fid, [flow]))
+            else:
+                ordered = sorted(ids)
+                keyed.append((ordered[0],
+                              [active[f] for f in ordered]))
+        # A component's smallest member need not be a seed, so seed
+        # order alone cannot order components; sort by min member id.
+        if len(keyed) > 1:
+            keyed.sort(key=lambda kc: kc[0])
+        return [component for _, component in keyed]
 
     def _components(self, scope: List[_Flow]) -> List[List[_Flow]]:
         """Partition *scope* into connected components of the link-sharing
@@ -560,8 +658,14 @@ class FlowNetwork(Hookable):
                             ids.add(fid)
                             stack.append(self._active[fid])
             visited |= ids
-            components.append(sorted((self._active[fid] for fid in ids),
-                                     key=lambda f: f.transfer_id))
+            if len(ids) == 1:
+                # Disjoint flow — the overwhelmingly common case on
+                # multipath fabrics, where routing spreads flows so most
+                # share no link at any instant.
+                components.append([flow])
+            else:
+                components.append(sorted((self._active[fid] for fid in ids),
+                                         key=lambda f: f.transfer_id))
         return components
 
     # ------------------------------------------------------------------
@@ -577,6 +681,26 @@ class FlowNetwork(Hookable):
         same per-round order (the bottleneck ``min`` is over the same
         value set, and ``min`` of floats is order-independent).
         """
+        if len(flows) == 1:
+            # An uncontended flow's progressive filling terminates after
+            # one round with its bottleneck capacity: the first increment
+            # is min(capacity) over the route, which saturates the
+            # bottleneck edge exactly (cap - cap == 0.0) and freezes the
+            # flow.  Returning that min directly is bit-identical
+            # (0.0 + delta == delta) and skips the residual/users/live
+            # dict construction entirely.
+            flow = flows[0]
+            route = flow.route
+            if route:
+                bandwidth = self._bandwidth_cache
+                best: Optional[float] = None
+                for edge in route:
+                    cap = bandwidth.get(edge)
+                    if cap is None:
+                        cap = self.link_bandwidth(edge)
+                    if best is None or cap < best:
+                        best = cap
+                return {flow.transfer_id: best}
         if _np is not None and len(flows) >= _VECTOR_MIN_FLOWS:
             return self._maxmin_component_vector(flows)
         return self._maxmin_component_scalar(flows)
@@ -592,7 +716,7 @@ class FlowNetwork(Hookable):
         order, so re-solving an unchanged component reproduces its rates
         bit-for-bit.
         """
-        topology = self.topology
+        bandwidth = self._bandwidth_cache
         residual: Dict[DirectedEdge, float] = {}
         users: Dict[DirectedEdge, List[int]] = {}
         live: Dict[DirectedEdge, int] = {}
@@ -602,8 +726,10 @@ class FlowNetwork(Hookable):
             routes[fid] = flow.route
             for edge in flow.route:
                 if edge not in residual:
-                    u, v = edge
-                    residual[edge] = topology[u][v]["bandwidth"]
+                    cap = bandwidth.get(edge)
+                    if cap is None:
+                        cap = self.link_bandwidth(edge)
+                    residual[edge] = cap
                     users[edge] = []
                     live[edge] = 0
                 users[edge].append(fid)
@@ -672,7 +798,7 @@ class FlowNetwork(Hookable):
         route_lens = [len(flow.route) for flow in flows]
         if min(route_lens) == 0:  # pragma: no cover - active flows have wires
             return self._maxmin_component_scalar(flows)
-        topology = self.topology
+        bandwidth = self._bandwidth_cache
         edge_index: Dict[DirectedEdge, int] = {}
         caps: List[float] = []
         flat: List[int] = []  # edge indices, routes concatenated in flow order
@@ -681,8 +807,10 @@ class FlowNetwork(Hookable):
                 index = edge_index.get(edge)
                 if index is None:
                     index = edge_index[edge] = len(caps)
-                    u, v = edge
-                    caps.append(topology[u][v]["bandwidth"])
+                    cap = bandwidth.get(edge)
+                    if cap is None:
+                        cap = self.link_bandwidth(edge)
+                    caps.append(cap)
                 flat.append(index)
         n_flows = len(flows)
         n_edges = len(caps)
@@ -787,21 +915,27 @@ class FlowNetwork(Hookable):
     # Step 4: delivery
     # ------------------------------------------------------------------
     def _deliver(self, flow: _Flow) -> None:
-        flow.deliver_time = self.engine.now
+        flow.deliver_time = self.engine._now
         flow.deliver_event = None
-        if flow.transfer_id in self._active:
-            del self._active[flow.transfer_id]
+        was_active = self._active.pop(flow.transfer_id, None) is not None
+        if was_active:
+            edge_users = self._edge_users
+            link_stats = self._link_stats
+            dirty = self._dirty
+            tid = flow.transfer_id
+            nbytes = flow.nbytes
             for edge in flow.route:
-                users = self._edge_users.get(edge)
+                users = edge_users.get(edge)
                 if users is not None:
-                    users.discard(flow.transfer_id)
+                    users.discard(tid)
                     if not users:
-                        del self._edge_users[edge]
-                self._dirty.add(edge)
+                        del edge_users[edge]
+                dirty.add(edge)
+                link_stats[edge][0] += nbytes
             if self._active:
                 self._request_reallocate()
             else:
-                self._dirty.clear()
+                dirty.clear()
         self.delivered_count += 1
         self.total_bytes_delivered += flow.nbytes
         if flow.route:
@@ -812,8 +946,12 @@ class FlowNetwork(Hookable):
                 self._fct_min = fct
             if fct > self._fct_max:
                 self._fct_max = fct
-            for edge in flow.route:
-                self._link_stats[edge][0] += flow.nbytes
+            if not was_active:
+                # Stalled/locally-completed routed flows still account
+                # their bytes; the active path folded this into the
+                # teardown loop above.
+                for edge in flow.route:
+                    self._link_stats[edge][0] += flow.nbytes
         if self._hooks:
             self.invoke_hooks(
                 HookCtx(HOOK_FLOW_DELIVER, self.engine.now, flow))

@@ -180,25 +180,40 @@ class AdaptiveRouting(RoutingStrategy):
 
     def choose(self, src: str, dst: str, candidates: List[Route],
                network) -> int:
-        topology = network.topology
-        edge_users = network._edge_users
-        committed = network._route_commitments
+        # Capacities come from the network's shadow cache — same value
+        # as the topology edge attribute (set_link_capacity keeps both
+        # in sync) without the per-access networkx adjacency-view cost.
+        # The cache dict is read directly (falling back to the filling
+        # accessor on first touch): this method runs once per flow on
+        # adaptive fabrics and the bound-method call per edge is
+        # measurable.  Bandwidths are strictly positive, so the falsy
+        # check only fires on a genuine cache miss.
+        bw_cache = network._bandwidth_cache
+        link_bandwidth = network.link_bandwidth
+        users_get = network._edge_users.get
+        committed_get = network._route_commitments.get
         best_index = 0
-        best_score: Optional[Tuple[float, float, int]] = None
+        best_bottleneck = -1.0
+        best_total = -1.0
         for index, route in enumerate(candidates):
             bottleneck = 0.0
             total = 0.0
             for edge in route:
-                users = edge_users.get(edge)
+                users = users_get(edge)
                 load = ((len(users) if users else 0)
-                        + committed.get(edge, 0) + 1) / \
-                    topology[edge[0]][edge[1]]["bandwidth"]
+                        + committed_get(edge, 0) + 1) / (
+                            bw_cache.get(edge) or link_bandwidth(edge))
                 if load > bottleneck:
                     bottleneck = load
                 total += load
-            score = (bottleneck, total, index)
-            if best_score is None or score < best_score:
-                best_score = score
+            # Strict-improvement replacement in index order preserves
+            # the (bottleneck, total, index) lexicographic tie-break
+            # without a tuple allocation per candidate.
+            if (best_bottleneck < 0.0 or bottleneck < best_bottleneck
+                    or (bottleneck == best_bottleneck
+                        and total < best_total)):
+                best_bottleneck = bottleneck
+                best_total = total
                 best_index = index
         return best_index
 

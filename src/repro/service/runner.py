@@ -71,6 +71,7 @@ from repro.core.results import SimulationResult
 from repro.core.simulator import TrioSim
 from repro.engine.hooks import HookCtx, Hookable
 from repro.perfmodel.scaling import CrossGPUScaler
+from repro.service import transport
 from repro.service import worker as _worker
 from repro.service.cache import ResultCache, trace_digest
 from repro.service.journal import (
@@ -433,6 +434,17 @@ class SweepRunner(Hookable):
         once and every worker load it; ``False``/``None`` disables the
         cache and every point re-extrapolates.  Results are bit-identical
         in all three modes.
+    dispatch_chunk:
+        Points per pool submission.  ``None`` (default) sizes chunks
+        automatically — single-point futures for small sweeps (keeping
+        crash attribution maximally precise), growing bounded chunks
+        once the sweep is large enough that per-future dispatch and
+        serialization overhead matters.  Every point in a chunk is
+        still admitted by the breaker and write-ahead journaled
+        individually before the chunk is submitted, runs under its own
+        deadlines, and degrades to its own error record; a worker crash
+        takes the whole in-flight chunk as victims, which the isolated
+        retry pass then re-attributes point by point.
     """
 
     #: Bound on memoized (rescaled trace, fitted models) entries.
@@ -456,7 +468,8 @@ class SweepRunner(Hookable):
                  deadline_hard: Optional[float] = None,
                  journal: Union[SweepJournal, str, Path, None] = None,
                  resume: bool = False,
-                 breaker: Union[CircuitBreaker, bool, None] = None):
+                 breaker: Union[CircuitBreaker, bool, None] = None,
+                 dispatch_chunk: Optional[int] = None):
         super().__init__()
         self.max_workers = max_workers if max_workers is not None \
             else (os.cpu_count() or 1)
@@ -483,6 +496,9 @@ class SweepRunner(Hookable):
             self.breaker: Optional[CircuitBreaker] = CircuitBreaker()
         else:
             self.breaker = breaker or None
+        if dispatch_chunk is not None and dispatch_chunk < 1:
+            raise ValueError("dispatch_chunk must be >= 1")
+        self.dispatch_chunk = dispatch_chunk
         self.lint = lint
         self.sanitize = sanitize
         self.verify = verify
@@ -951,26 +967,43 @@ class SweepRunner(Hookable):
                       metrics: SweepMetrics, started: float,
                       base_key: str) -> None:
         prepared = self._prepare_traces(trace, points)
-        trace_dicts = {
+        # Packed once per sweep: framed protocol-5 with the numeric
+        # trace columns as out-of-band buffers.  Every pool (re)build
+        # re-ships this same blob to each worker.
+        trace_payload = transport.pack_traces({
             gpu_key: scaled.to_dict() for gpu_key, scaled in prepared.items()
-        }
+        })
         self._prepare_plans(trace, points, metrics)
-        crashed = self._parallel_wave(trace, points, workers, trace_dicts,
+        crashed = self._parallel_wave(trace, points, workers, trace_payload,
                                       record_timeline, metrics, started,
                                       base_key)
         if crashed:
-            self._retry_crashed(trace, crashed, trace_dicts,
+            self._retry_crashed(trace, crashed, trace_payload,
                                 record_timeline, metrics, started, base_key)
 
-    def _new_pool(self, workers: int, trace_dicts: dict) -> ProcessPoolExecutor:
+    def _new_pool(self, workers: int,
+                  trace_payload: bytes) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(
             max_workers=workers,
             initializer=_worker.init_worker,
-            initargs=(trace_dicts, self._plan_mode()),
+            initargs=(trace_payload, self._plan_mode()),
         )
 
+    def _chunk_size(self, n_points: int, workers: int) -> int:
+        """Points per pool submission (see ``dispatch_chunk``).
+
+        Auto mode keeps single-point futures until the sweep is big
+        enough that at least four chunks per worker remain after
+        chunking, then grows chunks up to 8 points — bounding both the
+        per-future overhead and the blast radius of a chunk-killing
+        crash.
+        """
+        if self.dispatch_chunk is not None:
+            return self.dispatch_chunk
+        return max(1, min(8, n_points // (workers * 4)))
+
     def _parallel_wave(self, trace: Trace, points: List[SweepOutcome],
-                       workers: int, trace_dicts: dict,
+                       workers: int, trace_payload: bytes,
                        record_timeline: bool, metrics: SweepMetrics,
                        started: float, base_key: str) -> List[SweepOutcome]:
         """Fan *points* over a pool; returns the unattributed crash victims.
@@ -978,107 +1011,158 @@ class SweepRunner(Hookable):
         Dispatch is incremental — at most ``2 * workers`` futures are in
         flight — so every submission passes the circuit breaker with
         current information and is write-ahead journaled just before it
-        reaches the pool.  When the breaker is open or half-open with
-        work still in flight, dispatch pauses rather than failing the
-        queue fast, so a successful half-open probe closes the breaker
-        and the remaining points dispatch normally (the same recovery
-        semantics as the in-process path).  A worker death breaks only the in-flight
-        window: those points are collected for the isolated retry pass,
-        the pool is rebuilt, and the undispatched queue continues on the
-        fresh pool (a crash no longer forfeits every queued point).
-        Ctrl-C cancels the queue, waits out the running points, and
-        re-raises — no worker processes outlive the sweep.
+        reaches the pool.  Points travel in chunks of
+        :meth:`_chunk_size` per future (a chunk is one packed blob; the
+        worker runs its points sequentially, each under its own
+        deadline), which amortizes the submit/result round-trip on large
+        sweeps.  When the breaker is open or half-open with work still
+        in flight, dispatch pauses rather than failing the queue fast,
+        so a successful half-open probe closes the breaker and the
+        remaining points dispatch normally (the same recovery semantics
+        as the in-process path).  A worker death breaks only the
+        in-flight window: those points are collected for the isolated
+        retry pass, the pool is rebuilt, and the undispatched queue
+        continues on the fresh pool (a crash no longer forfeits every
+        queued point).  Ctrl-C cancels the queue, waits out the running
+        points, and re-raises — no worker processes outlive the sweep.
         """
         crashed: List[SweepOutcome] = []
         queue = deque(points)
         window = max(1, workers * 2)
-        pool = self._new_pool(workers, trace_dicts)
-        futures: Dict[object, SweepOutcome] = {}
+        chunk_size = self._chunk_size(len(points), workers)
+        pool = self._new_pool(workers, trace_payload)
+        futures: Dict[object, List[SweepOutcome]] = {}
         try:
             while queue or futures:
                 while queue and len(futures) < window:
-                    if (self.breaker is not None and futures
-                            and self.breaker.state != "closed"):
-                        # The breaker tripped (or a half-open probe is
-                        # flying) while work is in flight.  Draining the
-                        # queue through _admit now would fail every
-                        # remaining point fast before the probe's result
-                        # can close the breaker, making recovery
-                        # unreachable — so stop dispatching and wait for
-                        # the in-flight verdicts instead.  Once the
-                        # window drains, _admit resumes: skips count up
-                        # to the next probe, and a probe that succeeds
-                        # re-closes the breaker for the rest of the
-                        # queue.
-                        break
-                    outcome = queue.popleft()
-                    if not self._admit(outcome, metrics, started):
-                        continue
-                    self._journal_dispatch(outcome)
+                    batch: List[SweepOutcome] = []
+                    while queue and len(batch) < chunk_size:
+                        if (self.breaker is not None
+                                and self.breaker.state != "closed"
+                                and (futures or batch)):
+                            # The breaker tripped (or a half-open probe
+                            # is flying) while work is in flight.
+                            # Draining the queue through _admit now
+                            # would fail every remaining point fast
+                            # before the probe's result can close the
+                            # breaker, making recovery unreachable — so
+                            # stop dispatching and wait for the
+                            # in-flight verdicts instead.  Once the
+                            # window drains, _admit resumes: skips count
+                            # up to the next probe, and a probe that
+                            # succeeds re-closes the breaker for the
+                            # rest of the queue.  (Checked per point,
+                            # not per batch: an admitted probe must not
+                            # drag fail-fast victims along in its own
+                            # chunk.)
+                            break
+                        outcome = queue.popleft()
+                        if not self._admit(outcome, metrics, started):
+                            continue
+                        self._journal_dispatch(outcome)
+                        batch.append(outcome)
+                    if not batch:
+                        break  # breaker paused or fast-failed the queue
                     try:
-                        future = pool.submit(
-                            _worker.run_point,
-                            self._point_payload(trace, outcome,
-                                                record_timeline))
+                        if len(batch) == 1:
+                            # Singleton chunks go through run_point
+                            # unpacked — the common small-sweep shape,
+                            # and the seam tests monkeypatch.
+                            future = pool.submit(
+                                _worker.run_point,
+                                self._point_payload(trace, batch[0],
+                                                    record_timeline))
+                        else:
+                            future = pool.submit(
+                                _worker.run_chunk,
+                                transport.pack([
+                                    self._point_payload(trace, o,
+                                                        record_timeline)
+                                    for o in batch]))
                     except BrokenProcessPool:
                         # The pool broke before the wait loop saw it;
-                        # this point is a crash-window victim too.
-                        crashed.append(outcome)
-                        self._breaker_failure("WorkerCrashed", metrics)
+                        # these points are crash-window victims too.
+                        crashed.extend(batch)
+                        for _ in batch:
+                            self._breaker_failure("WorkerCrashed", metrics)
                         pool.shutdown(wait=False, cancel_futures=True)
-                        pool = self._new_pool(workers, trace_dicts)
+                        pool = self._new_pool(workers, trace_payload)
                         continue
-                    futures[future] = outcome
+                    futures[future] = batch
                 if not futures:
                     continue  # breaker fast-failed the whole window
                 done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
                 broken = False
                 for future in done:
-                    outcome = futures.pop(future)
+                    batch = futures.pop(future)
                     exc = future.exception()
                     if exc is None:
-                        self._finish(outcome, future.result(),
-                                     record_timeline, base_key)
-                        self._breaker_record(outcome, metrics)
-                        self._note_done(outcome, metrics, started)
+                        for outcome, reply in zip(
+                                batch,
+                                self._chunk_replies(batch, future.result())):
+                            self._finish(outcome, reply,
+                                         record_timeline, base_key)
+                            self._breaker_record(outcome, metrics)
+                            self._note_done(outcome, metrics, started)
                     elif isinstance(exc, BrokenProcessPool):
                         # A worker died.  Every in-flight future on the
                         # pool fails with it, so which point killed the
                         # worker is unknown here — the isolated retry
-                        # pass attributes the crash.
+                        # pass attributes the crash (and splits chunked
+                        # batches back into single points).
                         broken = True
-                        crashed.append(outcome)
-                        self._breaker_failure("WorkerCrashed", metrics)
+                        crashed.extend(batch)
+                        for _ in batch:
+                            self._breaker_failure("WorkerCrashed", metrics)
                     else:
-                        outcome.error = SweepError(
-                            kind=type(exc).__name__, message=str(exc)
-                        )
-                        self._breaker_record(outcome, metrics)
-                        self._note_done(outcome, metrics, started)
+                        for outcome in batch:
+                            outcome.error = SweepError(
+                                kind=type(exc).__name__, message=str(exc)
+                            )
+                            self._breaker_record(outcome, metrics)
+                            self._note_done(outcome, metrics, started)
                 if broken:
                     # The rest of the window died with the pool; sort
                     # the stragglers (a future may still have finished
                     # cleanly in the meantime) and rebuild.
-                    for future, outcome in list(futures.items()):
+                    for future, batch in list(futures.items()):
                         if future.done() and future.exception() is None:
-                            self._finish(outcome, future.result(),
-                                         record_timeline, base_key)
-                            self._breaker_record(outcome, metrics)
-                            self._note_done(outcome, metrics, started)
+                            for outcome, reply in zip(
+                                    batch,
+                                    self._chunk_replies(batch,
+                                                        future.result())):
+                                self._finish(outcome, reply,
+                                             record_timeline, base_key)
+                                self._breaker_record(outcome, metrics)
+                                self._note_done(outcome, metrics, started)
                         else:
-                            crashed.append(outcome)
-                            self._breaker_failure("WorkerCrashed", metrics)
+                            crashed.extend(batch)
+                            for _ in batch:
+                                self._breaker_failure("WorkerCrashed",
+                                                      metrics)
                     futures.clear()
                     pool.shutdown(wait=False, cancel_futures=True)
-                    pool = self._new_pool(workers, trace_dicts)
+                    pool = self._new_pool(workers, trace_payload)
         except KeyboardInterrupt:
             pool.shutdown(wait=True, cancel_futures=True)
             raise
         pool.shutdown()
         return crashed
 
+    @staticmethod
+    def _chunk_replies(batch: List[SweepOutcome], result) -> list:
+        """Normalize a future's result to one reply dict per point.
+
+        Singleton batches are submitted through ``run_point`` (a bare
+        payload dict reply); larger batches through ``run_chunk`` (a
+        list of reply dicts in batch order).
+        """
+        if len(batch) == 1 and isinstance(result, dict):
+            return [result]
+        return result
+
     def _retry_crashed(self, trace: Trace, crashed: List[SweepOutcome],
-                       trace_dicts: dict, record_timeline: bool,
+                       trace_payload: bytes, record_timeline: bool,
                        metrics: SweepMetrics, started: float,
                        base_key: str) -> None:
         """Re-execute crash victims one at a time, each on a fresh
@@ -1094,7 +1178,7 @@ class SweepRunner(Hookable):
                 _wall.sleep(self._backoff_delay(rng, attempt))
                 outcome.retries += 1
                 metrics.retries += 1
-                if self._isolated_attempt(trace, outcome, trace_dicts,
+                if self._isolated_attempt(trace, outcome, trace_payload,
                                           record_timeline, base_key):
                     break
             else:
@@ -1153,13 +1237,13 @@ class SweepRunner(Hookable):
                    self.retry_backoff * (2 ** attempt) * (0.5 + rng.random()))
 
     def _isolated_attempt(self, trace: Trace, outcome: SweepOutcome,
-                          trace_dicts: dict, record_timeline: bool,
+                          trace_payload: bytes, record_timeline: bool,
                           base_key: str) -> bool:
         """One retry on a dedicated pool; False when the worker died."""
         with ProcessPoolExecutor(
             max_workers=1,
             initializer=_worker.init_worker,
-            initargs=(trace_dicts, self._plan_mode()),
+            initargs=(trace_payload, self._plan_mode()),
         ) as pool:
             future = pool.submit(
                 _worker.run_point,

@@ -29,6 +29,7 @@ from repro.core.config import SimulationConfig
 from repro.core.plan import PlanCache
 from repro.core.simulator import TrioSim
 from repro.extrapolator.optime import OpTimeModel
+from repro.service import transport
 from repro.trace.trace import Trace
 
 #: Engine events between soft-deadline wall-clock checks.  Small enough
@@ -202,9 +203,16 @@ _OP_TIMES: Dict[Tuple[str, str], OpTimeModel] = {}
 _PLAN_CACHE: Optional[PlanCache] = None
 
 
-def init_worker(trace_dicts: Dict[str, dict],
+def init_worker(trace_dicts,
                 plan_mode: Optional[str] = "") -> None:
     """Pool initializer: receive every prepared trace exactly once.
+
+    *trace_dicts* is either a plain ``{gpu_key: trace dict}`` mapping or
+    a :func:`repro.service.transport.pack_traces` blob — the runner
+    ships the latter (framed protocol-5, numeric trace columns as
+    out-of-band buffers) so the per-worker copy of every prepared trace
+    costs a handful of memcpys instead of a deep pickle of nested
+    dicts.
 
     *plan_mode* configures plan caching in this process: ``None``
     disables it, ``""`` (the default) gives the worker a private
@@ -214,6 +222,8 @@ def init_worker(trace_dicts: Dict[str, dict],
     load.
     """
     global _PLAN_CACHE
+    if transport.is_packed(trace_dicts):
+        trace_dicts = transport.unpack_traces(trace_dicts)
     _TRACE_DICTS.clear()
     _TRACE_DICTS.update(trace_dicts)
     _PARSED.clear()
@@ -318,3 +328,23 @@ def run_point(payload: dict) -> dict:
                 "sanitizer": sanitizer_findings}
     except Exception as exc:
         return {"ok": False, "error": error_record(exc)}
+
+
+def run_chunk(payloads) -> list:
+    """Process-pool entry point: simulate a chunk of sweep points.
+
+    *payloads* is either a list of :func:`run_point` payload dicts or a
+    :func:`repro.service.transport.pack` blob of one; replies come back
+    in submission order, one :func:`run_point` reply per payload.  Each
+    point still runs under its own deadlines and degrades to its own
+    error record — chunking only amortizes the per-future dispatch and
+    serialization overhead, it never couples point outcomes (except
+    that a worker crash takes the whole in-flight chunk down, which the
+    runner's retry pass then re-attributes point by point).
+
+    ``run_point`` is resolved through the module namespace on each call
+    so test seams that monkeypatch it keep working under chunking.
+    """
+    if transport.is_packed(payloads):
+        payloads = transport.unpack(payloads)
+    return [run_point(payload) for payload in payloads]

@@ -148,3 +148,34 @@ class TestResultMetadata:
         res = _run(trace, parallelism="single")
         text = res.summary()
         assert "total" in text and "comm" in text
+
+
+class TestEngineProfile:
+    def test_profile_engine_adds_sub_phases(self, trace):
+        cfg = SimulationConfig(parallelism="ddp", num_gpus=2)
+        res = TrioSim(trace, cfg, record_timeline=False,
+                      profile_engine=True).run()
+        phases = res.profile["phases"]
+        for bucket in ("engine.queue_ops", "engine.handler",
+                       "engine.hook_overhead"):
+            assert bucket in phases, bucket
+            assert phases[bucket] >= 0.0
+        # The sub-phases decompose the run loop's time; they cannot
+        # exceed the engine phase they instrument (wall-clock sanity,
+        # not an exact identity: the loop itself has overhead).
+        assert (phases["engine.queue_ops"] + phases["engine.handler"]
+                <= phases["engine"] * 1.5 + 1e-3)
+
+    def test_profile_engine_off_by_default(self, trace):
+        res = _run(trace, parallelism="ddp", num_gpus=2)
+        assert not any(name.startswith("engine.")
+                       for name in res.profile["phases"])
+
+    def test_profile_engine_does_not_perturb_results(self, trace):
+        cfg = SimulationConfig(parallelism="ddp", num_gpus=2,
+                               link_bandwidth=20e9)
+        plain = TrioSim(trace, cfg, record_timeline=False).run()
+        profiled = TrioSim(trace, cfg, record_timeline=False,
+                           profile_engine=True).run()
+        assert profiled.total_time == plain.total_time
+        assert profiled.events == plain.events

@@ -368,6 +368,138 @@ def test_schedule_bulk_validates_like_schedule():
 
 
 # ----------------------------------------------------------------------
+# Bulk-vs-scalar dispatch-digest property (seeded)
+# ----------------------------------------------------------------------
+
+
+_MASK = (1 << 64) - 1
+
+
+def _fold_digest(dispatches):
+    """The verifier's dispatch-order fold over ``(time, seq)`` pairs."""
+    digest = 0
+    for time, seq in dispatches:
+        digest = ((digest * 1000003) ^ hash((time, seq))) & _MASK
+    return digest
+
+
+def _bulk_vs_scalar_dispatches(batch_size, prefill, cancel_most, seed,
+                               bulk):
+    """Dispatch stream for one seeded prefill + batch scenario.
+
+    With ``cancel_most`` the prefill is mostly cancelled — a burst that
+    crosses ``COMPACT_FLOOR`` for the larger sizes, so compaction fires
+    mid-stream.  The batch under test is then scheduled either via one
+    :meth:`Engine.schedule_bulk` call or per-event
+    :meth:`Engine.schedule` calls.
+    """
+    import random
+
+    from repro.engine.events import CallbackEvent
+
+    rng = random.Random(seed)
+    prefill_times = [rng.uniform(0.0, 10.0) for _ in range(prefill)]
+    batch_times = [rng.uniform(0.0, 10.0) for _ in range(batch_size)]
+    keep = (set(rng.sample(range(prefill), min(5, prefill)))
+            if cancel_most else set(range(prefill)))
+
+    eng = Engine()
+    dispatches = []
+    eng.set_dispatch_observer(lambda t, s, e: dispatches.append((t, s)))
+    prefilled = [eng.call_at(t, lambda e: None) for t in prefill_times]
+    for i, ev in enumerate(prefilled):
+        if i not in keep:
+            ev.cancel()
+    events = [CallbackEvent(t, lambda e: None) for t in batch_times]
+    if bulk:
+        eng.schedule_bulk(events)
+    else:
+        for ev in events:
+            eng.schedule(ev)
+    eng.run()
+    return dispatches, len(keep)
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+@pytest.mark.parametrize("batch_size", [4, 8, 9, 16, 63, 64, 65, 128])
+def test_schedule_bulk_digest_equivalence_property(batch_size, seed):
+    # Satellite property test: across batch sizes straddling the
+    # extend+heapify threshold (>8 entries, 4x the queue) and
+    # COMPACT_FLOOR (64), bulk and scalar scheduling must produce
+    # identical (time, seq) dispatch streams — and therefore identical
+    # verifier digests.  The sparse scenario (batch + 10 prefills, most
+    # cancelled — compaction pressure past the floor for the larger
+    # sizes) makes batches > 8 take the heapify path; the dense scenario
+    # (8x batch live prefills) fails the 4x-queue condition so the same
+    # batch sizes take the per-entry push path.
+    scenarios = [(batch_size + 10, True), (batch_size * 8 + 10, False)]
+    for prefill, cancel_most in scenarios:
+        scalar, live = _bulk_vs_scalar_dispatches(
+            batch_size, prefill, cancel_most, seed, bulk=False)
+        bulk, _ = _bulk_vs_scalar_dispatches(
+            batch_size, prefill, cancel_most, seed, bulk=True)
+        assert bulk == scalar
+        assert _fold_digest(bulk) == _fold_digest(scalar)
+        assert len(bulk) == batch_size + live
+
+
+# ----------------------------------------------------------------------
+# Requeue-record / compaction window
+# ----------------------------------------------------------------------
+
+
+def test_compaction_during_requeue_window_dispatches_once():
+    # Regression: _compact running between mark_requeued and the
+    # re-submit must drop the orphaned heap entry *by record*.  Before
+    # the fix it kept the entry (the event's stamped seq still matched)
+    # while clearing the record, so the event dispatched twice once the
+    # re-submit landed — observed as transfer tasks finishing twice in
+    # the 128-GPU legacy-allocator benchmark.
+    from repro.engine.events import CallbackEvent
+
+    eng = Engine()
+    fired = []
+    ev = CallbackEvent(1.0, lambda e: fired.append(eng.now))
+    eng.schedule(ev)
+    eng.mark_requeued(ev)
+    eng._compact()          # inside the window: entry + record must go
+    ev.time = 2.0
+    eng.schedule(ev)
+    eng.run()
+    assert fired == [2.0]
+
+
+def test_requeue_window_survives_cancellation_pressure():
+    # Same window, compaction triggered organically by a cancellation
+    # burst rather than called directly.
+    from repro.engine.engine import COMPACT_FLOOR
+    from repro.engine.events import CallbackEvent
+
+    eng = Engine()
+    fired = []
+    ev = CallbackEvent(1.0, lambda e: fired.append(eng.now))
+    eng.schedule(ev)
+    eng.mark_requeued(ev)
+    for _ in range(COMPACT_FLOOR * 2):
+        eng.call_at(5.0, lambda e: None).cancel()
+    assert eng.compactions >= 1
+    ev.time = 2.0
+    eng.schedule(ev)
+    eng.run()
+    assert fired == [2.0]
+
+
+def test_reschedule_moves_event_without_double_dispatch():
+    eng = Engine()
+    fired = []
+    ev = eng.call_at(1.0, lambda e: fired.append(eng.now))
+    eng.reschedule(ev, 3.0)
+    eng.run()
+    assert fired == [3.0]
+    assert eng.total_cancelled == 1   # orphaned entry counts as churn
+
+
+# ----------------------------------------------------------------------
 # Heartbeats
 # ----------------------------------------------------------------------
 
